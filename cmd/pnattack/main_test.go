@@ -1,0 +1,128 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/attack"
+)
+
+// attackCatalog and attackMethodology adapt the library API for the
+// coverage test below.
+func attackCatalog() []string {
+	var out []string
+	for _, s := range attack.Catalog() {
+		out = append(out, s.ID)
+	}
+	return out
+}
+
+func attackMethodology(id string) string { return attack.Methodology(id) }
+
+func runCapture(t *testing.T, args ...string) string {
+	t.Helper()
+	var sb strings.Builder
+	if err := run(args, &sb); err != nil {
+		t.Fatalf("run(%v): %v", args, err)
+	}
+	return sb.String()
+}
+
+func TestList(t *testing.T) {
+	out := runCapture(t, "-list")
+	for _, want := range []string{"stack-ret", "canary-skip", "§3.6.1", "hardened", "Defense configurations"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("list output missing %q", want)
+		}
+	}
+}
+
+func TestSingleScenario(t *testing.T) {
+	out := runCapture(t, "-scenario", "stack-ret", "-defense", "none", "-v")
+	if !strings.Contains(out, "SUCCESS") {
+		t.Errorf("stack-ret under none not successful:\n%s", out)
+	}
+	if !strings.Contains(out, "metric ret_ssn_index") {
+		t.Errorf("verbose output missing metrics:\n%s", out)
+	}
+}
+
+func TestScenarioUnderDefense(t *testing.T) {
+	out := runCapture(t, "-scenario", "stack-ret", "-defense", "checked-pnew")
+	if !strings.Contains(out, "prevented") || !strings.Contains(out, "checked-placement") {
+		t.Errorf("defended run wrong:\n%s", out)
+	}
+}
+
+func TestAllScenariosOneDefense(t *testing.T) {
+	out := runCapture(t, "-defense", "stackguard")
+	if !strings.Contains(out, "canary-skip") || !strings.Contains(out, "detected") {
+		t.Errorf("batch output wrong:\n%s", out)
+	}
+}
+
+func TestMatrixMode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("matrix is slow")
+	}
+	out := runCapture(t, "-defense", "all")
+	for _, want := range []string{"Attack x defense matrix", "hardened", "E15 summary"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("matrix output missing %q", want)
+		}
+	}
+}
+
+func TestExplainMode(t *testing.T) {
+	out := runCapture(t, "-explain", "canary-skip")
+	for _, want := range []string{"§5.2", "StackGuard", "Outcome under each defense", "shadowstack", "prevented"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("explain output missing %q:\n%s", want, out)
+		}
+	}
+	var sb strings.Builder
+	if err := run([]string{"-explain", "no-such"}, &sb); err == nil {
+		t.Error("explain of unknown scenario succeeded")
+	}
+}
+
+func TestMethodologyCoversCatalogue(t *testing.T) {
+	for _, s := range attackCatalog() {
+		if attackMethodology(s) == "" {
+			t.Errorf("scenario %s has no methodology notes", s)
+		}
+	}
+}
+
+func TestErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-scenario", "nope"}, &sb); err == nil {
+		t.Error("unknown scenario accepted")
+	}
+	if err := run([]string{"-defense", "nope"}, &sb); err == nil {
+		t.Error("unknown defense accepted")
+	}
+	if err := run([]string{"-badflag"}, &sb); err == nil {
+		t.Error("bad flag accepted")
+	}
+}
+
+func TestJSONMode(t *testing.T) {
+	out := runCapture(t, "-scenario", "memleak", "-defense", "none", "-json")
+	var outcomes []map[string]any
+	if err := json.Unmarshal([]byte(out), &outcomes); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, out)
+	}
+	if len(outcomes) != 1 {
+		t.Fatalf("outcomes = %d", len(outcomes))
+	}
+	o := outcomes[0]
+	if o["Scenario"] != "memleak" || o["Succeeded"] != true {
+		t.Errorf("outcome = %v", o)
+	}
+	metrics, ok := o["Metrics"].(map[string]any)
+	if !ok || metrics["leak_per_iteration"] != 12.0 {
+		t.Errorf("metrics = %v", o["Metrics"])
+	}
+}

@@ -1,0 +1,110 @@
+// Command pnlayout prints the object-layout maps of the classes declared
+// in mini-C++ sources — sizeof, alignment, vptr slots, field offsets and
+// padding — plus the overflow geometry of every inheritance pair: how many
+// bytes a derived instance overhangs its base's arena, the arithmetic at
+// the heart of every attack in the paper.
+//
+// Usage:
+//
+//	pnlayout [-model ilp32|i386|lp64] file.cpp...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/analyzer"
+	"repro/internal/layout"
+	"repro/internal/report"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "pnlayout:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("pnlayout", flag.ContinueOnError)
+	modelName := fs.String("model", "i386", "data model: ilp32, i386, or lp64")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var model layout.Model
+	switch *modelName {
+	case "ilp32":
+		model = layout.ILP32
+	case "i386":
+		model = layout.ILP32i386
+	case "lp64":
+		model = layout.LP64
+	default:
+		return fmt.Errorf("unknown model %q", *modelName)
+	}
+	if fs.NArg() == 0 {
+		return fmt.Errorf("no input files")
+	}
+	for _, path := range fs.Args() {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		if err := describeFile(out, path, string(src), model); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func describeFile(out io.Writer, path, src string, model layout.Model) error {
+	r, err := analyzer.Analyze(src, analyzer.Options{Model: model})
+	if err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	classes, err := analyzer.ClassesOf(r.Prog, model)
+	if err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if len(classes) == 0 {
+		fmt.Fprintf(out, "%s: no classes declared\n", path)
+		return nil
+	}
+	fmt.Fprintf(out, "%s (%s):\n\n", path, model.Name)
+	for _, cls := range classes {
+		l, err := layout.Of(cls, model)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(out, l.Describe())
+	}
+
+	// Overflow geometry of every inheritance pair.
+	t := report.NewTable("\nplacement overhang (derived placed over base arena)",
+		"derived", "base", "sizeof(derived)", "sizeof(base)", "overhang")
+	for _, d := range classes {
+		for _, b := range classes {
+			if d == b || !d.DerivesFrom(b) {
+				continue
+			}
+			dl, err := layout.Of(d, model)
+			if err != nil {
+				return err
+			}
+			bl, err := layout.Of(b, model)
+			if err != nil {
+				return err
+			}
+			over := int64(dl.Size) - int64(bl.Size)
+			t.AddRow(d.Name(), b.Name(),
+				fmt.Sprintf("%d", dl.Size), fmt.Sprintf("%d", bl.Size),
+				fmt.Sprintf("%+d bytes", over))
+		}
+	}
+	if t.NumRows() > 0 {
+		fmt.Fprint(out, t.String())
+	}
+	return nil
+}

@@ -1,0 +1,91 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const src = `
+class Student {
+ public:
+  virtual char getInfo();
+  double gpa;
+  int year;
+  int semester;
+};
+class GradStudent : public Student {
+ public:
+  int ssn[3];
+};
+`
+
+func writeTemp(t *testing.T, content string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), "classes.cpp")
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func runCapture(t *testing.T, args ...string) string {
+	t.Helper()
+	var sb strings.Builder
+	if err := run(args, &sb); err != nil {
+		t.Fatalf("run(%v): %v", args, err)
+	}
+	return sb.String()
+}
+
+func TestLayoutOutput(t *testing.T) {
+	p := writeTemp(t, src)
+	out := runCapture(t, p)
+	for _, want := range []string{
+		"class Student", "class GradStudent", "__vptr",
+		"double gpa", "int[3] ssn", "placement overhang",
+		"GradStudent", "+12 bytes",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestModelChangesLayout(t *testing.T) {
+	p := writeTemp(t, src)
+	out386 := runCapture(t, "-model", "i386", p)
+	outLP64 := runCapture(t, "-model", "lp64", p)
+	if out386 == outLP64 {
+		t.Error("model flag had no effect")
+	}
+	if !strings.Contains(outLP64, "LP64") {
+		t.Errorf("LP64 banner missing:\n%s", outLP64)
+	}
+}
+
+func TestNoClasses(t *testing.T) {
+	p := writeTemp(t, "int x = 1;")
+	out := runCapture(t, p)
+	if !strings.Contains(out, "no classes declared") {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{}, &sb); err == nil {
+		t.Error("no-args accepted")
+	}
+	if err := run([]string{"-model", "vax", "x.cpp"}, &sb); err == nil {
+		t.Error("bad model accepted")
+	}
+	if err := run([]string{"/does/not/exist.cpp"}, &sb); err == nil {
+		t.Error("missing file accepted")
+	}
+	p := writeTemp(t, "class {")
+	if err := run([]string{p}, &sb); err == nil {
+		t.Error("unparsable file accepted")
+	}
+}

@@ -1,0 +1,137 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+func runCapture(t *testing.T, args ...string) string {
+	t.Helper()
+	var sb strings.Builder
+	if err := run(args, &sb); err != nil {
+		t.Fatalf("run(%v): %v", args, err)
+	}
+	return sb.String()
+}
+
+func writeTemp(t *testing.T, name, content string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+const vulnSrc = `
+class Student { public: double gpa; int year; int semester; };
+class GradStudent : public Student { public: int ssn[3]; };
+void addStudent() {
+  Student stud;
+  GradStudent *st = new (&stud) GradStudent();
+}
+`
+
+func TestScanVulnerableFile(t *testing.T) {
+	p := writeTemp(t, "vuln.cpp", vulnSrc)
+	out := runCapture(t, p)
+	if !strings.Contains(out, "PN001") {
+		t.Errorf("PN001 not reported:\n%s", out)
+	}
+	if !strings.Contains(out, "1 finding(s)") {
+		t.Errorf("findings count missing:\n%s", out)
+	}
+}
+
+func TestScanCleanFile(t *testing.T) {
+	p := writeTemp(t, "clean.cpp", `
+class Student { public: int year; };
+Student s;
+void reinit() { Student *p = new (&s) Student(); }
+`)
+	out := runCapture(t, p)
+	if !strings.Contains(out, "no placement-new findings") {
+		t.Errorf("clean file reported findings:\n%s", out)
+	}
+}
+
+func TestBaselineFlag(t *testing.T) {
+	p := writeTemp(t, "classic.cpp", `
+char dst[8];
+void f(char *s) { strcpy(dst, s); }
+`)
+	out := runCapture(t, "-baseline", p)
+	if !strings.Contains(out, "strcpy") || !strings.Contains(out, "[baseline]") {
+		t.Errorf("baseline finding missing:\n%s", out)
+	}
+}
+
+func TestCorpusMode(t *testing.T) {
+	out := runCapture(t, "-corpus")
+	if !strings.Contains(out, "TOTAL placement-new vulns detected") {
+		t.Errorf("corpus table missing totals:\n%s", out)
+	}
+	// The baseline detects zero placement-new vulnerabilities regardless
+	// of corpus size.
+	if !regexp.MustCompile(`0/\d+\s*$`).MatchString(strings.TrimSpace(out)) {
+		t.Errorf("baseline total missing:\n%s", out)
+	}
+}
+
+func TestModelFlag(t *testing.T) {
+	p := writeTemp(t, "vuln.cpp", vulnSrc)
+	out386 := runCapture(t, "-model", "i386", p)
+	outLP64 := runCapture(t, "-model", "lp64", p)
+	if !strings.Contains(out386, "28 bytes") {
+		t.Errorf("i386 sizes wrong:\n%s", out386)
+	}
+	if !strings.Contains(outLP64, "32 bytes") {
+		t.Errorf("lp64 sizes wrong:\n%s", outLP64)
+	}
+}
+
+func TestJSONMode(t *testing.T) {
+	p := writeTemp(t, "vuln.cpp", vulnSrc)
+	out := runCapture(t, "-json", p)
+	var findings []map[string]any
+	if err := json.Unmarshal([]byte(out), &findings); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, out)
+	}
+	if len(findings) != 1 {
+		t.Fatalf("findings = %d", len(findings))
+	}
+	f := findings[0]
+	if f["code"] != "PN001" || f["severity"] != "error" || f["suggestion"] == "" {
+		t.Errorf("finding = %v", f)
+	}
+	// Clean file yields an empty array, not null.
+	clean := writeTemp(t, "clean.cpp", "int x = 1;")
+	out = runCapture(t, "-json", clean)
+	if strings.TrimSpace(out) != "[]" {
+		t.Errorf("clean json = %q", out)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{}, &sb); err == nil {
+		t.Error("no-args accepted")
+	}
+	if err := run([]string{"-model", "pdp11", "x.cpp"}, &sb); err == nil {
+		t.Error("bad model accepted")
+	}
+	if err := run([]string{"/does/not/exist.cpp"}, &sb); err == nil {
+		t.Error("missing file accepted")
+	}
+	p := filepath.Join(t.TempDir(), "bad.cpp")
+	if err := os.WriteFile(p, []byte("class {"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{p}, &sb); err == nil {
+		t.Error("unparsable file accepted")
+	}
+}

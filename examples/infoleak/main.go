@@ -1,0 +1,63 @@
+// Infoleak: the §4.3 Listing 21 information leak. A memory pool holds the
+// password file; a short user string is placed over it with placement new
+// (which sanitizes nothing); storing MAX_USERDATA bytes from the buffer
+// ships the remnants to the attacker. The §5.1 remedy — memset before
+// reuse — closes the leak.
+//
+//	go run ./examples/infoleak
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/layout"
+	"repro/internal/machine"
+)
+
+const passwd = "root:x:0:0:root:/root:/bin/bash\nsvc:x:12:7:/usr/sbin\n"
+
+func main() {
+	log.SetFlags(0)
+
+	proc, err := machine.New(machine.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	const poolSize, maxUserdata = 64, 48
+	g, err := proc.DefineGlobal("mem_pool", layout.ArrayOf(layout.Char, poolSize), false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pool, err := core.NewPool(proc.Mem, proc.Model, g.Addr, poolSize, "mem_pool")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	demo := func(title string, sanitize bool) {
+		// mmap/read a password file to mem_pool.
+		if err := pool.LoadBytes([]byte(passwd)); err != nil {
+			log.Fatal(err)
+		}
+		pool.SanitizeOnPlace = sanitize
+		userdata, err := pool.PlaceArray(layout.Char, maxUserdata)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// The attacker supplies a deliberately short string.
+		if err := userdata.StrNCpy("bob", 4); err != nil {
+			log.Fatal(err)
+		}
+		// store(userdata): what leaves the process.
+		fmt.Println(title)
+		dump, err := proc.Mem.Hexdump(userdata.Addr, maxUserdata)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(dump, "\n")
+	}
+
+	demo("store(userdata) without sanitization (§4.3): the password file leaks past \"bob\":", false)
+	demo("store(userdata) with memset-before-reuse (§5.1): nothing leaks:", true)
+}

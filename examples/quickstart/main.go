@@ -1,0 +1,81 @@
+// Quickstart: build a simulated victim process, demonstrate the core
+// placement-new object overflow of §3.1, and show the §5.1 checked
+// placement rejecting it.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/layout"
+	"repro/internal/machine"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// The paper's running example (Listing 1).
+	student := layout.NewClass("Student").
+		AddField("gpa", layout.Double).
+		AddField("year", layout.Int).
+		AddField("semester", layout.Int)
+	grad := layout.NewClass("GradStudent", student).
+		AddField("ssn", layout.ArrayOf(layout.Int, 3))
+
+	// A process modelled on the paper's testbed: 32-bit, i386 layout.
+	proc, err := machine.New(machine.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	sl, err := layout.Of(student, proc.Model)
+	if err != nil {
+		log.Fatal(err)
+	}
+	gl, err := layout.Of(grad, proc.Model)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(sl.Describe())
+	fmt.Print(gl.Describe())
+	fmt.Printf("overhang: placing a GradStudent over a Student writes %d bytes past the arena\n\n",
+		gl.Size-sl.Size)
+
+	// Two adjacent globals in bss, as in Listing 11.
+	if _, err := proc.DefineGlobal("stud", student, false); err != nil {
+		log.Fatal(err)
+	}
+	secret, err := proc.DefineGlobal("secret", layout.UInt, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := proc.Mem.WriteU32(secret.Addr, 0xcafe); err != nil {
+		log.Fatal(err)
+	}
+
+	// The vulnerable placement: new (&stud) GradStudent().
+	arena, err := proc.GlobalVar("stud")
+	if err != nil {
+		log.Fatal(err)
+	}
+	gs, err := proc.Construct(grad, arena.Addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("unchecked placement new at %#x succeeded (no bounds are checked, §2.5)\n", uint64(arena.Addr))
+
+	before, _ := proc.Mem.ReadU32(secret.Addr)
+	if err := gs.SetIndex("ssn", 0, 0x41414141); err != nil {
+		log.Fatal(err)
+	}
+	after, _ := proc.Mem.ReadU32(secret.Addr)
+	fmt.Printf("adjacent global 'secret': %#x -> %#x (overwritten by ssn[0])\n\n", before, after)
+
+	// The §5.1 remedy: check sizeof before placing.
+	_, err = core.CheckedPlacementNew(proc.Mem, proc.Model,
+		core.Arena{Base: arena.Addr, Size: sl.Size, Label: "stud"}, grad)
+	fmt.Printf("checked placement new: %v\n", err)
+}

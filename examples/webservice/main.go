@@ -1,0 +1,88 @@
+// Webservice: the §3.2 remote-object attack end to end. A "service"
+// receives serialized student records from clients and deserializes them
+// into a pre-allocated arena with placement new — trusting the protocol,
+// as the paper's victim programs do. A malicious client names a larger
+// subclass on the wire and overflows the arena; the checked deserializer
+// (§5.1) rejects the same message.
+//
+//	go run ./examples/webservice
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/layout"
+	"repro/internal/machine"
+	"repro/internal/serial"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	student := layout.NewClass("Student").
+		AddField("gpa", layout.Double).
+		AddField("year", layout.Int).
+		AddField("semester", layout.Int)
+	grad := layout.NewClass("GradStudent", student).
+		AddField("ssn", layout.ArrayOf(layout.Int, 3))
+	reg := serial.NewRegistry(student, grad)
+
+	proc, err := machine.New(machine.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Server state: a record slot and the admin flag that happens to sit
+	// right behind it in bss.
+	slot, err := proc.DefineGlobal("record_slot", student, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	admin, err := proc.DefineGlobal("is_admin", layout.UInt, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// An honest client:
+	honest := serial.Encode(serial.NewMessage("Student").
+		Set("gpa", serial.FloatValue(3.7)).
+		Set("year", serial.IntValue(2010)).
+		Set("semester", serial.IntValue(1)))
+	fmt.Printf("honest wire message:    %s\n", honest)
+	msg, err := serial.Parse(honest)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := serial.PlaceTrusting(proc.Mem, proc.Model, reg, slot.Addr, msg); err != nil {
+		log.Fatal(err)
+	}
+	v, _ := proc.Mem.ReadU32(admin.Addr)
+	fmt.Printf("after honest request:   is_admin = %d\n\n", v)
+
+	// The attack: the wire names GradStudent and ssn[0] carries the value
+	// that lands exactly on is_admin.
+	evil := serial.Encode(serial.NewMessage("GradStudent").
+		Set("gpa", serial.FloatValue(4.0)).
+		Set("ssn", serial.ArrayValue(1, 0, 0)))
+	fmt.Printf("malicious wire message: %s\n", evil)
+	msg, err = serial.Parse(evil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := serial.PlaceTrusting(proc.Mem, proc.Model, reg, slot.Addr, msg); err != nil {
+		log.Fatal(err)
+	}
+	v, _ = proc.Mem.ReadU32(admin.Addr)
+	fmt.Printf("after trusting decode:  is_admin = %d  <-- privilege escalation\n\n", v)
+
+	// The fix: bound the deserialization by the arena (§5.1).
+	if err := proc.Mem.WriteU32(admin.Addr, 0); err != nil {
+		log.Fatal(err)
+	}
+	arena := core.Arena{Base: slot.Addr, Size: student.Size(proc.Model), Label: "record_slot"}
+	_, err = serial.PlaceChecked(proc.Mem, proc.Model, reg, arena, msg)
+	fmt.Printf("checked decode:         %v\n", err)
+	v, _ = proc.Mem.ReadU32(admin.Addr)
+	fmt.Printf("after checked decode:   is_admin = %d\n", v)
+}

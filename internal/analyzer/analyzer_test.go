@@ -1,0 +1,445 @@
+package analyzer
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/layout"
+)
+
+func analyze(t *testing.T, src string) *Result {
+	t.Helper()
+	r, err := Analyze(src, Options{})
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	return r
+}
+
+func TestCorpusExpectations(t *testing.T) {
+	for _, e := range Corpus() {
+		t.Run(e.Name, func(t *testing.T) {
+			r := analyze(t, e.Src)
+			got := r.Codes()
+			want := append([]string(nil), e.WantCodes...)
+			sort.Strings(want)
+			if strings.Join(got, ",") != strings.Join(want, ",") {
+				t.Errorf("codes = %v, want %v\ndiags:\n%s", got, want, diagDump(r))
+			}
+		})
+	}
+}
+
+func diagDump(r *Result) string {
+	var sb strings.Builder
+	for _, d := range r.Diags {
+		sb.WriteString("  " + d.String() + "\n")
+	}
+	return sb.String()
+}
+
+func TestPN001MessageAndPosition(t *testing.T) {
+	src := `
+class A { public: int x; };
+class B : public A { public: int y[8]; };
+A a;
+void f() {
+  B *b = new (&a) B();
+}
+`
+	r := analyze(t, src)
+	if len(r.Diags) != 1 {
+		t.Fatalf("diags = %v", r.Diags)
+	}
+	d := r.Diags[0]
+	if d.Code != "PN001" || d.Sev != SevError {
+		t.Errorf("diag = %+v", d)
+	}
+	if d.Pos.Line != 6 {
+		t.Errorf("line = %d, want 6", d.Pos.Line)
+	}
+	if !strings.Contains(d.Msg, "36 bytes") || !strings.Contains(d.Msg, "4 bytes") {
+		t.Errorf("msg = %q, want concrete sizes", d.Msg)
+	}
+}
+
+func TestSizeArithmeticUsesVPtr(t *testing.T) {
+	// A virtual method adds a vptr: B(4+4+32=40? under i386: vptr 4 + x 4
+	// + y 32 = 40) no longer fits where its non-virtual twin would.
+	src := `
+class A { public: virtual int getInfo(); int x; };
+class B : public A { public: int y; };
+A a;
+void f() {
+  B *b = new (&a) B();
+}
+`
+	r := analyze(t, src)
+	if !r.HasCode("PN001") {
+		t.Errorf("vptr-bearing subclass placement not flagged: %v", r.Diags)
+	}
+}
+
+func TestPN002TaintFlow(t *testing.T) {
+	tests := []struct {
+		name string
+		body string
+		want bool
+	}{
+		{"cin direct", "int n = 0; cin >> n; char *b = new (pool) char[n];", true},
+		{"cin arithmetic", "int n = 0; cin >> n; char *b = new (pool) char[n * 8 + 1];", true},
+		{"taint through assignment", "int n = 0; cin >> n; int m = n; char *b = new (pool) char[m];", true},
+		{"taint from recv", "int n = recv(); char *b = new (pool) char[n];", true},
+		{"constant", "int n = 4; char *b = new (pool) char[n];", false},
+		{"constant arithmetic", "int n = 4; char *b = new (pool) char[n * 8];", false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			src := "char pool[64];\nvoid f() {\n" + tt.body + "\n}\n"
+			r := analyze(t, src)
+			if got := r.HasCode("PN002"); got != tt.want {
+				t.Errorf("PN002 = %v, want %v; diags %v", got, tt.want, r.Diags)
+			}
+		})
+	}
+}
+
+func TestPN001ConstantFoldedArrayLength(t *testing.T) {
+	src := `
+char pool[64];
+void f() {
+  int n = 16;
+  char *b = new (pool) char[n * 8];
+}
+`
+	r := analyze(t, src)
+	if !r.HasCode("PN001") {
+		t.Errorf("constant oversize array placement not flagged: %v", r.Diags)
+	}
+}
+
+func TestPN003UnresolvableArena(t *testing.T) {
+	src := `
+class A { public: int x; };
+void f(void *p) {
+  A *a = new (p) A();
+}
+`
+	r := analyze(t, src)
+	if !r.HasCode("PN003") {
+		t.Errorf("unresolvable arena not reported: %v", r.Diags)
+	}
+}
+
+func TestPN004UnknownNonTaintedLength(t *testing.T) {
+	src := `
+char pool[64];
+int config();
+void f() {
+  int n = config();
+  char *b = new (pool) char[n];
+}
+`
+	// config() is undeclared as a taint source; its value is unknown but
+	// not attacker-controlled.
+	r, err := Analyze(strings.Replace(src, "int config();\n", "", 1), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.HasCode("PN004") {
+		t.Errorf("unknown length not reported: %v", r.Diags)
+	}
+	if r.HasCode("PN002") {
+		t.Errorf("non-tainted length misreported as tainted: %v", r.Diags)
+	}
+}
+
+func TestPN006ClearedByMemset(t *testing.T) {
+	dirty := `
+char pool[64];
+void f() {
+  read_file(pool);
+  char *u = new (pool) char[16];
+}
+`
+	r := analyze(t, dirty)
+	if !r.HasCode("PN006") {
+		t.Errorf("dirty reuse not flagged: %v", r.Diags)
+	}
+	clean := strings.Replace(dirty, "read_file(pool);", "read_file(pool); memset(pool, 0, 64);", 1)
+	r = analyze(t, clean)
+	if r.HasCode("PN006") {
+		t.Errorf("sanitized reuse flagged: %v", r.Diags)
+	}
+}
+
+func TestPN006SequentialPlacements(t *testing.T) {
+	// A larger placement followed by a smaller one into the same pool
+	// leaks the tail of the first.
+	src := `
+class Big { public: int a; int b; int c; int d; };
+class Small { public: int a; };
+char pool[64];
+void f() {
+  Big *x = new (pool) Big();
+  x->a = 1;
+  Small *y = new (pool) Small();
+}
+`
+	r := analyze(t, src)
+	if !r.HasCode("PN006") {
+		t.Errorf("sequential shrinking placement not flagged: %v", r.Diags)
+	}
+}
+
+func TestPN007LeakPatterns(t *testing.T) {
+	leak := `
+class A { public: int x; };
+void f() {
+  A *p = new A();
+  p = 0;
+}
+`
+	r := analyze(t, leak)
+	if !r.HasCode("PN007") {
+		t.Errorf("nulled live allocation not flagged: %v", r.Diags)
+	}
+	freed := `
+class A { public: int x; };
+void f() {
+  A *p = new A();
+  delete p;
+  p = 0;
+}
+`
+	r = analyze(t, freed)
+	if r.HasCode("PN007") {
+		t.Errorf("deleted allocation flagged: %v", r.Diags)
+	}
+	double := `
+class A { public: int x; };
+A arena1;
+A arena2;
+void f() {
+  A *p = new (&arena1) A();
+  p = new (&arena2) A();
+}
+`
+	r = analyze(t, double)
+	if !r.HasCode("PN007") {
+		t.Errorf("overwritten placement pointer not flagged: %v", r.Diags)
+	}
+}
+
+func TestGuardedPlacementNotFlagged(t *testing.T) {
+	src := `
+class A { public: int x; };
+class B : public A { public: int y; };
+void f() {
+  A a;
+  if (sizeof(B) <= sizeof(A)) {
+    B *b = new (&a) B();
+  }
+}
+`
+	r := analyze(t, src)
+	if r.HasCode("PN001") {
+		t.Errorf("statically dead guarded branch flagged: %v", r.Diags)
+	}
+}
+
+func TestModelAffectsVerdict(t *testing.T) {
+	// double alignment differs between i386 (4) and natural (8): under
+	// ILP32 the arena A is 16 bytes with tail padding vs 12 under i386.
+	src := `
+class A { public: double d; int x; };
+class B : public A { public: int y; };
+A a;
+void f() {
+  B *b = new (&a) B();
+}
+`
+	r386, err := Analyze(src, Options{Model: layout.ILP32i386})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r32, err := Analyze(src, Options{Model: layout.ILP32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// B exceeds A under both, but the reported byte counts differ.
+	if !r386.HasCode("PN001") || !r32.HasCode("PN001") {
+		t.Fatalf("PN001 missing: %v / %v", r386.Diags, r32.Diags)
+	}
+	if r386.Diags[0].Msg == r32.Diags[0].Msg {
+		t.Errorf("model change did not affect size arithmetic: %q", r386.Diags[0].Msg)
+	}
+}
+
+func TestBaselineFindsClassicMissesPlacement(t *testing.T) {
+	var classic, placement CorpusEntry
+	for _, e := range Corpus() {
+		switch e.Name {
+		case "classic-strcpy":
+			classic = e
+		case "L4-construct-overflow":
+			placement = e
+		}
+	}
+	fs, err := Baseline(classic.Src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fs) != 1 || fs[0].Func != "strcpy" {
+		t.Errorf("baseline on classic = %v, want one strcpy hit", fs)
+	}
+	fs, err = Baseline(placement.Src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fs) != 0 {
+		t.Errorf("baseline flagged placement-new code: %v", fs)
+	}
+}
+
+// TestBaselineMissesEntireCorpus is the E16 headline: the traditional
+// scanner finds zero placement-new vulnerabilities across the corpus.
+func TestBaselineMissesEntireCorpus(t *testing.T) {
+	for _, e := range Corpus() {
+		if e.Name == "classic-strcpy" {
+			continue
+		}
+		fs, err := Baseline(e.Src)
+		if err != nil {
+			t.Fatalf("%s: %v", e.Name, err)
+		}
+		if len(fs) != 0 {
+			t.Errorf("%s: baseline found %v", e.Name, fs)
+		}
+	}
+}
+
+func TestAnalyzerPrecisionRecallOnCorpus(t *testing.T) {
+	var tp, fn, fp int
+	for _, e := range Corpus() {
+		r := analyze(t, e.Src)
+		flagged := len(e.WantCodes) > 0 && func() bool {
+			for _, c := range e.WantCodes {
+				if !r.HasCode(c) {
+					return false
+				}
+			}
+			return true
+		}()
+		switch {
+		case e.Vulnerable && len(e.WantCodes) > 0 && flagged:
+			tp++
+		case e.Vulnerable && len(e.WantCodes) > 0:
+			fn++
+		case !e.Vulnerable && len(r.Diags) > 0:
+			fp++
+		}
+	}
+	if fn != 0 {
+		t.Errorf("false negatives: %d", fn)
+	}
+	if fp != 0 {
+		t.Errorf("false positives on safe variants: %d", fp)
+	}
+	if tp == 0 {
+		t.Error("no true positives")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	tests := []string{
+		"class {",
+		"class A { int };",
+		"void f( { }",
+		"void f() { int ; }",
+		"void f() { x = ; }",
+		"void f() { if (x { } }",
+		"void f() { /* unterminated",
+		`void f() { char *s = "unterminated; }`,
+		"void f() { new; }",
+	}
+	for _, src := range tests {
+		if _, err := Analyze(src, Options{}); err == nil {
+			t.Errorf("Analyze(%q) succeeded", src)
+		}
+	}
+}
+
+func TestParserAcceptsSubsetForms(t *testing.T) {
+	src := `
+// line comment
+/* block
+   comment */
+class Base {
+ public:
+  virtual char getInfo();
+  double gpa;
+ private:
+  int year, semester;
+};
+class Derived : public Base {
+ public:
+  Derived() { gpa = 0; }
+  int arr[3];
+};
+int counter = 0;
+char buffer[16];
+void helper(int a, char *b) {
+  for (int i = 0; i < a; i = i + 1) { counter = counter + i; }
+  while (counter > 100) { counter = counter - 1; }
+  if (a == 1) { counter = 0; } else { counter = 1; }
+  return;
+}
+`
+	r := analyze(t, src)
+	if len(r.Prog.Classes) != 2 || len(r.Prog.Funcs) != 1 || len(r.Prog.Globals) != 2 {
+		t.Errorf("parsed: %d classes, %d funcs, %d globals",
+			len(r.Prog.Classes), len(r.Prog.Funcs), len(r.Prog.Globals))
+	}
+	base := r.Prog.Classes[0]
+	if len(base.Virtuals) != 1 || base.Virtuals[0] != "getInfo" {
+		t.Errorf("virtuals = %v", base.Virtuals)
+	}
+	if len(base.Fields) != 3 {
+		t.Errorf("fields = %d, want 3 (gpa, year, semester)", len(base.Fields))
+	}
+	if len(r.Diags) != 0 {
+		t.Errorf("clean program produced diags: %v", r.Diags)
+	}
+}
+
+func TestEveryDiagnosticCarriesASuggestion(t *testing.T) {
+	for _, e := range Corpus() {
+		r := analyze(t, e.Src)
+		for _, d := range r.Diags {
+			if d.Suggestion == "" {
+				t.Errorf("%s: %s has no remediation suggestion", e.Name, d.Code)
+			}
+		}
+	}
+	// The suggestion map covers every emitted code.
+	for code := range suggestions {
+		if len(code) != 5 || code[:2] != "PN" {
+			t.Errorf("malformed code %q in suggestions", code)
+		}
+	}
+}
+
+func TestDiagnosticString(t *testing.T) {
+	d := Diagnostic{Code: "PN001", Sev: SevError, Pos: Pos{Line: 3, Col: 7}, Msg: "overflow"}
+	if got := d.String(); got != "3:7: error PN001: overflow" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestSeverityString(t *testing.T) {
+	if SevError.String() != "error" || SevWarning.String() != "warning" || SevInfo.String() != "info" {
+		t.Error("severity names wrong")
+	}
+}

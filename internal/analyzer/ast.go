@@ -1,0 +1,200 @@
+package analyzer
+
+// SrcType is a type as written in source: a base name ("int", "char",
+// "Student"), pointer depth, and an optional array length expression
+// attached by the declarator.
+type SrcType struct {
+	Name     string
+	Stars    int
+	ArrayLen Expr // nil unless declared as an array
+}
+
+// IsPtr reports pointer types.
+func (t SrcType) IsPtr() bool { return t.Stars > 0 }
+
+// Program is a parsed translation unit.
+type Program struct {
+	Classes []*ClassDecl
+	Globals []*VarDecl
+	Funcs   []*FuncDecl
+}
+
+// ClassDecl is a class definition: fields and virtual method names.
+type ClassDecl struct {
+	Pos      Pos
+	Name     string
+	Bases    []string
+	Fields   []*VarDecl
+	Virtuals []string
+}
+
+// VarDecl declares a variable, field, parameter, or global.
+type VarDecl struct {
+	Pos  Pos
+	Type SrcType
+	Name string
+	Init Expr // nil when absent
+}
+
+// FuncDecl is a function definition.
+type FuncDecl struct {
+	Pos    Pos
+	Ret    SrcType
+	Name   string
+	Params []*VarDecl
+	Body   *Block
+}
+
+// Block is a brace-delimited statement list.
+type Block struct {
+	Pos   Pos
+	Stmts []Stmt
+}
+
+// Stmt is a statement node.
+type Stmt interface{ stmtPos() Pos }
+
+// DeclStmt is a local variable declaration.
+type DeclStmt struct{ Decl *VarDecl }
+
+// ExprStmt is an expression used as a statement.
+type ExprStmt struct {
+	Pos Pos
+	X   Expr
+}
+
+// IfStmt is if/else.
+type IfStmt struct {
+	Pos  Pos
+	Cond Expr
+	Then Stmt
+	Else Stmt // nil when absent
+}
+
+// WhileStmt is a while loop.
+type WhileStmt struct {
+	Pos  Pos
+	Cond Expr
+	Body Stmt
+}
+
+// ForStmt is a for loop.
+type ForStmt struct {
+	Pos  Pos
+	Init Stmt // nil when absent
+	Cond Expr // nil when absent
+	Post Expr // nil when absent
+	Body Stmt
+}
+
+// ReturnStmt returns from a function.
+type ReturnStmt struct {
+	Pos Pos
+	X   Expr // nil for bare return
+}
+
+func (s *DeclStmt) stmtPos() Pos   { return s.Decl.Pos }
+func (s *ExprStmt) stmtPos() Pos   { return s.Pos }
+func (s *IfStmt) stmtPos() Pos     { return s.Pos }
+func (s *WhileStmt) stmtPos() Pos  { return s.Pos }
+func (s *ForStmt) stmtPos() Pos    { return s.Pos }
+func (s *ReturnStmt) stmtPos() Pos { return s.Pos }
+func (b *Block) stmtPos() Pos      { return b.Pos }
+
+// Expr is an expression node.
+type Expr interface{ exprPos() Pos }
+
+// Ident is a name reference.
+type Ident struct {
+	Pos  Pos
+	Name string
+}
+
+// Number is an integer or float literal.
+type Number struct {
+	Pos     Pos
+	Text    string
+	Val     int64
+	Float   float64
+	IsFloat bool
+}
+
+// StringLit is a string literal.
+type StringLit struct {
+	Pos Pos
+	Val string
+}
+
+// Unary is a prefix operator expression (&x, *p, -n, !b).
+type Unary struct {
+	Pos Pos
+	Op  string
+	X   Expr
+}
+
+// Binary is an infix operator expression; ">>" with leftmost operand cin
+// is the input-extraction idiom.
+type Binary struct {
+	Pos  Pos
+	Op   string
+	L, R Expr
+}
+
+// Assign is L = R (and compound forms, with Op holding "=", "+=", ...).
+type Assign struct {
+	Pos  Pos
+	Op   string
+	L, R Expr
+}
+
+// Call is a function or method call; Recv is non-nil for obj.m(...) and
+// obj->m(...).
+type Call struct {
+	Pos  Pos
+	Recv Expr // nil for plain calls
+	Name string
+	Args []Expr
+}
+
+// Member is X.Name or X->Name.
+type Member struct {
+	Pos  Pos
+	X    Expr
+	Op   string // "." or "->"
+	Name string
+}
+
+// Index is X[I].
+type Index struct {
+	Pos Pos
+	X   Expr
+	I   Expr
+}
+
+// New is a new-expression: `new T(...)`, `new T[n]`,
+// `new (place) T(...)`, or `new (place) T[n]`.
+type New struct {
+	Pos       Pos
+	Placement Expr // nil for ordinary new
+	Type      SrcType
+	ArrayLen  Expr // nil for object form
+	CtorArgs  []Expr
+}
+
+// Sizeof is sizeof(T) or sizeof(expr); only the type form is resolved.
+type Sizeof struct {
+	Pos  Pos
+	Type SrcType
+}
+
+func (e *Ident) exprPos() Pos     { return e.Pos }
+func (e *Number) exprPos() Pos    { return e.Pos }
+func (e *StringLit) exprPos() Pos { return e.Pos }
+func (e *Unary) exprPos() Pos     { return e.Pos }
+func (e *Binary) exprPos() Pos    { return e.Pos }
+func (e *Assign) exprPos() Pos    { return e.Pos }
+func (e *Call) exprPos() Pos      { return e.Pos }
+func (e *Member) exprPos() Pos    { return e.Pos }
+func (e *Index) exprPos() Pos     { return e.Pos }
+func (e *New) exprPos() Pos       { return e.Pos }
+func (e *Sizeof) exprPos() Pos    { return e.Pos }

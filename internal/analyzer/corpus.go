@@ -1,0 +1,330 @@
+package analyzer
+
+// CorpusEntry is one program of the evaluation corpus: a mini-C++ source
+// modelled on a paper listing, with the diagnostic codes the analyzer is
+// expected to raise (empty for the safe variants).
+type CorpusEntry struct {
+	Name string
+	Ref  string
+	// Vulnerable marks entries that contain a real placement-new flaw.
+	Vulnerable bool
+	Src        string
+	// WantCodes are the analyzer codes expected on this entry.
+	WantCodes []string
+}
+
+// classPrelude is the running example of Listing 1.
+const classPrelude = `
+class Student {
+ public:
+  double gpa;
+  int year;
+  int semester;
+};
+class GradStudent : public Student {
+ public:
+  int ssn[3];
+};
+`
+
+// Corpus returns the E16 evaluation corpus: the paper's listings encoded
+// in the analyzable subset, plus safe variants exercising the §5.1
+// correct-coding patterns.
+func Corpus() []CorpusEntry {
+	return []CorpusEntry{
+		{
+			Name: "L4-construct-overflow", Ref: "§3.1 Listing 4", Vulnerable: true,
+			WantCodes: []string{"PN001"},
+			Src: classPrelude + `
+void addStudent() {
+  Student stud;
+  GradStudent *st = new (&stud) GradStudent();
+}
+`,
+		},
+		{
+			Name: "L11-bss-overflow", Ref: "§3.5 Listing 11", Vulnerable: true,
+			WantCodes: []string{"PN001"},
+			Src: classPrelude + `
+Student stud1;
+Student stud2;
+void addStudent(bool isGradStudent) {
+  if (isGradStudent) {
+    GradStudent *st = new (&stud1) GradStudent();
+    cin >> st->ssn[0] >> st->ssn[1] >> st->ssn[2];
+  } else {
+    Student *st2 = new (&stud2) Student();
+  }
+}
+`,
+		},
+		{
+			Name: "L13-stack-ret", Ref: "§3.6.1 Listing 13", Vulnerable: true,
+			WantCodes: []string{"PN001"},
+			Src: classPrelude + `
+void addStudent(bool isGradStudent) {
+  Student stud;
+  if (isGradStudent) {
+    GradStudent *gs = new (&stud) GradStudent();
+    int i = 0;
+    int dssn = 0;
+    while (i < 3) {
+      cin >> dssn;
+      if (dssn > 0) { gs->ssn[i] = dssn; }
+      i = i + 1;
+    }
+  }
+}
+`,
+		},
+		{
+			Name: "L16-member-var", Ref: "§3.8.1 Listing 16", Vulnerable: true,
+			WantCodes: []string{"PN001"},
+			Src: classPrelude + `
+void addStudent(bool isGradStudent) {
+  Student first(3.9, 2008, 2);
+  Student stud;
+  if (isGradStudent) {
+    GradStudent *gs = new (&stud) GradStudent();
+    cin >> gs->ssn[0];
+    cin >> gs->ssn[1];
+  }
+}
+`,
+		},
+		{
+			Name: "L10-internal-overflow", Ref: "§3.4 Listing 10", Vulnerable: true,
+			WantCodes: []string{"PN001"},
+			Src: classPrelude + `
+class MobilePlayer {
+ public:
+  Student stud1;
+  Student stud2;
+  int n;
+};
+MobilePlayer player;
+void addStudentPlayer() {
+  GradStudent *st = new (&player.stud1) GradStudent();
+}
+`,
+		},
+		{
+			Name: "L19-two-step", Ref: "§4.1 Listing 19", Vulnerable: true,
+			WantCodes: []string{"PN002"},
+			Src: classPrelude + `
+char mem_pool[32];
+void sortAndAddUname(char *uname) {
+  int n_unames = 0;
+  cin >> n_unames;
+  char *buf = new (mem_pool) char[n_unames * 8];
+  strncpy(buf, uname, n_unames * 8);
+}
+`,
+		},
+		{
+			Name: "L21-infoleak-array", Ref: "§4.3 Listing 21", Vulnerable: true,
+			WantCodes: []string{"PN006"},
+			Src: `
+char mem_pool[64];
+void handle() {
+  read_file(mem_pool);
+  char *userdata = new (mem_pool) char[32];
+  store(userdata);
+}
+`,
+		},
+		{
+			Name: "L22-infoleak-object", Ref: "§4.3 Listing 22", Vulnerable: true,
+			WantCodes: []string{"PN006"},
+			Src: classPrelude + `
+void handle() {
+  GradStudent *gst = new GradStudent();
+  cin >> gst->ssn[0];
+  Student *st = new (gst) Student();
+  store(st);
+}
+`,
+		},
+		{
+			Name: "L23-memleak", Ref: "§4.5 Listing 23", Vulnerable: true,
+			WantCodes: []string{"PN007"},
+			Src: classPrelude + `
+void addStudent() {
+  GradStudent *stud = new GradStudent();
+  Student *st = new (stud) Student();
+  stud = 0;
+}
+`,
+		},
+		{
+			Name: "unknown-arena", Ref: "§5.1 (aliasing limits)", Vulnerable: true,
+			WantCodes: []string{"PN003"},
+			Src: classPrelude + `
+void place(void *where) {
+  GradStudent *gs = new (where) GradStudent();
+}
+`,
+		},
+		{
+			Name: "unrelated-type", Ref: "§2.5(3)", Vulnerable: true,
+			WantCodes: []string{"PN005"},
+			Src: classPrelude + `
+class Account {
+ public:
+  double balance;
+  int id;
+  int flags;
+  int pad;
+  int pad2;
+  int pad3;
+};
+Account acct;
+void misuse() {
+  Student *st = new (&acct) Student();
+}
+`,
+		},
+		{
+			Name: "vptr-sizeof", Ref: "§3.8.2 / §5.1 (\"compilers often add member variables such as the virtual table pointer\")", Vulnerable: true,
+			WantCodes: []string{"PN001"},
+			Src: `
+class Shape {
+ public:
+  virtual char draw();
+  int color;
+};
+class Circle : public Shape {
+ public:
+  int radius;
+};
+Shape s;
+void render() {
+  Circle *c = new (&s) Circle();
+}
+`,
+		},
+		{
+			Name: "interproc-tainted-size", Ref: "§3.3 (inter-procedural flow)", Vulnerable: true,
+			WantCodes: []string{"PN002"},
+			Src: `
+char mem_pool[32];
+void place(int n) {
+  char *buf = new (mem_pool) char[n];
+}
+void handler() {
+  int n = 0;
+  cin >> n;
+  place(n);
+}
+`,
+		},
+		{
+			Name: "interproc-deep-chain", Ref: "§3.3 (inter-procedural flow)", Vulnerable: true,
+			WantCodes: []string{"PN002"},
+			Src: `
+char mem_pool[32];
+void inner(int k) {
+  char *buf = new (mem_pool) char[k];
+}
+void middle(int m) {
+  inner(m + 1);
+}
+void handler() {
+  int n = 0;
+  cin >> n;
+  middle(n);
+}
+`,
+		},
+		{
+			Name: "safe-interproc-constant", Ref: "§3.3 (constant propagation)", Vulnerable: false,
+			Src: `
+char mem_pool[64];
+void place(int n) {
+  char *buf = new (mem_pool) char[n];
+}
+void handler() {
+  place(16);
+  place(16);
+}
+`,
+		},
+		{
+			Name: "interproc-constant-overflow", Ref: "§3.3 (constant propagation)", Vulnerable: true,
+			WantCodes: []string{"PN001"},
+			Src: `
+char mem_pool[32];
+void place(int n) {
+  char *buf = new (mem_pool) char[n];
+}
+void handler() {
+  place(128);
+}
+`,
+		},
+		{
+			Name: "safe-guarded-placement", Ref: "§5.1 correct coding", Vulnerable: false,
+			Src: classPrelude + `
+void addStudent() {
+  Student stud;
+  if (sizeof(GradStudent) <= sizeof(Student)) {
+    GradStudent *st = new (&stud) GradStudent();
+  }
+}
+`,
+		},
+		{
+			Name: "safe-same-type", Ref: "§5.1", Vulnerable: false,
+			Src: classPrelude + `
+Student stud;
+void reinit() {
+  Student *st = new (&stud) Student();
+}
+`,
+		},
+		{
+			Name: "safe-sanitized-pool", Ref: "§5.1 sanitization", Vulnerable: false,
+			Src: `
+char mem_pool[64];
+void handle() {
+  read_file(mem_pool);
+  memset(mem_pool, 0, 64);
+  char *userdata = new (mem_pool) char[32];
+  store(userdata);
+}
+`,
+		},
+		{
+			Name: "safe-bounded-array", Ref: "§5.1", Vulnerable: false,
+			Src: `
+char mem_pool[64];
+void handle(char *uname) {
+  char *buf = new (mem_pool) char[32];
+  strncpy(buf, uname, 32);
+}
+`,
+		},
+		{
+			Name: "safe-placement-delete", Ref: "§5.1 placement delete", Vulnerable: false,
+			Src: classPrelude + `
+void addStudent() {
+  GradStudent *stud = new GradStudent();
+  placement_delete(stud);
+  stud = 0;
+}
+`,
+		},
+		{
+			Name: "classic-strcpy", Ref: "control for the baseline scanner", Vulnerable: true,
+			// A traditional overflow: the analyzer's placement checks are
+			// silent here, the baseline scanner is not.
+			WantCodes: nil,
+			Src: `
+char dst[16];
+void copy(char *src) {
+  strcpy(dst, src);
+}
+`,
+		},
+	}
+}

@@ -1,0 +1,59 @@
+package analyzer_test
+
+import (
+	"fmt"
+
+	"repro/internal/analyzer"
+)
+
+// Analyse the paper's Listing 4 shape and print the diagnostic.
+func ExampleAnalyze() {
+	src := `
+class Student {
+ public:
+  double gpa;
+  int year;
+  int semester;
+};
+class GradStudent : public Student {
+ public:
+  int ssn[3];
+};
+void addStudent() {
+  Student stud;
+  GradStudent *st = new (&stud) GradStudent();
+}
+`
+	r, err := analyzer.Analyze(src, analyzer.Options{})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	for _, d := range r.Diags {
+		fmt.Println(d)
+	}
+	// Output:
+	// 14:21: error PN001: placement of GradStudent (28 bytes) overflows stud (16 bytes)
+}
+
+// The traditional scanner flags classic string functions and nothing
+// about placement new.
+func ExampleBaseline() {
+	src := `
+char dst[8];
+void f(char *s) {
+  strcpy(dst, s);
+  Student *p = new (&dst) Student();
+}
+`
+	fs, err := analyzer.Baseline(src)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	for _, f := range fs {
+		fmt.Println(f)
+	}
+	// Output:
+	// 4:3: risky call to strcpy: unbounded copy into destination buffer
+}

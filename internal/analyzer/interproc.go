@@ -1,0 +1,194 @@
+package analyzer
+
+// Interprocedural analysis (§3.3: "there is a data flow path
+// (intra-procedural or inter-procedural) from remoteobj to another object
+// obj"). Instead of conservatively tainting every parameter, the checker
+// computes a fixpoint over the call graph:
+//
+//   - a parameter is tainted if any call site passes a tainted argument;
+//   - a parameter has a known constant value if every call site passes
+//     the same constant;
+//   - functions never called inside the translation unit are entry points
+//     reachable from outside (main, exported handlers): their parameters
+//     are conservatively tainted.
+//
+// Both lattices are finite and movement is monotone (taint: false→true;
+// consts: unknown → value → conflict), so iteration terminates.
+
+// constLattice is the per-parameter constant-propagation state.
+type constLattice struct {
+	seen     bool // at least one call site analysed
+	val      int64
+	conflict bool // call sites disagree (or pass non-constants)
+}
+
+func (c *constLattice) mergeValue(v int64) {
+	if !c.seen {
+		c.seen, c.val = true, v
+		return
+	}
+	if c.conflict || c.val != v {
+		c.conflict = true
+	}
+}
+
+func (c *constLattice) mergeUnknown() {
+	c.seen = true
+	c.conflict = true
+}
+
+// known reports the propagated constant, if any.
+func (c *constLattice) known() (int64, bool) {
+	return c.val, c.seen && !c.conflict
+}
+
+// funcSummary is the cross-pass state of one function's parameters.
+type funcSummary struct {
+	called bool
+	taint  []bool
+	consts []constLattice
+}
+
+func newSummary(fn *FuncDecl) *funcSummary {
+	return &funcSummary{
+		taint:  make([]bool, len(fn.Params)),
+		consts: make([]constLattice, len(fn.Params)),
+	}
+}
+
+// equalSummaries compares the monotone parts of two summary maps.
+func equalSummaries(a, b map[string]*funcSummary) bool {
+	for name, sa := range a {
+		sb := b[name]
+		if sb == nil || sa.called != sb.called {
+			return false
+		}
+		for i := range sa.taint {
+			if sa.taint[i] != sb.taint[i] || sa.consts[i] != sb.consts[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func cloneSummaries(in map[string]*funcSummary) map[string]*funcSummary {
+	out := make(map[string]*funcSummary, len(in))
+	for name, s := range in {
+		cp := &funcSummary{called: s.called}
+		cp.taint = append([]bool(nil), s.taint...)
+		cp.consts = append([]constLattice(nil), s.consts...)
+		out[name] = cp
+	}
+	return out
+}
+
+// collectCalledness walks every function body syntactically to find which
+// program functions are called anywhere in the unit.
+func collectCalledness(prog *Program, summaries map[string]*funcSummary) {
+	var walkExpr func(Expr)
+	var walkStmt func(Stmt)
+	walkExpr = func(e Expr) {
+		switch x := e.(type) {
+		case *Unary:
+			walkExpr(x.X)
+		case *Binary:
+			walkExpr(x.L)
+			walkExpr(x.R)
+		case *Assign:
+			walkExpr(x.L)
+			walkExpr(x.R)
+		case *Member:
+			walkExpr(x.X)
+		case *Index:
+			walkExpr(x.X)
+			walkExpr(x.I)
+		case *Call:
+			if x.Recv == nil {
+				if s, ok := summaries[x.Name]; ok {
+					s.called = true
+				}
+			} else {
+				walkExpr(x.Recv)
+			}
+			for _, a := range x.Args {
+				walkExpr(a)
+			}
+		case *New:
+			if x.Placement != nil {
+				walkExpr(x.Placement)
+			}
+			if x.ArrayLen != nil {
+				walkExpr(x.ArrayLen)
+			}
+			for _, a := range x.CtorArgs {
+				walkExpr(a)
+			}
+		}
+	}
+	walkStmt = func(s Stmt) {
+		switch st := s.(type) {
+		case *Block:
+			for _, inner := range st.Stmts {
+				walkStmt(inner)
+			}
+		case *DeclStmt:
+			if st.Decl.Init != nil {
+				walkExpr(st.Decl.Init)
+			}
+		case *ExprStmt:
+			if st.X != nil {
+				walkExpr(st.X)
+			}
+		case *IfStmt:
+			walkExpr(st.Cond)
+			walkStmt(st.Then)
+			if st.Else != nil {
+				walkStmt(st.Else)
+			}
+		case *WhileStmt:
+			walkExpr(st.Cond)
+			walkStmt(st.Body)
+		case *ForStmt:
+			if st.Init != nil {
+				walkStmt(st.Init)
+			}
+			if st.Cond != nil {
+				walkExpr(st.Cond)
+			}
+			if st.Post != nil {
+				walkExpr(st.Post)
+			}
+			walkStmt(st.Body)
+		case *ReturnStmt:
+			if st.X != nil {
+				walkExpr(st.X)
+			}
+		}
+	}
+	for _, fn := range prog.Funcs {
+		walkStmt(fn.Body)
+	}
+}
+
+// recordCallFacts merges one analysed call site into the callee summary.
+func (c *checker) recordCallFacts(x *Call) {
+	s, ok := c.summaries[x.Name]
+	if !ok || x.Recv != nil {
+		return
+	}
+	for i := range s.taint {
+		if i >= len(x.Args) {
+			// Short call: remaining params see no new facts.
+			break
+		}
+		if c.isTainted(x.Args[i]) {
+			s.taint[i] = true
+		}
+		if v, ok := c.evalConst(x.Args[i]); ok {
+			s.consts[i].mergeValue(v)
+		} else {
+			s.consts[i].mergeUnknown()
+		}
+	}
+}

@@ -1,0 +1,184 @@
+package analyzer
+
+import "fmt"
+
+// lexer produces tokens from mini-C++ source. // and /* */ comments are
+// skipped.
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: src, line: 1, col: 1}
+}
+
+func (l *lexer) errf(format string, args ...any) error {
+	return fmt.Errorf("analyzer: %d:%d: %s", l.line, l.col, fmt.Sprintf(format, args...))
+}
+
+func (l *lexer) peekByte() byte {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *lexer) peek2() byte {
+	if l.pos+1 >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos+1]
+}
+
+func (l *lexer) advance() byte {
+	c := l.src[l.pos]
+	l.pos++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func (l *lexer) skipSpaceAndComments() error {
+	for l.pos < len(l.src) {
+		c := l.peekByte()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '/' && l.peek2() == '/':
+			for l.pos < len(l.src) && l.peekByte() != '\n' {
+				l.advance()
+			}
+		case c == '/' && l.peek2() == '*':
+			l.advance()
+			l.advance()
+			closed := false
+			for l.pos < len(l.src) {
+				if l.peekByte() == '*' && l.peek2() == '/' {
+					l.advance()
+					l.advance()
+					closed = true
+					break
+				}
+				l.advance()
+			}
+			if !closed {
+				return l.errf("unterminated block comment")
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+func isAlpha(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_'
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+// multi-character punctuation, longest first.
+var multiPunct = []string{
+	"<<=", ">>=", "->", "::", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||", "++", "--", "+=", "-=", "*=", "/=",
+}
+
+// next returns the next token.
+func (l *lexer) next() (Token, error) {
+	if err := l.skipSpaceAndComments(); err != nil {
+		return Token{}, err
+	}
+	if l.pos >= len(l.src) {
+		return Token{Kind: TokEOF, Line: l.line, Col: l.col}, nil
+	}
+	startLine, startCol := l.line, l.col
+	c := l.peekByte()
+	switch {
+	case isAlpha(c):
+		start := l.pos
+		for l.pos < len(l.src) && (isAlpha(l.peekByte()) || isDigit(l.peekByte())) {
+			l.advance()
+		}
+		text := l.src[start:l.pos]
+		kind := TokIdent
+		if keywords[text] {
+			kind = TokKeyword
+		}
+		return Token{Kind: kind, Text: text, Line: startLine, Col: startCol}, nil
+	case isDigit(c):
+		start := l.pos
+		for l.pos < len(l.src) && (isDigit(l.peekByte()) || l.peekByte() == 'x' || l.peekByte() == 'X' ||
+			l.peekByte() >= 'a' && l.peekByte() <= 'f' || l.peekByte() >= 'A' && l.peekByte() <= 'F' || l.peekByte() == '.') {
+			l.advance()
+		}
+		return Token{Kind: TokNumber, Text: l.src[start:l.pos], Line: startLine, Col: startCol}, nil
+	case c == '"':
+		l.advance()
+		start := l.pos
+		for l.pos < len(l.src) && l.peekByte() != '"' {
+			if l.peekByte() == '\\' {
+				l.advance()
+				if l.pos >= len(l.src) {
+					break
+				}
+			}
+			l.advance()
+		}
+		if l.pos >= len(l.src) {
+			return Token{}, l.errf("unterminated string literal")
+		}
+		text := l.src[start:l.pos]
+		l.advance() // closing quote
+		return Token{Kind: TokString, Text: text, Line: startLine, Col: startCol}, nil
+	case c == '\'':
+		l.advance()
+		start := l.pos
+		for l.pos < len(l.src) && l.peekByte() != '\'' {
+			if l.peekByte() == '\\' {
+				l.advance()
+			}
+			if l.pos < len(l.src) {
+				l.advance()
+			}
+		}
+		if l.pos >= len(l.src) {
+			return Token{}, l.errf("unterminated character literal")
+		}
+		text := l.src[start:l.pos]
+		l.advance()
+		return Token{Kind: TokNumber, Text: text, Line: startLine, Col: startCol}, nil
+	default:
+		for _, mp := range multiPunct {
+			if len(l.src)-l.pos >= len(mp) && l.src[l.pos:l.pos+len(mp)] == mp {
+				for range mp {
+					l.advance()
+				}
+				return Token{Kind: TokPunct, Text: mp, Line: startLine, Col: startCol}, nil
+			}
+		}
+		l.advance()
+		return Token{Kind: TokPunct, Text: string(c), Line: startLine, Col: startCol}, nil
+	}
+}
+
+// lexAll tokenizes the whole input (including the trailing EOF token).
+func lexAll(src string) ([]Token, error) {
+	l := newLexer(src)
+	var out []Token
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.Kind == TokEOF {
+			return out, nil
+		}
+	}
+}

@@ -1,0 +1,200 @@
+package analyzer
+
+import (
+	"fmt"
+
+	"repro/internal/layout"
+)
+
+// sema resolves source types against the class model and computes sizes
+// under a data model.
+type sema struct {
+	model   layout.Model
+	classes map[string]*layout.Class
+	decls   map[string]*ClassDecl
+}
+
+func buildSema(prog *Program, model layout.Model) (*sema, error) {
+	s := &sema{
+		model:   model,
+		classes: make(map[string]*layout.Class),
+		decls:   make(map[string]*ClassDecl),
+	}
+	for _, cd := range prog.Classes {
+		if _, dup := s.decls[cd.Name]; dup {
+			return nil, fmt.Errorf("analyzer: %s: class %s redefined", cd.Pos, cd.Name)
+		}
+		s.decls[cd.Name] = cd
+	}
+	for _, cd := range prog.Classes {
+		if _, err := s.classFor(cd.Name, map[string]bool{}); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// classFor builds (and caches) the layout class for a declared class.
+func (s *sema) classFor(name string, building map[string]bool) (*layout.Class, error) {
+	if c, ok := s.classes[name]; ok {
+		return c, nil
+	}
+	cd, ok := s.decls[name]
+	if !ok {
+		return nil, fmt.Errorf("analyzer: unknown class %s", name)
+	}
+	if building[name] {
+		return nil, fmt.Errorf("analyzer: %s: inheritance cycle through %s", cd.Pos, name)
+	}
+	building[name] = true
+	defer delete(building, name)
+
+	var bases []*layout.Class
+	for _, b := range cd.Bases {
+		bc, err := s.classFor(b, building)
+		if err != nil {
+			return nil, err
+		}
+		bases = append(bases, bc)
+	}
+	c := layout.NewClass(name, bases...)
+	for _, v := range cd.Virtuals {
+		c.AddVirtual(v)
+	}
+	for _, f := range cd.Fields {
+		ft, err := s.resolveType(f.Type, building)
+		if err != nil {
+			return nil, fmt.Errorf("analyzer: %s: field %s: %w", f.Pos, f.Name, err)
+		}
+		c.AddField(f.Name, ft)
+	}
+	if err := c.Validate(); err != nil {
+		return nil, fmt.Errorf("analyzer: class %s: %w", name, err)
+	}
+	s.classes[name] = c
+	return c, nil
+}
+
+// ClassesOf builds the layout classes declared by a parsed program, in
+// declaration order. It is the bridge pnlayout uses between the mini-C++
+// front end and the layout engine.
+func ClassesOf(prog *Program, model layout.Model) ([]*layout.Class, error) {
+	s, err := buildSema(prog, model)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*layout.Class, 0, len(prog.Classes))
+	for _, cd := range prog.Classes {
+		out = append(out, s.classes[cd.Name])
+	}
+	return out, nil
+}
+
+var scalarTypes = map[string]layout.Type{
+	"bool": layout.Bool, "char": layout.Char, "short": layout.Short,
+	"int": layout.Int, "long": layout.Long, "float": layout.Float,
+	"double":        layout.Double,
+	"unsigned char": layout.UChar, "unsigned short": layout.UShort,
+	"unsigned int": layout.UInt, "unsigned long": layout.ULong,
+	"unsigned": layout.UInt,
+}
+
+// resolveType maps a source type to a layout type. Array lengths must be
+// constant; non-constant lengths yield an error (callers that tolerate
+// unknown sizes handle them before resolution).
+func (s *sema) resolveType(t SrcType, building map[string]bool) (layout.Type, error) {
+	var base layout.Type
+	if sc, ok := scalarTypes[t.Name]; ok {
+		base = sc
+	} else if t.Name == "void" {
+		if t.Stars == 0 {
+			return nil, fmt.Errorf("void is not an object type")
+		}
+		base = nil // void*
+	} else {
+		c, err := s.classFor(t.Name, building)
+		if err != nil {
+			return nil, err
+		}
+		base = c
+	}
+	out := base
+	for i := 0; i < t.Stars; i++ {
+		out = layout.PtrTo(out)
+	}
+	if t.ArrayLen != nil {
+		n, ok := evalConstPure(t.ArrayLen, s)
+		if !ok || n < 0 {
+			return nil, fmt.Errorf("array length is not a constant expression")
+		}
+		out = layout.ArrayOf(out, uint64(n))
+	}
+	return out, nil
+}
+
+// sizeOfSrcType computes sizeof for a source type when statically known.
+func (s *sema) sizeOfSrcType(t SrcType) (uint64, bool) {
+	lt, err := s.resolveType(t, map[string]bool{})
+	if err != nil || lt == nil {
+		return 0, false
+	}
+	if c, ok := lt.(*layout.Class); ok {
+		l, err := layout.Of(c, s.model)
+		if err != nil {
+			return 0, false
+		}
+		return l.Size, true
+	}
+	return lt.Size(s.model), true
+}
+
+// evalConstPure folds integer-constant expressions: literals, + - * / %,
+// parentheses (structural), and sizeof(T).
+func evalConstPure(e Expr, s *sema) (int64, bool) {
+	switch x := e.(type) {
+	case *Number:
+		if x.IsFloat {
+			return 0, false
+		}
+		return x.Val, true
+	case *Unary:
+		if x.Op == "-" {
+			v, ok := evalConstPure(x.X, s)
+			return -v, ok
+		}
+		return 0, false
+	case *Binary:
+		l, lok := evalConstPure(x.L, s)
+		r, rok := evalConstPure(x.R, s)
+		if !lok || !rok {
+			return 0, false
+		}
+		switch x.Op {
+		case "+":
+			return l + r, true
+		case "-":
+			return l - r, true
+		case "*":
+			return l * r, true
+		case "/":
+			if r == 0 {
+				return 0, false
+			}
+			return l / r, true
+		case "%":
+			if r == 0 {
+				return 0, false
+			}
+			return l % r, true
+		}
+		return 0, false
+	case *Sizeof:
+		if s == nil {
+			return 0, false
+		}
+		n, ok := s.sizeOfSrcType(x.Type)
+		return int64(n), ok
+	default:
+		return 0, false
+	}
+}

@@ -1,0 +1,217 @@
+package attack
+
+import (
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/defense"
+	"repro/internal/layout"
+	"repro/internal/machine"
+	"repro/internal/mem"
+	"repro/internal/stackm"
+)
+
+// Pool geometry of the §4 examples: n_students user names of
+// UNAME_SIZE+1 bytes each.
+const (
+	nStudents = 4
+	unameSlot = 8 // UNAME_SIZE+1
+	poolBytes = nStudents * unameSlot
+)
+
+// sprayString builds a string that repeats the little-endian pointer
+// pattern at the model's pointer width, so that whichever pointer-aligned
+// word the copy reaches receives the target address.
+func sprayString(target mem.Addr, ptrSize uint64, n int) string {
+	word := make([]byte, ptrSize)
+	for i := range word {
+		word[i] = byte(uint64(target) >> (8 * i))
+	}
+	var sb strings.Builder
+	for sb.Len() < n {
+		sb.Write(word)
+	}
+	return sb.String()[:n]
+}
+
+// runArrayTwoStepStack reproduces §4.1 Listing 19: step one corrupts
+// n_unames through the object overflow; step two lets a "perfectly
+// secure" strncpy copy n_unames*(UNAME_SIZE+1) bytes into the now
+// undersized stack pool, smashing the return address.
+func runArrayTwoStepStack(cfg defense.Config) (*Outcome, error) {
+	w, err := newWorld(cfg)
+	if err != nil {
+		return nil, err
+	}
+	o := newOutcome("array-2step-stack", cfg)
+	shell, err := w.p.DefinePrivilegedFunc("system_shell", nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	var placeErr error
+	if _, err := w.p.DefineFunc("sortAndAddUname", []stackm.LocalSpec{
+		{Name: "mem_pool", Type: layout.ArrayOf(layout.Char, poolBytes)},
+		{Name: "n_unames", Type: layout.Int},
+		{Name: "stud", Type: w.student},
+	}, func(p *machine.Process, f *stackm.Frame) error {
+		nu, err := f.Local("n_unames")
+		if err != nil {
+			return err
+		}
+		// cin >> n_unames, with the program's own bounds check: the
+		// legitimate input passes it.
+		p.SetInput(3)
+		if v := p.Cin(); v <= nStudents {
+			if err := p.Mem.WriteU32(nu.Addr, uint32(v)); err != nil {
+				return err
+			}
+		}
+		// Step 1: object overflow rewrites n_unames behind the check.
+		arena, err := w.localArena(f, "stud")
+		if err != nil {
+			return err
+		}
+		gs, err := w.cfg.Place(p, arena, w.grad)
+		if err != nil {
+			placeErr = err
+		} else {
+			idx, err := ssnIndexFor(gs, uint64(nu.Addr))
+			if err != nil {
+				return err
+			}
+			o.Metrics["n_unames_ssn_index"] = float64(idx)
+			p.SetInput(16) // 16*8 = 128 bytes: four times the pool
+			if err := gs.SetIndex("ssn", idx, p.Cin()); err != nil {
+				return err
+			}
+		}
+		// Step 2: the "secure" copy.
+		nv, err := p.Mem.ReadUint(nu.Addr, 4)
+		if err != nil {
+			return err
+		}
+		o.Metrics["n_unames_after"] = float64(nv)
+		pl, err := f.Local("mem_pool")
+		if err != nil {
+			return err
+		}
+		pool, err := core.NewPool(p.Mem, p.Model, pl.Addr, poolBytes, "mem_pool")
+		if err != nil {
+			return err
+		}
+		w.cfg.ApplyToPool(pool)
+		buf, err := pool.PlaceArray(layout.Char, nv*unameSlot)
+		if err != nil {
+			placeErr = err
+			return nil
+		}
+		uname := sprayString(shell.Addr, p.Model.PtrSize, int(nv*unameSlot))
+		return buf.StrNCpy(uname, nv*unameSlot)
+	}); err != nil {
+		return nil, err
+	}
+	callErr := w.p.Call("sortAndAddUname")
+	if placeErr != nil {
+		if !o.classify(placeErr) {
+			return nil, placeErr
+		}
+		return o, nil
+	}
+	if callErr != nil && !o.classify(callErr) {
+		return nil, callErr
+	}
+	if w.p.HasEvent(machine.EvPrivilegedCall) {
+		o.Succeeded = true
+		o.note("two-step attack: n_unames corrupted, strncpy smashed the return address")
+	}
+	return o, nil
+}
+
+// runArrayTwoStepBss reproduces §4.2 Listing 20: the pool is a global and
+// the oversized copy tramples the globals declared after it.
+func runArrayTwoStepBss(cfg defense.Config) (*Outcome, error) {
+	w, err := newWorld(cfg)
+	if err != nil {
+		return nil, err
+	}
+	o := newOutcome("array-2step-bss", cfg)
+	if _, err := w.p.DefineGlobal("mem_pool", layout.ArrayOf(layout.Char, poolBytes), false); err != nil {
+		return nil, err
+	}
+	nStaff, err := w.p.DefineGlobal("n_staff", layout.Int, false)
+	if err != nil {
+		return nil, err
+	}
+	poolArena, err := w.globalArena("mem_pool")
+	if err != nil {
+		return nil, err
+	}
+
+	var placeErr error
+	if _, err := w.p.DefineFunc("sortAndAddUname", []stackm.LocalSpec{
+		{Name: "n_unames", Type: layout.Int},
+		{Name: "stud", Type: w.student},
+	}, func(p *machine.Process, f *stackm.Frame) error {
+		nu, err := f.Local("n_unames")
+		if err != nil {
+			return err
+		}
+		if err := p.Mem.WriteU32(nu.Addr, 3); err != nil {
+			return err
+		}
+		arena, err := w.localArena(f, "stud")
+		if err != nil {
+			return err
+		}
+		gs, err := w.cfg.Place(p, arena, w.grad)
+		if err != nil {
+			placeErr = err
+		} else {
+			idx, err := ssnIndexFor(gs, uint64(nu.Addr))
+			if err != nil {
+				return err
+			}
+			p.SetInput(16)
+			if err := gs.SetIndex("ssn", idx, p.Cin()); err != nil {
+				return err
+			}
+		}
+		nv, err := p.Mem.ReadUint(nu.Addr, 4)
+		if err != nil {
+			return err
+		}
+		o.Metrics["n_unames_after"] = float64(nv)
+		pool, err := core.NewPool(p.Mem, p.Model, poolArena.Base, poolArena.Size, "mem_pool")
+		if err != nil {
+			return err
+		}
+		w.cfg.ApplyToPool(pool)
+		buf, err := pool.PlaceArray(layout.Char, nv*unameSlot)
+		if err != nil {
+			placeErr = err
+			return nil
+		}
+		return buf.StrNCpy(strings.Repeat("S", int(nv*unameSlot)), nv*unameSlot)
+	}); err != nil {
+		return nil, err
+	}
+	callErr := w.p.Call("sortAndAddUname")
+	if placeErr != nil {
+		if !o.classify(placeErr) {
+			return nil, placeErr
+		}
+		return o, nil
+	}
+	if callErr != nil && !o.classify(callErr) {
+		return nil, callErr
+	}
+	got, err := w.p.Mem.ReadU32(nStaff.Addr)
+	if err != nil {
+		return nil, err
+	}
+	if got == 0x53535353 { // "SSSS"
+		o.Succeeded = true
+		o.note("global n_staff beyond the pool overwritten to %#x", got)
+	}
+	return o, nil
+}

@@ -1,0 +1,312 @@
+package attack
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/defense"
+	"repro/internal/layout"
+	"repro/internal/object"
+	"repro/internal/serial"
+)
+
+// globalArena returns the checked-placement arena for a named global.
+func (w *world) globalArena(name string) (core.Arena, error) {
+	g, err := w.p.GlobalVar(name)
+	if err != nil {
+		return core.Arena{}, err
+	}
+	return core.Arena{Base: g.Addr, Size: g.Type.Size(w.p.Model), Label: "global " + name}, nil
+}
+
+// ssnIndexFor computes which ssn[] word of an object placed at base lands
+// on victim: the attacker's offline layout arithmetic (§3.6.1).
+func ssnIndexFor(gs *object.Object, victim uint64) (int64, error) {
+	ssnBase, err := gs.FieldAddr("ssn")
+	if err != nil {
+		return 0, err
+	}
+	d := int64(victim) - int64(ssnBase)
+	if d%4 != 0 {
+		return 0, fmt.Errorf("attack: victim %#x not word-aligned with ssn[] at %#x", victim, uint64(ssnBase))
+	}
+	return d / 4, nil
+}
+
+// runConstructOverflow reproduces §3.1 Listing 4: construct a GradStudent
+// over a Student arena; the ssn[] overhang rewrites the adjacent word.
+func runConstructOverflow(cfg defense.Config) (*Outcome, error) {
+	w, err := newWorld(cfg)
+	if err != nil {
+		return nil, err
+	}
+	o := newOutcome("construct-overflow", cfg)
+	if _, err := w.p.DefineGlobal("stud", w.student, false); err != nil {
+		return nil, err
+	}
+	victim, err := w.p.DefineGlobal("victim", layout.UInt, false)
+	if err != nil {
+		return nil, err
+	}
+	arena, err := w.globalArena("stud")
+	if err != nil {
+		return nil, err
+	}
+	sSize, gSize := w.sizes()
+	o.Metrics["sizeof_student"] = float64(sSize)
+	o.Metrics["sizeof_gradstudent"] = float64(gSize)
+
+	gs, err := cfg.Place(w.p, arena, w.grad)
+	if err != nil {
+		if !o.classify(err) {
+			return nil, err
+		}
+		return o, nil
+	}
+	idx, err := ssnIndexFor(gs, uint64(victim.Addr))
+	if err != nil {
+		return nil, err
+	}
+	o.Metrics["ssn_index"] = float64(idx)
+	if err := gs.SetIndex("ssn", idx, 0x41414141); err != nil {
+		if !o.classify(err) {
+			return nil, err
+		}
+		return o, nil
+	}
+	got, err := w.p.Mem.ReadU32(victim.Addr)
+	if err != nil {
+		return nil, err
+	}
+	if got == 0x41414141 {
+		o.Succeeded = true
+		o.note("adjacent global rewritten to %#x via ssn[%d]", got, idx)
+	}
+	return o, nil
+}
+
+// runRemoteOverflow reproduces §3.2 Listings 5–7: a serialized object
+// arriving from an untrusted peer names a larger class than the receiver's
+// arena holds.
+func runRemoteOverflow(cfg defense.Config) (*Outcome, error) {
+	w, err := newWorld(cfg)
+	if err != nil {
+		return nil, err
+	}
+	o := newOutcome("remote-overflow", cfg)
+	if _, err := w.p.DefineGlobal("stud", w.student, false); err != nil {
+		return nil, err
+	}
+	victim, err := w.p.DefineGlobal("victim", layout.UInt, false)
+	if err != nil {
+		return nil, err
+	}
+	arena, err := w.globalArena("stud")
+	if err != nil {
+		return nil, err
+	}
+	reg := serial.NewRegistry(w.student, w.grad)
+
+	// The attacker's wire message: a GradStudent whose ssn words spray the
+	// marker value.
+	wire := serial.Encode(serial.NewMessage("GradStudent").
+		Set("gpa", serial.FloatValue(4.0)).
+		Set("ssn", serial.ArrayValue(0x42424242, 0x42424242, 0x42424242)))
+	msg, err := serial.Parse(wire)
+	if err != nil {
+		return nil, err
+	}
+	o.note("received %d-byte message naming class %s", len(wire), msg.Class)
+
+	// An instrumented build wraps the deserializer's placement too.
+	cfg.GuardArena(w.p, arena)
+
+	switch {
+	case cfg.CheckedPlacement:
+		_, err = serial.PlaceChecked(w.p.Mem, w.p.Model, reg, arena, msg)
+	case cfg.RuntimeGuard:
+		// The guard interposes on the placement address and bounds it
+		// from runtime metadata.
+		if inferred, ok := w.p.InferArena(arena.Base); ok {
+			_, err = serial.PlaceChecked(w.p.Mem, w.p.Model, reg, inferred, msg)
+		} else {
+			_, err = serial.PlaceTrusting(w.p.Mem, w.p.Model, reg, arena.Base, msg)
+		}
+	default:
+		_, err = serial.PlaceTrusting(w.p.Mem, w.p.Model, reg, arena.Base, msg)
+	}
+	if err != nil {
+		if !o.classify(err) {
+			return nil, err
+		}
+		if o.Prevented && cfg.RuntimeGuard && o.PreventedBy == "checked-placement" {
+			o.PreventedBy = "runtime-guard"
+		}
+		return o, nil
+	}
+	got, err := w.p.Mem.ReadU32(victim.Addr)
+	if err != nil {
+		return nil, err
+	}
+	if got == 0x42424242 {
+		o.Succeeded = true
+		o.note("deserialized object overflowed arena; adjacent global = %#x", got)
+	}
+	return o, nil
+}
+
+// runIndirectOverflow reproduces §3.3 Listings 8–9: the placement itself
+// fits, but a deep-copy constructor then copies a larger source image into
+// the arena.
+func runIndirectOverflow(cfg defense.Config) (*Outcome, error) {
+	w, err := newWorld(cfg)
+	if err != nil {
+		return nil, err
+	}
+	o := newOutcome("indirect-overflow", cfg)
+	if _, err := w.p.DefineGlobal("stud", w.student, false); err != nil {
+		return nil, err
+	}
+	victim, err := w.p.DefineGlobal("victim", layout.UInt, false)
+	if err != nil {
+		return nil, err
+	}
+	arena, err := w.globalArena("stud")
+	if err != nil {
+		return nil, err
+	}
+
+	// obj2: a heap object whose size was grown under remote influence.
+	_, gSize := w.sizes()
+	hp, err := w.p.Heap.Alloc(gSize)
+	if err != nil {
+		return nil, err
+	}
+	src, err := w.p.Construct(w.grad, hp)
+	if err != nil {
+		return nil, err
+	}
+	if err := src.SetIndex("ssn", 0, 0x43434343); err != nil {
+		return nil, err
+	}
+
+	// Step 1: place a Student — fits, so even checked placement passes.
+	st, err := cfg.Place(w.p, arena, w.student)
+	if err != nil {
+		if !o.classify(err) {
+			return nil, err
+		}
+		return o, nil
+	}
+	// Step 2: the copy constructor deep-copies obj2. Correct coding
+	// (§5.1) checks the source size against the arena; the runtime guard
+	// interposes on placement new only, so the raw copy sails past it.
+	if cfg.CheckedPlacement && src.Size() > arena.Size {
+		o.Prevented = true
+		o.PreventedBy = "checked-placement"
+		o.note("copy-constructor size check: source %d > arena %d", src.Size(), arena.Size)
+		return o, nil
+	}
+	dstAsGrad, err := st.ViewAs(w.grad)
+	if err != nil {
+		return nil, err
+	}
+	if err := dstAsGrad.CopyFrom(src); err != nil {
+		if !o.classify(err) {
+			return nil, err
+		}
+		return o, nil
+	}
+	got, err := w.p.Mem.ReadU32(victim.Addr)
+	if err != nil {
+		return nil, err
+	}
+	if got == 0x43434343 {
+		o.Succeeded = true
+		o.note("deep copy of %d-byte source overflowed %d-byte arena", src.Size(), arena.Size)
+	}
+	return o, nil
+}
+
+// runInternalOverflow reproduces §3.4 Listing 10: placing a GradStudent
+// over one member of an enclosing object rewrites the object's *own*
+// internal state (the sibling member).
+func runInternalOverflow(cfg defense.Config) (*Outcome, error) {
+	w, err := newWorld(cfg)
+	if err != nil {
+		return nil, err
+	}
+	o := newOutcome("internal-overflow", cfg)
+	player := layout.NewClass("MobilePlayer").
+		AddField("stud1", w.student).
+		AddField("stud2", w.student).
+		AddField("n", layout.Int)
+	g, err := w.p.DefineGlobal("player", player, false)
+	if err != nil {
+		return nil, err
+	}
+	pobj, err := object.View(w.p.Mem, player, w.p.Model, g.Addr)
+	if err != nil {
+		return nil, err
+	}
+	if err := pobj.Zero(); err != nil {
+		return nil, err
+	}
+	if err := pobj.SetInt("n", 2); err != nil {
+		return nil, err
+	}
+	stud1Addr, err := pobj.FieldAddr("stud1")
+	if err != nil {
+		return nil, err
+	}
+	sSize, _ := w.sizes()
+	// The declared arena is the member, which the programmer can name;
+	// the runtime guard can only see the enclosing global, so its
+	// inference is too coarse to stop an internal overflow.
+	arena := core.Arena{Base: stud1Addr, Size: sSize, Label: "player.stud1"}
+	gs, err := cfg.Place(w.p, arena, w.grad)
+	if err != nil {
+		if !o.classify(err) {
+			return nil, err
+		}
+		return o, nil
+	}
+	// Overwrite stud2.gpa (the first 8 bytes of the sibling member) with
+	// the bit pattern of 4.0.
+	stud2Addr, err := pobj.FieldAddr("stud2")
+	if err != nil {
+		return nil, err
+	}
+	idx, err := ssnIndexFor(gs, uint64(stud2Addr))
+	if err != nil {
+		return nil, err
+	}
+	bits := math.Float64bits(4.0)
+	if err := gs.SetIndex("ssn", idx, int64(int32(uint32(bits)))); err != nil {
+		if !o.classify(err) {
+			return nil, err
+		}
+		return o, nil
+	}
+	if err := gs.SetIndex("ssn", idx+1, int64(int32(uint32(bits>>32)))); err != nil {
+		if !o.classify(err) {
+			return nil, err
+		}
+		return o, nil
+	}
+	stud2, err := pobj.FieldAddr("stud2")
+	if err != nil {
+		return nil, err
+	}
+	gpa, err := w.p.Mem.ReadF64(stud2)
+	if err != nil {
+		return nil, err
+	}
+	o.Metrics["stud2_gpa_after"] = gpa
+	if gpa == 4.0 {
+		o.Succeeded = true
+		o.note("internal state of MobilePlayer modified: stud2.gpa = %.1f", gpa)
+	}
+	return o, nil
+}

@@ -1,0 +1,208 @@
+package attack
+
+import (
+	"math"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/defense"
+	"repro/internal/layout"
+)
+
+// runBssOverflow reproduces §3.5 Listing 11: two Students in bss;
+// addStudent(true) places a GradStudent over stud1 and the user-supplied
+// ssn[] rewrites stud2.gpa.
+func runBssOverflow(cfg defense.Config) (*Outcome, error) {
+	w, err := newWorld(cfg)
+	if err != nil {
+		return nil, err
+	}
+	o := newOutcome("bss-overflow", cfg)
+	if _, err := w.p.DefineGlobal("stud1", w.student, false); err != nil {
+		return nil, err
+	}
+	g2, err := w.p.DefineGlobal("stud2", w.student, false)
+	if err != nil {
+		return nil, err
+	}
+
+	// addStudent(false): the legitimate path places a Student at stud2.
+	arena2, err := w.globalArena("stud2")
+	if err != nil {
+		return nil, err
+	}
+	st2, err := cfg.Place(w.p, arena2, w.student)
+	if err != nil {
+		if !o.classify(err) {
+			return nil, err
+		}
+		return o, nil
+	}
+	if err := st2.SetFloat("gpa", 3.0); err != nil {
+		return nil, err
+	}
+
+	// addStudent(true): the attack path. ssn words carry the bit pattern
+	// of gpa = 9.9, which lands exactly on stud2.gpa.
+	arena1, err := w.globalArena("stud1")
+	if err != nil {
+		return nil, err
+	}
+	gs, err := cfg.Place(w.p, arena1, w.grad)
+	if err != nil {
+		if !o.classify(err) {
+			return nil, err
+		}
+		return o, nil
+	}
+	idx, err := ssnIndexFor(gs, uint64(g2.Addr))
+	if err != nil {
+		return nil, err
+	}
+	o.Metrics["ssn_index"] = float64(idx)
+	bits := math.Float64bits(9.9)
+	w.p.SetInput(int64(int32(uint32(bits))), int64(int32(uint32(bits>>32))))
+	if err := gs.SetIndex("ssn", idx, w.p.Cin()); err != nil {
+		if !o.classify(err) {
+			return nil, err
+		}
+		return o, nil
+	}
+	if err := gs.SetIndex("ssn", idx+1, w.p.Cin()); err != nil {
+		if !o.classify(err) {
+			return nil, err
+		}
+		return o, nil
+	}
+
+	gpa, err := st2.Float("gpa")
+	if err != nil {
+		return nil, err
+	}
+	o.Metrics["stud2_gpa_after"] = gpa
+	if gpa == 9.9 {
+		o.Succeeded = true
+		o.note("stud2.gpa overwritten: 3.0 -> %.1f", gpa)
+	}
+	return o, nil
+}
+
+// runHeapOverflow reproduces §3.5.1 Listing 12: a GradStudent placed over
+// a heap-allocated Student tramples the adjacent name buffer; the paper's
+// demo prints the name before and after.
+func runHeapOverflow(cfg defense.Config) (*Outcome, error) {
+	w, err := newWorld(cfg)
+	if err != nil {
+		return nil, err
+	}
+	o := newOutcome("heap-overflow", cfg)
+	sSize, _ := w.sizes()
+
+	studBlk, err := w.p.Heap.AllocTagged(sSize, "stud")
+	if err != nil {
+		return nil, err
+	}
+	nameBlk, err := w.p.Heap.AllocTagged(16, "name")
+	if err != nil {
+		return nil, err
+	}
+	if err := w.p.Mem.StrNCpy(nameBlk, "abcdefghijklmno", 16); err != nil {
+		return nil, err
+	}
+	before, _, err := w.p.Mem.ReadCString(nameBlk, 16)
+	if err != nil {
+		return nil, err
+	}
+	w.p.Printf("Before Attack: Name:%s", before)
+
+	arena := core.Arena{Base: studBlk, Size: sSize, Label: "heap stud"}
+	gs, err := cfg.Place(w.p, arena, w.grad)
+	if err != nil {
+		if !o.classify(err) {
+			return nil, err
+		}
+		return o, nil
+	}
+	// cin >> st->ssn[0..2]
+	w.p.SetInput(0x58585858, 0x58585858, 0x58585858) // "XXXX"
+	for i := int64(0); i < 3; i++ {
+		if err := gs.SetIndex("ssn", i, w.p.Cin()); err != nil {
+			return nil, err
+		}
+	}
+	after, _, err := w.p.Mem.ReadCString(nameBlk, 16)
+	if err != nil {
+		return nil, err
+	}
+	w.p.Printf("After Attack: Name:%s", after)
+
+	// The program eventually releases the record; a hardened allocator
+	// (red zones) notices the trampled guard here and aborts.
+	if ferr := w.p.Heap.Free(studBlk); ferr != nil {
+		if !o.classify(ferr) {
+			return nil, ferr
+		}
+		if o.Detected {
+			return o, nil
+		}
+	}
+	if string(after) != string(before) && strings.Contains(string(after), "X") {
+		o.Succeeded = true
+		o.note("heap neighbour rewritten: %q -> %q", before, after)
+	}
+	if err := w.p.Heap.CheckIntegrity(); err != nil {
+		o.Metrics["heap_metadata_corrupt"] = 1
+		o.note("allocator metadata trampled: %v", err)
+	}
+	return o, nil
+}
+
+// runVarBss reproduces §3.7.1 Listing 14: the global counter declared
+// after stud1 is rewritten by the overflowing ssn[].
+func runVarBss(cfg defense.Config) (*Outcome, error) {
+	w, err := newWorld(cfg)
+	if err != nil {
+		return nil, err
+	}
+	o := newOutcome("var-bss", cfg)
+	if _, err := w.p.DefineGlobal("stud1", w.student, false); err != nil {
+		return nil, err
+	}
+	noOf, err := w.p.DefineGlobal("noOfStudents", layout.Int, false)
+	if err != nil {
+		return nil, err
+	}
+	arena, err := w.globalArena("stud1")
+	if err != nil {
+		return nil, err
+	}
+	gs, err := cfg.Place(w.p, arena, w.grad)
+	if err != nil {
+		if !o.classify(err) {
+			return nil, err
+		}
+		return o, nil
+	}
+	idx, err := ssnIndexFor(gs, uint64(noOf.Addr))
+	if err != nil {
+		return nil, err
+	}
+	o.Metrics["ssn_index"] = float64(idx)
+	w.p.SetInput(1 << 20)
+	if err := gs.SetIndex("ssn", idx, w.p.Cin()); err != nil {
+		if !o.classify(err) {
+			return nil, err
+		}
+		return o, nil
+	}
+	got, err := w.p.Mem.ReadInt(noOf.Addr, 4)
+	if err != nil {
+		return nil, err
+	}
+	o.Metrics["noOfStudents_after"] = float64(got)
+	if got == 1<<20 {
+		o.Succeeded = true
+		o.note("noOfStudents overwritten: 0 -> %d", got)
+	}
+	return o, nil
+}

@@ -1,0 +1,146 @@
+package attack
+
+// Methodology returns the attack methodology notes for a scenario id —
+// the "how and why" the paper walks through in prose, used by
+// `pnattack -explain`. Unknown ids return the empty string.
+func Methodology(id string) string {
+	return methodologies[id]
+}
+
+var methodologies = map[string]string{
+	"construct-overflow": `The program constructs a GradStudent with placement new in the memory
+arena of a Student "but does not check the size of *st against the size
+of stud" (§3.1). sizeof(GradStudent) exceeds sizeof(Student) by the
+ssn[3] array, so setting ssn[] writes past the arena into whatever the
+linker placed next.`,
+
+	"remote-overflow": `A serialized object arrives from an untrusted peer (web service, AJAX,
+JSON — §3.2) and is deserialized straight into a pre-allocated arena:
+"the programmer may not include any code to check the size because of
+the trust on the protocol". The wire names a larger subclass, so the
+decode itself performs the overflow.`,
+
+	"remote-array": `Listing 5/6: the receiving loop copies as many array elements as the
+remote object claims (*(st->courseid + i) for i < remoteobj->n). The
+element count never passes a bounds check, so excess elements walk past
+the declared member into adjacent memory.`,
+
+	"indirect-overflow": `§3.3: the placement itself is innocent — a Student into a Student-sized
+arena. The overflow happens one step later, when a deep-copy
+constructor copies a larger object (grown under remote influence,
+possibly inter-procedurally) into that arena. Defenses that only
+intercept placement new never see the copy.`,
+
+	"internal-overflow": `§3.4: the arena is one member of an enclosing object (MobilePlayer's
+stud1), so the overflow rewrites the object's *own* sibling members —
+"internal overflows have the capability to modify internal states of an
+object". Allocation-granular runtime inference cannot distinguish the
+member from the whole object, so it misses this.`,
+
+	"bss-overflow": `Listing 11: stud1 and stud2 are uninitialised globals, adjacent in bss.
+Placing a GradStudent over stud1 puts ssn[] exactly on stud2, so
+attacker-chosen ssn values become stud2.gpa — a grade-change attack with
+two inputs.`,
+
+	"heap-overflow": `Listing 12: the Student lives in a heap block with the name buffer
+allocated right after it. The overflowing ssn[] crosses the allocator's
+metadata into name — the paper's before/after printout. On a modern
+allocator the trampled header/red zone is detectable at free time.`,
+
+	"stack-ret": `Listing 13: stud is the function's local, so the 12-byte GradStudent
+overhang walks up the frame. The paper's index arithmetic: ssn[0] hits
+the return address bare, ssn[1] with a saved frame pointer, ssn[2] with
+a canary — reproduced exactly by E3.`,
+
+	"canary-skip": `§5.2: the victim loop writes ssn[i] only when the input is positive, so
+the attacker supplies non-positive values for the words covering the
+canary and saved FP and the real target only for the return-address
+word. StackGuard's canary is untouched and verification passes; only a
+return-address shadow stack notices.`,
+
+	"arc-injection": `§3.6.2: the corrupted return address is pointed at "a method that makes
+a system call in a privileged mode" already present in the text segment
+(ret2libc). No new code is injected, so NX does not help.`,
+
+	"code-injection": `§3.6.2: the attacker's shellcode arrives through ordinary input into a
+local buffer, and the corrupted return address points at it. Succeeds
+exactly when the stack is executable; an NX stack faults at the jump.`,
+
+	"var-bss": `Listing 14: the global noOfStudents sits right after stud1, so one
+overflowing ssn word replaces the program's accounting — the stepping
+stone for the §4 two-step attacks and the §4.4 DoS.`,
+
+	"var-stack": `Listing 15: the loop bound n is declared before stud, so it sits just
+above it in the frame; which ssn index hits n depends on padding, the
+paper's "Alignment Issues" note. E6 prints the measured index.`,
+
+	"member-var": `Listing 16: the adjacent local object first has its gpa member — the
+first 8 bytes — rewritten with an attacker-chosen double bit pattern
+delivered through two ssn writes.`,
+
+	"vptr-bss": `§3.8.2: with virtual functions, "the first entry in the object stud2 is
+not gpa, but *__vptr". The overflow replaces it with the address of an
+attacker-prepared table whose slot holds a privileged function, so the
+next virtual call dispatches wherever the attacker chose.`,
+
+	"vptr-stack": `§3.8.2 "Via Stack Overflow": the adjacent local polymorphic object's
+vptr is rewritten through the overflow and the in-function virtual call
+dispatches through the fake table.`,
+
+	"vptr-crash": `§3.8.2's crash variant: "or even crash the program by supplying an
+invalid address as the value of *__vptr". The next virtual dispatch
+reads an unmapped table and the victim dies — denial of service with a
+single corrupted word.`,
+
+	"vptr-multi": `§3.8.2 notes that multiple inheritance yields "more than one vtable
+pointers in a given instance". Rewriting only the secondary vptr leaves
+the primary interface working — every defense that validates only
+offset 0 stays silent while the secondary interface is hijacked.`,
+
+	"type-confusion": `§2.5(3): placement new "does not carry out any type-checking". The
+placed class here is the same size as the arena's class, so the §5.1
+bounds check passes; but its int member aliases the arena class's
+function pointer, and an innocent-looking member write becomes pointer
+subterfuge. Only class-compatibility enforcement catches it.`,
+
+	"funcptr": `Listing 17: the function pointer is NULL and guarded by an if — it can
+never fire legitimately. The overflow gives it a value, enabling
+"invocation of a method that was not supposed to be called in a given
+context".`,
+
+	"varptr": `Listing 18: the overflow redirects the char* name, so the program's own
+subsequent write through it lands at an attacker-chosen address — a
+write-what-where primitive built from one corrupted word.`,
+
+	"array-2step-stack": `§4.1: step one corrupts n_unames through the object overflow, bypassing
+the program's earlier bounds check. Step two is a strncpy that is
+"perfectly secure when we ignore the object overflow scenario" — it now
+copies four pools' worth of attacker bytes over the frame, including
+the return address.`,
+
+	"array-2step-bss": `§4.2: the same two-step with a global memory pool; the oversized copy
+tramples the globals declared after the pool.`,
+
+	"infoleak-array": `Listing 21: the pool held the password file; the user's short string is
+placed over it and store() ships MAX_USERDATA bytes. Placement new
+sanitizes nothing, so everything past the NUL is the old file — §5.1's
+case for memset-before-reuse.`,
+
+	"infoleak-object": `Listing 22: a Student is placed over a dead GradStudent. Construction
+initialises only the Student members, so the SSN words survive in the
+arena and leave with the stored object.`,
+
+	"dos-loop": `§4.4: the overwritten loop bound makes the service loop "iterated for a
+long time" (amplification) or "never taken" — skipping the validation
+the loop performs, which is how "authentication mechanisms can also be
+bypassed".`,
+
+	"dos-exhaust": `§4.4's resource variant: with allocations inside the hijacked loop, the
+attacker "may crash the whole software stack ... by using up all the
+memory" — the allocator is exhausted and every later request fails.`,
+
+	"memleak": `Listing 23: each pass allocates a GradStudent arena but releases it
+through a Student-typed pointer; "the amount of memory leaked per
+iteration is the difference in the size". C++ has no placement delete,
+so the fix is writing one (§5.1).`,
+}

@@ -1,0 +1,32 @@
+package attack
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestMethodologyCoversEveryScenario(t *testing.T) {
+	for _, s := range Catalog() {
+		m := Methodology(s.ID)
+		if m == "" {
+			t.Errorf("scenario %s has no methodology notes", s.ID)
+			continue
+		}
+		if !strings.Contains(m, "§") && !strings.Contains(m, "Listing") {
+			t.Errorf("scenario %s methodology lacks a paper citation: %q", s.ID, m)
+		}
+	}
+	if Methodology("no-such-scenario") != "" {
+		t.Error("unknown scenario has methodology")
+	}
+	// No orphaned notes for scenarios that no longer exist.
+	known := map[string]bool{}
+	for _, s := range Catalog() {
+		known[s.ID] = true
+	}
+	for id := range methodologies {
+		if !known[id] {
+			t.Errorf("methodology for unknown scenario %q", id)
+		}
+	}
+}

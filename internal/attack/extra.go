@@ -1,0 +1,313 @@
+package attack
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/defense"
+	"repro/internal/layout"
+	"repro/internal/machine"
+	"repro/internal/serial"
+)
+
+// runVptrCrash reproduces the §3.8.2 crash variant: "or even crash the
+// program by supplying an invalid address as the value of *__vptr". The
+// attack's goal here is denial of service, so a segfault at the next
+// virtual call IS success.
+func runVptrCrash(cfg defense.Config) (*Outcome, error) {
+	w, err := newWorld(cfg)
+	if err != nil {
+		return nil, err
+	}
+	o := newOutcome("vptr-crash", cfg)
+	if _, err := w.p.DefineGlobal("stud1", w.vstudent, false); err != nil {
+		return nil, err
+	}
+	g2, err := w.p.DefineGlobal("stud2", w.vstudent, false)
+	if err != nil {
+		return nil, err
+	}
+	stud2, err := w.p.Construct(w.vstudent, g2.Addr)
+	if err != nil {
+		return nil, err
+	}
+	arena, err := w.globalArena("stud1")
+	if err != nil {
+		return nil, err
+	}
+	gs, err := cfg.Place(w.p, arena, w.vgrad)
+	if err != nil {
+		if !o.classify(err) {
+			return nil, err
+		}
+		if cerr := w.p.VirtualCall(stud2, "getInfo"); cerr != nil && !o.classify(cerr) {
+			return nil, cerr
+		}
+		return o, nil
+	}
+	idx, err := ssnIndexFor(gs, uint64(g2.Addr))
+	if err != nil {
+		return nil, err
+	}
+	// An invalid (unmapped) vtable address.
+	w.p.SetInput(0x41414141)
+	if err := gs.SetIndex("ssn", idx, w.p.Cin()); err != nil {
+		if !o.classify(err) {
+			return nil, err
+		}
+		return o, nil
+	}
+	cerr := w.p.VirtualCall(stud2, "getInfo")
+	var ab *machine.AbortError
+	if errors.As(cerr, &ab) && ab.Kind == machine.EvSegfault {
+		o.Succeeded = true
+		o.note("virtual dispatch through invalid vptr crashed the victim (DoS)")
+		return o, nil
+	}
+	if cerr != nil && !o.classify(cerr) {
+		return nil, cerr
+	}
+	return o, nil
+}
+
+// runVptrMulti exploits the §3.8.2 note that "in case of multiple
+// inheritance, there are more than one vtable pointers in a given
+// instance": the overflow rewrites only the *secondary* vptr, so calls
+// through the primary interface stay legitimate while the secondary
+// interface is hijacked — a blind spot for any defense that validates
+// only the pointer at offset 0.
+func runVptrMulti(cfg defense.Config) (*Outcome, error) {
+	w, err := newWorld(cfg)
+	if err != nil {
+		return nil, err
+	}
+	o := newOutcome("vptr-multi", cfg)
+	printable := layout.NewClass("Printable").AddVirtual("print")
+	serializable := layout.NewClass("Serializable").AddVirtual("serialize")
+	record := layout.NewClass("Record", printable, serializable).AddField("payload", layout.Int)
+
+	if _, err := w.p.DefineGlobal("stud", w.student, false); err != nil {
+		return nil, err
+	}
+	grec, err := w.p.DefineGlobal("rec", record, false)
+	if err != nil {
+		return nil, err
+	}
+	fake, err := w.p.DefineGlobal("fake_table", layout.ArrayOf(layout.UInt, 2), false)
+	if err != nil {
+		return nil, err
+	}
+	shell, err := w.p.DefinePrivilegedFunc("system_shell", nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	if err := w.p.Mem.WriteUint(fake.Addr, uint64(shell.Addr), int(w.p.Model.PtrSize)); err != nil {
+		return nil, err
+	}
+	rec, err := w.p.Construct(record, grec.Addr)
+	if err != nil {
+		return nil, err
+	}
+	rl := rec.Layout()
+	if len(rl.VPtrOffsets) != 2 {
+		return nil, fmt.Errorf("attack: Record has %d vptrs, want 2", len(rl.VPtrOffsets))
+	}
+	o.Metrics["secondary_vptr_offset"] = float64(rl.VPtrOffsets[1])
+
+	arena, err := w.globalArena("stud")
+	if err != nil {
+		return nil, err
+	}
+	gs, err := cfg.Place(w.p, arena, w.grad)
+	if err != nil {
+		if !o.classify(err) {
+			return nil, err
+		}
+		return o, nil
+	}
+	// Hit ONLY the secondary vptr; the primary stays intact.
+	secondary := grec.Addr.Add(int64(rl.VPtrOffsets[1]))
+	idx, err := ssnIndexFor(gs, uint64(secondary))
+	if err != nil {
+		return nil, err
+	}
+	o.Metrics["ssn_index"] = float64(idx)
+	w.p.SetInput(int64(fake.Addr))
+	if err := gs.SetIndex("ssn", idx, w.p.Cin()); err != nil {
+		if !o.classify(err) {
+			return nil, err
+		}
+		return o, nil
+	}
+
+	// The primary interface still dispatches legitimately...
+	if err := w.p.VirtualCall(rec, "print"); err != nil {
+		if !o.classify(err) {
+			return nil, err
+		}
+		return o, nil
+	}
+	hijackBeforeSerialize := w.p.HasEvent(machine.EvVTableHijack)
+	// ...while the secondary interface is hijacked.
+	if err := w.p.VirtualCall(rec, "serialize"); err != nil && !o.classify(err) {
+		return nil, err
+	}
+	if !hijackBeforeSerialize && w.p.HasEvent(machine.EvVTableHijack) && w.p.HasEvent(machine.EvPrivilegedCall) {
+		o.Succeeded = true
+		o.note("secondary vptr (offset %d) redirected; print() stayed legitimate, serialize() ran system_shell",
+			int64(o.Metrics["secondary_vptr_offset"]))
+	}
+	return o, nil
+}
+
+// runTypeConfusion exercises §2.5(3): "Invocation of placement new does
+// not carry out any type-checking. If memory is allocated to an instance
+// of type T1, then placing an instance of type T2 at that memory succeeds
+// even if T2 is not a compatible type of T1." The placed class here has
+// the SAME size as the arena's class, so the §5.1 bounds check passes and
+// only class-compatibility enforcement catches the confusion — through
+// which a double member's bit pattern lands on a function pointer.
+func runTypeConfusion(cfg defense.Config) (*Outcome, error) {
+	w, err := newWorld(cfg)
+	if err != nil {
+		return nil, err
+	}
+	o := newOutcome("type-confusion", cfg)
+	// Callback and Student are both 16 bytes under the i386 model.
+	callback := layout.NewClass("Callback").
+		AddField("id", layout.Int).
+		AddField("flags", layout.Int).
+		AddField("fn", layout.PtrTo(nil)).
+		AddField("pad", layout.Int)
+	g, err := w.p.DefineGlobal("cb", callback, false)
+	if err != nil {
+		return nil, err
+	}
+	legit, err := w.p.DefineFunc("logEvent", nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	shell, err := w.p.DefinePrivilegedFunc("system_shell", nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	cb, err := w.p.Construct(callback, g.Addr)
+	if err != nil {
+		return nil, err
+	}
+	if err := cb.SetPtr("fn", legit.Addr); err != nil {
+		return nil, err
+	}
+
+	arena := core.Arena{Base: g.Addr, Size: callback.Size(w.p.Model), Label: "cb"}
+	o.Metrics["sizeof_arena"] = float64(arena.Size)
+	o.Metrics["sizeof_placed"] = float64(w.student.Size(w.p.Model))
+
+	// Same-size placement of an unrelated class: the bounds check has
+	// nothing to object to.
+	st, err := cfg.PlaceTyped(w.p, arena, callback, w.student)
+	if err != nil {
+		if !o.classify(err) {
+			return nil, err
+		}
+		return o, nil
+	}
+	// Student.year (offset 8) aliases Callback.fn (offset 8): an innocent
+	// integer member write through the confused view rewrites the
+	// function pointer.
+	fnAddr, err := cb.FieldAddr("fn")
+	if err != nil {
+		return nil, err
+	}
+	yearAddr, err := st.FieldAddr("year")
+	if err != nil {
+		return nil, err
+	}
+	if fnAddr != yearAddr {
+		o.note("field aliasing differs under %s: year@%#x fn@%#x", w.p.Model.Name,
+			uint64(yearAddr), uint64(fnAddr))
+	}
+	w.p.SetInput(int64(shell.Addr))
+	if err := st.SetInt("year", w.p.Cin()); err != nil {
+		return nil, err
+	}
+	// The program later invokes the callback.
+	fn, err := cb.Ptr("fn")
+	if err != nil {
+		return nil, err
+	}
+	if cerr := w.p.ExecAddr(fn, "cb.fn"); cerr != nil && !o.classify(cerr) {
+		return nil, cerr
+	}
+	if w.p.HasEvent(machine.EvPrivilegedCall) {
+		o.Succeeded = true
+		o.note("same-size type confusion (%d == %d bytes): year member write rewrote cb.fn; bounds checking alone cannot see it",
+			int(o.Metrics["sizeof_placed"]), int(o.Metrics["sizeof_arena"]))
+	}
+	return o, nil
+}
+
+// runRemoteArray reproduces Listings 5–6 (§3.2): the element count of a
+// received array is attacker-chosen, and the population loop
+// (`*(st->courseid + i) = *(remoteobj->courseid + i)`) walks past the
+// declared member.
+func runRemoteArray(cfg defense.Config) (*Outcome, error) {
+	w, err := newWorld(cfg)
+	if err != nil {
+		return nil, err
+	}
+	o := newOutcome("remote-array", cfg)
+	if _, err := w.p.DefineGlobal("stud", w.grad, false); err != nil {
+		return nil, err
+	}
+	victim, err := w.p.DefineGlobal("victim", layout.UInt, false)
+	if err != nil {
+		return nil, err
+	}
+	arena, err := w.globalArena("stud")
+	if err != nil {
+		return nil, err
+	}
+	reg := serial.NewRegistry(w.student, w.grad)
+
+	// The wire message claims more ssn elements than the class declares;
+	// the trusting decoder writes them all (Listing 6's copy loop).
+	extra := int64(int32(0x44444444))
+	msg := serial.NewMessage("GradStudent").Set("ssn", serial.ArrayValue(1, 2, 3, extra, extra))
+	o.note("received array of %d elements for int ssn[3]", 5)
+
+	// An instrumented build wraps the deserializer's placement too.
+	cfg.GuardArena(w.p, arena)
+
+	var placeErr error
+	if cfg.CheckedPlacement {
+		_, placeErr = serial.PlaceChecked(w.p.Mem, w.p.Model, reg, arena, msg)
+	} else if cfg.RuntimeGuard {
+		if inferred, ok := w.p.InferArena(arena.Base); ok {
+			_, placeErr = serial.PlaceChecked(w.p.Mem, w.p.Model, reg, inferred, msg)
+		} else {
+			_, placeErr = serial.PlaceTrusting(w.p.Mem, w.p.Model, reg, arena.Base, msg)
+		}
+	} else {
+		_, placeErr = serial.PlaceTrusting(w.p.Mem, w.p.Model, reg, arena.Base, msg)
+	}
+	if placeErr != nil {
+		if !o.classify(placeErr) {
+			return nil, placeErr
+		}
+		if o.Prevented && cfg.RuntimeGuard {
+			o.PreventedBy = "runtime-guard"
+		}
+		return o, nil
+	}
+	got, err := w.p.Mem.ReadU32(victim.Addr)
+	if err != nil {
+		return nil, err
+	}
+	if got == 0x44444444 {
+		o.Succeeded = true
+		o.note("excess array elements written past the object into adjacent global")
+	}
+	return o, nil
+}

@@ -1,0 +1,308 @@
+package attack
+
+import (
+	"repro/internal/defense"
+	"repro/internal/layout"
+	"repro/internal/machine"
+	"repro/internal/mem"
+	"repro/internal/stackm"
+)
+
+// runVptrBss reproduces §3.8.2 "Via Data/bss Overflow": stud1's overflow
+// rewrites stud2's vtable pointer ("the first entry in the object stud2 is
+// not gpa, but *__vptr") with the address of an attacker-prepared table,
+// so the next virtual call runs an arbitrary method.
+func runVptrBss(cfg defense.Config) (*Outcome, error) {
+	w, err := newWorld(cfg)
+	if err != nil {
+		return nil, err
+	}
+	o := newOutcome("vptr-bss", cfg)
+	if _, err := w.p.DefineGlobal("stud1", w.vstudent, false); err != nil {
+		return nil, err
+	}
+	g2, err := w.p.DefineGlobal("stud2", w.vstudent, false)
+	if err != nil {
+		return nil, err
+	}
+	// Attacker-reachable fake vtable: an int array in bss whose slot 0
+	// holds the privileged function's address.
+	fake, err := w.p.DefineGlobal("names", layout.ArrayOf(layout.UInt, 2), false)
+	if err != nil {
+		return nil, err
+	}
+	shell, err := w.p.DefinePrivilegedFunc("system_shell", nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	if err := w.p.Mem.WriteUint(fake.Addr, uint64(shell.Addr), int(w.p.Model.PtrSize)); err != nil {
+		return nil, err
+	}
+
+	// Legitimate construction of stud2 installs its real vptr.
+	stud2, err := w.p.Construct(w.vstudent, g2.Addr)
+	if err != nil {
+		return nil, err
+	}
+
+	// Attack: place a VGradStudent over stud1.
+	arena, err := w.globalArena("stud1")
+	if err != nil {
+		return nil, err
+	}
+	gs, err := cfg.Place(w.p, arena, w.vgrad)
+	if err != nil {
+		if !o.classify(err) {
+			return nil, err
+		}
+		// The program still makes its virtual call, legitimately.
+		if cerr := w.p.VirtualCall(stud2, "getInfo"); cerr != nil && !o.classify(cerr) {
+			return nil, cerr
+		}
+		return o, nil
+	}
+	// stud2's vptr is its first word; find the ssn index that lands on it.
+	idx, err := ssnIndexFor(gs, uint64(g2.Addr))
+	if err != nil {
+		return nil, err
+	}
+	o.Metrics["ssn_index"] = float64(idx)
+	w.p.SetInput(int64(fake.Addr))
+	if err := gs.SetIndex("ssn", idx, w.p.Cin()); err != nil {
+		if !o.classify(err) {
+			return nil, err
+		}
+		return o, nil
+	}
+
+	if cerr := w.p.VirtualCall(stud2, "getInfo"); cerr != nil && !o.classify(cerr) {
+		return nil, cerr
+	}
+	if w.p.HasEvent(machine.EvVTableHijack) && w.p.HasEvent(machine.EvPrivilegedCall) {
+		o.Succeeded = true
+		o.note("stud2.__vptr redirected to attacker table; system_shell invoked via getInfo()")
+	}
+	return o, nil
+}
+
+// runVptrStack reproduces §3.8.2 "Via Stack Overflow": the vptr of the
+// adjacent local object `first` is rewritten, as in Listing 16 but with
+// polymorphic classes.
+func runVptrStack(cfg defense.Config) (*Outcome, error) {
+	w, err := newWorld(cfg)
+	if err != nil {
+		return nil, err
+	}
+	o := newOutcome("vptr-stack", cfg)
+	fake, err := w.p.DefineGlobal("fake_table", layout.ArrayOf(layout.UInt, 2), false)
+	if err != nil {
+		return nil, err
+	}
+	shell, err := w.p.DefinePrivilegedFunc("system_shell", nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	if err := w.p.Mem.WriteUint(fake.Addr, uint64(shell.Addr), int(w.p.Model.PtrSize)); err != nil {
+		return nil, err
+	}
+
+	var placeErr error
+	if _, err := w.p.DefineFunc("addStudent", []stackm.LocalSpec{
+		{Name: "first", Type: w.vstudent},
+		{Name: "stud", Type: w.vstudent},
+	}, func(p *machine.Process, f *stackm.Frame) error {
+		fl, err := f.Local("first")
+		if err != nil {
+			return err
+		}
+		first, err := p.Construct(w.vstudent, fl.Addr)
+		if err != nil {
+			return err
+		}
+		arena, err := w.localArena(f, "stud")
+		if err != nil {
+			return err
+		}
+		gs, err := w.cfg.Place(p, arena, w.vgrad)
+		if err != nil {
+			placeErr = err
+		} else {
+			idx, err := ssnIndexFor(gs, uint64(fl.Addr))
+			if err != nil {
+				return err
+			}
+			o.Metrics["ssn_index"] = float64(idx)
+			p.SetInput(int64(fake.Addr))
+			if err := gs.SetIndex("ssn", idx, p.Cin()); err != nil {
+				return err
+			}
+		}
+		return p.VirtualCall(first, "getInfo")
+	}); err != nil {
+		return nil, err
+	}
+	callErr := w.p.Call("addStudent")
+	if placeErr != nil {
+		if !o.classify(placeErr) {
+			return nil, placeErr
+		}
+		return o, nil
+	}
+	if callErr != nil && !o.classify(callErr) {
+		return nil, callErr
+	}
+	if w.p.HasEvent(machine.EvVTableHijack) && w.p.HasEvent(machine.EvPrivilegedCall) {
+		o.Succeeded = true
+		o.note("first.__vptr redirected on the stack; privileged method invoked")
+	}
+	return o, nil
+}
+
+// runFuncPtr reproduces §3.9 Listing 17: the NULL createStudentAccount
+// function pointer above stud is given an attacker value, and the guarded
+// call site — which would never have fired — invokes it.
+func runFuncPtr(cfg defense.Config) (*Outcome, error) {
+	w, err := newWorld(cfg)
+	if err != nil {
+		return nil, err
+	}
+	o := newOutcome("funcptr", cfg)
+	shell, err := w.p.DefinePrivilegedFunc("system_shell", nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	var placeErr error
+	if _, err := w.p.DefineFunc("addStudent", []stackm.LocalSpec{
+		{Name: "createStudentAccount", Type: layout.PtrTo(nil)},
+		{Name: "stud", Type: w.student},
+	}, func(p *machine.Process, f *stackm.Frame) error {
+		fp, err := f.Local("createStudentAccount")
+		if err != nil {
+			return err
+		}
+		if err := p.Mem.WriteUint(fp.Addr, 0, int(p.Model.PtrSize)); err != nil { // = NULL
+			return err
+		}
+		arena, err := w.localArena(f, "stud")
+		if err != nil {
+			return err
+		}
+		gs, err := w.cfg.Place(p, arena, w.grad)
+		if err != nil {
+			placeErr = err
+		} else {
+			idx, err := ssnIndexFor(gs, uint64(fp.Addr))
+			if err != nil {
+				return err
+			}
+			o.Metrics["ssn_index"] = float64(idx)
+			p.SetInput(int64(shell.Addr))
+			if err := gs.SetIndex("ssn", idx, p.Cin()); err != nil {
+				return err
+			}
+		}
+		// if (createStudentAccount != NULL) createStudentAccount(...);
+		v, err := p.Mem.ReadUint(fp.Addr, int(p.Model.PtrSize))
+		if err != nil {
+			return err
+		}
+		if v != 0 {
+			return p.ExecAddr(machineAddr(v), "createStudentAccount")
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	callErr := w.p.Call("addStudent")
+	if placeErr != nil {
+		if !o.classify(placeErr) {
+			return nil, placeErr
+		}
+		return o, nil
+	}
+	if callErr != nil && !o.classify(callErr) {
+		return nil, callErr
+	}
+	if w.p.HasEvent(machine.EvPrivilegedCall) {
+		o.Succeeded = true
+		o.note("null function pointer redirected; method invoked that was never supposed to run")
+	}
+	return o, nil
+}
+
+// runVarPtr reproduces §3.10 Listing 18: the char* name is redirected so
+// the program's subsequent write through it lands at an attacker-chosen
+// location.
+func runVarPtr(cfg defense.Config) (*Outcome, error) {
+	w, err := newWorld(cfg)
+	if err != nil {
+		return nil, err
+	}
+	o := newOutcome("varptr", cfg)
+	if _, err := w.p.DefineGlobal("stud", w.student, false); err != nil {
+		return nil, err
+	}
+	namePtr, err := w.p.DefineGlobal("name", layout.PtrTo(layout.Char), false)
+	if err != nil {
+		return nil, err
+	}
+	adminFlag, err := w.p.DefineGlobal("adminFlag", layout.UInt, false)
+	if err != nil {
+		return nil, err
+	}
+	// name = new char[16];
+	nameBuf, err := w.p.Heap.Alloc(16)
+	if err != nil {
+		return nil, err
+	}
+	if err := w.p.Mem.WriteUint(namePtr.Addr, uint64(nameBuf), int(w.p.Model.PtrSize)); err != nil {
+		return nil, err
+	}
+
+	arena, err := w.globalArena("stud")
+	if err != nil {
+		return nil, err
+	}
+	gs, err := cfg.Place(w.p, arena, w.grad)
+	if err != nil {
+		if !o.classify(err) {
+			return nil, err
+		}
+		return o, nil
+	}
+	idx, err := ssnIndexFor(gs, uint64(namePtr.Addr))
+	if err != nil {
+		return nil, err
+	}
+	o.Metrics["ssn_index"] = float64(idx)
+	w.p.SetInput(int64(adminFlag.Addr))
+	if err := gs.SetIndex("ssn", idx, w.p.Cin()); err != nil {
+		if !o.classify(err) {
+			return nil, err
+		}
+		return o, nil
+	}
+
+	// The program later writes user data "into name".
+	ptr, err := w.p.Mem.ReadUint(namePtr.Addr, int(w.p.Model.PtrSize))
+	if err != nil {
+		return nil, err
+	}
+	if err := w.p.Mem.StrNCpy(machineAddr(ptr), "YES!", 4); err != nil {
+		return nil, err
+	}
+	got, err := w.p.Mem.Read(adminFlag.Addr, 4)
+	if err != nil {
+		return nil, err
+	}
+	if string(got) == "YES!" {
+		o.Succeeded = true
+		o.note("name pointer redirected %#x -> %#x; user data written over adminFlag",
+			uint64(nameBuf), uint64(adminFlag.Addr))
+	}
+	return o, nil
+}
+
+// machineAddr converts a raw pointer word read out of simulated memory
+// back to an address.
+func machineAddr(v uint64) mem.Addr { return mem.Addr(v) }

@@ -1,0 +1,209 @@
+// Package core implements the paper's subject: the C++ "placement new"
+// expression and its secured counterparts.
+//
+//	void *operator new (size_t, void *p) throw() { return p; }
+//
+// PlacementNew and PlacementNewArray reproduce the standard semantics
+// (§2.5): any non-null address already mapped into the process is
+// accepted; no bounds, type, or alignment checking of any kind is
+// performed. Object construction writes sizeof(T) bytes starting at the
+// given address — when the arena is smaller than T, those writes are the
+// object overflow every attack in §3 builds on.
+//
+// CheckedPlacementNew and CheckedPlacementNewArray implement the §5.1
+// "correct coding" discipline: the placement fails with a *BoundsError or
+// *AlignError instead of overflowing. Pool, LeakTracker and Sanitize cover
+// the §2.1/§4.5/§5.1 memory-pool, placement-delete and sanitization
+// practices.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/layout"
+	"repro/internal/mem"
+	"repro/internal/object"
+)
+
+// Arena describes a bounded destination region for a checked placement:
+// the information the unchecked expression throws away.
+type Arena struct {
+	Base  mem.Addr
+	Size  uint64
+	Label string
+}
+
+// End returns the first address past the arena.
+func (a Arena) End() mem.Addr { return a.Base.Add(int64(a.Size)) }
+
+// Contains reports whether [addr, addr+n) fits inside the arena.
+func (a Arena) Contains(addr mem.Addr, n uint64) bool {
+	return addr >= a.Base && addr.Add(int64(n)) <= a.End()
+}
+
+// ArenaOf builds the arena covering an existing object — the common
+// "place a subclass instance over a superclass instance" pattern (§2.2).
+func ArenaOf(o *object.Object) Arena {
+	return Arena{Base: o.Addr(), Size: o.Size(), Label: o.Class().Name()}
+}
+
+// BoundsError reports a checked placement rejected for size.
+type BoundsError struct {
+	What  string // type being placed
+	Need  uint64
+	Have  uint64
+	At    mem.Addr
+	Label string // arena label, when known
+}
+
+// Error implements the error interface.
+func (e *BoundsError) Error() string {
+	where := e.Label
+	if where == "" {
+		where = fmt.Sprintf("arena at %#x", uint64(e.At))
+	}
+	return fmt.Sprintf("core: placement of %s (%d bytes) exceeds %s (%d bytes)", e.What, e.Need, where, e.Have)
+}
+
+// AlignError reports a checked placement rejected for misalignment.
+type AlignError struct {
+	What  string
+	Align uint64
+	At    mem.Addr
+}
+
+// Error implements the error interface.
+func (e *AlignError) Error() string {
+	return fmt.Sprintf("core: placement of %s at %#x violates %d-byte alignment", e.What, uint64(e.At), e.Align)
+}
+
+// TypeError reports a checked placement rejected for type incompatibility.
+type TypeError struct {
+	Placed *layout.Class
+	Arena  *layout.Class
+}
+
+// Error implements the error interface.
+func (e *TypeError) Error() string {
+	return fmt.Sprintf("core: placing %s in an arena typed %s: incompatible classes", e.Placed.Name(), e.Arena.Name())
+}
+
+// PlacementNew is `new (addr) T()`: binds T at addr and runs the default
+// constructor. Matching the paper's listing classes, construction
+// zero-initialises scalar and pointer members (Student() sets gpa, year
+// and semester) while array members such as ssn[] are left indeterminate
+// — the attacker sets them afterwards through ordinary input handling.
+// Mirroring §2.5, the only requirements are a non-null address and
+// writable mapped pages for the members actually written; there is no
+// notion of an arena, so members of a larger T land past a smaller
+// destination object.
+func PlacementNew(m *mem.Memory, model layout.Model, addr mem.Addr, cls *layout.Class) (*object.Object, error) {
+	o, err := object.View(m, cls, model, addr)
+	if err != nil {
+		return nil, err
+	}
+	if err := o.ZeroScalars(); err != nil {
+		return nil, fmt.Errorf("core: constructing %s at %#x: %w", cls.Name(), uint64(addr), err)
+	}
+	return o, nil
+}
+
+// Buffer is the result of a placement array-new: a raw typed buffer.
+type Buffer struct {
+	m     *mem.Memory
+	model layout.Model
+	Addr  mem.Addr
+	Elem  layout.Type
+	Len   uint64
+}
+
+// Size returns the buffer footprint in bytes.
+func (b *Buffer) Size() uint64 { return b.Elem.Size(b.model) * b.Len }
+
+// End returns the first address past the buffer.
+func (b *Buffer) End() mem.Addr { return b.Addr.Add(int64(b.Size())) }
+
+// StrNCpy copies src into the buffer with strncpy semantics against n
+// bytes — n is the caller's claim, not the buffer's real length, exactly
+// as in Listing 19.
+func (b *Buffer) StrNCpy(src string, n uint64) error {
+	return b.m.StrNCpy(b.Addr, src, n)
+}
+
+// ReadCString reads the buffer as a NUL-terminated string of at most max
+// bytes. Reads past Len are permitted (they fault only at the MMU) — the
+// §4.3 information-leak primitive.
+func (b *Buffer) ReadCString(max uint64) ([]byte, bool, error) {
+	return b.m.ReadCString(b.Addr, max)
+}
+
+// PlacementNewArray is `new (addr) T[n]`: binds an n-element buffer at
+// addr with no checks at all (§2.3). Unlike object placement it does not
+// zero the memory — C++ array-new of scalars performs no initialisation,
+// which is precisely why stale secrets survive into the new buffer in the
+// Listing 21 information leak.
+func PlacementNewArray(m *mem.Memory, model layout.Model, addr mem.Addr, elem layout.Type, n uint64) (*Buffer, error) {
+	if m == nil {
+		return nil, fmt.Errorf("core: nil memory")
+	}
+	if addr == mem.NullAddr {
+		return nil, fmt.Errorf("core: placement array-new at null address")
+	}
+	if elem == nil {
+		return nil, fmt.Errorf("core: placement array-new with nil element type")
+	}
+	return &Buffer{m: m, model: model, Addr: addr, Elem: elem, Len: n}, nil
+}
+
+// CheckedPlacementNew is the §5.1 discipline for objects: verify
+// sizeof(T) against the arena and the address alignment before placing.
+// On success it behaves exactly like PlacementNew.
+func CheckedPlacementNew(m *mem.Memory, model layout.Model, arena Arena, cls *layout.Class) (*object.Object, error) {
+	l, err := layout.Of(cls, model)
+	if err != nil {
+		return nil, err
+	}
+	if l.Size > arena.Size {
+		return nil, &BoundsError{What: cls.Name(), Need: l.Size, Have: arena.Size, At: arena.Base, Label: arena.Label}
+	}
+	if uint64(arena.Base)%l.Align != 0 {
+		return nil, &AlignError{What: cls.Name(), Align: l.Align, At: arena.Base}
+	}
+	return PlacementNew(m, model, arena.Base, cls)
+}
+
+// CheckedPlacementNewTyped additionally enforces the type compatibility
+// §2.5(3) notes is absent from the language: the placed class must be the
+// arena's class or derive from it.
+func CheckedPlacementNewTyped(m *mem.Memory, model layout.Model, arena Arena, arenaCls, cls *layout.Class) (*object.Object, error) {
+	if !cls.SameOrDerivesFrom(arenaCls) {
+		return nil, &TypeError{Placed: cls, Arena: arenaCls}
+	}
+	return CheckedPlacementNew(m, model, arena, cls)
+}
+
+// CheckedPlacementNewArray verifies n*sizeof(elem) against the arena
+// before binding the buffer.
+func CheckedPlacementNewArray(m *mem.Memory, model layout.Model, arena Arena, elem layout.Type, n uint64) (*Buffer, error) {
+	if elem == nil {
+		return nil, fmt.Errorf("core: placement array-new with nil element type")
+	}
+	es := elem.Size(model)
+	need := es * n
+	if es != 0 && need/es != n { // multiplication overflow: the classic n underflow trap
+		return nil, &BoundsError{What: fmt.Sprintf("%s[%d]", elem, n), Need: ^uint64(0), Have: arena.Size, At: arena.Base, Label: arena.Label}
+	}
+	if need > arena.Size {
+		return nil, &BoundsError{What: fmt.Sprintf("%s[%d]", elem, n), Need: need, Have: arena.Size, At: arena.Base, Label: arena.Label}
+	}
+	if align := elem.Align(model); uint64(arena.Base)%align != 0 {
+		return nil, &AlignError{What: elem.String(), Align: align, At: arena.Base}
+	}
+	return PlacementNewArray(m, model, arena.Base, elem, n)
+}
+
+// Sanitize overwrites the arena with zero bytes — the §5.1 remedy for
+// information leaks: "memory needs to be sanitized" before reuse.
+func Sanitize(m *mem.Memory, arena Arena) error {
+	return m.Memset(arena.Base, 0, arena.Size)
+}

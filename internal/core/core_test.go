@@ -1,0 +1,444 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/layout"
+	"repro/internal/mem"
+	"repro/internal/object"
+)
+
+func paperClasses() (student, grad *layout.Class) {
+	student = layout.NewClass("Student").
+		AddField("gpa", layout.Double).
+		AddField("year", layout.Int).
+		AddField("semester", layout.Int)
+	grad = layout.NewClass("GradStudent", student).
+		AddField("ssn", layout.ArrayOf(layout.Int, 3))
+	return student, grad
+}
+
+func newTestMem(t *testing.T) *mem.Memory {
+	t.Helper()
+	m := &mem.Memory{}
+	if _, err := m.Map(mem.SegBSS, 0x1000, 0x1000, mem.PermRW); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestPlacementNewBasics(t *testing.T) {
+	m := newTestMem(t)
+	student, _ := paperClasses()
+	o, err := PlacementNew(m, layout.ILP32i386, 0x1100, student)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Addr() != 0x1100 || o.Size() != 16 {
+		t.Errorf("object = %v", o)
+	}
+	// Construction zero-initialised the footprint.
+	if v, _ := o.Float("gpa"); v != 0 {
+		t.Errorf("gpa = %v", v)
+	}
+}
+
+func TestPlacementNewRejectsNullAndUnmapped(t *testing.T) {
+	m := newTestMem(t)
+	student, _ := paperClasses()
+	if _, err := PlacementNew(m, layout.ILP32, mem.NullAddr, student); err == nil {
+		t.Error("null placement succeeded")
+	}
+	if _, err := PlacementNew(m, layout.ILP32, 0x9000, student); err == nil {
+		t.Error("unmapped placement succeeded")
+	}
+}
+
+// TestPlacementNewOverflowsSmallerArena is the core fault of the paper:
+// constructing a GradStudent over a Student arena writes 28 bytes into 16.
+func TestPlacementNewOverflowsSmallerArena(t *testing.T) {
+	m := newTestMem(t)
+	student, grad := paperClasses()
+	// Student at 0x1100, sentinel word right behind it.
+	if _, err := PlacementNew(m, layout.ILP32i386, 0x1100, student); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.WriteU32(0x1110, 0x5a5a5a5a); err != nil {
+		t.Fatal(err)
+	}
+	gs, err := PlacementNew(m, layout.ILP32i386, 0x1100, grad)
+	if err != nil {
+		t.Fatalf("unchecked placement of larger class failed: %v", err)
+	}
+	// Construction initialises only scalar members (all inside the first
+	// 16 bytes); ssn[] is left indeterminate, so the sentinel survives —
+	// which is exactly what lets the §5.2 canary-skip work.
+	v, _ := m.ReadU32(0x1110)
+	if v != 0x5a5a5a5a {
+		t.Errorf("sentinel = %#x, want untouched by construction", v)
+	}
+	// Attacker-controlled member writes then land there.
+	if err := gs.SetIndex("ssn", 0, 0x41414141); err != nil {
+		t.Fatal(err)
+	}
+	v, _ = m.ReadU32(0x1110)
+	if v != 0x41414141 {
+		t.Errorf("sentinel = %#x, want attacker value", v)
+	}
+}
+
+func TestCheckedPlacementNewAcceptsFit(t *testing.T) {
+	m := newTestMem(t)
+	student, grad := paperClasses()
+	arena := Arena{Base: 0x1100, Size: 32, Label: "pool"}
+	o, err := CheckedPlacementNew(m, layout.ILP32i386, arena, grad)
+	if err != nil {
+		t.Fatalf("fitting placement rejected: %v", err)
+	}
+	if o.Class() != grad {
+		t.Error("wrong class")
+	}
+	if _, err := CheckedPlacementNew(m, layout.ILP32i386, Arena{Base: 0x1100, Size: 16}, student); err != nil {
+		t.Errorf("exact-fit placement rejected: %v", err)
+	}
+}
+
+func TestCheckedPlacementNewRejectsOverflow(t *testing.T) {
+	m := newTestMem(t)
+	student, grad := paperClasses()
+	_ = student
+	arena := Arena{Base: 0x1100, Size: 16, Label: "stud"}
+	_, err := CheckedPlacementNew(m, layout.ILP32i386, arena, grad)
+	var be *BoundsError
+	if !errors.As(err, &be) {
+		t.Fatalf("err = %v, want *BoundsError", err)
+	}
+	if be.Need != 28 || be.Have != 16 {
+		t.Errorf("bounds = %d/%d, want 28/16", be.Need, be.Have)
+	}
+	if !strings.Contains(be.Error(), "stud") {
+		t.Errorf("message lacks arena label: %q", be.Error())
+	}
+}
+
+func TestCheckedPlacementNewRejectsMisalignment(t *testing.T) {
+	m := newTestMem(t)
+	student, _ := paperClasses()
+	// Student requires 4-byte alignment under i386 rules.
+	_, err := CheckedPlacementNew(m, layout.ILP32i386, Arena{Base: 0x1102, Size: 64}, student)
+	var ae *AlignError
+	if !errors.As(err, &ae) {
+		t.Fatalf("err = %v, want *AlignError", err)
+	}
+	if ae.Align != 4 {
+		t.Errorf("align = %d", ae.Align)
+	}
+}
+
+func TestCheckedPlacementNewTyped(t *testing.T) {
+	m := newTestMem(t)
+	student, grad := paperClasses()
+	other := layout.NewClass("Other").AddField("x", layout.Int)
+	arena := Arena{Base: 0x1100, Size: 64}
+	// Derived into base arena: type-compatible.
+	if _, err := CheckedPlacementNewTyped(m, layout.ILP32i386, arena, student, grad); err != nil {
+		t.Errorf("derived placement rejected: %v", err)
+	}
+	// Same class: compatible.
+	if _, err := CheckedPlacementNewTyped(m, layout.ILP32i386, arena, student, student); err != nil {
+		t.Errorf("same-class placement rejected: %v", err)
+	}
+	// Unrelated class: the §2.5(3) hole, closed.
+	_, err := CheckedPlacementNewTyped(m, layout.ILP32i386, arena, student, other)
+	var te *TypeError
+	if !errors.As(err, &te) {
+		t.Errorf("err = %v, want *TypeError", err)
+	}
+}
+
+func TestPlacementNewArrayUnchecked(t *testing.T) {
+	m := newTestMem(t)
+	b, err := PlacementNewArray(m, layout.ILP32, 0x1100, layout.Char, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Size() != 16 || b.End() != 0x1110 {
+		t.Errorf("buffer = %+v", b)
+	}
+	// No bounds discipline: a claimed length beyond Len writes past the
+	// buffer (Listing 19's strncpy after the two-step attack).
+	if err := b.StrNCpy(strings.Repeat("A", 32), 32); err != nil {
+		t.Fatal(err)
+	}
+	v, _ := m.ReadU8(0x111f)
+	if v != 'A' {
+		t.Errorf("byte past buffer = %#x, want 'A'", v)
+	}
+}
+
+func TestPlacementNewArrayDoesNotZero(t *testing.T) {
+	// §4.3: array placement leaves stale bytes readable in the new buffer.
+	m := newTestMem(t)
+	if err := m.WriteCString(0x1100, "secret"); err != nil {
+		t.Fatal(err)
+	}
+	b, err := PlacementNewArray(m, layout.ILP32, 0x1100, layout.Char, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := b.ReadCString(32)
+	if err != nil || !ok {
+		t.Fatal(err)
+	}
+	if string(got) != "secret" {
+		t.Errorf("stale contents = %q, want old secret", got)
+	}
+}
+
+func TestPlacementNewArrayValidation(t *testing.T) {
+	m := newTestMem(t)
+	if _, err := PlacementNewArray(nil, layout.ILP32, 0x1100, layout.Char, 4); err == nil {
+		t.Error("nil memory accepted")
+	}
+	if _, err := PlacementNewArray(m, layout.ILP32, mem.NullAddr, layout.Char, 4); err == nil {
+		t.Error("null address accepted")
+	}
+	if _, err := PlacementNewArray(m, layout.ILP32, 0x1100, nil, 4); err == nil {
+		t.Error("nil element type accepted")
+	}
+}
+
+func TestCheckedPlacementNewArray(t *testing.T) {
+	m := newTestMem(t)
+	arena := Arena{Base: 0x1100, Size: 64, Label: "mem_pool"}
+	if _, err := CheckedPlacementNewArray(m, layout.ILP32, arena, layout.Char, 64); err != nil {
+		t.Errorf("exact fit rejected: %v", err)
+	}
+	_, err := CheckedPlacementNewArray(m, layout.ILP32, arena, layout.Char, 65)
+	var be *BoundsError
+	if !errors.As(err, &be) {
+		t.Errorf("overflow err = %v, want *BoundsError", err)
+	}
+	// Misaligned base for int elements.
+	_, err = CheckedPlacementNewArray(m, layout.ILP32, Arena{Base: 0x1101, Size: 63}, layout.Int, 4)
+	var ae *AlignError
+	if !errors.As(err, &ae) {
+		t.Errorf("misaligned err = %v, want *AlignError", err)
+	}
+	if _, err := CheckedPlacementNewArray(m, layout.ILP32, arena, nil, 1); err == nil {
+		t.Error("nil element accepted")
+	}
+}
+
+func TestCheckedPlacementNewArrayMulOverflow(t *testing.T) {
+	// The introduction's unsigned-underflow trap: n = (unsigned)-1 makes
+	// n*sizeof(elem) wrap; the checked form must still reject it.
+	m := newTestMem(t)
+	arena := Arena{Base: 0x1100, Size: 64}
+	huge := ^uint64(0)/4 + 2 // wraps when multiplied by sizeof(int)==4
+	_, err := CheckedPlacementNewArray(m, layout.ILP32, arena, layout.Int, huge)
+	var be *BoundsError
+	if !errors.As(err, &be) {
+		t.Errorf("err = %v, want *BoundsError on multiplication overflow", err)
+	}
+}
+
+func TestArenaOfAndContains(t *testing.T) {
+	m := newTestMem(t)
+	student, _ := paperClasses()
+	o, err := object.View(m, student, layout.ILP32i386, 0x1100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := ArenaOf(o)
+	if a.Base != 0x1100 || a.Size != 16 || a.Label != "Student" {
+		t.Errorf("arena = %+v", a)
+	}
+	if !a.Contains(0x1100, 16) || a.Contains(0x1100, 17) || a.Contains(0x10ff, 1) {
+		t.Error("Contains wrong")
+	}
+	if a.End() != 0x1110 {
+		t.Errorf("End = %#x", uint64(a.End()))
+	}
+}
+
+func TestSanitize(t *testing.T) {
+	m := newTestMem(t)
+	if err := m.WriteCString(0x1100, "password-file-contents"); err != nil {
+		t.Fatal(err)
+	}
+	if err := Sanitize(m, Arena{Base: 0x1100, Size: 32}); err != nil {
+		t.Fatal(err)
+	}
+	b, _ := m.Read(0x1100, 32)
+	if !bytes.Equal(b, make([]byte, 32)) {
+		t.Error("arena not zeroed")
+	}
+}
+
+func TestPoolPlaceArrayUncheckedVsChecked(t *testing.T) {
+	m := newTestMem(t)
+	p, err := NewPool(m, layout.ILP32, 0x1100, 64, "mem_pool")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Unchecked pool: oversize placement succeeds (Listing 19).
+	if _, err := p.PlaceArray(layout.Char, 128); err != nil {
+		t.Errorf("unchecked oversize placement failed: %v", err)
+	}
+	p.Checked = true
+	if _, err := p.PlaceArray(layout.Char, 128); err == nil {
+		t.Error("checked oversize placement succeeded")
+	}
+	if _, err := p.PlaceArray(layout.Char, 64); err != nil {
+		t.Errorf("checked fitting placement failed: %v", err)
+	}
+}
+
+func TestPoolPlaceObject(t *testing.T) {
+	m := newTestMem(t)
+	student, grad := paperClasses()
+	p, err := NewPool(m, layout.ILP32i386, 0x1100, 16, "stud")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.PlaceObject(student); err != nil {
+		t.Fatal(err)
+	}
+	// Unchecked: GradStudent into 16-byte pool succeeds and overflows.
+	if _, err := p.PlaceObject(grad); err != nil {
+		t.Errorf("unchecked object placement failed: %v", err)
+	}
+	p.Checked = true
+	if _, err := p.PlaceObject(grad); err == nil {
+		t.Error("checked oversize object placement succeeded")
+	}
+}
+
+func TestPoolSanitizeOnPlace(t *testing.T) {
+	m := newTestMem(t)
+	p, err := NewPool(m, layout.ILP32, 0x1100, 32, "pool")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.LoadBytes([]byte("root:x:0:0:hash")); err != nil {
+		t.Fatal(err)
+	}
+	p.SanitizeOnPlace = true
+	b, err := p.PlaceArray(layout.Char, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := b.ReadCString(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("stale bytes survived sanitize-on-place: %q", got)
+	}
+}
+
+func TestPoolLoadBytesTruncates(t *testing.T) {
+	m := newTestMem(t)
+	p, err := NewPool(m, layout.ILP32, 0x1100, 4, "tiny")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.LoadBytes([]byte("abcdefgh")); err != nil {
+		t.Fatal(err)
+	}
+	v, _ := m.ReadU8(0x1104)
+	if v != 0 {
+		t.Error("LoadBytes wrote past pool")
+	}
+}
+
+func TestNewPoolValidation(t *testing.T) {
+	m := newTestMem(t)
+	if _, err := NewPool(nil, layout.ILP32, 0x1100, 16, ""); err == nil {
+		t.Error("nil memory accepted")
+	}
+	if _, err := NewPool(m, layout.ILP32, 0x9000, 16, ""); err == nil {
+		t.Error("unmapped pool accepted")
+	}
+	p, err := NewPool(m, layout.ILP32, 0x1100, 16, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Arena().Label != "pool" {
+		t.Errorf("default label = %q", p.Arena().Label)
+	}
+}
+
+func TestLeakTrackerPaperArithmetic(t *testing.T) {
+	// Listing 23: each iteration places a GradStudent (28 bytes under
+	// i386 layout) and releases it through a Student-typed pointer (16
+	// bytes). Leak per iteration = 12.
+	tr := NewLeakTracker()
+	const sizeGrad, sizeStudent = 28, 16
+	iters := uint64(10)
+	for i := uint64(0); i < iters; i++ {
+		addr := mem.Addr(0x1000 + i*64)
+		tr.RecordPlacement(addr, "GradStudent", sizeGrad)
+		if err := tr.ReleaseSized(addr, sizeStudent); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := tr.Leaked(); got != iters*(sizeGrad-sizeStudent) {
+		t.Errorf("leaked = %d, want %d", got, iters*(sizeGrad-sizeStudent))
+	}
+}
+
+func TestLeakTrackerPlacementDelete(t *testing.T) {
+	tr := NewLeakTracker()
+	tr.RecordPlacement(0x1000, "GradStudent", 28)
+	if err := tr.PlacementDelete(0x1000); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Leaked() != 0 {
+		t.Errorf("leaked = %d after proper placement delete", tr.Leaked())
+	}
+	if err := tr.PlacementDelete(0x1000); err == nil {
+		t.Error("double placement delete succeeded")
+	}
+	if err := tr.ReleaseSized(0x2000, 4); err == nil {
+		t.Error("release of unknown placement succeeded")
+	}
+}
+
+func TestLeakTrackerLostPointer(t *testing.T) {
+	tr := NewLeakTracker()
+	tr.RecordPlacement(0x1000, "GradStudent", 28)
+	// Re-placement at the same address forgets the old object entirely.
+	tr.RecordPlacement(0x1000, "Student", 16)
+	if err := tr.PlacementDelete(0x1000); err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.Leaked(); got != 28 {
+		t.Errorf("leaked = %d, want 28 (lost GradStudent)", got)
+	}
+}
+
+func TestLeakTrackerReleaseClamped(t *testing.T) {
+	tr := NewLeakTracker()
+	tr.RecordPlacement(0x1000, "Student", 16)
+	if err := tr.ReleaseSized(0x1000, 100); err != nil {
+		t.Fatal(err)
+	}
+	if tr.ReleasedBytes != 16 {
+		t.Errorf("released = %d, want clamped 16", tr.ReleasedBytes)
+	}
+}
+
+func TestLeakTrackerLive(t *testing.T) {
+	tr := NewLeakTracker()
+	tr.RecordPlacement(0x2000, "B", 8)
+	tr.RecordPlacement(0x1000, "A", 4)
+	live := tr.Live()
+	if len(live) != 2 || live[0].Addr != 0x1000 || live[1].What != "B" {
+		t.Errorf("live = %+v", live)
+	}
+}

@@ -1,0 +1,115 @@
+package core_test
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/layout"
+	"repro/internal/mem"
+)
+
+// The paper's central fault: placement new performs no bounds checking,
+// so constructing a larger subclass over a smaller object's arena writes
+// past it (§2.5, §3.1).
+func ExamplePlacementNew() {
+	m := &mem.Memory{}
+	if _, err := m.Map(mem.SegBSS, 0x1000, 0x1000, mem.PermRW); err != nil {
+		fmt.Println(err)
+		return
+	}
+	student := layout.NewClass("Student").
+		AddField("gpa", layout.Double).
+		AddField("year", layout.Int).
+		AddField("semester", layout.Int)
+	grad := layout.NewClass("GradStudent", student).
+		AddField("ssn", layout.ArrayOf(layout.Int, 3))
+
+	// A 16-byte Student arena with a neighbour right behind it.
+	if err := m.WriteU32(0x1010, 0xcafe); err != nil {
+		fmt.Println(err)
+		return
+	}
+	gs, err := core.PlacementNew(m, layout.ILP32i386, 0x1000, grad) // unchecked!
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	if err := gs.SetIndex("ssn", 0, 0x41414141); err != nil {
+		fmt.Println(err)
+		return
+	}
+	v, _ := m.ReadU32(0x1010)
+	fmt.Printf("neighbour after attack: %#x\n", v)
+	// Output:
+	// neighbour after attack: 0x41414141
+}
+
+// The §5.1 "correct coding" remedy rejects the same placement.
+func ExampleCheckedPlacementNew() {
+	m := &mem.Memory{}
+	if _, err := m.Map(mem.SegBSS, 0x1000, 0x1000, mem.PermRW); err != nil {
+		fmt.Println(err)
+		return
+	}
+	student := layout.NewClass("Student").
+		AddField("gpa", layout.Double).
+		AddField("year", layout.Int).
+		AddField("semester", layout.Int)
+	grad := layout.NewClass("GradStudent", student).
+		AddField("ssn", layout.ArrayOf(layout.Int, 3))
+
+	arena := core.Arena{Base: 0x1000, Size: student.Size(layout.ILP32i386), Label: "stud"}
+	_, err := core.CheckedPlacementNew(m, layout.ILP32i386, arena, grad)
+	fmt.Println(err)
+	// Output:
+	// core: placement of GradStudent (28 bytes) exceeds stud (16 bytes)
+}
+
+// Pools with sanitize-on-place close the §4.3 information leak.
+func ExamplePool() {
+	m := &mem.Memory{}
+	if _, err := m.Map(mem.SegBSS, 0x1000, 0x1000, mem.PermRW); err != nil {
+		fmt.Println(err)
+		return
+	}
+	pool, err := core.NewPool(m, layout.ILP32i386, 0x1000, 64, "mem_pool")
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	if err := pool.LoadBytes([]byte("root:x:0:0:secret")); err != nil {
+		fmt.Println(err)
+		return
+	}
+	pool.SanitizeOnPlace = true
+	buf, err := pool.PlaceArray(layout.Char, 32)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	remnant, _, err := buf.ReadCString(32)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("leaked bytes: %d\n", len(remnant))
+	// Output:
+	// leaked bytes: 0
+}
+
+// The §4.5 leak arithmetic: releasing a GradStudent arena through a
+// Student-typed pointer leaks the size difference every iteration.
+func ExampleLeakTracker() {
+	tr := core.NewLeakTracker()
+	for i := 0; i < 10; i++ {
+		addr := mem.Addr(0x1000 + i*32)
+		tr.RecordPlacement(addr, "GradStudent", 28)
+		if err := tr.ReleaseSized(addr, 16); err != nil { // released as Student
+			fmt.Println(err)
+			return
+		}
+	}
+	fmt.Printf("leaked: %d bytes (%d per iteration)\n", tr.Leaked(), tr.Leaked()/10)
+	// Output:
+	// leaked: 120 bytes (12 per iteration)
+}

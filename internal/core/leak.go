@@ -1,0 +1,90 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/mem"
+)
+
+// LeakTracker is the allocation ledger for placement-new lifecycles. C++
+// "does not support a placement delete while it supports placement new"
+// (§4.5); when a program releases a placed region through a pointer of a
+// smaller type, the difference goes unreclaimed each iteration. The
+// tracker makes that arithmetic observable and provides the disciplined
+// PlacementDelete the paper recommends programmers write.
+type LeakTracker struct {
+	placed map[mem.Addr]placement
+	// AllocatedBytes and ReleasedBytes accumulate over the tracker's life.
+	AllocatedBytes uint64
+	ReleasedBytes  uint64
+}
+
+type placement struct {
+	what string
+	size uint64
+}
+
+// NewLeakTracker returns an empty ledger.
+func NewLeakTracker() *LeakTracker {
+	return &LeakTracker{placed: make(map[mem.Addr]placement)}
+}
+
+// RecordPlacement notes that `what` of size bytes was placed at addr.
+// Re-placing at the same address releases nothing: the old placement is
+// simply forgotten, leaking its full size — the lost-pointer case.
+func (t *LeakTracker) RecordPlacement(addr mem.Addr, what string, size uint64) {
+	t.placed[addr] = placement{what: what, size: size}
+	t.AllocatedBytes += size
+}
+
+// PlacementDelete releases the placement at addr using its recorded size —
+// the correct custom "placement delete" of §5.1.
+func (t *LeakTracker) PlacementDelete(addr mem.Addr) error {
+	p, ok := t.placed[addr]
+	if !ok {
+		return fmt.Errorf("core: placement delete of %#x: no live placement", uint64(addr))
+	}
+	delete(t.placed, addr)
+	t.ReleasedBytes += p.size
+	return nil
+}
+
+// ReleaseSized releases the placement at addr claiming only `size` bytes —
+// the buggy pattern of Listing 23, where memory allocated for a
+// GradStudent is released through a Student-typed pointer. Claiming more
+// than was placed is clamped to the placement size.
+func (t *LeakTracker) ReleaseSized(addr mem.Addr, size uint64) error {
+	p, ok := t.placed[addr]
+	if !ok {
+		return fmt.Errorf("core: release of %#x: no live placement", uint64(addr))
+	}
+	if size > p.size {
+		size = p.size
+	}
+	delete(t.placed, addr)
+	t.ReleasedBytes += size
+	return nil
+}
+
+// Leaked returns bytes allocated but never released.
+func (t *LeakTracker) Leaked() uint64 {
+	return t.AllocatedBytes - t.ReleasedBytes
+}
+
+// LivePlacement describes one tracked live placement.
+type LivePlacement struct {
+	Addr mem.Addr
+	What string
+	Size uint64
+}
+
+// Live returns the outstanding placements in address order.
+func (t *LeakTracker) Live() []LivePlacement {
+	out := make([]LivePlacement, 0, len(t.placed))
+	for a, p := range t.placed {
+		out = append(out, LivePlacement{Addr: a, What: p.what, Size: p.size})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Addr < out[j].Addr })
+	return out
+}

@@ -1,0 +1,90 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/layout"
+	"repro/internal/mem"
+	"repro/internal/object"
+)
+
+// Pool is an application-managed memory pool (§2.1 use 3, §4): a fixed
+// arena out of which buffers and objects are carved with placement new.
+// "The constraint is that the size of the buffer is never greater than the
+// size of the memory pool" — a constraint the pool only enforces when
+// created with Checked, mirroring the programs of Listings 19–21 that rely
+// on an (attackable) size variable instead.
+type Pool struct {
+	m     *mem.Memory
+	model layout.Model
+	arena Arena
+	// Checked makes every placement go through the §5.1 bounds/align
+	// verification.
+	Checked bool
+	// SanitizeOnPlace zeroes the whole pool before each placement — the
+	// §5.1 information-leak remedy.
+	SanitizeOnPlace bool
+}
+
+// NewPool creates a pool over [base, base+size). The region must already
+// be mapped read-write.
+func NewPool(m *mem.Memory, model layout.Model, base mem.Addr, size uint64, label string) (*Pool, error) {
+	if m == nil {
+		return nil, fmt.Errorf("core: nil memory")
+	}
+	if err := m.CheckRange(base, size, mem.PermRW); err != nil {
+		return nil, fmt.Errorf("core: pool %q: %w", label, err)
+	}
+	if label == "" {
+		label = "pool"
+	}
+	return &Pool{m: m, model: model, arena: Arena{Base: base, Size: size, Label: label}}, nil
+}
+
+// Arena returns the pool's bounds.
+func (p *Pool) Arena() Arena { return p.arena }
+
+// Base returns the pool's starting address.
+func (p *Pool) Base() mem.Addr { return p.arena.Base }
+
+// Size returns the pool's capacity in bytes.
+func (p *Pool) Size() uint64 { return p.arena.Size }
+
+// PlaceArray carves `new (pool) elem[n]` at the pool base. With Checked
+// unset this is the raw Listing 19 expression: n may exceed the pool.
+func (p *Pool) PlaceArray(elem layout.Type, n uint64) (*Buffer, error) {
+	if p.SanitizeOnPlace {
+		if err := Sanitize(p.m, p.arena); err != nil {
+			return nil, err
+		}
+	}
+	if p.Checked {
+		return CheckedPlacementNewArray(p.m, p.model, p.arena, elem, n)
+	}
+	return PlacementNewArray(p.m, p.model, p.arena.Base, elem, n)
+}
+
+// PlaceObject places `new (pool) T()` at the pool base.
+func (p *Pool) PlaceObject(cls *layout.Class) (*object.Object, error) {
+	if p.SanitizeOnPlace {
+		if err := Sanitize(p.m, p.arena); err != nil {
+			return nil, err
+		}
+	}
+	if p.Checked {
+		return CheckedPlacementNew(p.m, p.model, p.arena, cls)
+	}
+	return PlacementNew(p.m, p.model, p.arena.Base, cls)
+}
+
+// LoadBytes copies raw data into the pool (e.g. Listing 21's "read a
+// password file to mem_pool"), truncating at capacity.
+func (p *Pool) LoadBytes(b []byte) error {
+	if uint64(len(b)) > p.arena.Size {
+		b = b[:p.arena.Size]
+	}
+	return p.m.Write(p.arena.Base, b)
+}
+
+// Sanitize zeroes the entire pool.
+func (p *Pool) Sanitize() error { return Sanitize(p.m, p.arena) }

@@ -1,0 +1,119 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/layout"
+	"repro/internal/mem"
+)
+
+// Property: CheckedPlacementNew is sound — it never constructs an object
+// whose footprint exceeds the arena, and whenever it rejects a placement,
+// the arena's contents are untouched.
+func TestQuickCheckedPlacementSoundness(t *testing.T) {
+	scalars := []layout.Type{layout.Char, layout.Int, layout.Double, layout.PtrTo(nil)}
+	f := func(picks []uint8, arenaSize uint16, arrLen uint8) bool {
+		if len(picks) > 10 {
+			picks = picks[:10]
+		}
+		m := &mem.Memory{}
+		if _, err := m.Map(mem.SegBSS, 0x1000, 0x2000, mem.PermRW); err != nil {
+			return false
+		}
+		cls := layout.NewClass("Q")
+		for i, p := range picks {
+			ty := scalars[int(p)%len(scalars)]
+			if p%5 == 0 {
+				ty = layout.ArrayOf(ty, uint64(arrLen%6)+1)
+			}
+			cls.AddField("f"+string(rune('a'+i)), ty)
+		}
+		size := uint64(arenaSize%512) + 1
+		arena := Arena{Base: 0x1400, Size: size, Label: "q"}
+		// Sentinel byte just past the arena.
+		if err := m.WriteU8(arena.End(), 0x5a); err != nil {
+			return false
+		}
+		l, err := layout.Of(cls, layout.ILP32i386)
+		if err != nil {
+			return false
+		}
+		o, err := CheckedPlacementNew(m, layout.ILP32i386, arena, cls)
+		if err != nil {
+			// Rejection must be for a real reason...
+			fits := l.Size <= size && uint64(arena.Base)%l.Align == 0
+			if fits {
+				return false
+			}
+			// ...and must not have written anything.
+			v, rerr := m.ReadU8(arena.End())
+			return rerr == nil && v == 0x5a
+		}
+		// Acceptance implies the object fits entirely inside the arena.
+		if o.Size() > size {
+			return false
+		}
+		v, rerr := m.ReadU8(arena.End())
+		return rerr == nil && v == 0x5a
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the leak ledger balances — Leaked() always equals the sum of
+// sizes of live placements after any sequence of placements and releases.
+func TestQuickLeakTrackerBalance(t *testing.T) {
+	f := func(ops []uint16) bool {
+		tr := NewLeakTracker()
+		expect := make(map[mem.Addr]uint64)
+		var lost uint64 // bytes leaked via forgotten or undersized releases
+		for _, op := range ops {
+			addr := mem.Addr(0x1000 + uint64(op%16)*64)
+			size := uint64(op%48) + 1
+			switch op % 3 {
+			case 0: // placement (forgetting any previous one at addr)
+				if old, ok := expect[addr]; ok {
+					lost += old
+				}
+				tr.RecordPlacement(addr, "T", size)
+				expect[addr] = size
+			case 1: // proper placement delete
+				err := tr.PlacementDelete(addr)
+				if _, ok := expect[addr]; ok {
+					if err != nil {
+						return false
+					}
+					delete(expect, addr)
+				} else if err == nil {
+					return false
+				}
+			case 2: // undersized release
+				claimed := size / 2
+				err := tr.ReleaseSized(addr, claimed)
+				if real, ok := expect[addr]; ok {
+					if err != nil {
+						return false
+					}
+					rel := claimed
+					if rel > real {
+						rel = real
+					}
+					lost += real - rel
+					delete(expect, addr)
+				} else if err == nil {
+					return false
+				}
+			}
+		}
+		var live uint64
+		for _, s := range expect {
+			live += s
+		}
+		return tr.Leaked() == live+lost
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

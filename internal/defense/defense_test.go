@@ -1,0 +1,279 @@
+package defense
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/layout"
+	"repro/internal/machine"
+)
+
+func paperClasses() (student, grad *layout.Class) {
+	student = layout.NewClass("Student").
+		AddField("gpa", layout.Double).
+		AddField("year", layout.Int).
+		AddField("semester", layout.Int)
+	grad = layout.NewClass("GradStudent", student).
+		AddField("ssn", layout.ArrayOf(layout.Int, 3))
+	return student, grad
+}
+
+func TestCatalogNamesUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, c := range Catalog() {
+		if c.Name == "" {
+			t.Error("config with empty name")
+		}
+		if seen[c.Name] {
+			t.Errorf("duplicate config name %q", c.Name)
+		}
+		seen[c.Name] = true
+	}
+	if len(Catalog()) < 8 {
+		t.Errorf("catalog has %d configs", len(Catalog()))
+	}
+}
+
+func TestMachineOptionsMapping(t *testing.T) {
+	tests := []struct {
+		cfg  Config
+		want machine.Options
+	}{
+		{None, machine.Options{ExecStack: true}},
+		{StackGuardOnly, machine.Options{StackGuard: true, ExecStack: true}},
+		{NXOnly, machine.Options{ExecStack: false}},
+		{ShadowOnly, machine.Options{ShadowStack: true, ExecStack: true}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.cfg.Name, func(t *testing.T) {
+			if got := tt.cfg.MachineOptions(); got != tt.want {
+				t.Errorf("options = %+v, want %+v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestPlaceDisciplines(t *testing.T) {
+	student, grad := paperClasses()
+	for _, tc := range []struct {
+		cfg        Config
+		wantPlaced bool
+	}{
+		{None, true},
+		{StackGuardOnly, true}, // canary doesn't stop the placement itself
+		{CheckedOnly, false},
+		{GuardOnly, false},
+		{Hardened, false},
+	} {
+		t.Run(tc.cfg.Name, func(t *testing.T) {
+			p, err := tc.cfg.NewProcess()
+			if err != nil {
+				t.Fatal(err)
+			}
+			g, err := p.DefineGlobal("stud", student, false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			arena := core.Arena{Base: g.Addr, Size: 16, Label: "stud"}
+			_, err = tc.cfg.Place(p, arena, grad)
+			if placed := err == nil; placed != tc.wantPlaced {
+				t.Errorf("placed = %v (err=%v), want %v", placed, err, tc.wantPlaced)
+			}
+		})
+	}
+}
+
+func TestPlaceCheckedAcceptsFit(t *testing.T) {
+	student, _ := paperClasses()
+	p, err := CheckedOnly.NewProcess()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := p.DefineGlobal("stud", student, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := CheckedOnly.Place(p, core.Arena{Base: g.Addr, Size: 16}, student); err != nil {
+		t.Errorf("fitting placement rejected: %v", err)
+	}
+}
+
+func TestPlaceAtGuardInference(t *testing.T) {
+	student, grad := paperClasses()
+	p, err := GuardOnly.NewProcess()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := p.DefineGlobal("stud", student, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Guard infers the 16-byte global and rejects the 28-byte placement.
+	_, err = GuardOnly.PlaceAt(p, g.Addr, grad)
+	var ge *machine.GuardError
+	if !errors.As(err, &ge) {
+		t.Errorf("err = %v, want *GuardError", err)
+	}
+	// Without the guard the same site places fine.
+	if _, err := None.PlaceAt(p, g.Addr, grad); err != nil {
+		t.Errorf("undefended PlaceAt failed: %v", err)
+	}
+}
+
+func TestGuardUnknownAddressPolicy(t *testing.T) {
+	student, _ := paperClasses()
+	strict := GuardOnly
+	lax := Config{Name: "lax-guard", RuntimeGuard: true, GuardDenyUnknown: false}
+
+	p, err := strict.NewProcess()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An address in bss that belongs to no defined global: uninferable.
+	addr := p.Img.BSS.Base.Add(0x800)
+	_, err = strict.PlaceAt(p, addr, student)
+	var ge *machine.GuardError
+	if !errors.As(err, &ge) || !ge.Unknown {
+		t.Errorf("strict: err = %v, want unknown-arena guard error", err)
+	}
+	if _, err := lax.PlaceAt(p, addr, student); err != nil {
+		t.Errorf("lax: %v", err)
+	}
+}
+
+func TestApplyToPool(t *testing.T) {
+	p, err := Hardened.NewProcess()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool, err := core.NewPool(p.Mem, p.Model, p.Img.BSS.Base, 64, "mem_pool")
+	if err != nil {
+		t.Fatal(err)
+	}
+	Hardened.ApplyToPool(pool)
+	if !pool.Checked || !pool.SanitizeOnPlace {
+		t.Error("hardened pool not configured")
+	}
+	None.ApplyToPool(pool)
+	if pool.Checked || pool.SanitizeOnPlace {
+		t.Error("undefended pool still configured")
+	}
+}
+
+func TestPlaceTypedDiscipline(t *testing.T) {
+	student, grad := paperClasses()
+	unrelated := layout.NewClass("Unrelated").
+		AddField("a", layout.Double).
+		AddField("b", layout.Int).
+		AddField("c", layout.Int) // same 16-byte footprint as Student
+
+	t.Run("typed rejects unrelated same-size class", func(t *testing.T) {
+		p, err := TypedOnly.NewProcess()
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := p.DefineGlobal("stud", student, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		arena := core.Arena{Base: g.Addr, Size: 16, Label: "stud"}
+		if _, err := TypedOnly.PlaceTyped(p, arena, student, unrelated); err == nil {
+			t.Error("unrelated class accepted")
+		}
+		// Same class and derived-into-larger-arena remain fine.
+		if _, err := TypedOnly.PlaceTyped(p, arena, student, student); err != nil {
+			t.Errorf("same-class placement rejected: %v", err)
+		}
+		big := core.Arena{Base: g.Addr, Size: 64, Label: "pool"}
+		if _, err := TypedOnly.PlaceTyped(p, big, student, grad); err != nil {
+			t.Errorf("derived placement rejected: %v", err)
+		}
+	})
+	t.Run("untyped config falls back to Place", func(t *testing.T) {
+		p, err := None.NewProcess()
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := p.DefineGlobal("stud", student, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		arena := core.Arena{Base: g.Addr, Size: 16}
+		if _, err := None.PlaceTyped(p, arena, student, unrelated); err != nil {
+			t.Errorf("undefended typed placement failed: %v", err)
+		}
+	})
+}
+
+func TestGuardArenaScope(t *testing.T) {
+	student, _ := paperClasses()
+	p, err := MemGuardOnly.NewProcess()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := p.DefineGlobal("stud", student, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// bss arena: guarded — a write just past it faults.
+	arena := core.Arena{Base: g.Addr, Size: 16, Label: "stud"}
+	if _, err := MemGuardOnly.Place(p, arena, student); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Mem.WriteU8(arena.End(), 1); err == nil {
+		t.Error("write past guarded bss arena succeeded")
+	}
+	// Heap arena: not guarded (that is heapguard's job).
+	blk, err := p.Heap.Alloc(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ha := core.Arena{Base: blk, Size: 16, Label: "heap"}
+	if _, err := MemGuardOnly.Place(p, ha, student); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Mem.WriteU8(ha.End(), 1); err != nil {
+		t.Errorf("heap arena unexpectedly guarded: %v", err)
+	}
+	// Disabled config installs nothing.
+	None.GuardArena(p, core.Arena{Base: g.Addr.Add(32), Size: 8})
+	if err := p.Mem.WriteU8(g.Addr.Add(40), 1); err != nil {
+		t.Errorf("guard installed by disabled config: %v", err)
+	}
+}
+
+func TestReleaseLeakSemantics(t *testing.T) {
+	student, grad := paperClasses()
+	_ = student
+	gradSize := grad.Size(layout.ILP32i386)
+
+	for _, tc := range []struct {
+		cfg      Config
+		wantLeak uint64
+	}{
+		{None, gradSize - 16}, // releases only sizeof(Student)
+		{DeleteOnly, 0},       // full placement delete
+		{Hardened, 0},         // includes placement delete
+	} {
+		t.Run(tc.cfg.Name, func(t *testing.T) {
+			p, err := tc.cfg.NewProcess()
+			if err != nil {
+				t.Fatal(err)
+			}
+			hp, err := p.Heap.Alloc(gradSize)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := p.Construct(grad, hp); err != nil {
+				t.Fatal(err)
+			}
+			if err := tc.cfg.Release(p, hp, 16); err != nil {
+				t.Fatal(err)
+			}
+			if got := p.Tracker.Leaked(); got != tc.wantLeak {
+				t.Errorf("leaked = %d, want %d", got, tc.wantLeak)
+			}
+		})
+	}
+}

@@ -1,0 +1,31 @@
+package defense_test
+
+import (
+	"fmt"
+
+	"repro/internal/attack"
+	"repro/internal/defense"
+)
+
+// Cross one attack with three §5 protections: StackGuard detects the
+// linear smash, the §5.2 selective write bypasses it, and correct coding
+// prevents the placement outright.
+func Example() {
+	scenario, err := attack.ByID("canary-skip")
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	for _, cfg := range []defense.Config{defense.StackGuardOnly, defense.ShadowOnly, defense.CheckedOnly} {
+		o, err := scenario.Run(cfg)
+		if err != nil {
+			fmt.Println(err)
+			return
+		}
+		fmt.Printf("%-12s -> %s\n", cfg.Name, o.Status())
+	}
+	// Output:
+	// stackguard   -> SUCCESS
+	// shadowstack  -> detected
+	// checked-pnew -> prevented
+}

@@ -1,0 +1,188 @@
+package layout
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Field is a named data member of a class.
+type Field struct {
+	Name string
+	Type Type
+}
+
+// Class describes a C++-style class: ordered non-virtual bases, ordered
+// data members, and declared virtual methods. Build a class with NewClass
+// followed by AddField/AddVirtual; definition errors (duplicate members,
+// inheritance cycles, mutation after layout) are accumulated and reported
+// by Of/Validate, so builder chains stay readable.
+//
+// Class implements Type so class types compose with arrays and pointers.
+type Class struct {
+	name     string
+	bases    []*Class
+	fields   []Field
+	virtuals []string
+
+	defErrs []error
+	frozen  bool
+	layouts map[string]*ClassLayout
+}
+
+// NewClass creates a class with the given direct bases, in inheritance
+// declaration order.
+func NewClass(name string, bases ...*Class) *Class {
+	c := &Class{name: name, layouts: make(map[string]*ClassLayout)}
+	for _, b := range bases {
+		if b == nil {
+			c.defErrs = append(c.defErrs, fmt.Errorf("layout: class %s: nil base", name))
+			continue
+		}
+		c.bases = append(c.bases, b)
+	}
+	return c
+}
+
+// Name returns the class name.
+func (c *Class) Name() string { return c.name }
+
+// Bases returns the direct bases in declaration order.
+func (c *Class) Bases() []*Class {
+	out := make([]*Class, len(c.bases))
+	copy(out, c.bases)
+	return out
+}
+
+// Fields returns this class's own data members in declaration order.
+func (c *Class) Fields() []Field {
+	out := make([]Field, len(c.fields))
+	copy(out, c.fields)
+	return out
+}
+
+// Virtuals returns the virtual methods declared (or overridden) by this
+// class, in declaration order.
+func (c *Class) Virtuals() []string {
+	out := make([]string, len(c.virtuals))
+	copy(out, c.virtuals)
+	return out
+}
+
+// AddField appends a data member. It returns c for chaining; errors
+// (duplicate name, nil type, frozen class) surface from Of/Validate.
+func (c *Class) AddField(name string, t Type) *Class {
+	if c.frozen {
+		c.defErrs = append(c.defErrs, fmt.Errorf("layout: class %s: AddField(%s) after layout", c.name, name))
+		return c
+	}
+	if t == nil {
+		c.defErrs = append(c.defErrs, fmt.Errorf("layout: class %s: field %s has nil type", c.name, name))
+		return c
+	}
+	for _, f := range c.fields {
+		if f.Name == name {
+			c.defErrs = append(c.defErrs, fmt.Errorf("layout: class %s: duplicate field %s", c.name, name))
+			return c
+		}
+	}
+	c.fields = append(c.fields, Field{Name: name, Type: t})
+	return c
+}
+
+// AddVirtual declares (or overrides) a virtual method. Declaring a virtual
+// makes the class polymorphic, injecting a vtable pointer into its layout
+// exactly as the paper describes in §3.8.2.
+func (c *Class) AddVirtual(name string) *Class {
+	if c.frozen {
+		c.defErrs = append(c.defErrs, fmt.Errorf("layout: class %s: AddVirtual(%s) after layout", c.name, name))
+		return c
+	}
+	for _, v := range c.virtuals {
+		if v == name {
+			c.defErrs = append(c.defErrs, fmt.Errorf("layout: class %s: duplicate virtual %s", c.name, name))
+			return c
+		}
+	}
+	c.virtuals = append(c.virtuals, name)
+	return c
+}
+
+// IsPolymorphic reports whether the class (or any base) declares a virtual
+// method, i.e. whether instances carry at least one vtable pointer.
+func (c *Class) IsPolymorphic() bool {
+	if len(c.virtuals) > 0 {
+		return true
+	}
+	for _, b := range c.bases {
+		if b.IsPolymorphic() {
+			return true
+		}
+	}
+	return false
+}
+
+// DerivesFrom reports whether base appears (transitively) among c's bases.
+// It is not reflexive.
+func (c *Class) DerivesFrom(base *Class) bool {
+	for _, b := range c.bases {
+		if b == base || b.DerivesFrom(base) {
+			return true
+		}
+	}
+	return false
+}
+
+// SameOrDerivesFrom reports whether c is base or derives from it — the
+// compatibility relation a checked placement new enforces.
+func (c *Class) SameOrDerivesFrom(base *Class) bool {
+	return c == base || c.DerivesFrom(base)
+}
+
+// Validate reports accumulated definition errors for c and its bases,
+// including inheritance cycles, without computing a layout.
+func (c *Class) Validate() error {
+	return c.validate(make(map[*Class]bool))
+}
+
+func (c *Class) validate(visiting map[*Class]bool) error {
+	if visiting[c] {
+		return fmt.Errorf("layout: inheritance cycle through class %s", c.name)
+	}
+	if len(c.defErrs) > 0 {
+		return errors.Join(c.defErrs...)
+	}
+	visiting[c] = true
+	defer delete(visiting, c)
+	for _, b := range c.bases {
+		if err := b.validate(visiting); err != nil {
+			return fmt.Errorf("layout: class %s: %w", c.name, err)
+		}
+	}
+	return nil
+}
+
+// Kind implements Type.
+func (c *Class) Kind() Kind { return KindClass }
+
+// Size implements Type. It panics if the class definition is invalid; use
+// Of to obtain the error form.
+func (c *Class) Size(m Model) uint64 {
+	l, err := Of(c, m)
+	if err != nil {
+		panic(fmt.Sprintf("layout: Size(%s): %v", c.name, err))
+	}
+	return l.Size
+}
+
+// Align implements Type. It panics if the class definition is invalid; use
+// Of to obtain the error form.
+func (c *Class) Align(m Model) uint64 {
+	l, err := Of(c, m)
+	if err != nil {
+		panic(fmt.Sprintf("layout: Align(%s): %v", c.name, err))
+	}
+	return l.Align
+}
+
+// String implements Type.
+func (c *Class) String() string { return c.name }

@@ -1,0 +1,57 @@
+package layout_test
+
+import (
+	"fmt"
+
+	"repro/internal/layout"
+)
+
+// The paper's running example (Listing 1) under the i386 data model: the
+// overflow premise is sizeof(GradStudent) > sizeof(Student), with the
+// overhang starting exactly at sizeof(Student).
+func ExampleOf() {
+	student := layout.NewClass("Student").
+		AddField("gpa", layout.Double).
+		AddField("year", layout.Int).
+		AddField("semester", layout.Int)
+	grad := layout.NewClass("GradStudent", student).
+		AddField("ssn", layout.ArrayOf(layout.Int, 3))
+
+	sl, err := layout.Of(student, layout.ILP32i386)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	gl, err := layout.Of(grad, layout.ILP32i386)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	ssn, err := gl.FieldOffset("ssn")
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("sizeof(Student)=%d sizeof(GradStudent)=%d ssn at +%d overhang=%d\n",
+		sl.Size, gl.Size, ssn.Offset, gl.Size-sl.Size)
+	// Output:
+	// sizeof(Student)=16 sizeof(GradStudent)=28 ssn at +16 overhang=12
+}
+
+// §3.8.2: declaring a virtual function injects the vtable pointer as "the
+// first entry" of every instance, shifting every member down.
+func ExampleClassLayout_Describe() {
+	student := layout.NewClass("Student").
+		AddVirtual("getInfo").
+		AddField("gpa", layout.Double)
+	l, err := layout.Of(student, layout.ILP32i386)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Print(l.Describe())
+	// Output:
+	// class Student: size=12 align=4 (ILP32-i386)
+	//   +0    4    __vptr
+	//   +4    8    double gpa (from Student)
+}

@@ -1,0 +1,259 @@
+package layout
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// BasePlacement records where a direct base subobject begins.
+type BasePlacement struct {
+	Class  *Class
+	Offset uint64
+}
+
+// ResolvedField is a data member with its final offset from the start of
+// the complete object, and the class that declared it.
+type ResolvedField struct {
+	Name     string
+	Type     Type
+	Offset   uint64
+	Declared *Class
+}
+
+// ClassLayout is the computed object layout of a class under a data model.
+type ClassLayout struct {
+	Class *Class
+	Model Model
+	// Size is sizeof(T): member extent rounded up to Align (minimum 1).
+	Size uint64
+	// Align is alignof(T).
+	Align uint64
+	// VPtrOffsets are the offsets of vtable pointers within the object,
+	// ascending. A single-inheritance polymorphic class has exactly one, at
+	// offset 0 ("the first entry", §3.8.2); multiple inheritance can
+	// produce several, matching the paper's note that "in case of multiple
+	// inheritance, there are more than one vtable pointers".
+	VPtrOffsets []uint64
+	// Bases places each direct base subobject.
+	Bases []BasePlacement
+	// OwnFields places this class's own members (base members excluded).
+	OwnFields []ResolvedField
+}
+
+// Of computes (and caches) the layout of c under model m.
+func Of(c *Class, m Model) (*ClassLayout, error) {
+	if c == nil {
+		return nil, fmt.Errorf("layout: Of(nil class)")
+	}
+	if l, ok := c.layouts[m.Name]; ok {
+		return l, nil
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	l, err := compute(c, m)
+	if err != nil {
+		return nil, err
+	}
+	c.frozen = true
+	c.layouts[m.Name] = l
+	return l, nil
+}
+
+// compute performs the simplified-Itanium layout described in the package
+// documentation. Validation has already run, so base recursion terminates.
+func compute(c *Class, m Model) (*ClassLayout, error) {
+	l := &ClassLayout{Class: c, Model: m, Align: 1}
+	var offset uint64
+
+	// Inject an own vptr only when this class declares virtuals and no
+	// direct base already carries one; otherwise the first polymorphic
+	// base's vptr (at its subobject offset) is shared.
+	basePoly := false
+	for _, b := range c.bases {
+		if b.IsPolymorphic() {
+			basePoly = true
+			break
+		}
+	}
+	if len(c.virtuals) > 0 && !basePoly {
+		l.VPtrOffsets = append(l.VPtrOffsets, 0)
+		offset = m.PtrSize
+		if m.PtrSize > l.Align {
+			l.Align = m.PtrSize
+		}
+	}
+
+	for _, b := range c.bases {
+		bl, err := Of(b, m)
+		if err != nil {
+			return nil, fmt.Errorf("layout: class %s: base %s: %w", c.name, b.name, err)
+		}
+		offset = alignUp(offset, bl.Align)
+		l.Bases = append(l.Bases, BasePlacement{Class: b, Offset: offset})
+		for _, vo := range bl.VPtrOffsets {
+			l.VPtrOffsets = append(l.VPtrOffsets, offset+vo)
+		}
+		if bl.Align > l.Align {
+			l.Align = bl.Align
+		}
+		offset += bl.Size
+	}
+
+	for _, f := range c.fields {
+		fa := f.Type.Align(m)
+		fs := f.Type.Size(m)
+		offset = alignUp(offset, fa)
+		l.OwnFields = append(l.OwnFields, ResolvedField{
+			Name: f.Name, Type: f.Type, Offset: offset, Declared: c,
+		})
+		if fa > l.Align {
+			l.Align = fa
+		}
+		offset += fs
+	}
+
+	l.Size = alignUp(offset, l.Align)
+	if l.Size == 0 {
+		l.Size = 1 // empty classes occupy one byte, as in C++
+	}
+	sort.Slice(l.VPtrOffsets, func(i, j int) bool { return l.VPtrOffsets[i] < l.VPtrOffsets[j] })
+	return l, nil
+}
+
+// HasVPtr reports whether instances carry at least one vtable pointer.
+func (l *ClassLayout) HasVPtr() bool { return len(l.VPtrOffsets) > 0 }
+
+// FieldOffset resolves a member by name, searching this class's own fields
+// first and then base subobjects depth-first in declaration order. An
+// unambiguous match in a base is returned with the base offset folded in.
+// Two matches at the same depth are an ambiguity error, as in C++.
+func (l *ClassLayout) FieldOffset(name string) (ResolvedField, error) {
+	matches, err := l.findField(name)
+	if err != nil {
+		return ResolvedField{}, err
+	}
+	switch len(matches) {
+	case 0:
+		return ResolvedField{}, fmt.Errorf("layout: class %s has no member %q", l.Class.name, name)
+	case 1:
+		return matches[0], nil
+	default:
+		return ResolvedField{}, fmt.Errorf("layout: member %q is ambiguous in class %s", name, l.Class.name)
+	}
+}
+
+// findField collects all candidate resolutions for name. A member declared
+// by the class itself hides same-named base members, as in C++.
+func (l *ClassLayout) findField(name string) ([]ResolvedField, error) {
+	var matches []ResolvedField
+	for _, f := range l.OwnFields {
+		if f.Name == name {
+			matches = append(matches, f)
+		}
+	}
+	if len(matches) > 0 {
+		return matches, nil
+	}
+	for _, bp := range l.Bases {
+		bl, err := Of(bp.Class, l.Model)
+		if err != nil {
+			return nil, err
+		}
+		bms, err := bl.findField(name)
+		if err != nil {
+			return nil, err
+		}
+		for _, f := range bms {
+			f.Offset += bp.Offset
+			matches = append(matches, f)
+		}
+	}
+	return matches, nil
+}
+
+// AllFields returns every data member of the complete object — base
+// members first (recursively, in base declaration order), then own members
+// — each with its offset from the start of the object.
+func (l *ClassLayout) AllFields() ([]ResolvedField, error) {
+	var out []ResolvedField
+	for _, bp := range l.Bases {
+		bl, err := Of(bp.Class, l.Model)
+		if err != nil {
+			return nil, err
+		}
+		bf, err := bl.AllFields()
+		if err != nil {
+			return nil, err
+		}
+		for _, f := range bf {
+			f.Offset += bp.Offset
+			out = append(out, f)
+		}
+	}
+	out = append(out, l.OwnFields...)
+	return out, nil
+}
+
+// BaseOffset returns the offset of the subobject for the given (possibly
+// transitive) base class. It returns an error if base is not a base of the
+// laid-out class or appears more than once (ambiguous).
+func (l *ClassLayout) BaseOffset(base *Class) (uint64, error) {
+	var offs []uint64
+	var walk func(cl *ClassLayout, at uint64) error
+	walk = func(cl *ClassLayout, at uint64) error {
+		for _, bp := range cl.Bases {
+			if bp.Class == base {
+				offs = append(offs, at+bp.Offset)
+			}
+			bl, err := Of(bp.Class, cl.Model)
+			if err != nil {
+				return err
+			}
+			if err := walk(bl, at+bp.Offset); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(l, 0); err != nil {
+		return 0, err
+	}
+	switch len(offs) {
+	case 0:
+		return 0, fmt.Errorf("layout: %s is not a base of %s", base.name, l.Class.name)
+	case 1:
+		return offs[0], nil
+	default:
+		return 0, fmt.Errorf("layout: base %s is ambiguous in %s", base.name, l.Class.name)
+	}
+}
+
+// Describe renders a human-readable layout map, one line per vptr/field,
+// used by the CLI tools to explain overflow geometry.
+func (l *ClassLayout) Describe() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "class %s: size=%d align=%d (%s)\n", l.Class.name, l.Size, l.Align, l.Model.Name)
+	type row struct {
+		off  uint64
+		size uint64
+		desc string
+	}
+	var rows []row
+	for _, vo := range l.VPtrOffsets {
+		rows = append(rows, row{vo, l.Model.PtrSize, "__vptr"})
+	}
+	fields, err := l.AllFields()
+	if err == nil {
+		for _, f := range fields {
+			rows = append(rows, row{f.Offset, f.Type.Size(l.Model),
+				fmt.Sprintf("%s %s (from %s)", f.Type, f.Name, f.Declared.name)})
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].off < rows[j].off })
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "  +%-4d %-4d %s\n", r.off, r.size, r.desc)
+	}
+	return sb.String()
+}

@@ -1,0 +1,553 @@
+package layout
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// paperClasses builds the running example of the paper (Listing 1):
+//
+//	class Student { double gpa; int year, semester; };
+//	class GradStudent : Student { int ssn[3]; };
+func paperClasses() (student, grad *Class) {
+	student = NewClass("Student").
+		AddField("gpa", Double).
+		AddField("year", Int).
+		AddField("semester", Int)
+	grad = NewClass("GradStudent", student).
+		AddField("ssn", ArrayOf(Int, 3))
+	return student, grad
+}
+
+func TestScalarSizes(t *testing.T) {
+	tests := []struct {
+		t         Type
+		size32    uint64
+		size64    uint64
+		align32   uint64
+		alignI386 uint64
+	}{
+		{Bool, 1, 1, 1, 1},
+		{Char, 1, 1, 1, 1},
+		{UChar, 1, 1, 1, 1},
+		{Short, 2, 2, 2, 2},
+		{UShort, 2, 2, 2, 2},
+		{Int, 4, 4, 4, 4},
+		{UInt, 4, 4, 4, 4},
+		{Long, 4, 8, 4, 4},
+		{ULong, 4, 8, 4, 4},
+		{Float, 4, 4, 4, 4},
+		{Double, 8, 8, 8, 4},
+		{PtrTo(Int), 4, 8, 4, 4},
+		{PtrTo(nil), 4, 8, 4, 4},
+	}
+	for _, tt := range tests {
+		t.Run(tt.t.String(), func(t *testing.T) {
+			if got := tt.t.Size(ILP32); got != tt.size32 {
+				t.Errorf("ILP32 size = %d, want %d", got, tt.size32)
+			}
+			if got := tt.t.Size(LP64); got != tt.size64 {
+				t.Errorf("LP64 size = %d, want %d", got, tt.size64)
+			}
+			if got := tt.t.Align(ILP32); got != tt.align32 {
+				t.Errorf("ILP32 align = %d, want %d", got, tt.align32)
+			}
+			if got := tt.t.Align(ILP32i386); got != tt.alignI386 {
+				t.Errorf("i386 align = %d, want %d", got, tt.alignI386)
+			}
+		})
+	}
+}
+
+func TestArrayType(t *testing.T) {
+	a := ArrayOf(Int, 3)
+	if a.Size(ILP32) != 12 || a.Align(ILP32) != 4 {
+		t.Errorf("int[3]: size=%d align=%d", a.Size(ILP32), a.Align(ILP32))
+	}
+	if a.String() != "int[3]" {
+		t.Errorf("String = %q", a.String())
+	}
+	d := ArrayOf(Double, 2)
+	if d.Align(ILP32) != 8 || d.Align(ILP32i386) != 4 {
+		t.Errorf("double[2] align: natural=%d i386=%d", d.Align(ILP32), d.Align(ILP32i386))
+	}
+}
+
+func TestScalarPredicates(t *testing.T) {
+	if !Int.IsSigned() || UInt.IsSigned() || Double.IsSigned() {
+		t.Error("IsSigned misclassified")
+	}
+	if !Char.IsInteger() || Float.IsInteger() || !Bool.IsInteger() {
+		t.Error("IsInteger misclassified")
+	}
+}
+
+func TestPaperStudentLayoutILP32(t *testing.T) {
+	student, grad := paperClasses()
+	sl, err := Of(student, ILP32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// double at 0, year at 8, semester at 12, size 16, align 8.
+	if sl.Size != 16 || sl.Align != 8 {
+		t.Fatalf("Student: size=%d align=%d, want 16/8", sl.Size, sl.Align)
+	}
+	wantOffsets := map[string]uint64{"gpa": 0, "year": 8, "semester": 12}
+	for name, want := range wantOffsets {
+		f, err := sl.FieldOffset(name)
+		if err != nil {
+			t.Fatalf("FieldOffset(%s): %v", name, err)
+		}
+		if f.Offset != want {
+			t.Errorf("%s offset = %d, want %d", name, f.Offset, want)
+		}
+	}
+
+	gl, err := Of(grad, ILP32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Student subobject at 0 (16 bytes), ssn[3] at 16..28, tail pad to 32.
+	if gl.Size != 32 || gl.Align != 8 {
+		t.Fatalf("GradStudent: size=%d align=%d, want 32/8", gl.Size, gl.Align)
+	}
+	ssn, err := gl.FieldOffset("ssn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ssn.Offset != 16 {
+		t.Errorf("ssn offset = %d, want 16", ssn.Offset)
+	}
+	// The overflow premise of the whole paper: sizeof(GradStudent) >
+	// sizeof(Student), and the overhang starts exactly at sizeof(Student).
+	if gl.Size <= sl.Size {
+		t.Error("GradStudent does not overhang Student")
+	}
+	gpa, err := gl.FieldOffset("gpa") // inherited member resolves through base
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gpa.Offset != 0 || gpa.Declared != student {
+		t.Errorf("inherited gpa: offset=%d declared=%v", gpa.Offset, gpa.Declared)
+	}
+}
+
+func TestPaperStudentLayoutI386(t *testing.T) {
+	student, grad := paperClasses()
+	sl, err := Of(student, ILP32i386)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// alignof(double)==4: still 16 bytes but align 4.
+	if sl.Size != 16 || sl.Align != 4 {
+		t.Errorf("Student i386: size=%d align=%d, want 16/4", sl.Size, sl.Align)
+	}
+	gl, err := Of(grad, ILP32i386)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gl.Size != 28 { // no tail padding under align 4
+		t.Errorf("GradStudent i386: size=%d, want 28", gl.Size)
+	}
+}
+
+func TestPolymorphicVPtrAtOffsetZero(t *testing.T) {
+	// §3.8.2: adding virtual getInfo() to both classes puts *__vptr at
+	// offset 0 of every instance, shifting gpa to offset 8 (ILP32, double
+	// aligned 8: vptr 0..4, pad 4..8, gpa 8..16).
+	student := NewClass("Student").
+		AddVirtual("getInfo").
+		AddField("gpa", Double).
+		AddField("year", Int).
+		AddField("semester", Int)
+	grad := NewClass("GradStudent", student).
+		AddVirtual("getInfo"). // override
+		AddField("ssn", ArrayOf(Int, 3))
+
+	sl, err := Of(student, ILP32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sl.HasVPtr() || len(sl.VPtrOffsets) != 1 || sl.VPtrOffsets[0] != 0 {
+		t.Fatalf("Student vptrs = %v, want [0]", sl.VPtrOffsets)
+	}
+	gpa, err := sl.FieldOffset("gpa")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gpa.Offset != 8 {
+		t.Errorf("gpa offset = %d, want 8 (after vptr+pad)", gpa.Offset)
+	}
+	if sl.Size != 24 {
+		t.Errorf("Student size = %d, want 24", sl.Size)
+	}
+
+	gl, err := Of(grad, ILP32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Derived shares the base vptr: still exactly one, at 0.
+	if len(gl.VPtrOffsets) != 1 || gl.VPtrOffsets[0] != 0 {
+		t.Fatalf("GradStudent vptrs = %v, want [0]", gl.VPtrOffsets)
+	}
+	if gl.Size != 40 { // 24 base + 12 ssn -> 36, pad to 40
+		t.Errorf("GradStudent size = %d, want 40", gl.Size)
+	}
+}
+
+func TestMultipleInheritanceTwoVPtrs(t *testing.T) {
+	// Two polymorphic bases produce two vptrs, as §3.8.2 notes.
+	a := NewClass("A").AddVirtual("fa").AddField("x", Int)
+	b := NewClass("B").AddVirtual("fb").AddField("y", Int)
+	c := NewClass("C", a, b).AddField("z", Int)
+
+	cl, err := Of(c, ILP32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cl.VPtrOffsets) != 2 {
+		t.Fatalf("vptrs = %v, want two", cl.VPtrOffsets)
+	}
+	// A at 0 (vptr 0, x 4, size 8); B at 8 (vptr 8, y 12); z at 16.
+	if cl.VPtrOffsets[0] != 0 || cl.VPtrOffsets[1] != 8 {
+		t.Errorf("vptr offsets = %v, want [0 8]", cl.VPtrOffsets)
+	}
+	z, err := cl.FieldOffset("z")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if z.Offset != 16 {
+		t.Errorf("z offset = %d, want 16", z.Offset)
+	}
+	boff, err := cl.BaseOffset(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if boff != 8 {
+		t.Errorf("B offset = %d, want 8", boff)
+	}
+}
+
+func TestMultipleInheritanceFieldResolution(t *testing.T) {
+	a := NewClass("A").AddField("x", Int)
+	b := NewClass("B").AddField("x", Int)
+	c := NewClass("C", a, b)
+	cl, err := Of(c, ILP32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.FieldOffset("x"); err == nil {
+		t.Error("ambiguous member lookup succeeded")
+	}
+	// Own member hides the base members.
+	d := NewClass("D", a, b).AddField("x", Long)
+	dl, err := Of(d, ILP32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := dl.FieldOffset("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Declared != d {
+		t.Errorf("own member did not hide base members: declared by %v", f.Declared)
+	}
+}
+
+func TestEmptyClassOccupiesOneByte(t *testing.T) {
+	e := NewClass("Empty")
+	l, err := Of(e, ILP32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Size != 1 || l.Align != 1 {
+		t.Errorf("empty class: size=%d align=%d, want 1/1", l.Size, l.Align)
+	}
+}
+
+func TestLP64Layout(t *testing.T) {
+	student, grad := paperClasses()
+	sl, err := Of(student, LP64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sl.Size != 16 {
+		t.Errorf("Student LP64 size = %d, want 16", sl.Size)
+	}
+	gl, err := Of(grad, LP64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gl.Size != 32 {
+		t.Errorf("GradStudent LP64 size = %d, want 32", gl.Size)
+	}
+	poly := NewClass("P").AddVirtual("f").AddField("c", Char)
+	pl, err := Of(poly, LP64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.Size != 16 { // 8 vptr + 1 char -> pad to 16
+		t.Errorf("P LP64 size = %d, want 16", pl.Size)
+	}
+}
+
+func TestDefinitionErrors(t *testing.T) {
+	t.Run("duplicate field", func(t *testing.T) {
+		c := NewClass("C").AddField("x", Int).AddField("x", Int)
+		if _, err := Of(c, ILP32); err == nil {
+			t.Error("want error")
+		}
+	})
+	t.Run("nil field type", func(t *testing.T) {
+		c := NewClass("C").AddField("x", nil)
+		if _, err := Of(c, ILP32); err == nil {
+			t.Error("want error")
+		}
+	})
+	t.Run("nil base", func(t *testing.T) {
+		c := NewClass("C", nil)
+		if _, err := Of(c, ILP32); err == nil {
+			t.Error("want error")
+		}
+	})
+	t.Run("duplicate virtual", func(t *testing.T) {
+		c := NewClass("C").AddVirtual("f").AddVirtual("f")
+		if _, err := Of(c, ILP32); err == nil {
+			t.Error("want error")
+		}
+	})
+	t.Run("base definition error propagates", func(t *testing.T) {
+		b := NewClass("B").AddField("x", nil)
+		c := NewClass("C", b)
+		if _, err := Of(c, ILP32); err == nil {
+			t.Error("want error")
+		}
+	})
+}
+
+func TestMutationAfterLayoutFails(t *testing.T) {
+	c := NewClass("C").AddField("x", Int)
+	if _, err := Of(c, ILP32); err != nil {
+		t.Fatal(err)
+	}
+	c.AddField("y", Int)
+	if err := c.Validate(); err == nil {
+		t.Error("mutation after layout not reported")
+	}
+}
+
+func TestInheritanceCycleDetected(t *testing.T) {
+	a := NewClass("A")
+	b := NewClass("B", a)
+	// Force a cycle through the unexported field (simulating a buggy
+	// construction path).
+	a.bases = append(a.bases, b)
+	if err := a.Validate(); err == nil {
+		t.Error("cycle not detected")
+	}
+	if _, err := Of(a, ILP32); err == nil {
+		t.Error("Of succeeded on cyclic class")
+	}
+}
+
+func TestDerivesFrom(t *testing.T) {
+	a := NewClass("A")
+	b := NewClass("B", a)
+	c := NewClass("C", b)
+	x := NewClass("X")
+	if !c.DerivesFrom(a) || !c.DerivesFrom(b) || !b.DerivesFrom(a) {
+		t.Error("transitive derivation not detected")
+	}
+	if a.DerivesFrom(c) || c.DerivesFrom(x) || a.DerivesFrom(a) {
+		t.Error("false derivation")
+	}
+	if !a.SameOrDerivesFrom(a) || !c.SameOrDerivesFrom(a) || a.SameOrDerivesFrom(c) {
+		t.Error("SameOrDerivesFrom wrong")
+	}
+}
+
+func TestAllFieldsOrderAndOffsets(t *testing.T) {
+	student, grad := paperClasses()
+	_ = student
+	gl, err := Of(grad, ILP32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fields, err := gl.AllFields()
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := make([]string, len(fields))
+	for i, f := range fields {
+		names[i] = f.Name
+	}
+	want := []string{"gpa", "year", "semester", "ssn"}
+	if strings.Join(names, ",") != strings.Join(want, ",") {
+		t.Errorf("field order = %v, want %v", names, want)
+	}
+	// Offsets strictly ascending and non-overlapping.
+	for i := 1; i < len(fields); i++ {
+		prevEnd := fields[i-1].Offset + fields[i-1].Type.Size(ILP32)
+		if fields[i].Offset < prevEnd {
+			t.Errorf("field %s overlaps %s", fields[i].Name, fields[i-1].Name)
+		}
+	}
+}
+
+func TestBaseOffsetErrors(t *testing.T) {
+	a := NewClass("A").AddField("x", Int)
+	c := NewClass("C", a, a) // diamond-ish: same base twice -> ambiguous
+	cl, err := Of(c, ILP32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.BaseOffset(a); err == nil {
+		t.Error("ambiguous base lookup succeeded")
+	}
+	x := NewClass("X")
+	if _, err := cl.BaseOffset(x); err == nil {
+		t.Error("non-base lookup succeeded")
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	student := NewClass("Student").
+		AddVirtual("getInfo").
+		AddField("gpa", Double)
+	l, err := Of(student, ILP32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := l.Describe()
+	for _, want := range []string{"class Student", "__vptr", "double gpa"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Describe missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestLayoutCached(t *testing.T) {
+	c := NewClass("C").AddField("x", Int)
+	l1, err := Of(c, ILP32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2, err := Of(c, ILP32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l1 != l2 {
+		t.Error("layout not cached")
+	}
+	l3, err := Of(c, LP64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l3 == l1 {
+		t.Error("distinct models share a layout")
+	}
+}
+
+// Property: for randomly composed classes, layout invariants hold:
+// align divides size (or size==1 for empty), every field fits inside the
+// object, fields don't overlap, and field offsets are aligned.
+func TestQuickLayoutInvariants(t *testing.T) {
+	scalars := []Type{Bool, Char, Short, Int, UInt, Long, Float, Double, PtrTo(Int)}
+	f := func(picks []uint8, arrLen uint8, inherit bool, virtual bool) bool {
+		if len(picks) > 12 {
+			picks = picks[:12]
+		}
+		base := NewClass("Qbase").AddField("b0", Int)
+		var cls *Class
+		if inherit {
+			cls = NewClass("Q", base)
+		} else {
+			cls = NewClass("Q")
+		}
+		if virtual {
+			cls.AddVirtual("vf")
+		}
+		for i, p := range picks {
+			ty := scalars[int(p)%len(scalars)]
+			if p%7 == 0 {
+				ty = ArrayOf(ty, uint64(arrLen%5)+1)
+			}
+			cls.AddField(fieldName(i), ty)
+		}
+		for _, m := range []Model{ILP32, ILP32i386, LP64} {
+			l, err := Of(cls, m)
+			if err != nil {
+				return false
+			}
+			if l.Size == 0 || l.Align == 0 {
+				return false
+			}
+			if l.Size != 1 && l.Size%l.Align != 0 {
+				return false
+			}
+			fields, err := l.AllFields()
+			if err != nil {
+				return false
+			}
+			var prevEnd uint64
+			for _, fd := range fields {
+				if fd.Offset%fd.Type.Align(m) != 0 {
+					return false
+				}
+				if fd.Offset < prevEnd {
+					return false
+				}
+				prevEnd = fd.Offset + fd.Type.Size(m)
+				if prevEnd > l.Size {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func fieldName(i int) string { return "f" + string(rune('a'+i)) }
+
+// Property: a derived class is always at least as large as each of its
+// bases — the premise of every object-overflow attack in the paper.
+func TestQuickDerivedNeverSmallerThanBase(t *testing.T) {
+	scalars := []Type{Char, Int, Double, PtrTo(nil)}
+	f := func(basePicks, derivedPicks []uint8) bool {
+		if len(basePicks) > 8 {
+			basePicks = basePicks[:8]
+		}
+		if len(derivedPicks) > 8 {
+			derivedPicks = derivedPicks[:8]
+		}
+		base := NewClass("B")
+		for i, p := range basePicks {
+			base.AddField(fieldName(i), scalars[int(p)%len(scalars)])
+		}
+		derived := NewClass("D", base)
+		for i, p := range derivedPicks {
+			derived.AddField(fieldName(i), scalars[int(p)%len(scalars)])
+		}
+		for _, m := range []Model{ILP32, LP64} {
+			bl, err := Of(base, m)
+			if err != nil {
+				return false
+			}
+			dl, err := Of(derived, m)
+			if err != nil {
+				return false
+			}
+			if dl.Size < bl.Size {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,50 @@
+// Package layout implements a C++-style type system and object layout
+// engine: scalar types, pointers, arrays, and classes with single and
+// multiple inheritance, virtual-table pointers, natural alignment and
+// padding. It computes the sizeof/offset arithmetic that every attack in
+// the paper depends on — e.g. that sizeof(GradStudent) exceeds
+// sizeof(Student) by exactly the ssn[3] array plus padding, and that the
+// vtable pointer occupies offset 0 of a polymorphic object (§3.8.2).
+//
+// The layout algorithm is a simplified Itanium C++ ABI: non-virtual bases
+// laid out in declaration order, a vptr injected at offset 0 of the
+// primary polymorphic path, fields at naturally aligned offsets, and tail
+// padding to the class alignment. Empty classes occupy one byte.
+package layout
+
+// Model is a data model: the widths and alignments of fundamental types.
+// The paper's testbed is 32-bit Ubuntu 10.04 ("the size of each of the
+// addresses ... is same as the size of an int (4 bytes)"), modelled by
+// ILP32. LP64 is provided to show the same attacks on a 64-bit layout.
+type Model struct {
+	Name     string
+	PtrSize  uint64
+	IntSize  uint64
+	LongSize uint64
+	// DoubleAlign is alignof(double). Natural alignment is 8; strict i386
+	// gcc historically used 4 inside structs. Both are supported so the
+	// §3.7.2 padding discussion can be explored under either rule.
+	DoubleAlign uint64
+}
+
+// ILP32 models the paper's 32-bit testbed with natural double alignment.
+var ILP32 = Model{Name: "ILP32", PtrSize: 4, IntSize: 4, LongSize: 4, DoubleAlign: 8}
+
+// ILP32i386 models strict gcc/i386 struct layout (alignof(double)==4).
+var ILP32i386 = Model{Name: "ILP32-i386", PtrSize: 4, IntSize: 4, LongSize: 4, DoubleAlign: 4}
+
+// LP64 models a 64-bit Linux data model.
+var LP64 = Model{Name: "LP64", PtrSize: 8, IntSize: 4, LongSize: 8, DoubleAlign: 8}
+
+// align rounds v up to the next multiple of a (a must be a power of two or
+// any positive value; generic round-up is used).
+func alignUp(v, a uint64) uint64 {
+	if a <= 1 {
+		return v
+	}
+	rem := v % a
+	if rem == 0 {
+		return v
+	}
+	return v + a - rem
+}

@@ -1,0 +1,164 @@
+package layout
+
+import "fmt"
+
+// Kind discriminates the categories of types.
+type Kind int
+
+// Type kinds.
+const (
+	KindBool Kind = iota + 1
+	KindChar
+	KindUChar
+	KindShort
+	KindUShort
+	KindInt
+	KindUInt
+	KindLong
+	KindULong
+	KindFloat
+	KindDouble
+	KindPtr
+	KindArray
+	KindClass
+)
+
+var kindNames = map[Kind]string{
+	KindBool: "bool", KindChar: "char", KindUChar: "unsigned char",
+	KindShort: "short", KindUShort: "unsigned short",
+	KindInt: "int", KindUInt: "unsigned int",
+	KindLong: "long", KindULong: "unsigned long",
+	KindFloat: "float", KindDouble: "double",
+	KindPtr: "ptr", KindArray: "array", KindClass: "class",
+}
+
+// String returns the C++ spelling of the kind.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Type is a C++-style type with model-dependent size and alignment.
+type Type interface {
+	Kind() Kind
+	Size(m Model) uint64
+	Align(m Model) uint64
+	String() string
+}
+
+// Scalar is a fundamental type.
+type Scalar struct{ kind Kind }
+
+// The fundamental types.
+var (
+	Bool   = Scalar{KindBool}
+	Char   = Scalar{KindChar}
+	UChar  = Scalar{KindUChar}
+	Short  = Scalar{KindShort}
+	UShort = Scalar{KindUShort}
+	Int    = Scalar{KindInt}
+	UInt   = Scalar{KindUInt}
+	Long   = Scalar{KindLong}
+	ULong  = Scalar{KindULong}
+	Float  = Scalar{KindFloat}
+	Double = Scalar{KindDouble}
+)
+
+// Kind implements Type.
+func (s Scalar) Kind() Kind { return s.kind }
+
+// Size implements Type.
+func (s Scalar) Size(m Model) uint64 {
+	switch s.kind {
+	case KindBool, KindChar, KindUChar:
+		return 1
+	case KindShort, KindUShort:
+		return 2
+	case KindInt, KindUInt, KindFloat:
+		return m.IntSize
+	case KindLong, KindULong:
+		return m.LongSize
+	case KindDouble:
+		return 8
+	default:
+		panic(fmt.Sprintf("layout: Scalar with non-scalar kind %v", s.kind))
+	}
+}
+
+// Align implements Type. Scalars are naturally aligned except double,
+// whose alignment is model-dependent (see Model.DoubleAlign).
+func (s Scalar) Align(m Model) uint64 {
+	if s.kind == KindDouble {
+		return m.DoubleAlign
+	}
+	return s.Size(m)
+}
+
+// String implements Type.
+func (s Scalar) String() string { return s.kind.String() }
+
+// IsSigned reports whether the scalar is a signed integer type.
+func (s Scalar) IsSigned() bool {
+	switch s.kind {
+	case KindChar, KindShort, KindInt, KindLong:
+		return true
+	default:
+		return false
+	}
+}
+
+// IsInteger reports whether the scalar is an integer (or bool/char) type.
+func (s Scalar) IsInteger() bool {
+	switch s.kind {
+	case KindFloat, KindDouble:
+		return false
+	default:
+		return true
+	}
+}
+
+// Ptr is a pointer type.
+type Ptr struct{ Elem Type }
+
+// PtrTo returns a pointer type to elem. elem may be nil for void*.
+func PtrTo(elem Type) Ptr { return Ptr{Elem: elem} }
+
+// Kind implements Type.
+func (p Ptr) Kind() Kind { return KindPtr }
+
+// Size implements Type.
+func (p Ptr) Size(m Model) uint64 { return m.PtrSize }
+
+// Align implements Type.
+func (p Ptr) Align(m Model) uint64 { return m.PtrSize }
+
+// String implements Type.
+func (p Ptr) String() string {
+	if p.Elem == nil {
+		return "void*"
+	}
+	return p.Elem.String() + "*"
+}
+
+// Array is a fixed-length array type.
+type Array struct {
+	Elem Type
+	Len  uint64
+}
+
+// ArrayOf returns the type elem[n].
+func ArrayOf(elem Type, n uint64) Array { return Array{Elem: elem, Len: n} }
+
+// Kind implements Type.
+func (a Array) Kind() Kind { return KindArray }
+
+// Size implements Type.
+func (a Array) Size(m Model) uint64 { return a.Elem.Size(m) * a.Len }
+
+// Align implements Type.
+func (a Array) Align(m Model) uint64 { return a.Elem.Align(m) }
+
+// String implements Type.
+func (a Array) String() string { return fmt.Sprintf("%s[%d]", a.Elem, a.Len) }

@@ -1,0 +1,102 @@
+package machine_test
+
+import (
+	"fmt"
+
+	"repro/internal/layout"
+	"repro/internal/machine"
+	"repro/internal/stackm"
+)
+
+// A complete §3.6.1-style attack against a simulated process: the
+// GradStudent placed over the local stud reaches the frame's return
+// address, and the epilogue dispatches the hijacked return onto a
+// privileged function.
+func Example() {
+	student := layout.NewClass("Student").
+		AddField("gpa", layout.Double).
+		AddField("year", layout.Int).
+		AddField("semester", layout.Int)
+	grad := layout.NewClass("GradStudent", student).
+		AddField("ssn", layout.ArrayOf(layout.Int, 3))
+
+	p, err := machine.New(machine.Options{})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	shell, err := p.DefinePrivilegedFunc("system_shell", nil, nil)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	if _, err := p.DefineFunc("addStudent", []stackm.LocalSpec{
+		{Name: "stud", Type: student},
+	}, func(p *machine.Process, f *stackm.Frame) error {
+		l, err := f.Local("stud")
+		if err != nil {
+			return err
+		}
+		gs, err := p.Construct(grad, l.Addr) // new (&stud) GradStudent()
+		if err != nil {
+			return err
+		}
+		ssnBase, err := gs.FieldAddr("ssn")
+		if err != nil {
+			return err
+		}
+		k := f.RetSlot.Diff(ssnBase) / 4 // the §3.6.1 index arithmetic
+		return gs.SetIndex("ssn", k, int64(shell.Addr))
+	}); err != nil {
+		fmt.Println(err)
+		return
+	}
+	if err := p.Call("addStudent"); err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("privileged call:", p.HasEvent(machine.EvPrivilegedCall))
+	// Output:
+	// privileged call: true
+}
+
+// StackGuard detects the linear smash and aborts the process.
+func Example_stackGuard() {
+	student := layout.NewClass("Student").
+		AddField("gpa", layout.Double).
+		AddField("year", layout.Int).
+		AddField("semester", layout.Int)
+	grad := layout.NewClass("GradStudent", student).
+		AddField("ssn", layout.ArrayOf(layout.Int, 3))
+
+	p, err := machine.New(machine.Options{StackGuard: true})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	if _, err := p.DefineFunc("addStudent", []stackm.LocalSpec{
+		{Name: "stud", Type: student},
+	}, func(p *machine.Process, f *stackm.Frame) error {
+		l, err := f.Local("stud")
+		if err != nil {
+			return err
+		}
+		gs, err := p.Construct(grad, l.Addr)
+		if err != nil {
+			return err
+		}
+		for i := int64(0); i < 3; i++ { // spray: tramples the canary
+			if err := gs.SetIndex("ssn", i, 0x41414141); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		fmt.Println(err)
+		return
+	}
+	err = p.Call("addStudent")
+	fmt.Println(err)
+	// Output:
+	// machine: process aborted (canary-abort): *** stack smashing detected ***
+}

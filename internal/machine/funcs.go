@@ -1,0 +1,202 @@
+package machine
+
+import (
+	"bytes"
+	"fmt"
+
+	"repro/internal/mem"
+	"repro/internal/stackm"
+)
+
+// Body is the native implementation of a simulated function. It receives
+// the process and its own activation frame.
+type Body func(p *Process, f *stackm.Frame) error
+
+// Func is a function in the simulated text segment.
+type Func struct {
+	Name string
+	Addr mem.Addr
+	// Privileged marks attack-worthy targets (the "method that makes a
+	// system call in privileged mode" of §3.6.2).
+	Privileged bool
+	// Locals declares the frame layout of the function.
+	Locals []stackm.LocalSpec
+	Body   Body
+}
+
+const funcSpacing = 16
+
+// DefineFunc registers a function, assigning it a text address.
+func (p *Process) DefineFunc(name string, locals []stackm.LocalSpec, body Body) (*Func, error) {
+	return p.defineFunc(name, locals, body, false)
+}
+
+// DefinePrivilegedFunc registers a privileged function — an arc-injection
+// target whose invocation the experiments treat as full compromise.
+func (p *Process) DefinePrivilegedFunc(name string, locals []stackm.LocalSpec, body Body) (*Func, error) {
+	return p.defineFunc(name, locals, body, true)
+}
+
+func (p *Process) defineFunc(name string, locals []stackm.LocalSpec, body Body, priv bool) (*Func, error) {
+	if name == "" {
+		return nil, fmt.Errorf("machine: empty function name")
+	}
+	if _, ok := p.funcs[name]; ok {
+		return nil, fmt.Errorf("machine: function %q already defined", name)
+	}
+	if p.textCur.Add(funcSpacing) > p.Img.Text.End() {
+		return nil, fmt.Errorf("machine: text segment full defining %q", name)
+	}
+	f := &Func{Name: name, Addr: p.textCur, Privileged: priv, Locals: locals, Body: body}
+	p.textCur = p.textCur.Add(funcSpacing)
+	p.funcs[name] = f
+	p.funcAt[f.Addr] = f
+	return f, nil
+}
+
+// FuncAddr returns the text address of a defined function.
+func (p *Process) FuncAddr(name string) (mem.Addr, error) {
+	f, ok := p.funcs[name]
+	if !ok {
+		return 0, fmt.Errorf("machine: function %q not defined", name)
+	}
+	return f.Addr, nil
+}
+
+// FuncAt returns the function at a text address, if any.
+func (p *Process) FuncAt(addr mem.Addr) (*Func, bool) {
+	f, ok := p.funcAt[addr]
+	return f, ok
+}
+
+// retSite is the synthetic return address stored for top-level calls; it
+// sits at the very start of the text cursor range and is never a function.
+func (p *Process) retSite() mem.Addr { return p.Img.Text.Base.Add(0x40) }
+
+// Call invokes a defined function: push a frame (return address, optional
+// saved FP and canary, locals), run the body, then execute the epilogue.
+//
+// The epilogue is where every §3.6 stack attack culminates:
+//
+//  1. StackGuard verifies the canary and aborts on mismatch.
+//  2. The shadow stack (if enabled) compares the on-stack return address
+//     with the protected copy and aborts on mismatch.
+//  3. A modified return address is dispatched: registered function → arc
+//     injection; attacker bytes on an executable page → code injection;
+//     non-executable page → NX fault; anything else → segfault.
+func (p *Process) Call(name string) error {
+	f, ok := p.funcs[name]
+	if !ok {
+		return fmt.Errorf("machine: call to undefined function %q", name)
+	}
+	if f.Body == nil {
+		return fmt.Errorf("machine: function %q has no body", name)
+	}
+	ret := p.retSite()
+	frame, err := p.Stack.Push(f.Name, ret, f.Locals)
+	if err != nil {
+		return fmt.Errorf("machine: calling %s: %w", name, err)
+	}
+	if p.opts.ShadowStack {
+		p.shadow = append(p.shadow, ret)
+	}
+	p.record(EvCall, f.Addr, "%s()", f.Name)
+
+	if err := f.Body(p, frame); err != nil {
+		// The body crashed (e.g. a wild dereference): surface the fault
+		// without running the epilogue, like a mid-function SIGSEGV. A
+		// guard fault is the red-zone instrumentation catching an
+		// overflow at the offending write.
+		if flt, isFault := mem.IsFault(err); isFault {
+			if flt.Kind == mem.FaultGuard {
+				p.record(EvGuardAbort, flt.Addr, "%s: %v", f.Name, err)
+				return &AbortError{Kind: EvGuardAbort, Reason: err.Error()}
+			}
+			p.record(EvSegfault, 0, "%s: %v", f.Name, err)
+			return &AbortError{Kind: EvSegfault, Reason: err.Error()}
+		}
+		return err
+	}
+	return p.returnFrom(f)
+}
+
+func (p *Process) returnFrom(f *Func) error {
+	res, err := p.Stack.Pop()
+	if err != nil {
+		return fmt.Errorf("machine: returning from %s: %w", f.Name, err)
+	}
+	if p.opts.StackGuard && !res.CanaryOK {
+		p.record(EvCanaryAbort, res.Ret, "%s: stack smashing detected (canary %#x)", f.Name, res.CanaryFound)
+		return &AbortError{Kind: EvCanaryAbort, Reason: "*** stack smashing detected ***"}
+	}
+	var shadowRet mem.Addr
+	if p.opts.ShadowStack {
+		if len(p.shadow) == 0 {
+			return fmt.Errorf("machine: shadow stack underflow in %s", f.Name)
+		}
+		shadowRet = p.shadow[len(p.shadow)-1]
+		p.shadow = p.shadow[:len(p.shadow)-1]
+		if res.Ret != shadowRet {
+			p.record(EvShadowAbort, res.Ret, "%s: return address %#x != shadow copy %#x",
+				f.Name, uint64(res.Ret), uint64(shadowRet))
+			return &AbortError{Kind: EvShadowAbort, Reason: "return address mismatch with shadow stack"}
+		}
+	}
+	if res.RetModified {
+		p.record(EvHijackedReturn, res.Ret, "%s returns to %#x", f.Name, uint64(res.Ret))
+		return p.execAddr(res.Ret, "hijacked return from "+f.Name)
+	}
+	p.record(EvReturn, res.Ret, "%s", f.Name)
+	return nil
+}
+
+// Shellcode is the attacker payload pattern recognised by the dispatcher.
+// (The classic setuid+execve stub begins 0x31 0xc0; the tail marks the
+// simulated "spawn a shell" semantic.)
+var Shellcode = []byte{0x31, 0xc0, 0x50, 0x68, '/', '/', 's', 'h', 0x68, '/', 'b', 'i', 'n'}
+
+// WriteShellcode deposits the payload at addr (typically inside a stack
+// local, as in §3.6.2).
+func (p *Process) WriteShellcode(addr mem.Addr) error {
+	return p.Mem.Write(addr, Shellcode)
+}
+
+// execAddr models a control transfer to an arbitrary address.
+func (p *Process) execAddr(addr mem.Addr, why string) error {
+	if f, ok := p.funcAt[addr]; ok {
+		p.record(EvArcInjection, addr, "%s lands on %s()", why, f.Name)
+		if f.Privileged {
+			p.record(EvPrivilegedCall, addr, "%s() executes in privileged mode", f.Name)
+		}
+		// The landed-on function "runs"; its body is not re-entered with a
+		// frame (there was no call), matching a bare jmp.
+		return nil
+	}
+	seg := p.Mem.FindSegment(addr)
+	if seg == nil {
+		p.record(EvSegfault, addr, "%s jumps to unmapped %#x", why, uint64(addr))
+		return &AbortError{Kind: EvSegfault, Reason: fmt.Sprintf("jump to unmapped address %#x", uint64(addr))}
+	}
+	if seg.Perm&mem.PermExec == 0 {
+		p.record(EvNXViolation, addr, "%s jumps into non-executable %s segment", why, seg.Kind)
+		return &AbortError{Kind: EvNXViolation, Reason: fmt.Sprintf("NX violation executing %s at %#x", seg.Kind, uint64(addr))}
+	}
+	b, err := p.Mem.Read(addr, uint64(len(Shellcode)))
+	if err == nil && bytes.Equal(b, Shellcode) {
+		p.record(EvCodeInjection, addr, "%s executes injected shellcode: shell spawned", why)
+		return nil
+	}
+	p.record(EvSegfault, addr, "%s executes garbage at %#x (illegal instruction)", why, uint64(addr))
+	return &AbortError{Kind: EvSegfault, Reason: fmt.Sprintf("illegal instruction at %#x", uint64(addr))}
+}
+
+// ExecAddr exposes control transfer for function-pointer scenarios
+// (§3.9): calling through a corrupted pointer is the same dispatch as a
+// corrupted return.
+func (p *Process) ExecAddr(addr mem.Addr, why string) error {
+	if addr == mem.NullAddr {
+		p.record(EvSegfault, addr, "%s calls null pointer", why)
+		return &AbortError{Kind: EvSegfault, Reason: "call through null pointer"}
+	}
+	return p.execAddr(addr, why)
+}

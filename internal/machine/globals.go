@@ -1,0 +1,94 @@
+package machine
+
+import (
+	"fmt"
+
+	"repro/internal/layout"
+	"repro/internal/mem"
+	"repro/internal/object"
+)
+
+// Global is a variable in the data or bss segment.
+type Global struct {
+	Name string
+	Type layout.Type
+	Addr mem.Addr
+}
+
+// End returns the first address past the global.
+func (g *Global) End(m layout.Model) mem.Addr { return g.Addr.Add(int64(g.Type.Size(m))) }
+
+// DefineGlobal allocates a global of the given type. Initialised globals
+// go to .data, uninitialised to .bss, exactly as the paper notes for
+// Listing 11 ("precisely in the bss area as they are not initialized").
+// Successive definitions are adjacent modulo alignment, which is what
+// makes stud1 overflow into stud2.
+func (p *Process) DefineGlobal(name string, t layout.Type, initialised bool) (*Global, error) {
+	if name == "" {
+		return nil, fmt.Errorf("machine: empty global name")
+	}
+	if t == nil {
+		return nil, fmt.Errorf("machine: global %q has nil type", name)
+	}
+	if _, ok := p.globalBy[name]; ok {
+		return nil, fmt.Errorf("machine: global %q already defined", name)
+	}
+	cur, seg := &p.bssCur, p.Img.BSS
+	if initialised {
+		cur, seg = &p.dataCur, p.Img.Data
+	}
+	align := t.Align(p.Model)
+	size := t.Size(p.Model)
+	addr := mem.Addr(alignUp(uint64(*cur), align))
+	if addr.Add(int64(size)) > seg.End() {
+		return nil, fmt.Errorf("machine: %s segment full defining %q", seg.Kind, name)
+	}
+	*cur = addr.Add(int64(size))
+	g := &Global{Name: name, Type: t, Addr: addr}
+	p.globals = append(p.globals, g)
+	p.globalBy[name] = g
+	return g, nil
+}
+
+func alignUp(v, a uint64) uint64 {
+	if a <= 1 {
+		return v
+	}
+	rem := v % a
+	if rem == 0 {
+		return v
+	}
+	return v + a - rem
+}
+
+// GlobalVar returns a previously defined global.
+func (p *Process) GlobalVar(name string) (*Global, error) {
+	g, ok := p.globalBy[name]
+	if !ok {
+		return nil, fmt.Errorf("machine: global %q not defined", name)
+	}
+	return g, nil
+}
+
+// GlobalObject returns an object view of a class-typed global.
+func (p *Process) GlobalObject(name string) (*object.Object, error) {
+	g, err := p.GlobalVar(name)
+	if err != nil {
+		return nil, err
+	}
+	cls, ok := g.Type.(*layout.Class)
+	if !ok {
+		return nil, fmt.Errorf("machine: global %q is %s, not a class", name, g.Type)
+	}
+	return object.View(p.Mem, cls, p.Model, g.Addr)
+}
+
+// GlobalAt finds the global whose storage contains addr.
+func (p *Process) GlobalAt(addr mem.Addr) (*Global, bool) {
+	for _, g := range p.globals {
+		if addr >= g.Addr && addr < g.End(p.Model) {
+			return g, true
+		}
+	}
+	return nil, false
+}

@@ -1,0 +1,271 @@
+// Package machine composes the substrates (mem, heap, stackm, layout,
+// vtab, core) into a simulated victim process. A Process owns a mapped
+// address space, a formatted heap, a call stack with optional StackGuard
+// canaries, a registry of "text" functions, emitted vtables in rodata, and
+// global variables in data/bss.
+//
+// Crucially, it models what happens when control flow is hijacked: a
+// corrupted return address or vtable pointer is *dispatched* — onto a
+// registered function (arc injection, §3.6.2), onto attacker bytes in a
+// writable segment (code injection, subject to NX), or into garbage (a
+// crash). Every step is recorded as an Event so experiments can assert on
+// outcomes rather than on incidental state.
+package machine
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/heap"
+	"repro/internal/layout"
+	"repro/internal/mem"
+	"repro/internal/stackm"
+)
+
+// Options configures a Process. The zero value models the paper's
+// testbed defaults: ILP32 i386 layout, saved frame pointers, no canary,
+// non-executable stack, no shadow stack.
+type Options struct {
+	// Model is the data model; zero selects layout.ILP32i386 (the paper's
+	// 32-bit gcc testbed).
+	Model layout.Model
+	// NoSaveFP omits the saved-frame-pointer slot (the paper's "if the
+	// frame pointer is saved" variant is the default, as with gcc -O0).
+	NoSaveFP bool
+	// StackGuard enables the gcc ProPolice/StackGuard canary (§3.6.1).
+	StackGuard bool
+	// CanaryValue overrides the canary; zero selects the terminator canary.
+	CanaryValue uint64
+	// ExecStack maps the stack executable, enabling classic code injection.
+	ExecStack bool
+	// ShadowStack enables the §5.2 return-address-stack defense: return
+	// addresses are duplicated in protected storage and verified before
+	// any transfer.
+	ShadowStack bool
+	// Image overrides segment sizes.
+	Image mem.ImageConfig
+}
+
+func (o Options) model() layout.Model {
+	if o.Model.PtrSize == 0 {
+		return layout.ILP32i386
+	}
+	return o.Model
+}
+
+// Process is a simulated victim process.
+type Process struct {
+	Model layout.Model
+	Img   *mem.Image
+	Mem   *mem.Memory
+	Heap  *heap.Allocator
+	Stack *stackm.Stack
+	// Tracker is the placement-new ledger used by leak experiments.
+	Tracker *core.LeakTracker
+
+	opts Options
+
+	funcs    map[string]*Func
+	funcAt   map[mem.Addr]*Func
+	textCur  mem.Addr
+	roCur    mem.Addr
+	dataCur  mem.Addr
+	bssCur   mem.Addr
+	globals  []*Global
+	globalBy map[string]*Global
+	vtables  map[*layout.Class][]mem.Addr
+	vtAddrs  map[mem.Addr]bool // every emitted table address
+	shadow   []mem.Addr
+
+	events []Event
+	input  *Input
+	output []string
+}
+
+// New creates a process with a formatted heap and an empty call stack.
+func New(opts Options) (*Process, error) {
+	model := opts.model()
+	cfg := opts.Image
+	cfg.ExecStack = opts.ExecStack
+	img, err := mem.NewProcessImage(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("machine: %w", err)
+	}
+	h, err := heap.NewOnImage(img)
+	if err != nil {
+		return nil, fmt.Errorf("machine: %w", err)
+	}
+	st, err := stackm.NewOnImage(img, stackm.Options{
+		Model:       model,
+		SaveFP:      !opts.NoSaveFP,
+		Canary:      opts.StackGuard,
+		CanaryValue: opts.CanaryValue,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("machine: %w", err)
+	}
+	// Keep argv/environment headroom above the outermost frame, as a real
+	// process image does: overflows of the first frame's locals land in
+	// mapped memory rather than off the end of the stack segment.
+	if err := st.Reserve(256); err != nil {
+		return nil, fmt.Errorf("machine: %w", err)
+	}
+	p := &Process{
+		Model:    model,
+		Img:      img,
+		Mem:      img.Mem,
+		Heap:     h,
+		Stack:    st,
+		Tracker:  core.NewLeakTracker(),
+		opts:     opts,
+		funcs:    make(map[string]*Func),
+		funcAt:   make(map[mem.Addr]*Func),
+		textCur:  img.Text.Base.Add(0x100),
+		roCur:    img.ROData.Base,
+		dataCur:  img.Data.Base,
+		bssCur:   img.BSS.Base,
+		globalBy: make(map[string]*Global),
+		vtables:  make(map[*layout.Class][]mem.Addr),
+		vtAddrs:  make(map[mem.Addr]bool),
+		input:    &Input{},
+	}
+	return p, nil
+}
+
+// Options returns the options the process was built with.
+func (p *Process) Options() Options { return p.opts }
+
+// --- Events --------------------------------------------------------------
+
+// EventKind classifies process events.
+type EventKind int
+
+// Event kinds recorded during simulation.
+const (
+	EvCall EventKind = iota + 1
+	EvReturn
+	EvHijackedReturn
+	EvArcInjection
+	EvPrivilegedCall
+	EvCodeInjection
+	EvSegfault
+	EvNXViolation
+	EvCanaryAbort
+	EvShadowAbort
+	EvVirtualCall
+	EvVTableHijack
+	EvMethodCall
+	EvGuardAbort
+	EvOutput
+)
+
+var eventNames = map[EventKind]string{
+	EvCall: "call", EvReturn: "return", EvHijackedReturn: "hijacked-return",
+	EvArcInjection: "arc-injection", EvPrivilegedCall: "privileged-call",
+	EvCodeInjection: "code-injection", EvSegfault: "segfault",
+	EvNXViolation: "nx-violation", EvCanaryAbort: "canary-abort",
+	EvShadowAbort: "shadow-abort", EvVirtualCall: "virtual-call",
+	EvVTableHijack: "vtable-hijack", EvMethodCall: "method-call",
+	EvGuardAbort: "guard-abort", EvOutput: "output",
+}
+
+// String returns the event kind name.
+func (k EventKind) String() string {
+	if s, ok := eventNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("EventKind(%d)", int(k))
+}
+
+// Event is one recorded process event.
+type Event struct {
+	Kind   EventKind
+	Detail string
+	Addr   mem.Addr
+}
+
+func (p *Process) record(k EventKind, addr mem.Addr, format string, args ...any) {
+	p.events = append(p.events, Event{Kind: k, Detail: fmt.Sprintf(format, args...), Addr: addr})
+}
+
+// Events returns all recorded events in order.
+func (p *Process) Events() []Event {
+	out := make([]Event, len(p.events))
+	copy(out, p.events)
+	return out
+}
+
+// EventsOf returns the recorded events of one kind, in order.
+func (p *Process) EventsOf(k EventKind) []Event {
+	var out []Event
+	for _, e := range p.events {
+		if e.Kind == k {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// HasEvent reports whether an event of kind k was recorded.
+func (p *Process) HasEvent(k EventKind) bool { return len(p.EventsOf(k)) > 0 }
+
+// AbortError reports that the simulated process terminated abnormally —
+// the analogue of SIGSEGV/SIGABRT on the paper's testbed.
+type AbortError struct {
+	Kind   EventKind
+	Reason string
+}
+
+// Error implements the error interface.
+func (e *AbortError) Error() string {
+	return fmt.Sprintf("machine: process aborted (%s): %s", e.Kind, e.Reason)
+}
+
+// --- Program I/O ----------------------------------------------------------
+
+// Input is the attacker-controlled input stream (cin in the listings).
+type Input struct {
+	ints []int64
+	strs []string
+}
+
+// SetInput replaces the pending integer inputs.
+func (p *Process) SetInput(vals ...int64) { p.input.ints = append([]int64(nil), vals...) }
+
+// SetStringInput replaces the pending string inputs.
+func (p *Process) SetStringInput(vals ...string) { p.input.strs = append([]string(nil), vals...) }
+
+// Cin pops the next integer input, like `cin >> x`. Exhausted input reads
+// zero, as a failed istream extraction leaves a value-initialised target.
+func (p *Process) Cin() int64 {
+	if len(p.input.ints) == 0 {
+		return 0
+	}
+	v := p.input.ints[0]
+	p.input.ints = p.input.ints[1:]
+	return v
+}
+
+// CinString pops the next string input.
+func (p *Process) CinString() string {
+	if len(p.input.strs) == 0 {
+		return ""
+	}
+	v := p.input.strs[0]
+	p.input.strs = p.input.strs[1:]
+	return v
+}
+
+// Printf records program output (cout in the listings).
+func (p *Process) Printf(format string, args ...any) {
+	line := fmt.Sprintf(format, args...)
+	p.output = append(p.output, line)
+	p.record(EvOutput, 0, "%s", line)
+}
+
+// OutputLines returns everything the program printed.
+func (p *Process) OutputLines() []string {
+	out := make([]string, len(p.output))
+	copy(out, p.output)
+	return out
+}

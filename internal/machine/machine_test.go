@@ -1,0 +1,602 @@
+package machine
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/layout"
+	"repro/internal/mem"
+	"repro/internal/stackm"
+)
+
+func paperClasses() (student, grad *layout.Class) {
+	student = layout.NewClass("Student").
+		AddField("gpa", layout.Double).
+		AddField("year", layout.Int).
+		AddField("semester", layout.Int)
+	grad = layout.NewClass("GradStudent", student).
+		AddField("ssn", layout.ArrayOf(layout.Int, 3))
+	return student, grad
+}
+
+func newProc(t *testing.T, opts Options) *Process {
+	t.Helper()
+	p, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestNewDefaults(t *testing.T) {
+	p := newProc(t, Options{})
+	if p.Model.Name != layout.ILP32i386.Name {
+		t.Errorf("model = %s", p.Model.Name)
+	}
+	if p.Img.Stack.Perm&mem.PermExec != 0 {
+		t.Error("stack executable by default")
+	}
+	if !p.Stack.Options().SaveFP {
+		t.Error("frame pointer not saved by default")
+	}
+	if p.Stack.Options().Canary {
+		t.Error("canary on by default")
+	}
+}
+
+func TestDefineFuncAndAddr(t *testing.T) {
+	p := newProc(t, Options{})
+	f, err := p.DefineFunc("main", nil, func(*Process, *stackm.Frame) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Img.Text.Contains(f.Addr) {
+		t.Errorf("func addr %#x outside text", uint64(f.Addr))
+	}
+	a, err := p.FuncAddr("main")
+	if err != nil || a != f.Addr {
+		t.Errorf("FuncAddr = %#x, %v", uint64(a), err)
+	}
+	if _, err := p.DefineFunc("main", nil, nil); err == nil {
+		t.Error("duplicate function accepted")
+	}
+	if _, err := p.DefineFunc("", nil, nil); err == nil {
+		t.Error("empty name accepted")
+	}
+	if _, err := p.FuncAddr("nope"); err == nil {
+		t.Error("undefined lookup succeeded")
+	}
+	if got, ok := p.FuncAt(f.Addr); !ok || got != f {
+		t.Error("FuncAt failed")
+	}
+}
+
+func TestCallRunsBodyWithFrame(t *testing.T) {
+	p := newProc(t, Options{})
+	var sawLocal mem.Addr
+	_, err := p.DefineFunc("f", []stackm.LocalSpec{{Name: "x", Type: layout.Int}},
+		func(p *Process, f *stackm.Frame) error {
+			l, err := f.Local("x")
+			if err != nil {
+				return err
+			}
+			sawLocal = l.Addr
+			return p.Mem.WriteU32(l.Addr, 42)
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Call("f"); err != nil {
+		t.Fatal(err)
+	}
+	if sawLocal == 0 || !p.Img.Stack.Contains(sawLocal) {
+		t.Errorf("local at %#x", uint64(sawLocal))
+	}
+	if !p.HasEvent(EvCall) || !p.HasEvent(EvReturn) {
+		t.Error("call/return events missing")
+	}
+	if p.HasEvent(EvHijackedReturn) {
+		t.Error("clean return reported hijacked")
+	}
+}
+
+func TestCallErrors(t *testing.T) {
+	p := newProc(t, Options{})
+	if err := p.Call("missing"); err == nil {
+		t.Error("call to undefined function succeeded")
+	}
+	if _, err := p.DefineFunc("nobody", nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Call("nobody"); err == nil {
+		t.Error("call to bodyless function succeeded")
+	}
+}
+
+func TestNestedCalls(t *testing.T) {
+	p := newProc(t, Options{StackGuard: true, ShadowStack: true})
+	depth := 0
+	if _, err := p.DefineFunc("inner", nil, func(p *Process, _ *stackm.Frame) error {
+		depth = p.Stack.Depth()
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.DefineFunc("outer", nil, func(p *Process, _ *stackm.Frame) error {
+		return p.Call("inner")
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Call("outer"); err != nil {
+		t.Fatal(err)
+	}
+	if depth != 2 {
+		t.Errorf("depth inside inner = %d", depth)
+	}
+	if p.Stack.Depth() != 0 {
+		t.Error("stack not unwound")
+	}
+}
+
+// TestHijackedReturnToPrivilegedFunc is the §3.6.2 arc-injection skeleton.
+func TestHijackedReturnToPrivilegedFunc(t *testing.T) {
+	p := newProc(t, Options{NoSaveFP: true})
+	if _, err := p.DefinePrivilegedFunc("system_shell", nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	target, err := p.FuncAddr("system_shell")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.DefineFunc("victim", nil, func(p *Process, f *stackm.Frame) error {
+		// Overwrite our own return address, as the object overflow does.
+		return p.Mem.WriteU32(f.RetSlot, uint32(target))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Call("victim"); err != nil {
+		t.Fatalf("arc injection aborted: %v", err)
+	}
+	if !p.HasEvent(EvHijackedReturn) || !p.HasEvent(EvArcInjection) || !p.HasEvent(EvPrivilegedCall) {
+		t.Errorf("events = %+v", p.Events())
+	}
+}
+
+func TestHijackedReturnToGarbageSegfaults(t *testing.T) {
+	p := newProc(t, Options{})
+	if _, err := p.DefineFunc("victim", nil, func(p *Process, f *stackm.Frame) error {
+		return p.Mem.WriteU32(f.RetSlot, 0x41414141)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	err := p.Call("victim")
+	var ab *AbortError
+	if !errors.As(err, &ab) || ab.Kind != EvSegfault {
+		t.Errorf("err = %v, want segfault abort", err)
+	}
+}
+
+func TestCodeInjectionNeedsExecStack(t *testing.T) {
+	run := func(execStack bool) (*Process, error) {
+		p := newProc(t, Options{ExecStack: execStack})
+		buf := layout.ArrayOf(layout.Char, 64)
+		if _, err := p.DefineFunc("victim", []stackm.LocalSpec{{Name: "buf", Type: buf}},
+			func(p *Process, f *stackm.Frame) error {
+				l, err := f.Local("buf")
+				if err != nil {
+					return err
+				}
+				if err := p.WriteShellcode(l.Addr); err != nil {
+					return err
+				}
+				return p.Mem.WriteU32(f.RetSlot, uint32(l.Addr))
+			}); err != nil {
+			t.Fatal(err)
+		}
+		return p, p.Call("victim")
+	}
+
+	p, err := run(true)
+	if err != nil {
+		t.Errorf("exec stack: %v", err)
+	}
+	if !p.HasEvent(EvCodeInjection) {
+		t.Error("shellcode not executed on executable stack")
+	}
+
+	p, err = run(false)
+	var ab *AbortError
+	if !errors.As(err, &ab) || ab.Kind != EvNXViolation {
+		t.Errorf("NX stack: err = %v, want NX abort", err)
+	}
+	if p.HasEvent(EvCodeInjection) {
+		t.Error("shellcode executed on NX stack")
+	}
+}
+
+func TestStackGuardAbortsOnSmashedCanary(t *testing.T) {
+	p := newProc(t, Options{StackGuard: true})
+	if _, err := p.DefineFunc("victim", []stackm.LocalSpec{{Name: "x", Type: layout.Int}},
+		func(p *Process, f *stackm.Frame) error {
+			// Linear overflow from the local through canary, FP, ret.
+			l, _ := f.Local("x")
+			b := make([]byte, f.Top.Diff(l.Addr))
+			for i := range b {
+				b[i] = 0x41
+			}
+			return p.Mem.Write(l.Addr, b)
+		}); err != nil {
+		t.Fatal(err)
+	}
+	err := p.Call("victim")
+	var ab *AbortError
+	if !errors.As(err, &ab) || ab.Kind != EvCanaryAbort {
+		t.Errorf("err = %v, want canary abort", err)
+	}
+	if p.HasEvent(EvHijackedReturn) {
+		t.Error("hijack dispatched despite canary abort")
+	}
+}
+
+func TestShadowStackCatchesCanarySkip(t *testing.T) {
+	// Selective write that skips the canary defeats StackGuard (§5.2) but
+	// not the shadow stack.
+	for _, shadow := range []bool{false, true} {
+		p := newProc(t, Options{StackGuard: true, ShadowStack: shadow})
+		if _, err := p.DefinePrivilegedFunc("system_shell", nil, nil); err != nil {
+			t.Fatal(err)
+		}
+		target, _ := p.FuncAddr("system_shell")
+		if _, err := p.DefineFunc("victim", nil, func(p *Process, f *stackm.Frame) error {
+			return p.Mem.WriteU32(f.RetSlot, uint32(target)) // canary untouched
+		}); err != nil {
+			t.Fatal(err)
+		}
+		err := p.Call("victim")
+		if shadow {
+			var ab *AbortError
+			if !errors.As(err, &ab) || ab.Kind != EvShadowAbort {
+				t.Errorf("shadow: err = %v, want shadow abort", err)
+			}
+			if p.HasEvent(EvArcInjection) {
+				t.Error("shadow: arc injection still dispatched")
+			}
+		} else {
+			if err != nil {
+				t.Errorf("canary skip aborted without shadow stack: %v", err)
+			}
+			if !p.HasEvent(EvArcInjection) {
+				t.Error("canary skip did not reach target")
+			}
+		}
+	}
+}
+
+func TestBodyFaultAbortsWithoutEpilogue(t *testing.T) {
+	p := newProc(t, Options{})
+	if _, err := p.DefineFunc("victim", nil, func(p *Process, _ *stackm.Frame) error {
+		return p.Mem.WriteU32(0x10, 1) // null-page write
+	}); err != nil {
+		t.Fatal(err)
+	}
+	err := p.Call("victim")
+	var ab *AbortError
+	if !errors.As(err, &ab) || ab.Kind != EvSegfault {
+		t.Errorf("err = %v, want segfault abort", err)
+	}
+}
+
+func TestGlobalsAdjacencyAndSegments(t *testing.T) {
+	p := newProc(t, Options{})
+	student, _ := paperClasses()
+	g1, err := p.DefineGlobal("stud1", student, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := p.DefineGlobal("stud2", student, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Img.BSS.Contains(g1.Addr) || !p.Img.BSS.Contains(g2.Addr) {
+		t.Error("uninitialised globals not in bss")
+	}
+	if g2.Addr != g1.End(p.Model) {
+		t.Errorf("globals not adjacent: %#x then %#x", uint64(g1.End(p.Model)), uint64(g2.Addr))
+	}
+	d, err := p.DefineGlobal("counter", layout.Int, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Img.Data.Contains(d.Addr) {
+		t.Error("initialised global not in data")
+	}
+	if _, err := p.DefineGlobal("stud1", student, false); err == nil {
+		t.Error("duplicate global accepted")
+	}
+	if _, err := p.DefineGlobal("", layout.Int, false); err == nil {
+		t.Error("empty name accepted")
+	}
+	if _, err := p.DefineGlobal("nil", nil, false); err == nil {
+		t.Error("nil type accepted")
+	}
+	got, ok := p.GlobalAt(g1.Addr.Add(3))
+	if !ok || got != g1 {
+		t.Error("GlobalAt failed")
+	}
+	if _, ok := p.GlobalAt(0x100); ok {
+		t.Error("GlobalAt matched unmapped address")
+	}
+}
+
+func TestGlobalObject(t *testing.T) {
+	p := newProc(t, Options{})
+	student, _ := paperClasses()
+	if _, err := p.DefineGlobal("stud", student, false); err != nil {
+		t.Fatal(err)
+	}
+	o, err := p.GlobalObject("stud")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := o.SetFloat("gpa", 3.5); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.DefineGlobal("n", layout.Int, false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.GlobalObject("n"); err == nil {
+		t.Error("GlobalObject on scalar succeeded")
+	}
+	if _, err := p.GlobalObject("missing"); err == nil {
+		t.Error("GlobalObject on missing global succeeded")
+	}
+}
+
+func TestConstructInstallsVPtrAndDispatches(t *testing.T) {
+	p := newProc(t, Options{})
+	student := layout.NewClass("Student").AddVirtual("getInfo").AddField("gpa", layout.Double)
+	grad := layout.NewClass("GradStudent", student).AddVirtual("getInfo")
+
+	var called []string
+	if _, err := p.DefineMethod(student, "getInfo", func(*Process, *stackm.Frame) error {
+		called = append(called, "Student")
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.DefineMethod(grad, "getInfo", func(*Process, *stackm.Frame) error {
+		called = append(called, "GradStudent")
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	g, err := p.DefineGlobal("stud", grad, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := p.Construct(grad, g.Addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vp, err := o.VPtr(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Img.ROData.Contains(vp) {
+		t.Errorf("vptr %#x not in rodata", uint64(vp))
+	}
+	// Dynamic dispatch through the base-typed view still reaches the
+	// derived override — the vptr decides.
+	baseView, err := o.ViewAs(student)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.VirtualCall(baseView, "getInfo"); err != nil {
+		t.Fatal(err)
+	}
+	if len(called) != 1 || called[0] != "GradStudent" {
+		t.Errorf("called = %v, want GradStudent override", called)
+	}
+	if p.HasEvent(EvVTableHijack) {
+		t.Error("legitimate dispatch flagged as hijack")
+	}
+}
+
+func TestVirtualCallThroughCorruptedVPtr(t *testing.T) {
+	p := newProc(t, Options{})
+	cls := layout.NewClass("Poly").AddVirtual("f").AddField("x", layout.Int)
+	g, err := p.DefineGlobal("obj", cls, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := p.Construct(cls, g.Addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Build a fake vtable in bss whose slot 0 points at a privileged
+	// function, then swing the vptr to it — §3.8.2's "invoke arbitrary
+	// methods".
+	priv, err := p.DefinePrivilegedFunc("system_shell", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fake, err := p.DefineGlobal("fake_vtable", layout.ArrayOf(layout.UInt, 2), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Mem.WriteU32(fake.Addr, uint32(priv.Addr)); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.SetVPtr(0, fake.Addr); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.VirtualCall(o, "f"); err != nil {
+		t.Fatalf("hijacked dispatch: %v", err)
+	}
+	if !p.HasEvent(EvVTableHijack) || !p.HasEvent(EvPrivilegedCall) {
+		t.Errorf("events = %+v", p.Events())
+	}
+}
+
+func TestVirtualCallInvalidVPtrCrashes(t *testing.T) {
+	p := newProc(t, Options{})
+	cls := layout.NewClass("Poly2").AddVirtual("f")
+	g, err := p.DefineGlobal("obj", cls, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := p.Construct(cls, g.Addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := o.SetVPtr(0, 0x41414141); err != nil {
+		t.Fatal(err)
+	}
+	err = p.VirtualCall(o, "f")
+	var ab *AbortError
+	if !errors.As(err, &ab) || ab.Kind != EvSegfault {
+		t.Errorf("err = %v, want segfault", err)
+	}
+	if err := o.SetVPtr(0, g.Addr); err != nil { // mapped but garbage slot
+		t.Fatal(err)
+	}
+	if err := p.VirtualCall(o, "f"); err == nil {
+		t.Error("dispatch through garbage table succeeded")
+	}
+	if err := p.VirtualCall(o, "missing"); err == nil {
+		t.Error("dispatch of unknown method succeeded")
+	}
+}
+
+func TestExecAddrNullPointer(t *testing.T) {
+	p := newProc(t, Options{})
+	err := p.ExecAddr(mem.NullAddr, "funcptr")
+	var ab *AbortError
+	if !errors.As(err, &ab) || ab.Kind != EvSegfault {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestInputStream(t *testing.T) {
+	p := newProc(t, Options{})
+	p.SetInput(7, -3)
+	if v := p.Cin(); v != 7 {
+		t.Errorf("cin 1 = %d", v)
+	}
+	if v := p.Cin(); v != -3 {
+		t.Errorf("cin 2 = %d", v)
+	}
+	if v := p.Cin(); v != 0 {
+		t.Errorf("exhausted cin = %d, want 0", v)
+	}
+	p.SetStringInput("alice")
+	if s := p.CinString(); s != "alice" {
+		t.Errorf("cin string = %q", s)
+	}
+	if s := p.CinString(); s != "" {
+		t.Errorf("exhausted cin string = %q", s)
+	}
+}
+
+func TestOutputAndEvents(t *testing.T) {
+	p := newProc(t, Options{})
+	p.Printf("Before Attack: Name:%s", "abcdefghijklmno")
+	lines := p.OutputLines()
+	if len(lines) != 1 || !strings.Contains(lines[0], "Before Attack") {
+		t.Errorf("output = %v", lines)
+	}
+	evs := p.EventsOf(EvOutput)
+	if len(evs) != 1 {
+		t.Errorf("output events = %d", len(evs))
+	}
+}
+
+func TestInferArena(t *testing.T) {
+	p := newProc(t, Options{})
+	student, _ := paperClasses()
+
+	// Heap block.
+	hp, err := p.Heap.Alloc(40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, ok := p.InferArena(hp.Add(5))
+	if !ok || a.Base != hp || a.Size != 40 {
+		t.Errorf("heap arena = %+v ok=%v", a, ok)
+	}
+
+	// Global.
+	g, err := p.DefineGlobal("stud", student, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, ok = p.InferArena(g.Addr)
+	if !ok || a.Size != 16 || !strings.Contains(a.Label, "stud") {
+		t.Errorf("global arena = %+v ok=%v", a, ok)
+	}
+
+	// Stack local, observed from inside a call.
+	var localArena bool
+	if _, err := p.DefineFunc("f", []stackm.LocalSpec{{Name: "stud", Type: student}},
+		func(p *Process, f *stackm.Frame) error {
+			l, _ := f.Local("stud")
+			ar, ok := p.InferArena(l.Addr.Add(8))
+			localArena = ok && ar.Base == l.Addr && ar.Size == 16
+			return nil
+		}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Call("f"); err != nil {
+		t.Fatal(err)
+	}
+	if !localArena {
+		t.Error("stack local arena not inferred")
+	}
+
+	// Unknown address: the undecidable case.
+	if _, ok := p.InferArena(p.Img.BSS.End().Add(-1)); ok {
+		t.Error("arena inferred for address in no known allocation")
+	}
+}
+
+func TestEmitVTablesIdempotentAndErrors(t *testing.T) {
+	p := newProc(t, Options{})
+	cls := layout.NewClass("Poly3").AddVirtual("f")
+	if err := p.EmitVTables(cls); err != nil {
+		t.Fatal(err)
+	}
+	a1, err := p.VTableAddrs(cls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.EmitVTables(cls); err != nil {
+		t.Fatal(err)
+	}
+	a2, _ := p.VTableAddrs(cls)
+	if a1[0] != a2[0] {
+		t.Error("re-emission moved the table")
+	}
+	other := layout.NewClass("NotEmitted").AddVirtual("g")
+	if _, err := p.VTableAddrs(other); err == nil {
+		t.Error("addresses of unemitted class returned")
+	}
+}
+
+func TestConstructTracksPlacement(t *testing.T) {
+	p := newProc(t, Options{})
+	student, _ := paperClasses()
+	g, err := p.DefineGlobal("stud", student, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Construct(student, g.Addr); err != nil {
+		t.Fatal(err)
+	}
+	live := p.Tracker.Live()
+	if len(live) != 1 || live[0].What != "Student" || live[0].Size != 16 {
+		t.Errorf("tracked = %+v", live)
+	}
+}

@@ -1,0 +1,30 @@
+package machine
+
+import (
+	"fmt"
+	"strings"
+)
+
+// TraceString renders the recorded event log, one line per event, in the
+// style of an strace/ltrace transcript. Experiments and the CLI use it to
+// show exactly how an attack unfolded inside the simulated process.
+func (p *Process) TraceString() string {
+	var sb strings.Builder
+	for i, e := range p.events {
+		fmt.Fprintf(&sb, "%3d  %-16s %s", i, e.Kind, e.Detail)
+		if e.Addr != 0 {
+			fmt.Fprintf(&sb, "  @%#x", uint64(e.Addr))
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// Summary counts events by kind, for compact assertions and reports.
+func (p *Process) Summary() map[EventKind]int {
+	out := make(map[EventKind]int)
+	for _, e := range p.events {
+		out[e.Kind]++
+	}
+	return out
+}

@@ -1,0 +1,146 @@
+package machine
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/layout"
+	"repro/internal/stackm"
+)
+
+func TestTraceStringAndSummary(t *testing.T) {
+	p := newProc(t, Options{})
+	shell, err := p.DefinePrivilegedFunc("system_shell", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.DefineFunc("victim", nil, func(p *Process, f *stackm.Frame) error {
+		return p.Mem.WriteU32(f.RetSlot, uint32(shell.Addr))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Call("victim"); err != nil {
+		t.Fatal(err)
+	}
+	tr := p.TraceString()
+	for _, want := range []string{"call", "hijacked-return", "arc-injection", "privileged-call", "system_shell"} {
+		if !strings.Contains(tr, want) {
+			t.Errorf("trace missing %q:\n%s", want, tr)
+		}
+	}
+	// Lines are numbered in order.
+	lines := strings.Split(strings.TrimRight(tr, "\n"), "\n")
+	if !strings.HasPrefix(strings.TrimSpace(lines[0]), "0") {
+		t.Errorf("first trace line = %q", lines[0])
+	}
+	sum := p.Summary()
+	if sum[EvCall] != 1 || sum[EvPrivilegedCall] != 1 || sum[EvHijackedReturn] != 1 {
+		t.Errorf("summary = %v", sum)
+	}
+}
+
+func TestTextSegmentExhaustion(t *testing.T) {
+	opts := Options{}
+	opts.Image.TextSize = 4096
+	p := newProc(t, opts)
+	var err error
+	for i := 0; i < 10000; i++ {
+		if _, err = p.DefineFunc(funcName(i), nil, nil); err != nil {
+			break
+		}
+	}
+	if err == nil {
+		t.Error("text segment never filled")
+	}
+}
+
+func funcName(i int) string {
+	return "f" + string(rune('a'+i%26)) + string(rune('a'+(i/26)%26)) + string(rune('a'+(i/676)%26))
+}
+
+func TestBssSegmentExhaustion(t *testing.T) {
+	p := newProc(t, Options{})
+	big := layout.ArrayOf(layout.Char, 60<<10)
+	if _, err := p.DefineGlobal("big", big, false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.DefineGlobal("big2", big, false); err == nil {
+		t.Error("bss exhaustion not reported")
+	}
+	// Data segment is independent.
+	if _, err := p.DefineGlobal("d", layout.Int, true); err != nil {
+		t.Errorf("data segment allocation failed: %v", err)
+	}
+}
+
+func TestRODataExhaustionOnVTables(t *testing.T) {
+	cfg := Options{}
+	cfg.Image.RODataSize = 4096
+	p := newProc(t, cfg)
+	var err error
+	for i := 0; i < 5000; i++ {
+		cls := layout.NewClass("VT" + funcName(i))
+		for j := 0; j < 8; j++ {
+			cls.AddVirtual("m" + funcName(j))
+		}
+		if err = p.EmitVTables(cls); err != nil {
+			break
+		}
+	}
+	// Either rodata or text (method stubs) fills up; both are resource
+	// exhaustion surfaced as errors, never as silent corruption.
+	if err == nil {
+		t.Error("vtable emission never exhausted a segment")
+	}
+}
+
+func TestDeepHierarchyVirtualDispatch(t *testing.T) {
+	p := newProc(t, Options{})
+	a := layout.NewClass("A").AddVirtual("f").AddVirtual("g")
+	b := layout.NewClass("B", a).AddVirtual("f") // overrides f, inherits g
+	c := layout.NewClass("C", b).AddVirtual("g") // overrides g, inherits B::f
+
+	var calls []string
+	mark := func(name string) Body {
+		return func(*Process, *stackm.Frame) error {
+			calls = append(calls, name)
+			return nil
+		}
+	}
+	for _, def := range []struct {
+		cls    *layout.Class
+		method string
+	}{
+		{a, "f"}, {a, "g"}, {b, "f"}, {c, "g"},
+	} {
+		if _, err := p.DefineMethod(def.cls, def.method, mark(def.cls.Name()+"::"+def.method)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g, err := p.DefineGlobal("obj", c, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := p.Construct(c, g.Addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Dispatch through the base-typed view: the most-derived overrides win.
+	baseView, err := o.ViewAs(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.VirtualCall(baseView, "f"); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.VirtualCall(baseView, "g"); err != nil {
+		t.Fatal(err)
+	}
+	want := "B::f,C::g"
+	if got := strings.Join(calls, ","); got != want {
+		t.Errorf("dispatch order = %q, want %q", got, want)
+	}
+	if p.HasEvent(EvVTableHijack) {
+		t.Error("legitimate deep dispatch flagged as hijack")
+	}
+}

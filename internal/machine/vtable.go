@@ -1,0 +1,234 @@
+package machine
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/layout"
+	"repro/internal/mem"
+	"repro/internal/object"
+	"repro/internal/stackm"
+	"repro/internal/vtab"
+)
+
+// DefineMethod registers the implementation of Class::method. The body may
+// be nil, in which case invocation just records an EvMethodCall event.
+func (p *Process) DefineMethod(cls *layout.Class, method string, body Body) (*Func, error) {
+	key := vtab.MethodKey(cls, method)
+	if body == nil {
+		body = func(p *Process, _ *stackm.Frame) error {
+			return nil
+		}
+	}
+	return p.defineFunc(key, nil, body, false)
+}
+
+// EmitVTables lays the virtual tables of cls (and implicitly its bases'
+// subobject tables) into the rodata segment. Slot entries are the text
+// addresses of the resolved implementations; any implementation not yet
+// defined via DefineMethod is auto-registered with a default body.
+func (p *Process) EmitVTables(cls *layout.Class) error {
+	if _, done := p.vtables[cls]; done {
+		return nil
+	}
+	tables, err := vtab.TablesOf(cls, p.Model)
+	if err != nil {
+		return fmt.Errorf("machine: %w", err)
+	}
+	ptr := int64(p.Model.PtrSize)
+	var addrs []mem.Addr
+	for _, t := range tables {
+		need := int64(len(t.Slots)) * ptr
+		base := mem.Addr(alignUp(uint64(p.roCur), p.Model.PtrSize))
+		if base.Add(need) > p.Img.ROData.End() {
+			return fmt.Errorf("machine: rodata full emitting vtable of %s", cls.Name())
+		}
+		for i, s := range t.Slots {
+			impl, ok := p.funcs[s.Key()]
+			if !ok {
+				var err error
+				impl, err = p.DefineMethod(s.Impl, s.Name, nil)
+				if err != nil {
+					return err
+				}
+			}
+			entry := base.Add(int64(i) * ptr)
+			b := make([]byte, ptr)
+			for j := int64(0); j < ptr; j++ {
+				b[j] = byte(uint64(impl.Addr) >> (8 * j))
+			}
+			// Poke: rodata is not writable by simulated code; the loader
+			// writes it.
+			if err := p.Mem.Poke(entry, b); err != nil {
+				return err
+			}
+		}
+		p.roCur = base.Add(need)
+		addrs = append(addrs, base)
+		p.vtAddrs[base] = true
+	}
+	p.vtables[cls] = addrs
+	return nil
+}
+
+// VTableAddrs returns the emitted table addresses of cls (one per vptr).
+func (p *Process) VTableAddrs(cls *layout.Class) ([]mem.Addr, error) {
+	a, ok := p.vtables[cls]
+	if !ok {
+		return nil, fmt.Errorf("machine: vtables of %s not emitted", cls.Name())
+	}
+	out := make([]mem.Addr, len(a))
+	copy(out, a)
+	return out, nil
+}
+
+// Construct runs `new (addr) cls()` with full C++ semantics: placement
+// (unchecked, per §2.5), zero-initialisation, and vtable-pointer
+// installation for polymorphic classes. Tables are emitted on demand.
+func (p *Process) Construct(cls *layout.Class, addr mem.Addr) (*object.Object, error) {
+	o, err := core.PlacementNew(p.Mem, p.Model, addr, cls)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.installVPtrs(o); err != nil {
+		return nil, err
+	}
+	p.Tracker.RecordPlacement(addr, cls.Name(), o.Size())
+	return o, nil
+}
+
+func (p *Process) installVPtrs(o *object.Object) error {
+	if !o.Layout().HasVPtr() {
+		return nil
+	}
+	cls := o.Class()
+	if err := p.EmitVTables(cls); err != nil {
+		return err
+	}
+	for i, ta := range p.vtables[cls] {
+		if err := o.SetVPtr(i, ta); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ConstructChecked is Construct behind the §5.1 bounds/alignment check
+// against a declared arena.
+func (p *Process) ConstructChecked(cls *layout.Class, arena core.Arena) (*object.Object, error) {
+	l, err := layout.Of(cls, p.Model)
+	if err != nil {
+		return nil, err
+	}
+	if l.Size > arena.Size {
+		return nil, &core.BoundsError{What: cls.Name(), Need: l.Size, Have: arena.Size, At: arena.Base, Label: arena.Label}
+	}
+	if uint64(arena.Base)%l.Align != 0 {
+		return nil, &core.AlignError{What: cls.Name(), Align: l.Align, At: arena.Base}
+	}
+	return p.Construct(cls, arena.Base)
+}
+
+// GuardError reports a placement rejected (or unverifiable) by the
+// runtime guard.
+type GuardError struct {
+	At      mem.Addr
+	What    string
+	Reason  string
+	Unknown bool // true when no arena could be inferred
+}
+
+// Error implements the error interface.
+func (e *GuardError) Error() string {
+	return fmt.Sprintf("machine: runtime guard rejected placement of %s at %#x: %s", e.What, uint64(e.At), e.Reason)
+}
+
+// ConstructGuarded is Construct behind the §5.2 libsafe-style runtime
+// interposition: the arena containing addr is inferred from allocator,
+// frame, and symbol metadata. denyUnknown selects the policy for the
+// paper's undecidable case (an address inside no known allocation).
+func (p *Process) ConstructGuarded(cls *layout.Class, addr mem.Addr, denyUnknown bool) (*object.Object, error) {
+	arena, ok := p.InferArena(addr)
+	if !ok {
+		if denyUnknown {
+			return nil, &GuardError{At: addr, What: cls.Name(), Reason: "address is in no inferable arena", Unknown: true}
+		}
+		return p.Construct(cls, addr)
+	}
+	l, err := layout.Of(cls, p.Model)
+	if err != nil {
+		return nil, err
+	}
+	// The placement may start mid-arena; what matters is the room left.
+	room := uint64(0)
+	if arena.Contains(addr, 0) || addr == arena.Base {
+		room = uint64(arena.End().Diff(addr))
+	}
+	if l.Size > room {
+		return nil, &GuardError{At: addr, What: cls.Name(),
+			Reason: fmt.Sprintf("needs %d bytes, %s has %d remaining", l.Size, arena.Label, room)}
+	}
+	return p.Construct(cls, addr)
+}
+
+// VirtualCall dispatches obj->method() through the object's in-memory
+// vtable pointer, exactly as compiled code would: read the vptr, index
+// the table, jump. A corrupted vptr therefore redirects the call —
+// EvVTableHijack is recorded when the pointer no longer names any emitted
+// table — and an unmapped vptr or slot crashes the process (§3.8.2:
+// "or even crash the program by supplying an invalid address").
+func (p *Process) VirtualCall(o *object.Object, method string) error {
+	tables, err := vtab.TablesOf(o.Class(), p.Model)
+	if err != nil {
+		return err
+	}
+	ti, si, err := vtab.SlotOf(tables, method)
+	if err != nil {
+		return err
+	}
+	vptr, err := o.VPtr(ti)
+	if err != nil {
+		return err
+	}
+	p.record(EvVirtualCall, vptr, "%s@%#x->%s() via vtable %#x",
+		o.Class().Name(), uint64(o.Addr()), method, uint64(vptr))
+	if !p.vtAddrs[vptr] {
+		p.record(EvVTableHijack, vptr, "vptr of %s@%#x redirected to %#x",
+			o.Class().Name(), uint64(o.Addr()), uint64(vptr))
+	}
+	entry := vptr.Add(int64(si) * int64(p.Model.PtrSize))
+	target, err := p.Mem.ReadUint(entry, int(p.Model.PtrSize))
+	if err != nil {
+		p.record(EvSegfault, entry, "virtual dispatch reads unmapped vtable at %#x", uint64(entry))
+		return &AbortError{Kind: EvSegfault, Reason: fmt.Sprintf("vtable read at %#x faulted", uint64(entry))}
+	}
+	if f, ok := p.funcAt[mem.Addr(target)]; ok {
+		p.record(EvMethodCall, f.Addr, "%s()", f.Name)
+		if f.Privileged {
+			p.record(EvPrivilegedCall, f.Addr, "%s() executes in privileged mode", f.Name)
+		}
+		if f.Body != nil {
+			return f.Body(p, nil)
+		}
+		return nil
+	}
+	return p.execAddr(mem.Addr(target), fmt.Sprintf("virtual call %s()", method))
+}
+
+// InferArena attempts to bound the allocation containing addr using
+// allocator, stack-frame, and symbol metadata — the §5.2 libsafe-style
+// runtime inference. It fails exactly where the paper says it must:
+// "placement new just operates on an address, not on a lexically declared
+// array", so an address in no known arena cannot be bounded.
+func (p *Process) InferArena(addr mem.Addr) (core.Arena, bool) {
+	if b, ok := p.Heap.BlockAt(addr); ok {
+		return core.Arena{Base: b.Payload, Size: b.Size, Label: "heap block"}, true
+	}
+	if l, _, ok := p.Stack.LocalAt(addr); ok {
+		return core.Arena{Base: l.Addr, Size: l.Type.Size(p.Model), Label: "local " + l.Name}, true
+	}
+	if g, ok := p.GlobalAt(addr); ok {
+		return core.Arena{Base: g.Addr, Size: g.Type.Size(p.Model), Label: "global " + g.Name}, true
+	}
+	return core.Arena{}, false
+}

@@ -1,0 +1,73 @@
+package mem
+
+import "fmt"
+
+// FaultKind classifies a memory access violation.
+type FaultKind int
+
+// Fault kinds. FaultUnmapped corresponds to a SIGSEGV on an unmapped page;
+// FaultPerm to a permission violation (write to rodata, execute with NX);
+// FaultGuard to a write into a poisoned guard region (the ASan-style
+// red-zone instrumentation of the memguard defense).
+const (
+	FaultUnmapped FaultKind = iota + 1
+	FaultPerm
+	FaultGuard
+)
+
+// String returns a short human-readable name.
+func (k FaultKind) String() string {
+	switch k {
+	case FaultUnmapped:
+		return "unmapped"
+	case FaultPerm:
+		return "permission"
+	case FaultGuard:
+		return "guard"
+	default:
+		return fmt.Sprintf("FaultKind(%d)", int(k))
+	}
+}
+
+// Fault is a memory access violation. It is the simulated analogue of a
+// hardware fault: scenarios that dereference a corrupted pointer observe a
+// Fault exactly where the paper's victim programs crashed.
+type Fault struct {
+	Kind FaultKind
+	Addr Addr
+	Size uint64
+	// Want and Have are set for permission faults.
+	Want Perm
+	Have Perm
+	// Guard names the violated red zone for guard faults.
+	Guard string
+}
+
+// Error implements the error interface.
+func (f *Fault) Error() string {
+	switch f.Kind {
+	case FaultPerm:
+		return fmt.Sprintf("mem: permission fault at %#x (size %d): need %s, segment is %s",
+			uint64(f.Addr), f.Size, f.Want, f.Have)
+	case FaultGuard:
+		return fmt.Sprintf("mem: guard violation: write of %d bytes at %#x enters red zone %q",
+			f.Size, uint64(f.Addr), f.Guard)
+	default:
+		return fmt.Sprintf("mem: segmentation fault at %#x (size %d)", uint64(f.Addr), f.Size)
+	}
+}
+
+// IsFault reports whether err is (or wraps) a *Fault, returning it if so.
+func IsFault(err error) (*Fault, bool) {
+	for err != nil {
+		if f, ok := err.(*Fault); ok {
+			return f, true
+		}
+		u, ok := err.(interface{ Unwrap() error })
+		if !ok {
+			return nil, false
+		}
+		err = u.Unwrap()
+	}
+	return nil, false
+}

@@ -1,0 +1,93 @@
+package mem
+
+import "fmt"
+
+// ImageConfig sizes the canonical process image. The zero value selects the
+// defaults below, which mirror a small i386 ELF process like the paper's
+// victim programs.
+type ImageConfig struct {
+	TextSize   uint64 // default 64 KiB
+	RODataSize uint64 // default 64 KiB
+	DataSize   uint64 // default 64 KiB
+	BSSSize    uint64 // default 64 KiB
+	HeapSize   uint64 // default 256 KiB
+	StackSize  uint64 // default 64 KiB
+
+	// ExecStack maps the stack rwx instead of rw-. The paper's testbed
+	// (Ubuntu 10.04, gcc 4.4.3) had NX stacks by default; the §3.6.2 code
+	// injection experiment flips this to show both outcomes.
+	ExecStack bool
+}
+
+// Default process-image base addresses, modelled on the classic i386 ELF
+// layout the paper references (text low, stack high, heap in between).
+const (
+	TextBase   Addr = 0x08048000
+	RODataBase Addr = 0x08060000
+	DataBase   Addr = 0x08080000
+	BSSBase    Addr = 0x08090000
+	HeapBase   Addr = 0x080a0000
+	StackTop   Addr = 0xbffff000 // first address above the stack
+)
+
+func (c *ImageConfig) withDefaults() ImageConfig {
+	out := *c
+	def := func(v *uint64, d uint64) {
+		if *v == 0 {
+			*v = d
+		}
+	}
+	def(&out.TextSize, 64<<10)
+	def(&out.RODataSize, 64<<10)
+	def(&out.DataSize, 64<<10)
+	def(&out.BSSSize, 64<<10)
+	def(&out.HeapSize, 256<<10)
+	def(&out.StackSize, 64<<10)
+	return out
+}
+
+// Image is a fully mapped process address space with the conventional
+// segments resolved.
+type Image struct {
+	Mem    *Memory
+	Text   *Segment
+	ROData *Segment
+	Data   *Segment
+	BSS    *Segment
+	Heap   *Segment
+	Stack  *Segment
+}
+
+// NewProcessImage maps the canonical segment layout and returns the image.
+func NewProcessImage(cfg ImageConfig) (*Image, error) {
+	c := cfg.withDefaults()
+	m := &Memory{}
+	img := &Image{Mem: m}
+
+	stackPerm := PermRW
+	if c.ExecStack {
+		stackPerm = PermRWX
+	}
+	maps := []struct {
+		kind SegKind
+		base Addr
+		size uint64
+		perm Perm
+		out  **Segment
+	}{
+		{SegText, TextBase, c.TextSize, PermRX, &img.Text},
+		{SegROData, RODataBase, c.RODataSize, PermRead, &img.ROData},
+		{SegData, DataBase, c.DataSize, PermRW, &img.Data},
+		{SegBSS, BSSBase, c.BSSSize, PermRW, &img.BSS},
+		{SegHeap, HeapBase, c.HeapSize, PermRW, &img.Heap},
+		{SegStack, StackTop.Add(-int64(c.StackSize)), c.StackSize, stackPerm, &img.Stack},
+	}
+	for _, mp := range maps {
+		seg, err := m.Map(mp.kind, mp.base, mp.size, mp.perm)
+		if err != nil {
+			return nil, fmt.Errorf("mem: building process image: %w", err)
+		}
+		*mp.out = seg
+	}
+	return img, nil
+}

@@ -1,0 +1,119 @@
+package mem
+
+// Watchpoint observes writes that touch a byte range. Experiments use
+// watchpoints to detect victim-word overwrites (return addresses, globals,
+// vtable pointers) without changing the attack's own code path.
+type Watchpoint struct {
+	Name  string
+	Start Addr
+	Size  uint64
+	// OnWrite is invoked after a write that intersects the range. addr is
+	// the start of the whole write; old and new are the full written span.
+	OnWrite func(w *Watchpoint, addr Addr, old, new []byte)
+
+	// Hits counts intersecting writes since installation.
+	Hits int
+
+	removed bool
+}
+
+// End returns the first address past the watched range.
+func (w *Watchpoint) End() Addr { return w.Start.Add(int64(w.Size)) }
+
+// Watch installs a watchpoint over [start, start+size). The callback may be
+// nil, in which case only Hits is maintained.
+func (m *Memory) Watch(name string, start Addr, size uint64, onWrite func(w *Watchpoint, addr Addr, old, new []byte)) *Watchpoint {
+	w := &Watchpoint{Name: name, Start: start, Size: size, OnWrite: onWrite}
+	m.watch = append(m.watch, w)
+	return w
+}
+
+// Unwatch removes a previously installed watchpoint. Removing a watchpoint
+// twice is a no-op.
+func (m *Memory) Unwatch(w *Watchpoint) {
+	if w == nil || w.removed {
+		return
+	}
+	w.removed = true
+	for i, x := range m.watch {
+		if x == w {
+			m.watch = append(m.watch[:i], m.watch[i+1:]...)
+			return
+		}
+	}
+}
+
+// GuardRegion is a poisoned byte range: any simulated write that touches
+// it faults *before* modifying memory — the ASan-style red-zone semantics
+// the memguard defense installs after each placement. Loader writes
+// (Poke) bypass guards, as compiler-emitted red zones would.
+type GuardRegion struct {
+	Name  string
+	Start Addr
+	Size  uint64
+
+	removed bool
+}
+
+// End returns the first address past the guard.
+func (g *GuardRegion) End() Addr { return g.Start.Add(int64(g.Size)) }
+
+// Guard poisons [start, start+n). Overlapping guards are permitted; the
+// first installed match reports the violation.
+func (m *Memory) Guard(name string, start Addr, n uint64) *GuardRegion {
+	g := &GuardRegion{Name: name, Start: start, Size: n}
+	m.guards = append(m.guards, g)
+	return g
+}
+
+// Unguard removes a guard region. Removing twice is a no-op.
+func (m *Memory) Unguard(g *GuardRegion) {
+	if g == nil || g.removed {
+		return
+	}
+	g.removed = true
+	for i, x := range m.guards {
+		if x == g {
+			m.guards = append(m.guards[:i], m.guards[i+1:]...)
+			return
+		}
+	}
+}
+
+// checkGuards reports a fault if [addr, addr+n) enters any guard region.
+func (m *Memory) checkGuards(addr Addr, n uint64) *Fault {
+	if len(m.guards) == 0 {
+		return nil
+	}
+	end := addr.Add(int64(n))
+	for _, g := range m.guards {
+		if g.removed || g.Size == 0 {
+			continue
+		}
+		if addr < g.End() && g.Start < end {
+			return &Fault{Kind: FaultGuard, Addr: addr, Size: n, Guard: g.Name}
+		}
+	}
+	return nil
+}
+
+// fireWatch delivers a completed write to all intersecting watchpoints.
+func (m *Memory) fireWatch(addr Addr, old, b []byte) {
+	if len(m.watch) == 0 {
+		return
+	}
+	end := addr.Add(int64(len(b)))
+	// Copy the slice header: a callback may install/remove watchpoints.
+	ws := m.watch
+	for _, w := range ws {
+		if w.removed || w.Size == 0 {
+			continue
+		}
+		if addr < w.End() && w.Start < end {
+			w.Hits++
+			if w.OnWrite != nil {
+				w.OnWrite(w, addr, old, b)
+			}
+		}
+	}
+}

@@ -1,0 +1,316 @@
+// Package object provides typed views of class instances living in
+// simulated memory: construct an object at an address, read and write its
+// members, follow its vtable pointers, and copy it.
+//
+// Faithful to C++, none of the accessors bounds-check against the arena
+// the object was placed in, and array indexing does not bounds-check
+// against the array length (cf. Listing 6's `*(st->courseid + i)` walk).
+// The only hard stop is the simulated MMU: writes to unmapped or
+// read-only pages fault. Safety, where the paper's §5.1 wants it, is
+// layered on by internal/core's checked placement, not here.
+package object
+
+import (
+	"fmt"
+
+	"repro/internal/layout"
+	"repro/internal/mem"
+)
+
+// Object is a typed view of a class instance at a memory address.
+type Object struct {
+	m    *mem.Memory
+	lay  *layout.ClassLayout
+	addr mem.Addr
+}
+
+// View binds a typed view of class cls (under model) at addr. It validates
+// the class definition but performs no arena checks: "placement new allows
+// any address allocated to the process" (§2.5).
+func View(m *mem.Memory, cls *layout.Class, model layout.Model, addr mem.Addr) (*Object, error) {
+	if m == nil {
+		return nil, fmt.Errorf("object: nil memory")
+	}
+	if addr == mem.NullAddr {
+		return nil, fmt.Errorf("object: view of class %s at null address", clsName(cls))
+	}
+	l, err := layout.Of(cls, model)
+	if err != nil {
+		return nil, fmt.Errorf("object: %w", err)
+	}
+	return &Object{m: m, lay: l, addr: addr}, nil
+}
+
+func clsName(c *layout.Class) string {
+	if c == nil {
+		return "<nil>"
+	}
+	return c.Name()
+}
+
+// Addr returns the object's starting address.
+func (o *Object) Addr() mem.Addr { return o.addr }
+
+// Class returns the object's class.
+func (o *Object) Class() *layout.Class { return o.lay.Class }
+
+// Layout returns the object's computed layout.
+func (o *Object) Layout() *layout.ClassLayout { return o.lay }
+
+// Size returns sizeof the object.
+func (o *Object) Size() uint64 { return o.lay.Size }
+
+// End returns the first address past the object.
+func (o *Object) End() mem.Addr { return o.addr.Add(int64(o.lay.Size)) }
+
+// Model returns the data model the view was bound under.
+func (o *Object) Model() layout.Model { return o.lay.Model }
+
+// Zero writes zero bytes over the whole object footprint — the effect of
+// value-initialisation (`T()` for an aggregate without user constructors).
+// It does not preserve vptr slots; construction code must (re)install
+// them after.
+func (o *Object) Zero() error {
+	return o.m.Memset(o.addr, 0, o.lay.Size)
+}
+
+// ZeroScalars zero-initialises every scalar and pointer member, including
+// those of base subobjects and nested class-typed members, but leaves
+// array members untouched. This models the constructors of the paper's
+// listings: Student() sets gpa/year/semester while GradStudent leaves
+// ssn[] indeterminate — which is why placing a GradStudent writes only
+// sizeof(Student) bytes until the attacker sets ssn[] explicitly.
+func (o *Object) ZeroScalars() error {
+	fields, err := o.lay.AllFields()
+	if err != nil {
+		return err
+	}
+	for _, f := range fields {
+		addr := o.addr.Add(int64(f.Offset))
+		switch t := f.Type.(type) {
+		case layout.Scalar, layout.Ptr:
+			if err := o.m.Memset(addr, 0, f.Type.Size(o.lay.Model)); err != nil {
+				return err
+			}
+		case *layout.Class:
+			nested, err := View(o.m, t, o.lay.Model, addr)
+			if err != nil {
+				return err
+			}
+			if err := nested.ZeroScalars(); err != nil {
+				return err
+			}
+		case layout.Array:
+			// left indeterminate, as a default constructor would
+		}
+	}
+	return nil
+}
+
+// field resolves a member and its absolute address.
+func (o *Object) field(name string) (layout.ResolvedField, mem.Addr, error) {
+	f, err := o.lay.FieldOffset(name)
+	if err != nil {
+		return layout.ResolvedField{}, 0, err
+	}
+	return f, o.addr.Add(int64(f.Offset)), nil
+}
+
+// FieldAddr returns the absolute address of a member — the simulated
+// equivalent of `&obj.field`.
+func (o *Object) FieldAddr(name string) (mem.Addr, error) {
+	_, a, err := o.field(name)
+	return a, err
+}
+
+func scalarOf(t layout.Type) (layout.Scalar, bool) {
+	s, ok := t.(layout.Scalar)
+	return s, ok
+}
+
+// SetInt stores v into an integer-kind member (bool/char/short/int/long,
+// signed or unsigned), truncating to the member width like a C++ store.
+func (o *Object) SetInt(name string, v int64) error {
+	f, a, err := o.field(name)
+	if err != nil {
+		return err
+	}
+	s, ok := scalarOf(f.Type)
+	if !ok || !s.IsInteger() {
+		return fmt.Errorf("object: %s.%s is %s, not an integer member", o.Class().Name(), name, f.Type)
+	}
+	return o.m.WriteInt(a, v, int(f.Type.Size(o.lay.Model)))
+}
+
+// Int loads an integer-kind member with sign extension for signed kinds.
+func (o *Object) Int(name string) (int64, error) {
+	f, a, err := o.field(name)
+	if err != nil {
+		return 0, err
+	}
+	s, ok := scalarOf(f.Type)
+	if !ok || !s.IsInteger() {
+		return 0, fmt.Errorf("object: %s.%s is %s, not an integer member", o.Class().Name(), name, f.Type)
+	}
+	w := int(f.Type.Size(o.lay.Model))
+	if s.IsSigned() {
+		return o.m.ReadInt(a, w)
+	}
+	u, err := o.m.ReadUint(a, w)
+	return int64(u), err
+}
+
+// SetFloat stores v into a float or double member.
+func (o *Object) SetFloat(name string, v float64) error {
+	f, a, err := o.field(name)
+	if err != nil {
+		return err
+	}
+	switch f.Type.Kind() {
+	case layout.KindDouble:
+		return o.m.WriteF64(a, v)
+	case layout.KindFloat:
+		return o.m.WriteF32(a, float32(v))
+	default:
+		return fmt.Errorf("object: %s.%s is %s, not a floating member", o.Class().Name(), name, f.Type)
+	}
+}
+
+// Float loads a float or double member.
+func (o *Object) Float(name string) (float64, error) {
+	f, a, err := o.field(name)
+	if err != nil {
+		return 0, err
+	}
+	switch f.Type.Kind() {
+	case layout.KindDouble:
+		return o.m.ReadF64(a)
+	case layout.KindFloat:
+		v, err := o.m.ReadF32(a)
+		return float64(v), err
+	default:
+		return 0, fmt.Errorf("object: %s.%s is %s, not a floating member", o.Class().Name(), name, f.Type)
+	}
+}
+
+// SetPtr stores an address into a pointer member.
+func (o *Object) SetPtr(name string, v mem.Addr) error {
+	f, a, err := o.field(name)
+	if err != nil {
+		return err
+	}
+	if f.Type.Kind() != layout.KindPtr {
+		return fmt.Errorf("object: %s.%s is %s, not a pointer member", o.Class().Name(), name, f.Type)
+	}
+	return o.m.WriteUint(a, uint64(v), int(o.lay.Model.PtrSize))
+}
+
+// Ptr loads a pointer member.
+func (o *Object) Ptr(name string) (mem.Addr, error) {
+	f, a, err := o.field(name)
+	if err != nil {
+		return 0, err
+	}
+	if f.Type.Kind() != layout.KindPtr {
+		return 0, fmt.Errorf("object: %s.%s is %s, not a pointer member", o.Class().Name(), name, f.Type)
+	}
+	u, err := o.m.ReadUint(a, int(o.lay.Model.PtrSize))
+	return mem.Addr(u), err
+}
+
+// arrayElem resolves element i of an array member WITHOUT bounds checking
+// the index — `*(arr + i)` semantics.
+func (o *Object) arrayElem(name string, i int64) (layout.Scalar, mem.Addr, error) {
+	f, a, err := o.field(name)
+	if err != nil {
+		return layout.Scalar{}, 0, err
+	}
+	arr, ok := f.Type.(layout.Array)
+	if !ok {
+		return layout.Scalar{}, 0, fmt.Errorf("object: %s.%s is %s, not an array member", o.Class().Name(), name, f.Type)
+	}
+	s, ok := scalarOf(arr.Elem)
+	if !ok {
+		return layout.Scalar{}, 0, fmt.Errorf("object: %s.%s has non-scalar elements", o.Class().Name(), name)
+	}
+	return s, a.Add(i * int64(arr.Elem.Size(o.lay.Model))), nil
+}
+
+// SetIndex stores v into element i of an integer array member. The index
+// is deliberately unchecked against the array length; only the simulated
+// MMU can stop the write.
+func (o *Object) SetIndex(name string, i int64, v int64) error {
+	s, a, err := o.arrayElem(name, i)
+	if err != nil {
+		return err
+	}
+	if !s.IsInteger() {
+		return fmt.Errorf("object: %s.%s elements are %s, not integers", o.Class().Name(), name, s)
+	}
+	return o.m.WriteInt(a, v, int(s.Size(o.lay.Model)))
+}
+
+// Index loads element i of an integer array member (unchecked index).
+func (o *Object) Index(name string, i int64) (int64, error) {
+	s, a, err := o.arrayElem(name, i)
+	if err != nil {
+		return 0, err
+	}
+	if !s.IsInteger() {
+		return 0, fmt.Errorf("object: %s.%s elements are %s, not integers", o.Class().Name(), name, s)
+	}
+	w := int(s.Size(o.lay.Model))
+	if s.IsSigned() {
+		return o.m.ReadInt(a, w)
+	}
+	u, err := o.m.ReadUint(a, w)
+	return int64(u), err
+}
+
+// VPtr reads the i'th vtable pointer of the object.
+func (o *Object) VPtr(i int) (mem.Addr, error) {
+	offs := o.lay.VPtrOffsets
+	if i < 0 || i >= len(offs) {
+		return 0, fmt.Errorf("object: class %s has %d vptr(s), index %d", o.Class().Name(), len(offs), i)
+	}
+	u, err := o.m.ReadUint(o.addr.Add(int64(offs[i])), int(o.lay.Model.PtrSize))
+	return mem.Addr(u), err
+}
+
+// SetVPtr writes the i'th vtable pointer. Construction code uses this to
+// install tables; attacks reach the same bytes through plain overflows.
+func (o *Object) SetVPtr(i int, v mem.Addr) error {
+	offs := o.lay.VPtrOffsets
+	if i < 0 || i >= len(offs) {
+		return fmt.Errorf("object: class %s has %d vptr(s), index %d", o.Class().Name(), len(offs), i)
+	}
+	return o.m.WriteUint(o.addr.Add(int64(offs[i])), uint64(v), int(o.lay.Model.PtrSize))
+}
+
+// Bytes returns a copy of the object's raw image.
+func (o *Object) Bytes() ([]byte, error) {
+	return o.m.Read(o.addr, o.lay.Size)
+}
+
+// CopyFrom copies src's full image over this object's address — the
+// memmove at the heart of a copy constructor. If src is larger than this
+// object's class, the trailing bytes land past the destination footprint;
+// nothing here stops that (§3.2's deep-copy overflow).
+func (o *Object) CopyFrom(src *Object) error {
+	b, err := src.Bytes()
+	if err != nil {
+		return err
+	}
+	return o.m.Write(o.addr, b)
+}
+
+// ViewAs rebinds the same address as a different class — the raw effect of
+// `(T2*)&obj` or of placing a new type over an existing arena.
+func (o *Object) ViewAs(cls *layout.Class) (*Object, error) {
+	return View(o.m, cls, o.lay.Model, o.addr)
+}
+
+// String summarises the object for diagnostics.
+func (o *Object) String() string {
+	return fmt.Sprintf("%s@%#x[%d]", o.Class().Name(), uint64(o.addr), o.lay.Size)
+}

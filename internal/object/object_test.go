@@ -1,0 +1,428 @@
+package object
+
+import (
+	"testing"
+
+	"repro/internal/layout"
+	"repro/internal/mem"
+)
+
+func paperClasses() (student, grad *layout.Class) {
+	student = layout.NewClass("Student").
+		AddField("gpa", layout.Double).
+		AddField("year", layout.Int).
+		AddField("semester", layout.Int)
+	grad = layout.NewClass("GradStudent", student).
+		AddField("ssn", layout.ArrayOf(layout.Int, 3))
+	return student, grad
+}
+
+func newTestMem(t *testing.T) *mem.Memory {
+	t.Helper()
+	m := &mem.Memory{}
+	if _, err := m.Map(mem.SegBSS, 0x1000, 0x1000, mem.PermRW); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestViewValidation(t *testing.T) {
+	m := newTestMem(t)
+	student, _ := paperClasses()
+	if _, err := View(nil, student, layout.ILP32, 0x1000); err == nil {
+		t.Error("nil memory accepted")
+	}
+	if _, err := View(m, student, layout.ILP32, mem.NullAddr); err == nil {
+		t.Error("null address accepted")
+	}
+	bad := layout.NewClass("Bad").AddField("x", nil)
+	if _, err := View(m, bad, layout.ILP32, 0x1000); err == nil {
+		t.Error("invalid class accepted")
+	}
+}
+
+func TestScalarMembers(t *testing.T) {
+	m := newTestMem(t)
+	student, _ := paperClasses()
+	o, err := View(m, student, layout.ILP32i386, 0x1100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Zero(); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.SetFloat("gpa", 3.9); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.SetInt("year", 2008); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.SetInt("semester", 2); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := o.Float("gpa"); v != 3.9 {
+		t.Errorf("gpa = %v", v)
+	}
+	if v, _ := o.Int("year"); v != 2008 {
+		t.Errorf("year = %v", v)
+	}
+	if v, _ := o.Int("semester"); v != 2 {
+		t.Errorf("semester = %v", v)
+	}
+}
+
+func TestTypeMismatchErrors(t *testing.T) {
+	m := newTestMem(t)
+	student, grad := paperClasses()
+	_ = grad
+	o, err := View(m, student, layout.ILP32, 0x1100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := o.SetInt("gpa", 1); err == nil {
+		t.Error("SetInt on double succeeded")
+	}
+	if _, err := o.Int("gpa"); err == nil {
+		t.Error("Int on double succeeded")
+	}
+	if err := o.SetFloat("year", 1); err == nil {
+		t.Error("SetFloat on int succeeded")
+	}
+	if _, err := o.Float("year"); err == nil {
+		t.Error("Float on int succeeded")
+	}
+	if err := o.SetPtr("year", 0x10); err == nil {
+		t.Error("SetPtr on int succeeded")
+	}
+	if _, err := o.Ptr("year"); err == nil {
+		t.Error("Ptr on int succeeded")
+	}
+	if err := o.SetIndex("year", 0, 1); err == nil {
+		t.Error("SetIndex on scalar succeeded")
+	}
+	if _, err := o.Int("nosuch"); err == nil {
+		t.Error("missing member access succeeded")
+	}
+}
+
+func TestInheritedMemberAccess(t *testing.T) {
+	m := newTestMem(t)
+	_, grad := paperClasses()
+	o, err := View(m, grad, layout.ILP32i386, 0x1100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := o.SetFloat("gpa", 4.0); err != nil {
+		t.Fatalf("inherited member write: %v", err)
+	}
+	if v, _ := o.Float("gpa"); v != 4.0 {
+		t.Errorf("gpa = %v", v)
+	}
+	a, err := o.FieldAddr("gpa")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != o.Addr() {
+		t.Errorf("gpa addr = %#x, want object start", uint64(a))
+	}
+}
+
+func TestArrayIndexing(t *testing.T) {
+	m := newTestMem(t)
+	_, grad := paperClasses()
+	o, err := View(m, grad, layout.ILP32i386, 0x1100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 3; i++ {
+		if err := o.SetIndex("ssn", i, 100+i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := int64(0); i < 3; i++ {
+		if v, _ := o.Index("ssn", i); v != 100+i {
+			t.Errorf("ssn[%d] = %d", i, v)
+		}
+	}
+}
+
+// TestUncheckedArrayIndexWalksPastObject verifies the Listing 6 primitive:
+// indexing past the declared length silently writes adjacent memory.
+func TestUncheckedArrayIndexWalksPastObject(t *testing.T) {
+	m := newTestMem(t)
+	_, grad := paperClasses()
+	o, err := View(m, grad, layout.ILP32i386, 0x1100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ssn is int[3] at offset 16; index 3 is one past the object (size 28).
+	if err := o.SetIndex("ssn", 3, 0x41414141); err != nil {
+		t.Fatalf("out-of-bounds index faulted inside mapped memory: %v", err)
+	}
+	v, err := m.ReadU32(0x1100 + 28)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 0x41414141 {
+		t.Errorf("adjacent word = %#x, want overflow value", v)
+	}
+	// Negative indexes walk backward, equally unchecked.
+	if err := o.SetIndex("ssn", -1, 7); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := o.Int("semester"); got != 7 {
+		t.Errorf("semester = %d, want 7 (clobbered via ssn[-1])", got)
+	}
+}
+
+func TestUncheckedIndexFaultsOnlyAtMMU(t *testing.T) {
+	m := newTestMem(t)
+	_, grad := paperClasses()
+	o, err := View(m, grad, layout.ILP32i386, 0x1100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Far past the segment end: the MMU finally stops it.
+	err = o.SetIndex("ssn", 0x10000, 1)
+	if _, ok := mem.IsFault(err); !ok {
+		t.Errorf("far out-of-bounds write: err = %v, want fault", err)
+	}
+}
+
+func TestPointerMembers(t *testing.T) {
+	m := newTestMem(t)
+	cls := layout.NewClass("Holder").AddField("name", layout.PtrTo(layout.Char))
+	o, err := View(m, cls, layout.ILP32, 0x1200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := o.SetPtr("name", 0x1300); err != nil {
+		t.Fatal(err)
+	}
+	p, err := o.Ptr("name")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != 0x1300 {
+		t.Errorf("ptr = %#x", uint64(p))
+	}
+}
+
+func TestVPtrAccess(t *testing.T) {
+	m := newTestMem(t)
+	cls := layout.NewClass("Poly").AddVirtual("f").AddField("x", layout.Int)
+	o, err := View(m, cls, layout.ILP32, 0x1200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := o.SetVPtr(0, 0x8060000); err != nil {
+		t.Fatal(err)
+	}
+	v, err := o.VPtr(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 0x8060000 {
+		t.Errorf("vptr = %#x", uint64(v))
+	}
+	if _, err := o.VPtr(1); err == nil {
+		t.Error("vptr index 1 accepted on single-table class")
+	}
+	if err := o.SetVPtr(-1, 0); err == nil {
+		t.Error("negative vptr index accepted")
+	}
+	plain := layout.NewClass("Plain").AddField("x", layout.Int)
+	po, err := View(m, plain, layout.ILP32, 0x1300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := po.VPtr(0); err == nil {
+		t.Error("vptr read on non-polymorphic class succeeded")
+	}
+}
+
+// TestCopyFromLargerOverflows is the copy-constructor attack of §3.2 in
+// miniature: deep-copying a GradStudent image into a Student-sized arena
+// writes sizeof(GradStudent) bytes.
+func TestCopyFromLargerOverflows(t *testing.T) {
+	m := newTestMem(t)
+	student, grad := paperClasses()
+
+	src, err := View(m, grad, layout.ILP32i386, 0x1800)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := src.Zero(); err != nil {
+		t.Fatal(err)
+	}
+	if err := src.SetIndex("ssn", 2, 0x61616161); err != nil {
+		t.Fatal(err)
+	}
+
+	// Destination arena: a Student at 0x1100 followed by a sentinel word.
+	sentinelAddr := mem.Addr(0x1100 + 16 + 8)
+	if err := m.WriteU32(sentinelAddr, 0x11111111); err != nil {
+		t.Fatal(err)
+	}
+	dst, err := View(m, student, layout.ILP32i386, 0x1100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The "copy constructor" copies the *source* image: src is viewed as
+	// GradStudent at the destination for the copy.
+	dstAsGrad, err := dst.ViewAs(grad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dstAsGrad.CopyFrom(src); err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.ReadU32(sentinelAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0x61616161 {
+		t.Errorf("sentinel = %#x, want ssn[2] value (overflowed)", got)
+	}
+}
+
+func TestBytesAndZero(t *testing.T) {
+	m := newTestMem(t)
+	student, _ := paperClasses()
+	o, err := View(m, student, layout.ILP32i386, 0x1100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := o.SetInt("year", 2009); err != nil {
+		t.Fatal(err)
+	}
+	b, err := o.Bytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uint64(len(b)) != o.Size() {
+		t.Errorf("image size = %d, want %d", len(b), o.Size())
+	}
+	if err := o.Zero(); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := o.Int("year"); v != 0 {
+		t.Errorf("year after Zero = %d", v)
+	}
+}
+
+func TestUnsignedMemberRoundTrip(t *testing.T) {
+	m := newTestMem(t)
+	cls := layout.NewClass("U").AddField("u", layout.UInt).AddField("c", layout.Char)
+	o, err := View(m, cls, layout.ILP32, 0x1100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := o.SetInt("u", -1); err != nil {
+		t.Fatal(err)
+	}
+	// Unsigned read of stored -1 yields 2^32-1 — the integer-underflow
+	// trap the paper's introduction describes for strncpy lengths.
+	if v, _ := o.Int("u"); v != 0xffffffff {
+		t.Errorf("u = %#x, want 0xffffffff", v)
+	}
+	if err := o.SetInt("c", -1); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := o.Int("c"); v != -1 {
+		t.Errorf("signed char = %d, want -1", v)
+	}
+}
+
+func TestZeroScalarsLeavesArraysIndeterminate(t *testing.T) {
+	m := newTestMem(t)
+	_, grad := paperClasses()
+	o, err := View(m, grad, layout.ILP32i386, 0x1100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pre-fill everything with a sentinel pattern.
+	if err := m.Memset(0x1100, 0xee, o.Size()); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.ZeroScalars(); err != nil {
+		t.Fatal(err)
+	}
+	// Scalars (including inherited ones) are zeroed...
+	if v, _ := o.Float("gpa"); v != 0 {
+		t.Errorf("gpa = %v", v)
+	}
+	if v, _ := o.Int("year"); v != 0 {
+		t.Errorf("year = %v", v)
+	}
+	// ...but the ssn array keeps its indeterminate contents.
+	if v, _ := o.Index("ssn", 0); uint32(v) != 0xeeeeeeee {
+		t.Errorf("ssn[0] = %#x, want untouched sentinel", uint32(v))
+	}
+}
+
+func TestZeroScalarsRecursesIntoNestedClasses(t *testing.T) {
+	m := newTestMem(t)
+	student, _ := paperClasses()
+	holder := layout.NewClass("Holder").
+		AddField("inner", student).
+		AddField("p", layout.PtrTo(nil))
+	o, err := View(m, holder, layout.ILP32i386, 0x1100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Memset(0x1100, 0xee, o.Size()); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.ZeroScalars(); err != nil {
+		t.Fatal(err)
+	}
+	innerAddr, err := o.FieldAddr("inner")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gpa, err := m.ReadF64(innerAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gpa != 0 {
+		t.Errorf("nested gpa = %v", gpa)
+	}
+	if p, _ := o.Ptr("p"); p != 0 {
+		t.Errorf("pointer member = %#x", uint64(p))
+	}
+}
+
+func TestViewAccessors(t *testing.T) {
+	m := newTestMem(t)
+	student, _ := paperClasses()
+	o, err := View(m, student, layout.ILP32i386, 0x1100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.End() != 0x1110 {
+		t.Errorf("End = %#x", uint64(o.End()))
+	}
+	if o.Model().Name != layout.ILP32i386.Name {
+		t.Errorf("Model = %s", o.Model().Name)
+	}
+	if o.Layout().Size != 16 {
+		t.Errorf("Layout().Size = %d", o.Layout().Size)
+	}
+	if v, err := o.Float("gpa"); err != nil || v != 0 {
+		// freshly mapped bss is zero
+		t.Errorf("Float = %v, %v", v, err)
+	}
+}
+
+func TestStringFormat(t *testing.T) {
+	m := newTestMem(t)
+	student, _ := paperClasses()
+	o, err := View(m, student, layout.ILP32i386, 0x1100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := o.String(); got != "Student@0x1100[16]" {
+		t.Errorf("String = %q", got)
+	}
+}

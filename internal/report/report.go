@@ -1,0 +1,119 @@
+// Package report renders experiment results as aligned ASCII tables and
+// GitHub-flavoured Markdown tables; the pnbench harness uses it to emit
+// the rows recorded in EXPERIMENTS.md.
+package report
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is an ordered grid with a header row.
+type Table struct {
+	Title   string
+	headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, headers: headers}
+}
+
+// AddRow appends a row; short rows are padded, long rows truncated to the
+// header width.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.headers))
+	for i := range row {
+		if i < len(cells) {
+			row[i] = cells[i]
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// NumRows returns the number of data rows.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+func (t *Table) widths() []int {
+	w := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		w[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if len(c) > w[i] {
+				w[i] = len(c)
+			}
+		}
+	}
+	return w
+}
+
+// String renders an aligned ASCII table.
+func (t *Table) String() string {
+	var sb strings.Builder
+	if t.Title != "" {
+		sb.WriteString(t.Title + "\n")
+	}
+	w := t.widths()
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", w[i], c)
+		}
+		sb.WriteString("\n")
+	}
+	line(t.headers)
+	sep := make([]string, len(t.headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", w[i])
+	}
+	line(sep)
+	for _, r := range t.rows {
+		line(r)
+	}
+	return sb.String()
+}
+
+// CSV renders an RFC-4180-style CSV rendering (header row first, title
+// omitted). Cells containing commas, quotes, or newlines are quoted.
+func (t *Table) CSV() string {
+	var sb strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				sb.WriteByte('"')
+				sb.WriteString(strings.ReplaceAll(c, `"`, `""`))
+				sb.WriteByte('"')
+			} else {
+				sb.WriteString(c)
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(t.headers)
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return sb.String()
+}
+
+// Markdown renders a GitHub-flavoured Markdown table.
+func (t *Table) Markdown() string {
+	var sb strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&sb, "**%s**\n\n", t.Title)
+	}
+	sb.WriteString("| " + strings.Join(t.headers, " | ") + " |\n")
+	sb.WriteString("|" + strings.Repeat("---|", len(t.headers)) + "\n")
+	for _, r := range t.rows {
+		sb.WriteString("| " + strings.Join(r, " | ") + " |\n")
+	}
+	return sb.String()
+}

@@ -1,0 +1,78 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestStringAlignment(t *testing.T) {
+	tb := NewTable("Results", "scenario", "status")
+	tb.AddRow("stack-ret", "SUCCESS")
+	tb.AddRow("x", "prevented")
+	s := tb.String()
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("lines = %d:\n%s", len(lines), s)
+	}
+	if lines[0] != "Results" {
+		t.Errorf("title line = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "scenario") {
+		t.Errorf("header = %q", lines[1])
+	}
+	// Columns align: "status" starts at the same offset everywhere.
+	off := strings.Index(lines[1], "status")
+	if off < 0 || !strings.HasPrefix(lines[3][off:], "SUCCESS") {
+		t.Errorf("misaligned columns:\n%s", s)
+	}
+	if !strings.Contains(lines[2], "---") {
+		t.Errorf("separator = %q", lines[2])
+	}
+}
+
+func TestRowPaddingAndTruncation(t *testing.T) {
+	tb := NewTable("", "a", "b")
+	tb.AddRow("only")
+	tb.AddRow("x", "y", "extra")
+	if tb.NumRows() != 2 {
+		t.Fatalf("rows = %d", tb.NumRows())
+	}
+	s := tb.String()
+	if strings.Contains(s, "extra") {
+		t.Error("overflow cell not truncated")
+	}
+	if strings.HasPrefix(s, "\n") {
+		t.Error("empty title produced leading newline")
+	}
+}
+
+func TestCSV(t *testing.T) {
+	tb := NewTable("ignored title", "a", "b")
+	tb.AddRow("plain", `has,comma`)
+	tb.AddRow(`has"quote`, "line\nbreak")
+	got := tb.CSV()
+	want := "a,b\nplain,\"has,comma\"\n\"has\"\"quote\",\"line\nbreak\"\n"
+	if got != want {
+		t.Errorf("CSV = %q, want %q", got, want)
+	}
+	if strings.Contains(got, "ignored title") {
+		t.Error("CSV included the title")
+	}
+}
+
+func TestMarkdown(t *testing.T) {
+	tb := NewTable("Matrix", "scenario", "none", "checked")
+	tb.AddRow("stack-ret", "SUCCESS", "prevented")
+	md := tb.Markdown()
+	want := []string{
+		"**Matrix**",
+		"| scenario | none | checked |",
+		"|---|---|---|",
+		"| stack-ret | SUCCESS | prevented |",
+	}
+	for _, w := range want {
+		if !strings.Contains(md, w) {
+			t.Errorf("markdown missing %q:\n%s", w, md)
+		}
+	}
+}

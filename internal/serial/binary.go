@@ -1,0 +1,241 @@
+package serial
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Binary wire format — the compact form of the §3.2 remote-object channel
+// (little-endian throughout):
+//
+//	magic   "PN01"
+//	class   u8 length, bytes
+//	fields  u8 count, then per field:
+//	  name  u8 length, bytes
+//	  kind  u8 (1 int, 2 float, 3 int-array, 4 string)
+//	  int:       8-byte value
+//	  float:     8-byte IEEE-754 bits
+//	  int-array: u16 count, then count 8-byte values
+//	  string:    u16 length, bytes
+//
+// Every count on the wire is attacker-controlled; the parser bounds every
+// read against the buffer, so truncation or inflated counts are rejected
+// rather than over-read — the *parser* is robust even though the
+// *deserializer* downstream may still place the decoded object unsafely.
+const binaryMagic = "PN01"
+
+// Binary field kind codes.
+const (
+	binKindInt      = 1
+	binKindFloat    = 2
+	binKindIntArray = 3
+	binKindString   = 4
+)
+
+// EncodeBinary renders the message in binary wire format with
+// deterministic field order.
+func EncodeBinary(m *Message) ([]byte, error) {
+	if len(m.Class) > 255 {
+		return nil, fmt.Errorf("serial: class name too long (%d bytes)", len(m.Class))
+	}
+	if len(m.Fields) > 255 {
+		return nil, fmt.Errorf("serial: too many fields (%d)", len(m.Fields))
+	}
+	names := make([]string, 0, len(m.Fields))
+	for n := range m.Fields {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	out := []byte(binaryMagic)
+	out = append(out, byte(len(m.Class)))
+	out = append(out, m.Class...)
+	out = append(out, byte(len(names)))
+	put64 := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			out = append(out, byte(v>>(8*i)))
+		}
+	}
+	for _, n := range names {
+		if len(n) > 255 {
+			return nil, fmt.Errorf("serial: field name %q too long", n)
+		}
+		out = append(out, byte(len(n)))
+		out = append(out, n...)
+		v := m.Fields[n]
+		switch v.Kind {
+		case KindInt:
+			out = append(out, binKindInt)
+			put64(uint64(v.Int))
+		case KindFloat:
+			out = append(out, binKindFloat)
+			put64(math.Float64bits(v.Float))
+		case KindIntArray:
+			if len(v.Array) > math.MaxUint16 {
+				return nil, fmt.Errorf("serial: array field %q too long", n)
+			}
+			out = append(out, binKindIntArray)
+			out = append(out, byte(len(v.Array)), byte(len(v.Array)>>8))
+			for _, e := range v.Array {
+				put64(uint64(e))
+			}
+		case KindString:
+			if len(v.Str) > math.MaxUint16 {
+				return nil, fmt.Errorf("serial: string field %q too long", n)
+			}
+			out = append(out, binKindString)
+			out = append(out, byte(len(v.Str)), byte(len(v.Str)>>8))
+			out = append(out, v.Str...)
+		default:
+			return nil, fmt.Errorf("serial: field %q has unknown kind", n)
+		}
+	}
+	return out, nil
+}
+
+// binReader is a bounds-checked cursor over a binary message.
+type binReader struct {
+	b   []byte
+	pos int
+}
+
+func (r *binReader) fail(msg string) error {
+	return &ParseError{Pos: r.pos, Msg: msg}
+}
+
+func (r *binReader) bytes(n int) ([]byte, error) {
+	if n < 0 || r.pos+n > len(r.b) {
+		return nil, r.fail(fmt.Sprintf("truncated: need %d bytes, have %d", n, len(r.b)-r.pos))
+	}
+	out := r.b[r.pos : r.pos+n]
+	r.pos += n
+	return out, nil
+}
+
+func (r *binReader) u8() (byte, error) {
+	b, err := r.bytes(1)
+	if err != nil {
+		return 0, err
+	}
+	return b[0], nil
+}
+
+func (r *binReader) u16() (uint16, error) {
+	b, err := r.bytes(2)
+	if err != nil {
+		return 0, err
+	}
+	return uint16(b[0]) | uint16(b[1])<<8, nil
+}
+
+func (r *binReader) u64() (uint64, error) {
+	b, err := r.bytes(8)
+	if err != nil {
+		return 0, err
+	}
+	var v uint64
+	for i := 7; i >= 0; i-- {
+		v = v<<8 | uint64(b[i])
+	}
+	return v, nil
+}
+
+// ParseBinary decodes one binary wire message.
+func ParseBinary(in []byte) (*Message, error) {
+	r := &binReader{b: in}
+	magic, err := r.bytes(len(binaryMagic))
+	if err != nil {
+		return nil, err
+	}
+	if string(magic) != binaryMagic {
+		return nil, r.fail("bad magic")
+	}
+	clsLen, err := r.u8()
+	if err != nil {
+		return nil, err
+	}
+	cls, err := r.bytes(int(clsLen))
+	if err != nil {
+		return nil, err
+	}
+	if len(cls) == 0 {
+		return nil, r.fail("empty class name")
+	}
+	msg := NewMessage(string(cls))
+	nFields, err := r.u8()
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < int(nFields); i++ {
+		nameLen, err := r.u8()
+		if err != nil {
+			return nil, err
+		}
+		name, err := r.bytes(int(nameLen))
+		if err != nil {
+			return nil, err
+		}
+		if len(name) == 0 {
+			return nil, r.fail("empty field name")
+		}
+		if _, dup := msg.Fields[string(name)]; dup {
+			return nil, r.fail(fmt.Sprintf("duplicate field %q", name))
+		}
+		kind, err := r.u8()
+		if err != nil {
+			return nil, err
+		}
+		switch kind {
+		case binKindInt:
+			v, err := r.u64()
+			if err != nil {
+				return nil, err
+			}
+			msg.Set(string(name), IntValue(int64(v)))
+		case binKindFloat:
+			v, err := r.u64()
+			if err != nil {
+				return nil, err
+			}
+			msg.Set(string(name), FloatValue(math.Float64frombits(v)))
+		case binKindIntArray:
+			count, err := r.u16()
+			if err != nil {
+				return nil, err
+			}
+			arr := make([]int64, 0, minInt(int(count), (len(r.b)-r.pos)/8))
+			for j := 0; j < int(count); j++ {
+				v, err := r.u64()
+				if err != nil {
+					return nil, err // inflated count vs truncated payload
+				}
+				arr = append(arr, int64(v))
+			}
+			msg.Set(string(name), ArrayValue(arr...))
+		case binKindString:
+			slen, err := r.u16()
+			if err != nil {
+				return nil, err
+			}
+			s, err := r.bytes(int(slen))
+			if err != nil {
+				return nil, err
+			}
+			msg.Set(string(name), StringValue(string(s)))
+		default:
+			return nil, r.fail(fmt.Sprintf("unknown field kind %d", kind))
+		}
+	}
+	if r.pos != len(in) {
+		return nil, r.fail("trailing data")
+	}
+	return msg, nil
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

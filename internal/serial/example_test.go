@@ -1,0 +1,67 @@
+package serial_test
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/layout"
+	"repro/internal/mem"
+	"repro/internal/serial"
+)
+
+func exampleWorld() (*mem.Memory, *serial.Registry, *layout.Class, error) {
+	m := &mem.Memory{}
+	if _, err := m.Map(mem.SegBSS, 0x1000, 0x1000, mem.PermRW); err != nil {
+		return nil, nil, nil, err
+	}
+	student := layout.NewClass("Student").
+		AddField("gpa", layout.Double).
+		AddField("year", layout.Int).
+		AddField("semester", layout.Int)
+	grad := layout.NewClass("GradStudent", student).
+		AddField("ssn", layout.ArrayOf(layout.Int, 3))
+	return m, serial.NewRegistry(student, grad), student, nil
+}
+
+// The §3.2 trust boundary: the receiving service reserves a Student
+// arena, but the wire message decides what actually gets placed there.
+func ExamplePlaceTrusting() {
+	m, reg, _, err := exampleWorld()
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	msg, err := serial.Parse("GradStudent{gpa=4.0,ssn=[1094795585,0,0]}")
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	if _, err := serial.PlaceTrusting(m, layout.ILP32i386, reg, 0x1100, msg); err != nil {
+		fmt.Println(err)
+		return
+	}
+	// The word just past the 16-byte Student arena now holds ssn[0].
+	v, _ := m.ReadU32(0x1110)
+	fmt.Printf("%#x\n", v)
+	// Output:
+	// 0x41414141
+}
+
+// The §5.1 discipline applied at the trust boundary.
+func ExamplePlaceChecked() {
+	m, reg, student, err := exampleWorld()
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	msg, err := serial.Parse("GradStudent{gpa=4.0}")
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	arena := core.Arena{Base: 0x1100, Size: student.Size(layout.ILP32i386), Label: "record_slot"}
+	_, err = serial.PlaceChecked(m, layout.ILP32i386, reg, arena, msg)
+	fmt.Println(err)
+	// Output:
+	// core: placement of GradStudent (28 bytes) exceeds record_slot (16 bytes)
+}

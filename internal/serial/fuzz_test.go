@@ -1,0 +1,78 @@
+package serial
+
+import (
+	"testing"
+
+	"repro/internal/layout"
+	"repro/internal/mem"
+)
+
+// FuzzParse checks that the wire parser never panics and that accepted
+// inputs re-encode to something that parses to the same message — the
+// robustness property a deserializer sitting on a trust boundary (§3.2)
+// must have even before any placement logic runs.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"Student{}",
+		"GradStudent{gpa=4.0,year=2009,ssn=[1,2,3]}",
+		"A{x=-1}",
+		`B{s="hi \" there"}`,
+		"C{f=1.5e300}",
+		"D{a=[]}",
+		"GradStudent{ssn=[1,2,3,4,5,6,7,8]}",
+		"{", "}", "X", "X{", "X{a=}", "X{a=1,}", "X{a=[1,}",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, in string) {
+		msg, err := Parse(in)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		re := Encode(msg)
+		back, err := Parse(re)
+		if err != nil {
+			t.Fatalf("re-encoded message failed to parse: %q -> %q: %v", in, re, err)
+		}
+		if back.Class != msg.Class || len(back.Fields) != len(msg.Fields) {
+			t.Fatalf("round trip changed shape: %q -> %q", in, re)
+		}
+	})
+}
+
+// FuzzPlaceTrusting checks that arbitrary accepted messages never panic
+// the trusting deserializer and never write outside mapped memory without
+// a fault being reported.
+func FuzzPlaceTrusting(f *testing.F) {
+	f.Add("GradStudent{gpa=4.0,ssn=[1,2,3]}")
+	f.Add("Student{year=2010}")
+	f.Add("GradStudent{ssn=[1,2,3,4,5,6,7,8,9,10,11,12,13,14,15,16]}")
+	f.Add("Student{bogus=1}")
+	f.Fuzz(func(t *testing.T, in string) {
+		msg, err := Parse(in)
+		if err != nil {
+			return
+		}
+		m := &mem.Memory{}
+		if _, err := m.Map(mem.SegBSS, 0x1000, 0x100, mem.PermRW); err != nil {
+			t.Fatal(err)
+		}
+		student := layout.NewClass("Student").
+			AddField("gpa", layout.Double).
+			AddField("year", layout.Int).
+			AddField("semester", layout.Int)
+		grad := layout.NewClass("GradStudent", student).
+			AddField("ssn", layout.ArrayOf(layout.Int, 3))
+		reg := NewRegistry(student, grad)
+		// Either it places (possibly overflowing inside the mapping) or it
+		// errors; a write past the mapping must surface as a fault error.
+		if _, err := PlaceTrusting(m, layout.ILP32i386, reg, 0x1080, msg); err != nil {
+			if _, ok := mem.IsFault(err); !ok {
+				// Non-fault errors are the known rejection kinds
+				// (unknown class, unsupported member shape).
+				return
+			}
+		}
+	})
+}

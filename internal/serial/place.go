@@ -1,0 +1,194 @@
+package serial
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/layout"
+	"repro/internal/mem"
+	"repro/internal/object"
+)
+
+// Registry maps wire class names to class definitions — the set of types
+// a receiving service knows how to deserialize.
+type Registry struct {
+	byName map[string]*layout.Class
+}
+
+// NewRegistry builds a registry over the given classes.
+func NewRegistry(classes ...*layout.Class) *Registry {
+	r := &Registry{byName: make(map[string]*layout.Class, len(classes))}
+	for _, c := range classes {
+		if c != nil {
+			r.byName[c.Name()] = c
+		}
+	}
+	return r
+}
+
+// Lookup resolves a wire class name.
+func (r *Registry) Lookup(name string) (*layout.Class, error) {
+	c, ok := r.byName[name]
+	if !ok {
+		return nil, fmt.Errorf("serial: unknown class %q", name)
+	}
+	return c, nil
+}
+
+// Names returns the registered class names, sorted.
+func (r *Registry) Names() []string {
+	out := make([]string, 0, len(r.byName))
+	for n := range r.byName {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ElementsError reports a checked decode rejected because a wire array
+// carries more elements than the member declares.
+type ElementsError struct {
+	Field string
+	Got   uint64
+	Max   uint64
+}
+
+// Error implements the error interface.
+func (e *ElementsError) Error() string {
+	return fmt.Sprintf("serial: field %s: %d elements exceed declared length %d", e.Field, e.Got, e.Max)
+}
+
+// PlaceTrusting deserializes msg at addr with the trusting discipline of
+// §3.2: the class is whatever the *message* names, placement is unchecked,
+// and array fields are written for every received element — even past the
+// declared length (Listing 6's copy loop is driven by remoteobj->n). The
+// returned object is typed by the message's class.
+func PlaceTrusting(m *mem.Memory, model layout.Model, reg *Registry, addr mem.Addr, msg *Message) (*object.Object, error) {
+	cls, err := reg.Lookup(msg.Class)
+	if err != nil {
+		return nil, err
+	}
+	o, err := core.PlacementNew(m, model, addr, cls)
+	if err != nil {
+		return nil, err
+	}
+	if err := populate(o, msg, false); err != nil {
+		return nil, err
+	}
+	return o, nil
+}
+
+// PlaceChecked deserializes msg into a bounded arena with the §5.1
+// discipline: the placement is size/alignment checked against the arena
+// and array writes are clamped to the declared length.
+func PlaceChecked(m *mem.Memory, model layout.Model, reg *Registry, arena core.Arena, msg *Message) (*object.Object, error) {
+	cls, err := reg.Lookup(msg.Class)
+	if err != nil {
+		return nil, err
+	}
+	o, err := core.CheckedPlacementNew(m, model, arena, cls)
+	if err != nil {
+		return nil, err
+	}
+	if err := populate(o, msg, true); err != nil {
+		return nil, err
+	}
+	return o, nil
+}
+
+// populate writes the message fields into the object. When clamp is set,
+// array writes stop at the declared length and excess elements are an
+// error; otherwise every received element is written (unchecked indexing).
+func populate(o *object.Object, msg *Message, clamp bool) error {
+	names := make([]string, 0, len(msg.Fields))
+	for n := range msg.Fields {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		v := msg.Fields[name]
+		f, err := o.Layout().FieldOffset(name)
+		if err != nil {
+			if clamp {
+				return fmt.Errorf("serial: %w", err)
+			}
+			continue // trusting decoder silently drops unknown fields
+		}
+		switch v.Kind {
+		case KindInt:
+			if f.Type.Kind() == layout.KindDouble || f.Type.Kind() == layout.KindFloat {
+				if err := o.SetFloat(name, float64(v.Int)); err != nil {
+					return err
+				}
+				continue
+			}
+			if err := o.SetInt(name, v.Int); err != nil {
+				return err
+			}
+		case KindFloat:
+			if err := o.SetFloat(name, v.Float); err != nil {
+				return err
+			}
+		case KindIntArray:
+			arr, ok := f.Type.(layout.Array)
+			if !ok {
+				return fmt.Errorf("serial: field %s is %s, not an array", name, f.Type)
+			}
+			if clamp && uint64(len(v.Array)) > arr.Len {
+				return &ElementsError{Field: name, Got: uint64(len(v.Array)), Max: arr.Len}
+			}
+			for i, e := range v.Array {
+				if err := o.SetIndex(name, int64(i), e); err != nil {
+					return err
+				}
+			}
+		case KindString:
+			return fmt.Errorf("serial: field %s: string members are not supported by this class model", name)
+		default:
+			return fmt.Errorf("serial: field %s: unknown value kind", name)
+		}
+	}
+	return nil
+}
+
+// Capture encodes a live object's integer/float/int-array members into a
+// message — the sending side of the channel.
+func Capture(o *object.Object) (*Message, error) {
+	fields, err := o.Layout().AllFields()
+	if err != nil {
+		return nil, err
+	}
+	msg := NewMessage(o.Class().Name())
+	for _, f := range fields {
+		switch t := f.Type.(type) {
+		case layout.Scalar:
+			if t.IsInteger() {
+				v, err := o.Int(f.Name)
+				if err != nil {
+					return nil, err
+				}
+				msg.Set(f.Name, IntValue(v))
+			} else {
+				v, err := o.Float(f.Name)
+				if err != nil {
+					return nil, err
+				}
+				msg.Set(f.Name, FloatValue(v))
+			}
+		case layout.Array:
+			if s, ok := t.Elem.(layout.Scalar); ok && s.IsInteger() {
+				arr := make([]int64, t.Len)
+				for i := range arr {
+					v, err := o.Index(f.Name, int64(i))
+					if err != nil {
+						return nil, err
+					}
+					arr[i] = v
+				}
+				msg.Set(f.Name, ArrayValue(arr...))
+			}
+		}
+	}
+	return msg, nil
+}

@@ -1,0 +1,316 @@
+// Package serial implements the remote-object channel of §3.2: a compact
+// JSON-like wire format for class instances, an encoder, a parser, and
+// deserializers that place received objects with placement new.
+//
+// The wire format is attacker-controlled end to end: the class name, the
+// field set, and array lengths are all taken from the message. The
+// trusting deserializer (PlaceTrusting) does exactly what the paper's
+// victim programs do — "the programmer may not include any code to check
+// the size because of the trust on the protocol" — so a message naming a
+// larger subclass, or carrying an oversized array, overflows the
+// destination arena. PlaceChecked applies the §5.1 discipline instead.
+//
+// Grammar:
+//
+//	message := ident '{' [field (',' field)*] '}'
+//	field   := ident '=' value
+//	value   := number | '[' [number (',' number)*] ']' | '"' text '"'
+package serial
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ValueKind discriminates wire values.
+type ValueKind int
+
+// Wire value kinds.
+const (
+	KindInt ValueKind = iota + 1
+	KindFloat
+	KindIntArray
+	KindString
+)
+
+// Value is one field value on the wire.
+type Value struct {
+	Kind  ValueKind
+	Int   int64
+	Float float64
+	Array []int64
+	Str   string
+}
+
+// IntValue builds an integer value.
+func IntValue(v int64) Value { return Value{Kind: KindInt, Int: v} }
+
+// FloatValue builds a floating-point value.
+func FloatValue(v float64) Value { return Value{Kind: KindFloat, Float: v} }
+
+// ArrayValue builds an integer-array value.
+func ArrayValue(vs ...int64) Value {
+	return Value{Kind: KindIntArray, Array: append([]int64(nil), vs...)}
+}
+
+// StringValue builds a string value.
+func StringValue(s string) Value { return Value{Kind: KindString, Str: s} }
+
+// Message is a decoded (or to-be-encoded) remote object.
+type Message struct {
+	Class  string
+	Fields map[string]Value
+}
+
+// NewMessage creates an empty message for the named class.
+func NewMessage(class string) *Message {
+	return &Message{Class: class, Fields: make(map[string]Value)}
+}
+
+// Set assigns a field value and returns the message for chaining.
+func (m *Message) Set(name string, v Value) *Message {
+	m.Fields[name] = v
+	return m
+}
+
+// Encode renders the message in wire format with deterministic field order.
+func Encode(m *Message) string {
+	names := make([]string, 0, len(m.Fields))
+	for n := range m.Fields {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var sb strings.Builder
+	sb.WriteString(m.Class)
+	sb.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(n)
+		sb.WriteByte('=')
+		v := m.Fields[n]
+		switch v.Kind {
+		case KindInt:
+			sb.WriteString(strconv.FormatInt(v.Int, 10))
+		case KindFloat:
+			s := strconv.FormatFloat(v.Float, 'g', -1, 64)
+			sb.WriteString(s)
+			if !strings.ContainsAny(s, ".eE") {
+				sb.WriteString(".0") // keep the float/int distinction on the wire
+			}
+		case KindIntArray:
+			sb.WriteByte('[')
+			for j, e := range v.Array {
+				if j > 0 {
+					sb.WriteByte(',')
+				}
+				sb.WriteString(strconv.FormatInt(e, 10))
+			}
+			sb.WriteByte(']')
+		case KindString:
+			sb.WriteByte('"')
+			sb.WriteString(strings.ReplaceAll(v.Str, `"`, `\"`))
+			sb.WriteByte('"')
+		}
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+// ParseError reports a malformed wire message.
+type ParseError struct {
+	Pos int
+	Msg string
+}
+
+// Error implements the error interface.
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("serial: parse error at offset %d: %s", e.Pos, e.Msg)
+}
+
+type parser struct {
+	in  string
+	pos int
+}
+
+func (p *parser) fail(msg string) error { return &ParseError{Pos: p.pos, Msg: msg} }
+
+func (p *parser) peek() byte {
+	if p.pos >= len(p.in) {
+		return 0
+	}
+	return p.in[p.pos]
+}
+
+func (p *parser) eat(c byte) error {
+	if p.peek() != c {
+		return p.fail(fmt.Sprintf("expected %q", string(c)))
+	}
+	p.pos++
+	return nil
+}
+
+func isIdentByte(c byte, first bool) bool {
+	switch {
+	case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+		return true
+	case c >= '0' && c <= '9':
+		return !first
+	default:
+		return false
+	}
+}
+
+func (p *parser) ident() (string, error) {
+	start := p.pos
+	for p.pos < len(p.in) && isIdentByte(p.in[p.pos], p.pos == start) {
+		p.pos++
+	}
+	if p.pos == start {
+		return "", p.fail("expected identifier")
+	}
+	return p.in[start:p.pos], nil
+}
+
+func (p *parser) number() (string, error) {
+	start := p.pos
+	if p.peek() == '-' {
+		p.pos++
+	}
+	digits := 0
+	for p.pos < len(p.in) && (p.in[p.pos] >= '0' && p.in[p.pos] <= '9' || p.in[p.pos] == '.') {
+		if p.in[p.pos] != '.' {
+			digits++
+		}
+		p.pos++
+	}
+	if digits == 0 {
+		return "", p.fail("expected number")
+	}
+	// Optional exponent: e or E, optional sign, digits.
+	if c := p.peek(); c == 'e' || c == 'E' {
+		p.pos++
+		if c := p.peek(); c == '+' || c == '-' {
+			p.pos++
+		}
+		edigits := 0
+		for p.pos < len(p.in) && p.in[p.pos] >= '0' && p.in[p.pos] <= '9' {
+			p.pos++
+			edigits++
+		}
+		if edigits == 0 {
+			return "", p.fail("malformed exponent")
+		}
+	}
+	return p.in[start:p.pos], nil
+}
+
+func (p *parser) value() (Value, error) {
+	switch c := p.peek(); {
+	case c == '[':
+		p.pos++
+		var arr []int64
+		if p.peek() == ']' {
+			p.pos++
+			return Value{Kind: KindIntArray}, nil
+		}
+		for {
+			s, err := p.number()
+			if err != nil {
+				return Value{}, err
+			}
+			v, err := strconv.ParseInt(s, 10, 64)
+			if err != nil {
+				return Value{}, p.fail("array elements must be integers")
+			}
+			arr = append(arr, v)
+			if p.peek() == ',' {
+				p.pos++
+				continue
+			}
+			break
+		}
+		if err := p.eat(']'); err != nil {
+			return Value{}, err
+		}
+		return Value{Kind: KindIntArray, Array: arr}, nil
+	case c == '"':
+		p.pos++
+		var sb strings.Builder
+		for p.pos < len(p.in) && p.in[p.pos] != '"' {
+			if p.in[p.pos] == '\\' && p.pos+1 < len(p.in) {
+				p.pos++
+			}
+			sb.WriteByte(p.in[p.pos])
+			p.pos++
+		}
+		if err := p.eat('"'); err != nil {
+			return Value{}, err
+		}
+		return Value{Kind: KindString, Str: sb.String()}, nil
+	default:
+		s, err := p.number()
+		if err != nil {
+			return Value{}, err
+		}
+		if strings.ContainsAny(s, ".eE") {
+			f, err := strconv.ParseFloat(s, 64)
+			if err != nil {
+				return Value{}, p.fail("bad float")
+			}
+			return Value{Kind: KindFloat, Float: f}, nil
+		}
+		v, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			return Value{}, p.fail("bad integer")
+		}
+		return Value{Kind: KindInt, Int: v}, nil
+	}
+}
+
+// Parse decodes one wire message.
+func Parse(in string) (*Message, error) {
+	p := &parser{in: strings.TrimSpace(in)}
+	cls, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.eat('{'); err != nil {
+		return nil, err
+	}
+	msg := NewMessage(cls)
+	if p.peek() != '}' {
+		for {
+			name, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.eat('='); err != nil {
+				return nil, err
+			}
+			v, err := p.value()
+			if err != nil {
+				return nil, err
+			}
+			if _, dup := msg.Fields[name]; dup {
+				return nil, p.fail(fmt.Sprintf("duplicate field %q", name))
+			}
+			msg.Fields[name] = v
+			if p.peek() == ',' {
+				p.pos++
+				continue
+			}
+			break
+		}
+	}
+	if err := p.eat('}'); err != nil {
+		return nil, err
+	}
+	if p.pos != len(p.in) {
+		return nil, p.fail("trailing data")
+	}
+	return msg, nil
+}

@@ -1,0 +1,329 @@
+package serial
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/layout"
+	"repro/internal/mem"
+)
+
+func paperClasses() (student, grad *layout.Class) {
+	student = layout.NewClass("Student").
+		AddField("gpa", layout.Double).
+		AddField("year", layout.Int).
+		AddField("semester", layout.Int)
+	grad = layout.NewClass("GradStudent", student).
+		AddField("ssn", layout.ArrayOf(layout.Int, 3))
+	return student, grad
+}
+
+func newTestMem(t *testing.T) *mem.Memory {
+	t.Helper()
+	m := &mem.Memory{}
+	if _, err := m.Map(mem.SegBSS, 0x1000, 0x1000, mem.PermRW); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestEncodeParseRoundTrip(t *testing.T) {
+	msg := NewMessage("GradStudent").
+		Set("gpa", FloatValue(4.0)).
+		Set("year", IntValue(2009)).
+		Set("ssn", ArrayValue(111, 222, 333)).
+		Set("note", StringValue(`he said "hi"`))
+	wire := Encode(msg)
+	got, err := Parse(wire)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", wire, err)
+	}
+	if got.Class != "GradStudent" {
+		t.Errorf("class = %q", got.Class)
+	}
+	if v := got.Fields["gpa"]; v.Kind != KindFloat || v.Float != 4.0 {
+		t.Errorf("gpa = %+v", v)
+	}
+	if v := got.Fields["year"]; v.Kind != KindInt || v.Int != 2009 {
+		t.Errorf("year = %+v", v)
+	}
+	if v := got.Fields["ssn"]; v.Kind != KindIntArray || len(v.Array) != 3 || v.Array[2] != 333 {
+		t.Errorf("ssn = %+v", v)
+	}
+	if v := got.Fields["note"]; v.Kind != KindString || v.Str != `he said "hi"` {
+		t.Errorf("note = %+v", v)
+	}
+}
+
+func TestParseForms(t *testing.T) {
+	tests := []struct {
+		in   string
+		ok   bool
+		desc string
+	}{
+		{"Student{}", true, "empty"},
+		{"Student{gpa=3.5}", true, "single float"},
+		{"Student{year=-5}", true, "negative int"},
+		{"Student{ssn=[]}", true, "empty array"},
+		{"Student{ssn=[1]}", true, "one-element array"},
+		{"  Student{year=1}  ", true, "surrounding space"},
+		{"", false, "empty input"},
+		{"Student", false, "missing braces"},
+		{"Student{", false, "unterminated"},
+		{"Student{year}", false, "missing value"},
+		{"Student{year=}", false, "empty value"},
+		{"Student{year=1,}", false, "trailing comma"},
+		{"Student{year=1}x", false, "trailing data"},
+		{"Student{year=1,year=2}", false, "duplicate field"},
+		{"Student{ssn=[1.5]}", false, "float in int array"},
+		{`Student{s="unterminated}`, false, "unterminated string"},
+		{"123{}", false, "numeric class name"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.desc, func(t *testing.T) {
+			_, err := Parse(tt.in)
+			if ok := err == nil; ok != tt.ok {
+				t.Errorf("Parse(%q) err = %v, want ok=%v", tt.in, err, tt.ok)
+			}
+			if err != nil {
+				var pe *ParseError
+				if !errors.As(err, &pe) {
+					t.Errorf("err type = %T", err)
+				}
+			}
+		})
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	student, grad := paperClasses()
+	reg := NewRegistry(student, grad, nil)
+	if got := reg.Names(); strings.Join(got, ",") != "GradStudent,Student" {
+		t.Errorf("names = %v", got)
+	}
+	c, err := reg.Lookup("Student")
+	if err != nil || c != student {
+		t.Errorf("lookup = %v, %v", c, err)
+	}
+	if _, err := reg.Lookup("Evil"); err == nil {
+		t.Error("unknown class resolved")
+	}
+}
+
+func TestPlaceTrustingPopulatesFields(t *testing.T) {
+	m := newTestMem(t)
+	student, grad := paperClasses()
+	reg := NewRegistry(student, grad)
+	msg, err := Parse("GradStudent{gpa=3.5,year=2009,semester=1,ssn=[7,8,9]}")
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := PlaceTrusting(m, layout.ILP32i386, reg, 0x1100, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Class() != grad {
+		t.Errorf("class = %v", o.Class())
+	}
+	if v, _ := o.Float("gpa"); v != 3.5 {
+		t.Errorf("gpa = %v", v)
+	}
+	if v, _ := o.Index("ssn", 2); v != 9 {
+		t.Errorf("ssn[2] = %d", v)
+	}
+}
+
+// TestPlaceTrustingOverflow is the §3.2 attack: the receiver reserves a
+// Student arena but the wire names GradStudent — the deserializer happily
+// writes 28 bytes over 16, landing ssn[] on whatever follows.
+func TestPlaceTrustingOverflow(t *testing.T) {
+	m := newTestMem(t)
+	student, grad := paperClasses()
+	reg := NewRegistry(student, grad)
+	// Arena: Student at 0x1100; victim word right behind at 0x1110.
+	if err := m.WriteU32(0x1110, 0x11111111); err != nil {
+		t.Fatal(err)
+	}
+	msg, err := Parse("GradStudent{ssn=[1094795585,2,3]}") // 0x41414141
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := PlaceTrusting(m, layout.ILP32i386, reg, 0x1100, msg); err != nil {
+		t.Fatalf("trusting placement rejected: %v", err)
+	}
+	v, _ := m.ReadU32(0x1110)
+	if v != 0x41414141 {
+		t.Errorf("victim word = %#x, want attacker ssn[0]", v)
+	}
+}
+
+// TestPlaceTrustingOversizedArray is the Listing 5/6 variant: the array
+// length is taken from the wire, walking past the declared member.
+func TestPlaceTrustingOversizedArray(t *testing.T) {
+	m := newTestMem(t)
+	student, grad := paperClasses()
+	reg := NewRegistry(student, grad)
+	msg := NewMessage("GradStudent").Set("ssn", ArrayValue(1, 2, 3, 0x42424242))
+	if _, err := PlaceTrusting(m, layout.ILP32i386, reg, 0x1100, msg); err != nil {
+		t.Fatalf("oversized array rejected by trusting decoder: %v", err)
+	}
+	// Element [3] sits at offset 16+12 = 28: one word past the object.
+	v, _ := m.ReadU32(0x1100 + 28)
+	if v != 0x42424242 {
+		t.Errorf("word past object = %#x", v)
+	}
+}
+
+func TestPlaceTrustingDropsUnknownFields(t *testing.T) {
+	m := newTestMem(t)
+	student, _ := paperClasses()
+	reg := NewRegistry(student)
+	msg := NewMessage("Student").Set("bogus", IntValue(1)).Set("year", IntValue(2001))
+	o, err := PlaceTrusting(m, layout.ILP32i386, reg, 0x1100, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := o.Int("year"); v != 2001 {
+		t.Errorf("year = %d", v)
+	}
+}
+
+func TestPlaceCheckedRejectsOverflow(t *testing.T) {
+	m := newTestMem(t)
+	student, grad := paperClasses()
+	reg := NewRegistry(student, grad)
+	arena := core.Arena{Base: 0x1100, Size: 16, Label: "stud"}
+	msg := NewMessage("GradStudent").Set("ssn", ArrayValue(1, 2, 3))
+	_, err := PlaceChecked(m, layout.ILP32i386, reg, arena, msg)
+	var be *core.BoundsError
+	if !errors.As(err, &be) {
+		t.Errorf("err = %v, want *core.BoundsError", err)
+	}
+	// A fitting message is accepted.
+	fit := NewMessage("Student").Set("year", IntValue(2001))
+	if _, err := PlaceChecked(m, layout.ILP32i386, reg, arena, fit); err != nil {
+		t.Errorf("fitting message rejected: %v", err)
+	}
+}
+
+func TestPlaceCheckedRejectsOversizedArrayAndUnknownField(t *testing.T) {
+	m := newTestMem(t)
+	student, grad := paperClasses()
+	reg := NewRegistry(student, grad)
+	arena := core.Arena{Base: 0x1100, Size: 64, Label: "pool"}
+	over := NewMessage("GradStudent").Set("ssn", ArrayValue(1, 2, 3, 4))
+	if _, err := PlaceChecked(m, layout.ILP32i386, reg, arena, over); err == nil {
+		t.Error("oversized array accepted by checked decoder")
+	}
+	unk := NewMessage("GradStudent").Set("bogus", IntValue(1))
+	if _, err := PlaceChecked(m, layout.ILP32i386, reg, arena, unk); err == nil {
+		t.Error("unknown field accepted by checked decoder")
+	}
+}
+
+func TestPlaceUnknownClass(t *testing.T) {
+	m := newTestMem(t)
+	student, _ := paperClasses()
+	reg := NewRegistry(student)
+	msg := NewMessage("Evil")
+	if _, err := PlaceTrusting(m, layout.ILP32i386, reg, 0x1100, msg); err == nil {
+		t.Error("unknown class placed")
+	}
+	if _, err := PlaceChecked(m, layout.ILP32i386, reg, core.Arena{Base: 0x1100, Size: 64}, msg); err == nil {
+		t.Error("unknown class placed (checked)")
+	}
+}
+
+func TestCaptureRoundTrip(t *testing.T) {
+	m := newTestMem(t)
+	student, grad := paperClasses()
+	reg := NewRegistry(student, grad)
+	src, err := PlaceTrusting(m, layout.ILP32i386, reg, 0x1800,
+		NewMessage("GradStudent").
+			Set("gpa", FloatValue(3.25)).
+			Set("year", IntValue(2010)).
+			Set("semester", IntValue(2)).
+			Set("ssn", ArrayValue(11, 22, 33)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg, err := Capture(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wire := Encode(msg)
+	back, err := Parse(wire)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", wire, err)
+	}
+	dst, err := PlaceTrusting(m, layout.ILP32i386, reg, 0x1900, back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := dst.Float("gpa"); v != 3.25 {
+		t.Errorf("gpa = %v", v)
+	}
+	if v, _ := dst.Index("ssn", 1); v != 22 {
+		t.Errorf("ssn[1] = %d", v)
+	}
+}
+
+func TestIntIntoFloatFieldCoerces(t *testing.T) {
+	m := newTestMem(t)
+	student, _ := paperClasses()
+	reg := NewRegistry(student)
+	msg := NewMessage("Student").Set("gpa", IntValue(4))
+	o, err := PlaceTrusting(m, layout.ILP32i386, reg, 0x1100, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := o.Float("gpa"); v != 4.0 {
+		t.Errorf("gpa = %v", v)
+	}
+}
+
+// Property: Encode then Parse is the identity on messages with int, float
+// and array fields.
+func TestQuickEncodeParseRoundTrip(t *testing.T) {
+	f := func(year int64, gpa float64, ssn []int64) bool {
+		if len(ssn) > 6 {
+			ssn = ssn[:6]
+		}
+		msg := NewMessage("GradStudent").
+			Set("year", IntValue(year)).
+			Set("gpa", FloatValue(gpa)).
+			Set("ssn", ArrayValue(ssn...))
+		got, err := Parse(Encode(msg))
+		if err != nil {
+			return false
+		}
+		if got.Fields["year"].Int != year {
+			return false
+		}
+		g := got.Fields["gpa"]
+		gf := g.Float
+		if g.Kind == KindInt {
+			gf = float64(g.Int)
+		}
+		if gf != gpa {
+			return false
+		}
+		a := got.Fields["ssn"].Array
+		if len(a) != len(ssn) {
+			return false
+		}
+		for i := range a {
+			if a[i] != ssn[i] {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 300}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

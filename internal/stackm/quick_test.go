@@ -1,0 +1,159 @@
+package stackm
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/layout"
+	"repro/internal/mem"
+)
+
+// Property: for random push/pop sequences with random local shapes, the
+// stack maintains its invariants — frames nest (SP strictly decreases on
+// push and is restored on pop), locals lie inside the segment and below
+// their frame's bookkeeping words, untouched canaries always verify, and
+// unmodified return addresses round-trip.
+func TestQuickPushPopInvariants(t *testing.T) {
+	types := []layout.Type{
+		layout.Char, layout.Int, layout.Double, layout.PtrTo(nil),
+		layout.ArrayOf(layout.Char, 7), layout.ArrayOf(layout.Int, 3),
+	}
+	f := func(ops []uint8, canary, saveFP bool) bool {
+		m := &mem.Memory{}
+		if _, err := m.Map(mem.SegStack, 0x8000, 0x2000, mem.PermRW); err != nil {
+			return false
+		}
+		s, err := New(m, 0x8000, 0x2000, Options{
+			Model: layout.ILP32i386, Canary: canary, SaveFP: saveFP,
+		})
+		if err != nil {
+			return false
+		}
+		type pushed struct {
+			sp  mem.Addr
+			ret mem.Addr
+		}
+		var stack []pushed
+		for i, op := range ops {
+			if op%3 == 0 && len(stack) > 0 {
+				res, err := s.Pop()
+				if err != nil {
+					return false
+				}
+				top := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				if res.Ret != top.ret || res.RetModified || !res.CanaryOK || res.FPModified {
+					return false
+				}
+				if s.SP() != top.sp {
+					return false
+				}
+				continue
+			}
+			prevSP := s.SP()
+			var locals []LocalSpec
+			for j := 0; j < int(op%4); j++ {
+				locals = append(locals, LocalSpec{
+					Name: "l" + string(rune('a'+j)),
+					Type: types[(int(op)+j)%len(types)],
+				})
+			}
+			ret := mem.Addr(0x100 + uint64(i))
+			fr, err := s.Push("f", ret, locals)
+			if err != nil {
+				// Stack exhaustion is legitimate; stop mutating.
+				break
+			}
+			if s.SP() >= prevSP {
+				return false
+			}
+			for _, spec := range locals {
+				l, err := fr.Local(spec.Name)
+				if err != nil {
+					return false
+				}
+				if l.Addr < 0x8000 || l.End(layout.ILP32i386) > fr.Top {
+					return false
+				}
+				// Locals never overlap the bookkeeping words.
+				if l.End(layout.ILP32i386) > minSlot(fr) {
+					return false
+				}
+			}
+			stack = append(stack, pushed{sp: prevSP, ret: ret})
+		}
+		// Unwind everything.
+		for len(stack) > 0 {
+			res, err := s.Pop()
+			if err != nil || res.RetModified || !res.CanaryOK {
+				return false
+			}
+			stack = stack[:len(stack)-1]
+		}
+		return s.Depth() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// minSlot returns the lowest bookkeeping slot address of a frame.
+func minSlot(f *Frame) mem.Addr {
+	min := f.RetSlot
+	if f.FPSlot != 0 && f.FPSlot < min {
+		min = f.FPSlot
+	}
+	if f.CanarySlot != 0 && f.CanarySlot < min {
+		min = f.CanarySlot
+	}
+	return min
+}
+
+// Property: corrupting any single byte of the canary always fails
+// verification; corrupting bytes outside it never does.
+func TestQuickCanaryByteSensitivity(t *testing.T) {
+	f := func(off uint8, val byte) bool {
+		m := &mem.Memory{}
+		if _, err := m.Map(mem.SegStack, 0x8000, 0x1000, mem.PermRW); err != nil {
+			return false
+		}
+		s, err := New(m, 0x8000, 0x1000, Options{Model: layout.ILP32i386, Canary: true})
+		if err != nil {
+			return false
+		}
+		fr, err := s.Push("f", 0x1234, []LocalSpec{{Name: "x", Type: layout.ArrayOf(layout.Char, 16)}})
+		if err != nil {
+			return false
+		}
+		inCanary := off%20 < 4
+		var target mem.Addr
+		if inCanary {
+			target = fr.CanarySlot.Add(int64(off % 4))
+		} else {
+			l, err := fr.Local("x")
+			if err != nil {
+				return false
+			}
+			target = l.Addr.Add(int64(off % 16))
+		}
+		old, err := m.ReadU8(target)
+		if err != nil {
+			return false
+		}
+		if err := m.WriteU8(target, val); err != nil {
+			return false
+		}
+		changed := old != val
+		res, err := s.Pop()
+		if err != nil {
+			return false
+		}
+		if inCanary && changed {
+			return !res.CanaryOK
+		}
+		return res.CanaryOK
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

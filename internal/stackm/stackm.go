@@ -1,0 +1,328 @@
+// Package stackm simulates the call stack of the victim process: frames
+// grow downward, each holding (top to bottom) the return address, an
+// optionally saved frame pointer, an optional StackGuard canary, and the
+// function's locals in declaration order — first-declared highest.
+//
+// This geometry is exactly the one the paper's §3.6.1 experiment indexes
+// into: overflowing a local object walks upward through later words, so
+// with neither FP nor canary ssn[0] lands on the return address, with a
+// saved FP ssn[1] does, and with a canary ssn[2] does. The canary value
+// defaults to StackGuard's terminator canary. Canary verification happens
+// on Pop, mirroring gcc's function-epilogue __stack_chk_fail check.
+package stackm
+
+import (
+	"fmt"
+
+	"repro/internal/layout"
+	"repro/internal/mem"
+)
+
+// TerminatorCanary is StackGuard's classic terminator canary (NUL, CR, LF,
+// 0xFF), used when Options.CanaryValue is zero.
+const TerminatorCanary uint64 = 0x000aff0d
+
+// Options configures frame construction.
+type Options struct {
+	// Model determines pointer width and local alignment. The paper's
+	// testbed corresponds to layout.ILP32i386.
+	Model layout.Model
+	// SaveFP reserves a saved-frame-pointer slot under the return address.
+	SaveFP bool
+	// Canary places a StackGuard canary between the locals and the saved
+	// FP / return address, verified on Pop.
+	Canary bool
+	// CanaryValue overrides the canary; zero selects TerminatorCanary.
+	CanaryValue uint64
+}
+
+func (o Options) canary() uint64 {
+	if o.CanaryValue != 0 {
+		return o.CanaryValue
+	}
+	return TerminatorCanary
+}
+
+// LocalSpec declares one local variable of a frame.
+type LocalSpec struct {
+	Name string
+	Type layout.Type
+}
+
+// Local is a placed local variable.
+type Local struct {
+	Name string
+	Type layout.Type
+	Addr mem.Addr
+}
+
+// End returns the first address past the local.
+func (l Local) End(m layout.Model) mem.Addr { return l.Addr.Add(int64(l.Type.Size(m))) }
+
+// Frame is one activation record.
+type Frame struct {
+	Func string
+	// Top is the high-water address of the frame (exclusive): the byte
+	// just above the stored return address.
+	Top mem.Addr
+	// SP is the low end of the frame; the next frame is pushed below it.
+	SP mem.Addr
+	// RetSlot is the address holding the return address.
+	RetSlot mem.Addr
+	// FPSlot is the saved-frame-pointer slot, 0 when absent.
+	FPSlot mem.Addr
+	// CanarySlot is the canary word, 0 when absent.
+	CanarySlot mem.Addr
+
+	retOriginal uint64
+	fpOriginal  uint64
+	locals      []Local
+}
+
+// Local returns the placed local with the given name.
+func (f *Frame) Local(name string) (Local, error) {
+	for _, l := range f.locals {
+		if l.Name == name {
+			return l, nil
+		}
+	}
+	return Local{}, fmt.Errorf("stackm: frame %s has no local %q", f.Func, name)
+}
+
+// Locals returns the placed locals in declaration order.
+func (f *Frame) Locals() []Local {
+	out := make([]Local, len(f.locals))
+	copy(out, f.locals)
+	return out
+}
+
+// Stack simulates the process call stack over a mapped segment.
+type Stack struct {
+	m      *mem.Memory
+	base   mem.Addr // lowest valid address
+	top    mem.Addr // first address past the stack
+	sp     mem.Addr
+	fpReg  uint64 // simulated frame-pointer register
+	opts   Options
+	frames []*Frame
+}
+
+// New creates a stack over [base, base+size), with the stack pointer at
+// the top.
+func New(m *mem.Memory, base mem.Addr, size uint64, opts Options) (*Stack, error) {
+	if m == nil {
+		return nil, fmt.Errorf("stackm: nil memory")
+	}
+	if opts.Model.PtrSize == 0 {
+		return nil, fmt.Errorf("stackm: options missing data model")
+	}
+	if err := m.CheckRange(base, size, mem.PermRW); err != nil {
+		return nil, fmt.Errorf("stackm: stack range not mapped read-write: %w", err)
+	}
+	top := base.Add(int64(size))
+	return &Stack{m: m, base: base, top: top, sp: top, opts: opts}, nil
+}
+
+// NewOnImage creates a stack over the image's stack segment.
+func NewOnImage(img *mem.Image, opts Options) (*Stack, error) {
+	return New(img.Mem, img.Stack.Base, img.Stack.Size(), opts)
+}
+
+// Options returns the stack's frame options.
+func (s *Stack) Options() Options { return s.opts }
+
+// SP returns the current stack pointer.
+func (s *Stack) SP() mem.Addr { return s.sp }
+
+// Reserve moves the stack pointer down by n bytes without creating a
+// frame — the argv/environment area a real process image keeps above its
+// outermost frame, which is what an overflow of that frame's locals runs
+// into instead of the end of the mapping.
+func (s *Stack) Reserve(n uint64) error {
+	np := s.sp.Add(-int64(n))
+	if np < s.base || np > s.sp {
+		return fmt.Errorf("stackm: reserve of %d bytes exceeds stack", n)
+	}
+	s.sp = np
+	return nil
+}
+
+// Depth returns the number of live frames.
+func (s *Stack) Depth() int { return len(s.frames) }
+
+// Current returns the innermost frame, or nil when the stack is empty.
+func (s *Stack) Current() *Frame {
+	if len(s.frames) == 0 {
+		return nil
+	}
+	return s.frames[len(s.frames)-1]
+}
+
+func alignDown(v uint64, a uint64) uint64 {
+	if a <= 1 {
+		return v
+	}
+	return v - v%a
+}
+
+// Push creates a frame for fn returning to retAddr, placing locals in
+// declaration order from high to low addresses.
+func (s *Stack) Push(fn string, retAddr mem.Addr, locals []LocalSpec) (*Frame, error) {
+	ptr := s.opts.Model.PtrSize
+	f := &Frame{Func: fn, Top: s.sp}
+	cur := s.sp
+
+	cur = cur.Add(-int64(ptr))
+	f.RetSlot = cur
+	f.retOriginal = uint64(retAddr)
+	if err := s.checkRoom(cur); err != nil {
+		return nil, err
+	}
+	if err := s.m.WriteUint(f.RetSlot, uint64(retAddr), int(ptr)); err != nil {
+		return nil, err
+	}
+
+	if s.opts.SaveFP {
+		cur = cur.Add(-int64(ptr))
+		f.FPSlot = cur
+		f.fpOriginal = s.fpReg
+		if err := s.m.WriteUint(f.FPSlot, s.fpReg, int(ptr)); err != nil {
+			return nil, err
+		}
+		s.fpReg = uint64(f.FPSlot)
+	}
+
+	if s.opts.Canary {
+		cur = cur.Add(-int64(ptr))
+		f.CanarySlot = cur
+		if err := s.m.WriteUint(f.CanarySlot, s.opts.canary(), int(ptr)); err != nil {
+			return nil, err
+		}
+	}
+
+	for _, spec := range locals {
+		if spec.Type == nil {
+			return nil, fmt.Errorf("stackm: local %s.%s has nil type", fn, spec.Name)
+		}
+		for _, prev := range f.locals {
+			if prev.Name == spec.Name {
+				return nil, fmt.Errorf("stackm: duplicate local %s.%s", fn, spec.Name)
+			}
+		}
+		size := spec.Type.Size(s.opts.Model)
+		align := spec.Type.Align(s.opts.Model)
+		cur = mem.Addr(alignDown(uint64(cur)-size, align))
+		if err := s.checkRoom(cur); err != nil {
+			return nil, err
+		}
+		f.locals = append(f.locals, Local{Name: spec.Name, Type: spec.Type, Addr: cur})
+	}
+
+	f.SP = cur
+	s.sp = cur
+	s.frames = append(s.frames, f)
+	return f, nil
+}
+
+func (s *Stack) checkRoom(cur mem.Addr) error {
+	if cur < s.base {
+		return fmt.Errorf("stackm: stack overflow: frame would extend below %#x", uint64(s.base))
+	}
+	return nil
+}
+
+// PopResult reports what the function epilogue observed.
+type PopResult struct {
+	Func string
+	// Ret is the return address read back from the stack — possibly
+	// attacker-controlled.
+	Ret mem.Addr
+	// RetModified reports whether Ret differs from the address stored at
+	// call time: a hijacked return.
+	RetModified bool
+	// CanaryOK is false when the frame had a canary and it was trampled;
+	// a StackGuard process aborts in that case. True when no canary.
+	CanaryOK bool
+	// CanaryFound is the value read back (meaningful when !CanaryOK).
+	CanaryFound uint64
+	// FPModified reports whether the saved frame pointer was altered
+	// (klog's frame-pointer overwrite).
+	FPModified bool
+}
+
+// Pop runs the epilogue of the innermost frame: verify the canary (if
+// any), restore the saved FP, read the return address, and release the
+// frame. Memory faults surface as errors; canary failure and return
+// hijacks are reported in the result, since the simulated program — not
+// this package — decides how to react (abort vs. jump).
+func (s *Stack) Pop() (PopResult, error) {
+	if len(s.frames) == 0 {
+		return PopResult{}, fmt.Errorf("stackm: pop on empty stack")
+	}
+	f := s.frames[len(s.frames)-1]
+	ptr := int(s.opts.Model.PtrSize)
+	res := PopResult{Func: f.Func, CanaryOK: true}
+
+	if f.CanarySlot != 0 {
+		v, err := s.m.ReadUint(f.CanarySlot, ptr)
+		if err != nil {
+			return res, err
+		}
+		res.CanaryFound = v
+		res.CanaryOK = v == s.opts.canary()
+	}
+	if f.FPSlot != 0 {
+		v, err := s.m.ReadUint(f.FPSlot, ptr)
+		if err != nil {
+			return res, err
+		}
+		res.FPModified = v != f.fpOriginal
+		s.fpReg = v
+	}
+	ret, err := s.m.ReadUint(f.RetSlot, ptr)
+	if err != nil {
+		return res, err
+	}
+	res.Ret = mem.Addr(ret)
+	res.RetModified = ret != f.retOriginal
+
+	s.frames = s.frames[:len(s.frames)-1]
+	s.sp = f.Top
+	return res, nil
+}
+
+// Backtrace renders the live frames innermost-first, one line each, with
+// the stored return address as currently present on the stack (which may
+// already be attacker-controlled).
+func (s *Stack) Backtrace() []string {
+	out := make([]string, 0, len(s.frames))
+	ptr := int(s.opts.Model.PtrSize)
+	for i := len(s.frames) - 1; i >= 0; i-- {
+		f := s.frames[i]
+		ret, err := s.m.ReadUint(f.RetSlot, ptr)
+		line := fmt.Sprintf("#%d %s sp=%#x", len(s.frames)-1-i, f.Func, uint64(f.SP))
+		if err == nil {
+			line += fmt.Sprintf(" ret=%#x", ret)
+			if ret != f.retOriginal {
+				line += " [CLOBBERED]"
+			}
+		}
+		out = append(out, line)
+	}
+	return out
+}
+
+// LocalAt finds the live local variable whose storage contains addr,
+// searching innermost frames first. This is the stack half of the
+// RuntimeGuard arena inference (§5.2).
+func (s *Stack) LocalAt(addr mem.Addr) (Local, *Frame, bool) {
+	for i := len(s.frames) - 1; i >= 0; i-- {
+		f := s.frames[i]
+		for _, l := range f.locals {
+			if addr >= l.Addr && addr < l.End(s.opts.Model) {
+				return l, f, true
+			}
+		}
+	}
+	return Local{}, nil, false
+}

@@ -1,0 +1,421 @@
+package stackm
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/layout"
+	"repro/internal/mem"
+)
+
+func paperStudentGrad() (*layout.Class, *layout.Class) {
+	student := layout.NewClass("Student").
+		AddField("gpa", layout.Double).
+		AddField("year", layout.Int).
+		AddField("semester", layout.Int)
+	grad := layout.NewClass("GradStudent", student).
+		AddField("ssn", layout.ArrayOf(layout.Int, 3))
+	return student, grad
+}
+
+func newTestStack(t *testing.T, opts Options) (*Stack, *mem.Memory) {
+	t.Helper()
+	m := &mem.Memory{}
+	if _, err := m.Map(mem.SegStack, 0x8000, 0x1000, mem.PermRW); err != nil {
+		t.Fatal(err)
+	}
+	if opts.Model.PtrSize == 0 {
+		opts.Model = layout.ILP32i386
+	}
+	s, err := New(m, 0x8000, 0x1000, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, m
+}
+
+func TestPushPopBalanced(t *testing.T) {
+	s, _ := newTestStack(t, Options{})
+	top := s.SP()
+	f, err := s.Push("f", 0x1234, []LocalSpec{{Name: "x", Type: layout.Int}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Depth() != 1 || s.Current() != f {
+		t.Fatal("frame not current")
+	}
+	res, err := s.Pop()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ret != 0x1234 || res.RetModified || !res.CanaryOK {
+		t.Errorf("pop = %+v", res)
+	}
+	if s.SP() != top || s.Depth() != 0 {
+		t.Error("stack not restored")
+	}
+	if _, err := s.Pop(); err == nil {
+		t.Error("pop on empty stack succeeded")
+	}
+}
+
+func TestLocalsDeclarationOrderHighToLow(t *testing.T) {
+	// Listing 15: "A call to addStudent(true) pushes n and then stud":
+	// earlier-declared locals sit at higher addresses.
+	student, _ := paperStudentGrad()
+	s, _ := newTestStack(t, Options{})
+	f, err := s.Push("addStudent", 0x1000, []LocalSpec{
+		{Name: "n", Type: layout.Int},
+		{Name: "stud", Type: student},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := f.Local("n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stud, err := f.Local("stud")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stud.Addr >= n.Addr {
+		t.Errorf("stud %#x not below n %#x", uint64(stud.Addr), uint64(n.Addr))
+	}
+	// Under i386 alignment they are adjacent: stud end == n start.
+	if stud.End(layout.ILP32i386) != n.Addr {
+		t.Errorf("stud end %#x != n %#x", uint64(stud.End(layout.ILP32i386)), uint64(n.Addr))
+	}
+	if _, err := f.Local("nope"); err == nil {
+		t.Error("missing local lookup succeeded")
+	}
+}
+
+// TestPaperReturnAddressIndexing reproduces the §3.6.1 arithmetic: the
+// ssn[] word index that lands on the return address is 0 with neither FP
+// nor canary, 1 with a saved FP, and 2 with both (canary under FP).
+func TestPaperReturnAddressIndexing(t *testing.T) {
+	student, grad := paperStudentGrad()
+	_ = grad
+	tests := []struct {
+		name     string
+		opts     Options
+		wantIdx  int64
+		hasSlots int // 1=ret, 2=+fp, 3=+canary
+	}{
+		{"plain", Options{Model: layout.ILP32i386}, 0, 1},
+		{"savedFP", Options{Model: layout.ILP32i386, SaveFP: true}, 1, 2},
+		{"canary+FP", Options{Model: layout.ILP32i386, SaveFP: true, Canary: true}, 2, 3},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			s, _ := newTestStack(t, tt.opts)
+			f, err := s.Push("addStudent", 0x2000, []LocalSpec{{Name: "stud", Type: student}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			stud, err := f.Local("stud")
+			if err != nil {
+				t.Fatal(err)
+			}
+			// ssn[i] of a GradStudent placed at &stud lives at
+			// stud + 16 + 4*i (sizeof(Student)==16 under i386 alignment).
+			ssnBase := stud.Addr.Add(16)
+			gotIdx := (f.RetSlot.Diff(ssnBase)) / 4
+			if gotIdx != tt.wantIdx {
+				t.Errorf("ret slot at ssn[%d], want ssn[%d]", gotIdx, tt.wantIdx)
+			}
+			if tt.hasSlots >= 3 {
+				if f.CanarySlot != ssnBase {
+					t.Errorf("canary at %#x, want ssn[0] %#x", uint64(f.CanarySlot), uint64(ssnBase))
+				}
+			} else if f.CanarySlot != 0 {
+				t.Error("unexpected canary slot")
+			}
+			if tt.hasSlots >= 2 {
+				wantFP := ssnBase.Add(4 * (tt.wantIdx - 1))
+				if f.FPSlot != wantFP {
+					t.Errorf("fp slot at %#x, want %#x", uint64(f.FPSlot), uint64(wantFP))
+				}
+			} else if f.FPSlot != 0 {
+				t.Error("unexpected fp slot")
+			}
+		})
+	}
+}
+
+func TestCanaryVerification(t *testing.T) {
+	s, m := newTestStack(t, Options{Canary: true})
+	f, err := s.Push("victim", 0x3000, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Untouched canary verifies.
+	res, err := s.Pop()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.CanaryOK {
+		t.Fatal("pristine canary failed verification")
+	}
+	// Trampled canary is detected.
+	f, err = s.Push("victim", 0x3000, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.WriteU32(f.CanarySlot, 0x41414141); err != nil {
+		t.Fatal(err)
+	}
+	res, err = s.Pop()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CanaryOK {
+		t.Error("smashed canary passed verification")
+	}
+	if res.CanaryFound != 0x41414141 {
+		t.Errorf("CanaryFound = %#x", res.CanaryFound)
+	}
+}
+
+func TestDefaultCanaryIsTerminator(t *testing.T) {
+	s, m := newTestStack(t, Options{Canary: true})
+	f, err := s.Push("f", 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := m.ReadU32(f.CanarySlot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uint64(v) != TerminatorCanary {
+		t.Errorf("canary = %#x, want terminator %#x", v, TerminatorCanary)
+	}
+}
+
+func TestCustomCanaryValue(t *testing.T) {
+	s, m := newTestStack(t, Options{Canary: true, CanaryValue: 0xdeadbeef})
+	f, err := s.Push("f", 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := m.ReadU32(f.CanarySlot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 0xdeadbeef {
+		t.Errorf("canary = %#x", v)
+	}
+}
+
+// TestCanarySkipBypass is the §5.2 experiment at the stack level: writing
+// the return-address word while leaving the canary word untouched passes
+// StackGuard verification yet hijacks the return.
+func TestCanarySkipBypass(t *testing.T) {
+	student, _ := paperStudentGrad()
+	s, m := newTestStack(t, Options{SaveFP: true, Canary: true})
+	f, err := s.Push("addStudent", 0x2000, []LocalSpec{{Name: "stud", Type: student}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stud, err := f.Local("stud")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ssnBase := stud.Addr.Add(16)
+	// Skip ssn[0] (canary) and ssn[1] (saved FP); write only ssn[2].
+	if err := m.WriteU32(ssnBase.Add(8), 0x41414141); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Pop()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.CanaryOK {
+		t.Error("canary tripped despite selective write")
+	}
+	if !res.RetModified || res.Ret != 0x41414141 {
+		t.Errorf("return not hijacked: %+v", res)
+	}
+}
+
+func TestFramePointerOverwriteDetected(t *testing.T) {
+	s, m := newTestStack(t, Options{SaveFP: true})
+	f, err := s.Push("f", 0x2000, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.WriteU32(f.FPSlot, 0x61616161); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Pop()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.FPModified {
+		t.Error("fp overwrite not reported")
+	}
+}
+
+func TestNestedFramesRestoreFP(t *testing.T) {
+	s, _ := newTestStack(t, Options{SaveFP: true})
+	if _, err := s.Push("outer", 0x1, nil); err != nil {
+		t.Fatal(err)
+	}
+	outerFP := s.fpReg
+	if _, err := s.Push("inner", 0x2, nil); err != nil {
+		t.Fatal(err)
+	}
+	if s.fpReg == outerFP {
+		t.Fatal("fp register unchanged by push")
+	}
+	res, err := s.Pop()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FPModified {
+		t.Error("clean pop reported fp modified")
+	}
+	if s.fpReg != outerFP {
+		t.Error("fp register not restored")
+	}
+}
+
+func TestStackExhaustion(t *testing.T) {
+	s, _ := newTestStack(t, Options{})
+	big := layout.ArrayOf(layout.Char, 0x2000)
+	if _, err := s.Push("f", 0, []LocalSpec{{Name: "buf", Type: big}}); err == nil {
+		t.Error("oversized frame accepted")
+	}
+	// Many nested frames eventually exhaust the segment.
+	var err error
+	for i := 0; i < 10000; i++ {
+		if _, err = s.Push("f", 0, []LocalSpec{{Name: "x", Type: layout.ArrayOf(layout.Char, 64)}}); err != nil {
+			break
+		}
+	}
+	if err == nil {
+		t.Error("unbounded recursion never overflowed")
+	}
+}
+
+func TestPushValidation(t *testing.T) {
+	s, _ := newTestStack(t, Options{})
+	if _, err := s.Push("f", 0, []LocalSpec{{Name: "x", Type: nil}}); err == nil {
+		t.Error("nil local type accepted")
+	}
+	if _, err := s.Push("f", 0, []LocalSpec{
+		{Name: "x", Type: layout.Int}, {Name: "x", Type: layout.Int},
+	}); err == nil {
+		t.Error("duplicate local accepted")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	m := &mem.Memory{}
+	if _, err := New(m, 0x8000, 0x1000, Options{Model: layout.ILP32}); err == nil {
+		t.Error("unmapped stack accepted")
+	}
+	if _, err := m.Map(mem.SegStack, 0x8000, 0x1000, mem.PermRW); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(m, 0x8000, 0x1000, Options{}); err == nil {
+		t.Error("missing model accepted")
+	}
+	if _, err := New(nil, 0x8000, 0x1000, Options{Model: layout.ILP32}); err == nil {
+		t.Error("nil memory accepted")
+	}
+}
+
+func TestLocalAt(t *testing.T) {
+	student, _ := paperStudentGrad()
+	s, _ := newTestStack(t, Options{})
+	if _, err := s.Push("outer", 0, []LocalSpec{{Name: "a", Type: layout.Int}}); err != nil {
+		t.Fatal(err)
+	}
+	f2, err := s.Push("inner", 0, []LocalSpec{{Name: "stud", Type: student}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stud, err := f2.Local("stud")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, fr, ok := s.LocalAt(stud.Addr.Add(5))
+	if !ok || l.Name != "stud" || fr != f2 {
+		t.Errorf("LocalAt = %v %v %v", l, fr, ok)
+	}
+	if _, _, ok := s.LocalAt(stud.End(layout.ILP32i386)); ok {
+		// One past the end must not match stud itself; it may match
+		// another local in an outer frame, so only assert when a hit
+		// claims to be stud.
+		if l2, _, _ := s.LocalAt(stud.End(layout.ILP32i386)); l2.Name == "stud" {
+			t.Error("LocalAt matched one past end of stud")
+		}
+	}
+	if _, _, ok := s.LocalAt(0x100); ok {
+		t.Error("LocalAt matched outside stack")
+	}
+}
+
+func TestNewOnImage(t *testing.T) {
+	img, err := mem.NewProcessImage(mem.ImageConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewOnImage(img, Options{Model: layout.ILP32i386})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.SP() != img.Stack.End() {
+		t.Errorf("sp = %#x, want stack top %#x", uint64(s.SP()), uint64(img.Stack.End()))
+	}
+}
+
+func TestLP64FrameGeometry(t *testing.T) {
+	s, _ := newTestStack(t, Options{Model: layout.LP64, SaveFP: true, Canary: true})
+	f, err := s.Push("f", 0xdead, []LocalSpec{{Name: "x", Type: layout.Long}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Top.Diff(f.RetSlot) != 8 || f.RetSlot.Diff(f.FPSlot) != 8 || f.FPSlot.Diff(f.CanarySlot) != 8 {
+		t.Errorf("slots: top=%#x ret=%#x fp=%#x canary=%#x",
+			uint64(f.Top), uint64(f.RetSlot), uint64(f.FPSlot), uint64(f.CanarySlot))
+	}
+	res, err := s.Pop()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ret != 0xdead || !res.CanaryOK {
+		t.Errorf("pop = %+v", res)
+	}
+}
+
+func TestBacktrace(t *testing.T) {
+	s, m := newTestStack(t, Options{})
+	if _, err := s.Push("main", 0x1000, nil); err != nil {
+		t.Fatal(err)
+	}
+	f2, err := s.Push("addStudent", 0x2000, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bt := s.Backtrace()
+	if len(bt) != 2 {
+		t.Fatalf("backtrace = %v", bt)
+	}
+	if !strings.Contains(bt[0], "#0 addStudent") || !strings.Contains(bt[0], "ret=0x2000") {
+		t.Errorf("frame 0 = %q", bt[0])
+	}
+	if !strings.Contains(bt[1], "#1 main") {
+		t.Errorf("frame 1 = %q", bt[1])
+	}
+	// A clobbered return address is flagged.
+	if err := m.WriteU32(f2.RetSlot, 0x41414141); err != nil {
+		t.Fatal(err)
+	}
+	bt = s.Backtrace()
+	if !strings.Contains(bt[0], "[CLOBBERED]") {
+		t.Errorf("clobbered frame not flagged: %q", bt[0])
+	}
+}

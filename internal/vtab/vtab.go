@@ -1,0 +1,106 @@
+// Package vtab computes virtual-table layouts for the class model in
+// internal/layout: which virtual methods occupy which slots of which
+// table, and which class provides the implementation after overrides.
+//
+// The machine package materialises these specs into the simulated rodata
+// segment and dispatches virtual calls by reading the vptr out of object
+// memory — which is precisely what makes the §3.8.2 vtable-pointer
+// subterfuge possible: an overflow that rewrites the vptr redirects every
+// subsequent virtual call.
+package vtab
+
+import (
+	"fmt"
+
+	"repro/internal/layout"
+)
+
+// Slot is one entry of a virtual table: the method name and the class
+// whose implementation the slot resolves to after override resolution.
+type Slot struct {
+	Name string
+	Impl *layout.Class
+}
+
+// Key returns the canonical "Class::method" spelling used to register
+// implementations with the machine.
+func (s Slot) Key() string { return MethodKey(s.Impl, s.Name) }
+
+// MethodKey builds the canonical "Class::method" implementation key.
+func MethodKey(c *layout.Class, method string) string {
+	return c.Name() + "::" + method
+}
+
+// Table is one virtual table of a class: the offset within the complete
+// object of the vptr that points at it, and its slots in order.
+type Table struct {
+	// VPtrOffset is where, inside an instance, the pointer to this table
+	// lives. Single inheritance yields one table with offset 0.
+	VPtrOffset uint64
+	Slots      []Slot
+}
+
+// TablesOf computes the virtual tables of c under model m, primary table
+// first. Overridden methods resolve to the most-derived implementor in
+// every table where the method name appears; virtuals new in c are
+// appended to the primary table.
+func TablesOf(c *layout.Class, m layout.Model) ([]Table, error) {
+	l, err := layout.Of(c, m)
+	if err != nil {
+		return nil, fmt.Errorf("vtab: %w", err)
+	}
+	var tables []Table
+	for _, bp := range l.Bases {
+		bts, err := TablesOf(bp.Class, m)
+		if err != nil {
+			return nil, err
+		}
+		for _, bt := range bts {
+			bt.VPtrOffset += bp.Offset
+			// Deep-copy slots so override rewriting never mutates the
+			// base class's cached tables.
+			slots := make([]Slot, len(bt.Slots))
+			copy(slots, bt.Slots)
+			bt.Slots = slots
+			tables = append(tables, bt)
+		}
+	}
+	virtuals := c.Virtuals()
+	if len(virtuals) > 0 {
+		if len(tables) == 0 {
+			tables = append(tables, Table{VPtrOffset: 0})
+		}
+		for _, v := range virtuals {
+			found := false
+			for ti := range tables {
+				for si := range tables[ti].Slots {
+					if tables[ti].Slots[si].Name == v {
+						tables[ti].Slots[si].Impl = c
+						found = true
+					}
+				}
+			}
+			if !found {
+				tables[0].Slots = append(tables[0].Slots, Slot{Name: v, Impl: c})
+			}
+		}
+	}
+	// Sanity: the computed tables must match the layout's vptr inventory.
+	if len(tables) != len(l.VPtrOffsets) {
+		return nil, fmt.Errorf("vtab: class %s: %d tables for %d vptrs", c.Name(), len(tables), len(l.VPtrOffsets))
+	}
+	return tables, nil
+}
+
+// SlotOf locates method by name across tables, returning the table index
+// and slot index of its primary occurrence (first table containing it).
+func SlotOf(tables []Table, method string) (tableIdx, slotIdx int, err error) {
+	for ti, t := range tables {
+		for si, s := range t.Slots {
+			if s.Name == method {
+				return ti, si, nil
+			}
+		}
+	}
+	return 0, 0, fmt.Errorf("vtab: no virtual method %q", method)
+}

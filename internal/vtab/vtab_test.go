@@ -1,0 +1,177 @@
+package vtab
+
+import (
+	"testing"
+
+	"repro/internal/layout"
+)
+
+func TestNonPolymorphicHasNoTables(t *testing.T) {
+	c := layout.NewClass("Plain").AddField("x", layout.Int)
+	ts, err := TablesOf(c, layout.ILP32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts) != 0 {
+		t.Errorf("tables = %d, want 0", len(ts))
+	}
+}
+
+func TestSingleClassTable(t *testing.T) {
+	c := layout.NewClass("C").AddVirtual("f").AddVirtual("g")
+	ts, err := TablesOf(c, layout.ILP32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts) != 1 || ts[0].VPtrOffset != 0 {
+		t.Fatalf("tables = %+v", ts)
+	}
+	if len(ts[0].Slots) != 2 || ts[0].Slots[0].Name != "f" || ts[0].Slots[1].Name != "g" {
+		t.Errorf("slots = %+v", ts[0].Slots)
+	}
+	for _, s := range ts[0].Slots {
+		if s.Impl != c {
+			t.Errorf("impl = %v, want C", s.Impl)
+		}
+	}
+}
+
+func TestOverrideResolvesToDerived(t *testing.T) {
+	// The paper's §3.8.2 example: getInfo() virtual in both classes.
+	student := layout.NewClass("Student").AddVirtual("getInfo").AddField("gpa", layout.Double)
+	grad := layout.NewClass("GradStudent", student).AddVirtual("getInfo")
+
+	sts, err := TablesOf(student, layout.ILP32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sts[0].Slots[0].Impl != student {
+		t.Errorf("Student table resolves to %v", sts[0].Slots[0].Impl)
+	}
+	gts, err := TablesOf(grad, layout.ILP32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gts) != 1 || len(gts[0].Slots) != 1 {
+		t.Fatalf("grad tables = %+v", gts)
+	}
+	if gts[0].Slots[0].Impl != grad {
+		t.Errorf("override not applied: impl = %v", gts[0].Slots[0].Impl)
+	}
+	if gts[0].Slots[0].Key() != "GradStudent::getInfo" {
+		t.Errorf("key = %q", gts[0].Slots[0].Key())
+	}
+	// Base tables must not have been mutated by computing the derived ones.
+	sts2, err := TablesOf(student, layout.ILP32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sts2[0].Slots[0].Impl != student {
+		t.Error("base table mutated by derived override")
+	}
+}
+
+func TestNewVirtualAppendsToPrimary(t *testing.T) {
+	base := layout.NewClass("Base").AddVirtual("f")
+	derived := layout.NewClass("Derived", base).AddVirtual("g")
+	ts, err := TablesOf(derived, layout.ILP32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts) != 1 {
+		t.Fatalf("tables = %d", len(ts))
+	}
+	slots := ts[0].Slots
+	if len(slots) != 2 || slots[0].Name != "f" || slots[1].Name != "g" {
+		t.Fatalf("slots = %+v", slots)
+	}
+	if slots[0].Impl != base || slots[1].Impl != derived {
+		t.Errorf("impls = %v/%v", slots[0].Impl, slots[1].Impl)
+	}
+}
+
+func TestMultipleInheritanceSecondaryTable(t *testing.T) {
+	a := layout.NewClass("A").AddVirtual("fa").AddField("x", layout.Int)
+	b := layout.NewClass("B").AddVirtual("fb").AddField("y", layout.Int)
+	c := layout.NewClass("C", a, b).AddVirtual("fa").AddVirtual("fb").AddVirtual("fc")
+
+	ts, err := TablesOf(c, layout.ILP32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts) != 2 {
+		t.Fatalf("tables = %d, want 2", len(ts))
+	}
+	if ts[0].VPtrOffset != 0 || ts[1].VPtrOffset != 8 {
+		t.Errorf("vptr offsets = %d/%d, want 0/8", ts[0].VPtrOffset, ts[1].VPtrOffset)
+	}
+	// Primary: fa (override by C) then fc (new).
+	if len(ts[0].Slots) != 2 || ts[0].Slots[0].Name != "fa" || ts[0].Slots[0].Impl != c {
+		t.Errorf("primary slots = %+v", ts[0].Slots)
+	}
+	if ts[0].Slots[1].Name != "fc" || ts[0].Slots[1].Impl != c {
+		t.Errorf("primary new slot = %+v", ts[0].Slots[1])
+	}
+	// Secondary: fb overridden by C.
+	if len(ts[1].Slots) != 1 || ts[1].Slots[0].Name != "fb" || ts[1].Slots[0].Impl != c {
+		t.Errorf("secondary slots = %+v", ts[1].Slots)
+	}
+}
+
+func TestTableCountMatchesLayoutVPtrs(t *testing.T) {
+	a := layout.NewClass("A").AddVirtual("fa")
+	b := layout.NewClass("B").AddVirtual("fb")
+	c := layout.NewClass("C", a, b)
+	d := layout.NewClass("D", c).AddVirtual("fd")
+
+	l, err := layout.Of(d, layout.ILP32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts, err := TablesOf(d, layout.ILP32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts) != len(l.VPtrOffsets) {
+		t.Errorf("tables=%d vptrs=%d", len(ts), len(l.VPtrOffsets))
+	}
+	for i, tb := range ts {
+		if tb.VPtrOffset != l.VPtrOffsets[i] {
+			t.Errorf("table %d at %d, layout vptr at %d", i, tb.VPtrOffset, l.VPtrOffsets[i])
+		}
+	}
+}
+
+func TestSlotOf(t *testing.T) {
+	a := layout.NewClass("A").AddVirtual("fa")
+	b := layout.NewClass("B").AddVirtual("fb")
+	c := layout.NewClass("C", a, b)
+	ts, err := TablesOf(c, layout.ILP32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ti, si, err := SlotOf(ts, "fb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ti != 1 || si != 0 {
+		t.Errorf("fb at table %d slot %d, want 1/0", ti, si)
+	}
+	if _, _, err := SlotOf(ts, "nope"); err == nil {
+		t.Error("missing method lookup succeeded")
+	}
+}
+
+func TestTablesOfInvalidClass(t *testing.T) {
+	c := layout.NewClass("C").AddField("x", nil)
+	if _, err := TablesOf(c, layout.ILP32); err == nil {
+		t.Error("want error for invalid class")
+	}
+}
+
+func TestMethodKey(t *testing.T) {
+	c := layout.NewClass("Student")
+	if got := MethodKey(c, "getInfo"); got != "Student::getInfo" {
+		t.Errorf("key = %q", got)
+	}
+}
