@@ -3,25 +3,33 @@
 //
 // Usage:
 //
-//	pnattack [-scenario id|all] [-defense name|all] [-v]
+//	pnattack [-scenario id|all] [-defense name|all] [-timeout d] [-v]
 //	pnattack -list
 //
 // With -defense all it prints the full §5 attack x defense matrix
 // (experiment E15).
+//
+// Scenario execution is supervised: every run carries a deadline (the
+// -timeout flag) so a wedged scenario cannot hang the CLI, and an
+// unexpected infrastructure fault exits nonzero with a structured
+// one-line error (scenario=... defense=... status=... fault=...).
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"strconv"
+	"time"
 
 	"repro/internal/attack"
 	"repro/internal/defense"
 	"repro/internal/experiments"
 	"repro/internal/report"
+	"repro/internal/resilience"
 )
 
 func main() {
@@ -31,10 +39,51 @@ func main() {
 	}
 }
 
+// scenarioError is the structured one-line failure report for a
+// scenario that returned an unexpected fault, panicked, or timed out.
+type scenarioError struct {
+	scenario string
+	defense  string
+	res      *resilience.Result
+}
+
+func (e *scenarioError) Error() string {
+	msg := fmt.Sprintf("scenario=%s defense=%s status=%s", e.scenario, e.defense, e.res.Status)
+	if n := len(e.res.Crashes); n > 0 {
+		last := e.res.Crashes[n-1]
+		msg += fmt.Sprintf(" kind=%s", last.Kind)
+		if last.FaultKind != "" {
+			msg += fmt.Sprintf(" fault=%s fault_addr=%#x", last.FaultKind, last.FaultAddr)
+		}
+		msg += fmt.Sprintf(" err=%q", last.Message)
+	} else if e.res.Err != "" {
+		msg += fmt.Sprintf(" err=%q", e.res.Err)
+	}
+	return msg
+}
+
+// supervised runs fn under a single-attempt supervisor with the given
+// deadline and unwraps the typed result.
+func supervised[T any](scenarioID, defenseName string, timeout time.Duration, fn func() (T, error)) (T, error) {
+	var zero T
+	sup := resilience.NewSupervisor(resilience.Policy{Timeout: timeout, MaxAttempts: 1})
+	res := sup.Run(resilience.Job{
+		ID: scenarioID + "/" + defenseName,
+		Run: func(ctx context.Context, attempt int) (any, error) {
+			return fn()
+		},
+	})
+	if res.Status != resilience.StatusOK {
+		return zero, &scenarioError{scenario: scenarioID, defense: defenseName, res: res}
+	}
+	return res.Value.(T), nil
+}
+
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("pnattack", flag.ContinueOnError)
 	scenario := fs.String("scenario", "all", "scenario id (see -list) or all")
 	defName := fs.String("defense", "none", "defense configuration name or all")
+	timeout := fs.Duration("timeout", 30*time.Second, "deadline per supervised scenario batch; a wedged scenario cannot hang the CLI")
 	verbose := fs.Bool("v", false, "print per-scenario details and metrics")
 	jsonOut := fs.Bool("json", false, "emit machine-readable JSON outcomes")
 	list := fs.Bool("list", false, "list scenarios and defenses")
@@ -63,7 +112,9 @@ func run(args []string, out io.Writer) error {
 
 	if *defName == "all" {
 		configs := defense.Catalog()
-		matrix, err := attack.RunMatrix(configs)
+		matrix, err := supervised(*scenario, "all", *timeout, func() (map[string]map[string]*attack.Outcome, error) {
+			return attack.RunMatrix(configs)
+		})
 		if err != nil {
 			return err
 		}
@@ -93,7 +144,9 @@ func run(args []string, out io.Writer) error {
 	}
 	var outcomes []*attack.Outcome
 	if *scenario == "all" {
-		outcomes, err = attack.RunAll(cfg)
+		outcomes, err = supervised("all", cfg.Name, *timeout, func() ([]*attack.Outcome, error) {
+			return attack.RunAll(cfg)
+		})
 		if err != nil {
 			return err
 		}
@@ -102,7 +155,9 @@ func run(args []string, out io.Writer) error {
 		if err != nil {
 			return err
 		}
-		o, err := s.Run(cfg)
+		o, err := supervised(s.ID, cfg.Name, *timeout, func() (*attack.Outcome, error) {
+			return s.Run(cfg)
+		})
 		if err != nil {
 			return err
 		}

@@ -108,6 +108,33 @@ func TestErrors(t *testing.T) {
 	}
 }
 
+func TestTimeoutProducesStructuredError(t *testing.T) {
+	// An absurdly small deadline forces the supervisor to time out; the
+	// CLI must surface that as a structured one-line error instead of
+	// hanging or succeeding.
+	var sb strings.Builder
+	err := run([]string{"-scenario", "stack-ret", "-defense", "none", "-timeout", "1ns"}, &sb)
+	if err == nil {
+		t.Fatal("1ns timeout did not fail")
+	}
+	msg := err.Error()
+	for _, want := range []string{"scenario=stack-ret", "defense=none", "status=timeout"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("error %q missing %q", msg, want)
+		}
+	}
+	if strings.Contains(msg, "\n") {
+		t.Errorf("structured error is not one line: %q", msg)
+	}
+}
+
+func TestGenerousTimeoutStillSucceeds(t *testing.T) {
+	out := runCapture(t, "-scenario", "stack-ret", "-defense", "none", "-timeout", "30s")
+	if !strings.Contains(out, "SUCCESS") {
+		t.Errorf("supervised run changed outcome:\n%s", out)
+	}
+}
+
 func TestJSONMode(t *testing.T) {
 	out := runCapture(t, "-scenario", "memleak", "-defense", "none", "-json")
 	var outcomes []map[string]any

@@ -1,0 +1,96 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+// quickArgs keeps CLI tests fast: a small matrix, two runs.
+func quickArgs(extra ...string) []string {
+	args := []string{
+		"--seed", "42", "--runs", "2", "--prob", "0.01",
+		"--scenario", "bss-overflow,stack-ret,memleak",
+		"--defense", "none,stackguard,hardened",
+	}
+	return append(args, extra...)
+}
+
+func TestJSONOutputIsByteIdentical(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := run(quickArgs(), &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(quickArgs(), &b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("two invocations with identical flags produced different JSON")
+	}
+	var rep experiments.ChaosReport
+	if err := json.Unmarshal(a.Bytes(), &rep); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if !rep.Deterministic {
+		t.Fatal("report flags nondeterminism")
+	}
+	if rep.Seed != 42 || rep.Runs != 2 {
+		t.Fatalf("report echoes wrong config: %+v", rep)
+	}
+}
+
+func TestSeedChangesOutput(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := run(quickArgs(), &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(append(quickArgs()[2:], "--seed", "43"), &b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() == b.String() {
+		t.Fatal("different seeds produced identical output")
+	}
+}
+
+func TestTableOutput(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(quickArgs("--table"), &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"Chaos campaign", "deterministic (replay check)", "yes", "fault kinds"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("table output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestFaultKindSelection(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(quickArgs("--faults", "bitflip,unmap"), &out); err != nil {
+		t.Fatal(err)
+	}
+	var rep experiments.ChaosReport
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Kinds != "bitflip,unmap" {
+		t.Fatalf("kinds = %q", rep.Kinds)
+	}
+}
+
+func TestBadFlagsRejected(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"--faults", "quantum"}, &out); err == nil {
+		t.Error("unknown fault kind accepted")
+	}
+	if err := run([]string{"--scenario", "no-such", "--runs", "1"}, &out); err == nil {
+		t.Error("unknown scenario accepted")
+	}
+	if err := run([]string{"--defense", "no-such", "--runs", "1"}, &out); err == nil {
+		t.Error("unknown defense accepted")
+	}
+}

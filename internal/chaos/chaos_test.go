@@ -1,0 +1,217 @@
+package chaos
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/mem"
+)
+
+func newImage(t *testing.T) *mem.Image {
+	t.Helper()
+	img, err := mem.NewProcessImage(mem.ImageConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return img
+}
+
+// hammer performs a fixed deterministic access pattern, ignoring faults.
+func hammer(img *mem.Image, n int) {
+	base := img.Data.Base
+	for i := 0; i < n; i++ {
+		_ = img.Mem.WriteU32(base.Add(int64(i%1024)*4), uint32(i))
+		_, _ = img.Mem.ReadU32(base.Add(int64(i%1024) * 4))
+	}
+}
+
+func TestInjectorDeterminism(t *testing.T) {
+	transcript := func() []Injection {
+		img := newImage(t)
+		in := New(Config{Seed: 42, Prob: 0.05})
+		in.Arm(img.Mem)
+		hammer(img, 2000)
+		return in.Injections()
+	}
+	a, b := transcript(), transcript()
+	if len(a) == 0 {
+		t.Fatal("no faults injected at prob 0.05 over 4000 accesses")
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed produced different schedules:\n%v\nvs\n%v", a, b)
+	}
+	// A different seed must produce a different schedule.
+	img := newImage(t)
+	in := New(Config{Seed: 43, Prob: 0.05})
+	in.Arm(img.Mem)
+	hammer(img, 2000)
+	if reflect.DeepEqual(a, in.Injections()) {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+func TestInjectorBudget(t *testing.T) {
+	img := newImage(t)
+	in := New(Config{Seed: 7, Prob: 1.0, MaxFaults: 3, Kinds: []Kind{KindDropWrite}})
+	in.Arm(img.Mem)
+	hammer(img, 100)
+	if got := in.Count(); got != 3 {
+		t.Fatalf("injected %d faults, budget was 3", got)
+	}
+	if in.Accesses() < 100 {
+		t.Fatalf("accesses = %d, hook stopped observing after budget", in.Accesses())
+	}
+}
+
+func TestBitFlipCorruptsExactlyOneBit(t *testing.T) {
+	img := newImage(t)
+	in := New(Config{Seed: 1, Prob: 1.0, MaxFaults: 1, Kinds: []Kind{KindBitFlip}})
+	in.Arm(img.Mem)
+	if err := img.Mem.WriteU32(img.Data.Base, 0); err != nil {
+		t.Fatal(err)
+	}
+	in.Disarm(img.Mem)
+	v, err := img.Mem.ReadU32(img.Data.Base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if popcount32(v) != 1 {
+		t.Fatalf("stored %#x, want exactly one flipped bit", v)
+	}
+}
+
+func popcount32(v uint32) int {
+	n := 0
+	for ; v != 0; v &= v - 1 {
+		n++
+	}
+	return n
+}
+
+func TestTornWriteIsPrefix(t *testing.T) {
+	img := newImage(t)
+	in := New(Config{Seed: 3, Prob: 1.0, MaxFaults: 1, Kinds: []Kind{KindTornWrite}})
+	in.Arm(img.Mem)
+	if err := img.Mem.Write(img.Data.Base, []byte{1, 2, 3, 4, 5, 6, 7, 8}); err != nil {
+		t.Fatal(err)
+	}
+	in.Disarm(img.Mem)
+	got, err := img.Mem.Read(img.Data.Base, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut := 0
+	for cut < 8 && got[cut] == byte(cut+1) {
+		cut++
+	}
+	if cut == 0 || cut == 8 {
+		t.Fatalf("torn write stored % x, want a strict prefix", got)
+	}
+	for i := cut; i < 8; i++ {
+		if got[i] != 0 {
+			t.Fatalf("byte %d = %#x past the tear, want 0", i, got[i])
+		}
+	}
+}
+
+func TestPermFaultIsTransient(t *testing.T) {
+	img := newImage(t)
+	in := New(Config{Seed: 5, Prob: 1.0, MaxFaults: 1, Kinds: []Kind{KindPermFault}})
+	in.Arm(img.Mem)
+	err := img.Mem.WriteU8(img.Data.Base, 1)
+	f, ok := mem.IsFault(err)
+	if !ok || f.Kind != mem.FaultPerm {
+		t.Fatalf("first access error = %v, want transient permission fault", err)
+	}
+	// Budget spent: the retry goes through.
+	if err := img.Mem.WriteU8(img.Data.Base, 1); err != nil {
+		t.Fatalf("retry after transient fault failed: %v", err)
+	}
+}
+
+func TestUnmapPageIsPersistent(t *testing.T) {
+	img := newImage(t)
+	in := New(Config{Seed: 9, Prob: 1.0, MaxFaults: 1, Kinds: []Kind{KindUnmapPage}})
+	in.Arm(img.Mem)
+	err := img.Mem.WriteU8(img.Data.Base, 1)
+	f, ok := mem.IsFault(err)
+	if !ok || f.Kind != mem.FaultUnmapped {
+		t.Fatalf("unmap injection error = %v", err)
+	}
+	// Budget is spent, but the page stays gone.
+	if _, err := img.Mem.ReadU8(img.Data.Base.Add(17)); err == nil {
+		t.Fatal("read of unmapped page succeeded")
+	}
+	// An address on a different page is untouched.
+	if err := img.Mem.WriteU8(img.Data.Base.Add(8192), 1); err != nil {
+		t.Fatalf("write to a live page failed: %v", err)
+	}
+	// Reset restores the world and the schedule.
+	in.Reset()
+	if err := img.Mem.WriteU8(img.Data.Base, 1); err == nil {
+		_ = err
+	}
+	if in.Accesses() != 1 {
+		t.Fatalf("accesses after reset = %d, want 1", in.Accesses())
+	}
+}
+
+func TestPanicOnFaultPanicsWithFault(t *testing.T) {
+	img := newImage(t)
+	in := New(Config{Seed: 11, Prob: 1.0, MaxFaults: 1, Kinds: []Kind{KindUnmapPage}, PanicOnFault: true})
+	in.Arm(img.Mem)
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("no panic delivered")
+		}
+		f, ok := r.(*mem.Fault)
+		if !ok || f.Kind != mem.FaultUnmapped {
+			t.Fatalf("panic value = %v (%T)", r, r)
+		}
+	}()
+	_ = img.Mem.WriteU8(img.Data.Base, 1)
+}
+
+func TestParseKinds(t *testing.T) {
+	all, err := ParseKinds("all")
+	if err != nil || len(all) != len(AllKinds()) {
+		t.Fatalf("ParseKinds(all) = %v, %v", all, err)
+	}
+	got, err := ParseKinds("unmap, bitflip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, []Kind{KindBitFlip, KindUnmapPage}) {
+		t.Fatalf("ParseKinds normalisation = %v", got)
+	}
+	// Aliases and canonical names agree.
+	a, _ := ParseKinds("drop,torn,perm")
+	b, _ := ParseKinds("dropwrite,tornwrite,permfault")
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("alias parse %v != canonical parse %v", a, b)
+	}
+	if _, err := ParseKinds("quantum"); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+	if KindNames(got) != "bitflip,unmap" {
+		t.Fatalf("KindNames = %q", KindNames(got))
+	}
+}
+
+func TestDeriveSeedIndependence(t *testing.T) {
+	a := DeriveSeed(42, "0", "stack-ret", "none")
+	b := DeriveSeed(42, "0", "stack-ret", "nx")
+	c := DeriveSeed(42, "1", "stack-ret", "none")
+	d := DeriveSeed(42, "0", "stack-ret", "none")
+	if a == b || a == c || b == c {
+		t.Fatalf("derived seeds collide: %d %d %d", a, b, c)
+	}
+	if a != d {
+		t.Fatal("DeriveSeed is not deterministic")
+	}
+	// Label boundaries matter: ("ab","c") != ("a","bc").
+	if DeriveSeed(1, "ab", "c") == DeriveSeed(1, "a", "bc") {
+		t.Fatal("label concatenation ambiguity")
+	}
+}

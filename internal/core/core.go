@@ -54,6 +54,13 @@ type BoundsError struct {
 	Have  uint64
 	At    mem.Addr
 	Label string // arena label, when known
+	// Overflowed reports that the size computation n*sizeof(elem)
+	// itself wrapped uint64 — the classic `new (p) T[n]` n-underflow
+	// trap where a negative count becomes enormous. Need is
+	// meaningless in that case; Count and ElemSize carry the request.
+	Overflowed bool
+	Count      uint64 // requested element count
+	ElemSize   uint64 // sizeof(elem) under the model
 }
 
 // Error implements the error interface.
@@ -61,6 +68,10 @@ func (e *BoundsError) Error() string {
 	where := e.Label
 	if where == "" {
 		where = fmt.Sprintf("arena at %#x", uint64(e.At))
+	}
+	if e.Overflowed {
+		return fmt.Sprintf("core: placement of %s rejected: element count %d x %d-byte elements overflows size arithmetic (%s is %d bytes)",
+			e.What, e.Count, e.ElemSize, where, e.Have)
 	}
 	return fmt.Sprintf("core: placement of %s (%d bytes) exceeds %s (%d bytes)", e.What, e.Need, where, e.Have)
 }
@@ -191,7 +202,10 @@ func CheckedPlacementNewArray(m *mem.Memory, model layout.Model, arena Arena, el
 	es := elem.Size(model)
 	need := es * n
 	if es != 0 && need/es != n { // multiplication overflow: the classic n underflow trap
-		return nil, &BoundsError{What: fmt.Sprintf("%s[%d]", elem, n), Need: ^uint64(0), Have: arena.Size, At: arena.Base, Label: arena.Label}
+		return nil, &BoundsError{
+			What: fmt.Sprintf("%s[%d]", elem, n), Have: arena.Size, At: arena.Base, Label: arena.Label,
+			Overflowed: true, Count: n, ElemSize: es,
+		}
 	}
 	if need > arena.Size {
 		return nil, &BoundsError{What: fmt.Sprintf("%s[%d]", elem, n), Need: need, Have: arena.Size, At: arena.Base, Label: arena.Label}

@@ -242,7 +242,43 @@ func TestCheckedPlacementNewArrayMulOverflow(t *testing.T) {
 	_, err := CheckedPlacementNewArray(m, layout.ILP32, arena, layout.Int, huge)
 	var be *BoundsError
 	if !errors.As(err, &be) {
-		t.Errorf("err = %v, want *BoundsError on multiplication overflow", err)
+		t.Fatalf("err = %v, want *BoundsError on multiplication overflow", err)
+	}
+	if !be.Overflowed {
+		t.Errorf("Overflowed not set: %+v", be)
+	}
+	if be.Count != huge || be.ElemSize != 4 {
+		t.Errorf("overflow error carries count=%d elemSize=%d, want %d/4", be.Count, be.ElemSize, huge)
+	}
+	// The message must describe the arithmetic overflow, not claim a
+	// bogus 18-quintillion-byte "need".
+	msg := be.Error()
+	if !strings.Contains(msg, "overflows size arithmetic") {
+		t.Errorf("overflow message lacks diagnosis: %q", msg)
+	}
+	if strings.Contains(msg, "18446744073709551615 bytes") {
+		t.Errorf("overflow message still reports a bogus need: %q", msg)
+	}
+}
+
+func TestCheckedPlacementNewArrayNUnderflowTrap(t *testing.T) {
+	// The paper's introduction trap in its purest form: the program
+	// computes n-1 elements from attacker input n=0, and the unsigned
+	// subtraction underflows to (unsigned)-1.
+	m := newTestMem(t)
+	arena := Arena{Base: 0x1100, Size: 64}
+	var n uint64 // attacker sends 0
+	underflowed := n - 1
+	_, err := CheckedPlacementNewArray(m, layout.ILP32, arena, layout.Int, underflowed)
+	var be *BoundsError
+	if !errors.As(err, &be) {
+		t.Fatalf("err = %v, want *BoundsError", err)
+	}
+	if !be.Overflowed || be.Count != ^uint64(0) {
+		t.Errorf("underflow trap not diagnosed: %+v", be)
+	}
+	if be.Need != 0 {
+		t.Errorf("Need = %d for an overflowed computation, want 0", be.Need)
 	}
 }
 

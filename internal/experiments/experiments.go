@@ -45,6 +45,7 @@ func All() []Experiment {
 		{"E16", "§1/§5.1/§7", "static analyzer vs traditional baseline", runE16},
 		{"E17", "§5.1", "defense overhead microbenchmarks", runE17},
 		{"E18", "extension", "data-model generality (i386 / ILP32 / LP64)", runE18},
+		{"E19", "extension", "chaos campaign: fault injection + supervised crash recovery", runE19},
 	}
 }
 

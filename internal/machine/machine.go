@@ -135,6 +135,25 @@ func New(opts Options) (*Process, error) {
 // Options returns the options the process was built with.
 func (p *Process) Options() Options { return p.opts }
 
+// Checkpoint captures the process's full address-space image — segment
+// bytes and permissions — for later rollback. The supervisor layer
+// checkpoints a process right after construction so a chaos-faulted run
+// can be rolled back to its pristine pre-run state.
+func (p *Process) Checkpoint() *mem.Checkpoint { return p.Mem.Checkpoint() }
+
+// RestoreCheckpoint rolls the address space back to cp and records an
+// EvRestore event. Only memory is rolled back: the event log, program
+// output, and pending input survive, the same way a core-dump-and-
+// restart preserves the testbed's logs while resetting the process.
+func (p *Process) RestoreCheckpoint(cp *mem.Checkpoint) error {
+	if err := p.Mem.Restore(cp); err != nil {
+		return fmt.Errorf("machine: %w", err)
+	}
+	p.record(EvRestore, 0, "address space restored from checkpoint (%d segments, %d bytes)",
+		cp.NumSegments(), cp.Bytes())
+	return nil
+}
+
 // --- Events --------------------------------------------------------------
 
 // EventKind classifies process events.
@@ -157,6 +176,7 @@ const (
 	EvMethodCall
 	EvGuardAbort
 	EvOutput
+	EvRestore
 )
 
 var eventNames = map[EventKind]string{
@@ -166,7 +186,7 @@ var eventNames = map[EventKind]string{
 	EvNXViolation: "nx-violation", EvCanaryAbort: "canary-abort",
 	EvShadowAbort: "shadow-abort", EvVirtualCall: "virtual-call",
 	EvVTableHijack: "vtable-hijack", EvMethodCall: "method-call",
-	EvGuardAbort: "guard-abort", EvOutput: "output",
+	EvGuardAbort: "guard-abort", EvOutput: "output", EvRestore: "restore",
 }
 
 // String returns the event kind name.

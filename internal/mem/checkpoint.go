@@ -1,0 +1,108 @@
+package mem
+
+import "fmt"
+
+// segState is one segment's saved contents and permissions inside a
+// Checkpoint.
+type segState struct {
+	kind SegKind
+	base Addr
+	perm Perm
+	data []byte
+}
+
+// Checkpoint is a whole-address-space snapshot: every mapped segment's
+// bytes and permissions at the moment of capture. It extends the
+// range-level Snapshot/Diff machinery in dump.go to the full process
+// image, which is what supervised crash recovery needs — after a faulted
+// run the image is rolled back wholesale, not range by range.
+//
+// A Checkpoint is immutable once taken and independent of the Memory it
+// came from; it remains valid across arbitrary program writes and
+// Protect calls.
+type Checkpoint struct {
+	segs []segState
+}
+
+// NumSegments returns the number of segments captured.
+func (cp *Checkpoint) NumSegments() int { return len(cp.segs) }
+
+// Bytes returns the total number of data bytes held by the checkpoint.
+func (cp *Checkpoint) Bytes() uint64 {
+	var n uint64
+	for _, s := range cp.segs {
+		n += uint64(len(s.data))
+	}
+	return n
+}
+
+// Checkpoint captures every mapped segment. Like Snapshot it reads the
+// raw segment bytes directly — access hooks, permissions, and guards do
+// not apply: checkpointing is harness machinery, not program behaviour.
+func (m *Memory) Checkpoint() *Checkpoint {
+	cp := &Checkpoint{segs: make([]segState, 0, len(m.segs))}
+	for _, s := range m.segs {
+		data := make([]byte, len(s.data))
+		copy(data, s.data)
+		cp.segs = append(cp.segs, segState{kind: s.Kind, base: s.Base, perm: s.Perm, data: data})
+	}
+	return cp
+}
+
+// verifyLayout checks that the checkpoint's segment layout matches the
+// memory's current layout (same count, kinds, bases, and sizes).
+func (m *Memory) verifyLayout(cp *Checkpoint, op string) error {
+	if cp == nil {
+		return fmt.Errorf("mem: %s: nil checkpoint", op)
+	}
+	if len(cp.segs) != len(m.segs) {
+		return fmt.Errorf("mem: %s: checkpoint has %d segments, memory has %d",
+			op, len(cp.segs), len(m.segs))
+	}
+	for i, st := range cp.segs {
+		s := m.segs[i]
+		if s.Kind != st.kind || s.Base != st.base || uint64(len(s.data)) != uint64(len(st.data)) {
+			return fmt.Errorf("mem: %s: segment %d mismatch: checkpoint %s [%#x,+%d), memory %s [%#x,+%d)",
+				op, i, st.kind, uint64(st.base), len(st.data), s.Kind, uint64(s.Base), len(s.data))
+		}
+	}
+	return nil
+}
+
+// Restore rolls every segment's bytes and permissions back to the
+// checkpointed state. The segment layout must match the checkpoint's
+// (restore does not remap segments); watchpoints, guards, the write
+// logger, and any access hook are left installed and do not observe the
+// restore. After a successful Restore, DiffCheckpoint against the same
+// checkpoint reports no differences.
+func (m *Memory) Restore(cp *Checkpoint) error {
+	if err := m.verifyLayout(cp, "restore"); err != nil {
+		return err
+	}
+	for i, st := range cp.segs {
+		s := m.segs[i]
+		copy(s.data, st.data)
+		s.Perm = st.perm
+	}
+	return nil
+}
+
+// DiffCheckpoint compares current memory against a checkpoint and
+// returns every changed run across all segments in ascending address
+// order — the whole-image analogue of Diff.
+func (m *Memory) DiffCheckpoint(cp *Checkpoint) ([]DiffRegion, error) {
+	if err := m.verifyLayout(cp, "diff checkpoint"); err != nil {
+		return nil, err
+	}
+	var out []DiffRegion
+	for i, st := range cp.segs {
+		out = append(out, diffBytes(st.base, st.data, m.segs[i].data)...)
+	}
+	return out, nil
+}
+
+// Checkpoint captures the image's full address space.
+func (img *Image) Checkpoint() *Checkpoint { return img.Mem.Checkpoint() }
+
+// Restore rolls the image's address space back to cp.
+func (img *Image) Restore(cp *Checkpoint) error { return img.Mem.Restore(cp) }

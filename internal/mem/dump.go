@@ -39,25 +39,31 @@ func (m *Memory) Diff(snap *Snapshot) ([]DiffRegion, error) {
 	if err != nil {
 		return nil, err
 	}
+	return diffBytes(snap.Start, snap.Data, cur.Data), nil
+}
+
+// diffBytes computes the changed runs between two equal-length byte
+// images starting at base. Shared by Diff and DiffCheckpoint.
+func diffBytes(base Addr, old, cur []byte) []DiffRegion {
 	var out []DiffRegion
 	i := 0
-	for i < len(snap.Data) {
-		if snap.Data[i] == cur.Data[i] {
+	for i < len(old) {
+		if old[i] == cur[i] {
 			i++
 			continue
 		}
 		j := i
-		for j < len(snap.Data) && snap.Data[j] != cur.Data[j] {
+		for j < len(old) && old[j] != cur[j] {
 			j++
 		}
 		out = append(out, DiffRegion{
-			Addr: snap.Start.Add(int64(i)),
-			Old:  append([]byte(nil), snap.Data[i:j]...),
-			New:  append([]byte(nil), cur.Data[i:j]...),
+			Addr: base.Add(int64(i)),
+			Old:  append([]byte(nil), old[i:j]...),
+			New:  append([]byte(nil), cur[i:j]...),
 		})
 		i = j
 	}
-	return out, nil
+	return out
 }
 
 // Hexdump renders [start, start+n) in the classic 16-bytes-per-line format

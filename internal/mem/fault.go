@@ -1,6 +1,9 @@
 package mem
 
-import "fmt"
+import (
+	"errors"
+	"fmt"
+)
 
 // FaultKind classifies a memory access violation.
 type FaultKind int
@@ -57,17 +60,15 @@ func (f *Fault) Error() string {
 	}
 }
 
-// IsFault reports whether err is (or wraps) a *Fault, returning it if so.
+// IsFault reports whether err is (or wraps) a *Fault, returning it if
+// so. It traverses the wrapped-error tree exactly the way errors.As
+// does: through single Unwrap() error chains and through multi-error
+// Unwrap() []error nodes such as those produced by errors.Join, in
+// which case the first fault in depth-first order is returned.
 func IsFault(err error) (*Fault, bool) {
-	for err != nil {
-		if f, ok := err.(*Fault); ok {
-			return f, true
-		}
-		u, ok := err.(interface{ Unwrap() error })
-		if !ok {
-			return nil, false
-		}
-		err = u.Unwrap()
+	var f *Fault
+	if errors.As(err, &f) {
+		return f, true
 	}
 	return nil, false
 }

@@ -1,0 +1,60 @@
+package mem
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestIsFaultDirect(t *testing.T) {
+	f := &Fault{Kind: FaultUnmapped, Addr: 0x1000, Size: 4}
+	got, ok := IsFault(f)
+	if !ok || got != f {
+		t.Fatalf("IsFault(direct) = %v, %v", got, ok)
+	}
+}
+
+func TestIsFaultSingleWrap(t *testing.T) {
+	f := &Fault{Kind: FaultPerm, Addr: 0x2000, Size: 1, Want: PermWrite, Have: PermRead}
+	err := fmt.Errorf("outer: %w", fmt.Errorf("inner: %w", f))
+	got, ok := IsFault(err)
+	if !ok || got != f {
+		t.Fatalf("IsFault(wrapped) = %v, %v", got, ok)
+	}
+}
+
+func TestIsFaultJoined(t *testing.T) {
+	f := &Fault{Kind: FaultGuard, Addr: 0x3000, Size: 8, Guard: "rz"}
+	err := errors.Join(errors.New("unrelated"), f, errors.New("also unrelated"))
+	got, ok := IsFault(err)
+	if !ok || got != f {
+		t.Fatalf("IsFault(joined) = %v, %v: join unwrapping broken", got, ok)
+	}
+}
+
+func TestIsFaultDeepJoinedAndWrapped(t *testing.T) {
+	f := &Fault{Kind: FaultUnmapped, Addr: 0x4000, Size: 2}
+	// A join nested inside fmt wrapping, with the fault itself wrapped
+	// one level deeper inside the join — the shape errors.As handles.
+	inner := errors.Join(
+		errors.New("first branch"),
+		fmt.Errorf("second branch: %w", f),
+	)
+	err := fmt.Errorf("campaign: %w", inner)
+	got, ok := IsFault(err)
+	if !ok || got != f {
+		t.Fatalf("IsFault(deep joined) = %v, %v", got, ok)
+	}
+}
+
+func TestIsFaultNegative(t *testing.T) {
+	if _, ok := IsFault(nil); ok {
+		t.Error("IsFault(nil) = true")
+	}
+	if _, ok := IsFault(errors.New("plain")); ok {
+		t.Error("IsFault(plain) = true")
+	}
+	if _, ok := IsFault(errors.Join(errors.New("a"), errors.New("b"))); ok {
+		t.Error("IsFault(join of plain errors) = true")
+	}
+}

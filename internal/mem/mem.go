@@ -134,6 +134,8 @@ type Memory struct {
 	guards []*GuardRegion
 	// writeLog, when non-nil, receives a record for every successful write.
 	writeLog func(WriteRecord)
+	// hook, when non-nil, observes (and may alter) every checked access.
+	hook AccessHook
 }
 
 // WriteRecord describes one completed write, for tracing.
@@ -243,6 +245,14 @@ func (m *Memory) Read(addr Addr, n uint64) ([]byte, error) {
 	}
 	out := make([]byte, n)
 	copy(out, s.data[addr.Diff(s.Base):])
+	if m.hook != nil {
+		switch d := m.hook(AccessRead, addr, out); {
+		case d.Fault != nil:
+			return nil, d.Fault
+		case d.Replace != nil:
+			return d.Replace, nil
+		}
+	}
 	return out, nil
 }
 
@@ -259,6 +269,20 @@ func (m *Memory) Write(addr Addr, b []byte) error {
 	}
 	if f := m.checkGuards(addr, n); f != nil {
 		return f
+	}
+	if m.hook != nil {
+		switch d := m.hook(AccessWrite, addr, b); {
+		case d.Fault != nil:
+			return d.Fault
+		case d.Drop:
+			return nil
+		case d.Replace != nil:
+			b = d.Replace
+			n = uint64(len(b))
+			if n == 0 {
+				return nil
+			}
+		}
 	}
 	off := addr.Diff(s.Base)
 	var old []byte

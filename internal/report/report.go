@@ -104,6 +104,25 @@ func (t *Table) CSV() string {
 	return sb.String()
 }
 
+// TableData is the table's deterministic plain-data form, used where a
+// table must travel inside machine-readable output (the pnchaos JSON
+// report embeds its degraded partial table this way).
+type TableData struct {
+	Title   string     `json:"title"`
+	Headers []string   `json:"headers"`
+	Rows    [][]string `json:"rows"`
+}
+
+// Data returns a deep copy of the table as plain data.
+func (t *Table) Data() TableData {
+	d := TableData{Title: t.Title, Headers: append([]string(nil), t.headers...)}
+	d.Rows = make([][]string, len(t.rows))
+	for i, r := range t.rows {
+		d.Rows[i] = append([]string(nil), r...)
+	}
+	return d
+}
+
 // Markdown renders a GitHub-flavoured Markdown table.
 func (t *Table) Markdown() string {
 	var sb strings.Builder

@@ -1,0 +1,327 @@
+// Package resilience runs attack/defense scenarios as supervised,
+// restartable, deadline-bounded jobs — the process-manager layer the
+// chaos campaign needs so a simulated SIGSEGV (an escaped *mem.Fault
+// panic) becomes a structured crash record instead of taking the whole
+// harness down, mirroring how the paper's victim processes die and dump
+// core while the testbed carries on.
+//
+// A Supervisor provides, per job: panic recovery, a per-attempt
+// deadline, bounded retry with exponential backoff, and a crash-loop
+// breaker that stops launching work after too many consecutive dead
+// jobs. When some jobs die anyway, PartialTable degrades gracefully to
+// a report.Table of what survived and what did not.
+package resilience
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"time"
+
+	"repro/internal/mem"
+	"repro/internal/report"
+)
+
+// Status is a job's final supervised state.
+type Status string
+
+// Job states.
+const (
+	// StatusOK: some attempt returned a value.
+	StatusOK Status = "ok"
+	// StatusFailed: every attempt crashed (panic or error).
+	StatusFailed Status = "failed"
+	// StatusTimeout: the final attempt exceeded its deadline.
+	StatusTimeout Status = "timeout"
+	// StatusSkipped: the crash-loop breaker was open; never launched.
+	StatusSkipped Status = "breaker-skipped"
+)
+
+// Crash kinds recorded in CrashRecord.Kind.
+const (
+	CrashPanic   = "panic"
+	CrashError   = "error"
+	CrashTimeout = "timeout"
+)
+
+// CrashRecord is the structured core dump of one failed attempt.
+type CrashRecord struct {
+	Job     string `json:"job"`
+	Attempt int    `json:"attempt"`
+	// Kind is "panic", "error", or "timeout".
+	Kind    string `json:"kind"`
+	Message string `json:"message"`
+	// FaultKind/FaultAddr are set when the crash carried a *mem.Fault —
+	// the simulated SIGSEGV's siginfo.
+	FaultKind string `json:"fault_kind,omitempty"`
+	FaultAddr uint64 `json:"fault_addr,omitempty"`
+	// Restored and RestoreClean are set by recovery callbacks that roll
+	// the crashed process image back to its pre-run checkpoint:
+	// Restored means the rollback ran; RestoreClean means the
+	// post-restore whole-image diff against the checkpoint was empty.
+	Restored     bool `json:"restored,omitempty"`
+	RestoreClean bool `json:"restore_clean,omitempty"`
+}
+
+// Job is one supervised unit of work.
+type Job struct {
+	// ID names the job in records and tables.
+	ID string
+	// Run executes one attempt. ctx is cancelled at the attempt
+	// deadline; cooperative jobs may watch it, but the supervisor does
+	// not require them to — a wedged attempt is abandoned, not joined.
+	Run func(ctx context.Context, attempt int) (any, error)
+	// OnCrash, when non-nil, is invoked after each crashed attempt with
+	// the crash record, before any retry. Campaigns use it to restore
+	// the process image from its checkpoint and annotate the record.
+	// It is not called for timeouts: the attempt may still be running,
+	// so its state cannot be safely touched.
+	OnCrash func(rec *CrashRecord)
+}
+
+// Policy tunes the supervisor. The zero value means: no deadline, three
+// attempts, no backoff, breaker disabled.
+type Policy struct {
+	// Timeout is the per-attempt deadline (0 = none).
+	Timeout time.Duration
+	// MaxAttempts bounds retries; zero selects 3.
+	MaxAttempts int
+	// Backoff is the delay before the second attempt; each further
+	// retry multiplies it by BackoffFactor (default 2) up to MaxBackoff.
+	Backoff       time.Duration
+	BackoffFactor float64
+	MaxBackoff    time.Duration
+	// BreakerThreshold opens the crash-loop breaker after this many
+	// consecutive dead jobs (0 = disabled). While open, jobs are
+	// skipped rather than launched; a successful job closes it again.
+	BreakerThreshold int
+	// Sleep is the backoff clock, injectable for tests; nil = time.Sleep.
+	Sleep func(time.Duration)
+}
+
+func (p Policy) maxAttempts() int {
+	if p.MaxAttempts <= 0 {
+		return 3
+	}
+	return p.MaxAttempts
+}
+
+func (p Policy) factor() float64 {
+	if p.BackoffFactor <= 1 {
+		return 2
+	}
+	return p.BackoffFactor
+}
+
+func (p Policy) sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	if p.Sleep != nil {
+		p.Sleep(d)
+		return
+	}
+	time.Sleep(d)
+}
+
+// BackoffSchedule returns the waits applied before attempts 2..n — the
+// exponential schedule the policy implies, exposed for tests and docs.
+func (p Policy) BackoffSchedule(n int) []time.Duration {
+	var out []time.Duration
+	d := p.Backoff
+	for i := 2; i <= n; i++ {
+		w := d
+		if p.MaxBackoff > 0 && w > p.MaxBackoff {
+			w = p.MaxBackoff
+		}
+		out = append(out, w)
+		d = time.Duration(float64(d) * p.factor())
+	}
+	return out
+}
+
+// Result is a job's supervised outcome.
+type Result struct {
+	Job      string        `json:"job"`
+	Status   Status        `json:"status"`
+	Attempts int           `json:"attempts"`
+	Crashes  []CrashRecord `json:"crashes,omitempty"`
+	// Err is the final failure message for dead jobs.
+	Err string `json:"error,omitempty"`
+	// Value is the successful attempt's return value.
+	Value any `json:"-"`
+}
+
+// Supervisor runs jobs under a Policy. It is meant for sequential use;
+// the deterministic-campaign contract depends on jobs running one at a
+// time in a fixed order.
+type Supervisor struct {
+	pol         Policy
+	consecutive int // consecutive dead jobs, for the breaker
+	results     []*Result
+}
+
+// NewSupervisor builds a supervisor with the given policy.
+func NewSupervisor(pol Policy) *Supervisor { return &Supervisor{pol: pol} }
+
+// BreakerOpen reports whether the crash-loop breaker is currently open.
+func (s *Supervisor) BreakerOpen() bool {
+	return s.pol.BreakerThreshold > 0 && s.consecutive >= s.pol.BreakerThreshold
+}
+
+// Results returns every result recorded so far, in run order.
+func (s *Supervisor) Results() []*Result {
+	out := make([]*Result, len(s.results))
+	copy(out, s.results)
+	return out
+}
+
+// Run executes job under the policy and records its result.
+func (s *Supervisor) Run(job Job) *Result {
+	res := &Result{Job: job.ID}
+	s.results = append(s.results, res)
+	if s.BreakerOpen() {
+		res.Status = StatusSkipped
+		res.Err = fmt.Sprintf("crash-loop breaker open after %d consecutive dead jobs", s.consecutive)
+		return res
+	}
+	backoff := s.pol.Backoff
+	max := s.pol.maxAttempts()
+	for attempt := 1; attempt <= max; attempt++ {
+		res.Attempts = attempt
+		if attempt > 1 {
+			w := backoff
+			if s.pol.MaxBackoff > 0 && w > s.pol.MaxBackoff {
+				w = s.pol.MaxBackoff
+			}
+			s.pol.sleep(w)
+			backoff = time.Duration(float64(backoff) * s.pol.factor())
+		}
+		val, crash := s.attempt(job, attempt)
+		if crash == nil {
+			res.Status = StatusOK
+			res.Value = val
+			s.consecutive = 0
+			return res
+		}
+		res.Crashes = append(res.Crashes, *crash)
+		rec := &res.Crashes[len(res.Crashes)-1]
+		if job.OnCrash != nil && rec.Kind != CrashTimeout {
+			job.OnCrash(rec)
+		}
+	}
+	last := res.Crashes[len(res.Crashes)-1]
+	if last.Kind == CrashTimeout {
+		res.Status = StatusTimeout
+	} else {
+		res.Status = StatusFailed
+	}
+	res.Err = last.Message
+	s.consecutive++
+	return res
+}
+
+// RunAll executes jobs in order and returns their results.
+func (s *Supervisor) RunAll(jobs []Job) []*Result {
+	out := make([]*Result, 0, len(jobs))
+	for _, j := range jobs {
+		out = append(out, s.Run(j))
+	}
+	return out
+}
+
+// attempt executes one isolated attempt with panic recovery and a
+// deadline. A timed-out attempt is abandoned: its goroutine may still
+// be running, but writes only to its own state and to the buffered
+// outcome channel nobody reads.
+func (s *Supervisor) attempt(job Job, attempt int) (any, *CrashRecord) {
+	ctx := context.Background()
+	cancel := func() {}
+	if s.pol.Timeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, s.pol.Timeout)
+	}
+	defer cancel()
+
+	type outcome struct {
+		val      any
+		err      error
+		panicked bool
+		pv       any
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				ch <- outcome{panicked: true, pv: r}
+			}
+		}()
+		v, err := job.Run(ctx, attempt)
+		ch <- outcome{val: v, err: err}
+	}()
+
+	var done <-chan struct{}
+	if s.pol.Timeout > 0 {
+		done = ctx.Done()
+	}
+	select {
+	case o := <-ch:
+		switch {
+		case o.panicked:
+			return nil, s.crashFromPanic(job.ID, attempt, o.pv)
+		case o.err != nil:
+			return nil, s.crashFromError(job.ID, attempt, o.err)
+		default:
+			return o.val, nil
+		}
+	case <-done:
+		return nil, &CrashRecord{
+			Job: job.ID, Attempt: attempt, Kind: CrashTimeout,
+			Message: fmt.Sprintf("attempt exceeded deadline %s", s.pol.Timeout),
+		}
+	}
+}
+
+// crashFromPanic turns a recovered panic into a crash record. A panic
+// carrying a *mem.Fault — directly or wrapped — is the simulated
+// SIGSEGV; its siginfo is preserved in the record.
+func (s *Supervisor) crashFromPanic(jobID string, attempt int, pv any) *CrashRecord {
+	rec := &CrashRecord{Job: jobID, Attempt: attempt, Kind: CrashPanic, Message: fmt.Sprint(pv)}
+	if err, ok := pv.(error); ok {
+		annotateFault(rec, err)
+	}
+	return rec
+}
+
+func (s *Supervisor) crashFromError(jobID string, attempt int, err error) *CrashRecord {
+	rec := &CrashRecord{Job: jobID, Attempt: attempt, Kind: CrashError, Message: err.Error()}
+	annotateFault(rec, err)
+	return rec
+}
+
+func annotateFault(rec *CrashRecord, err error) {
+	if f, ok := mem.IsFault(err); ok {
+		rec.FaultKind = f.Kind.String()
+		rec.FaultAddr = uint64(f.Addr)
+	}
+}
+
+// PartialTable renders results as a degraded report: every job gets a
+// row whether it lived or died, so a campaign where some cells crash
+// irrecoverably still yields the table for the rest.
+func PartialTable(title string, results []*Result) *report.Table {
+	t := report.NewTable(title, "job", "status", "attempts", "crashes", "last error")
+	for _, r := range results {
+		t.AddRow(r.Job, string(r.Status), strconv.Itoa(r.Attempts),
+			strconv.Itoa(len(r.Crashes)), r.Err)
+	}
+	return t
+}
+
+// CountStatus tallies results by status.
+func CountStatus(results []*Result) map[Status]int {
+	out := make(map[Status]int)
+	for _, r := range results {
+		out[r.Status]++
+	}
+	return out
+}
