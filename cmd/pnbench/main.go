@@ -4,16 +4,28 @@
 // Usage:
 //
 //	pnbench [-exp E1|E2|...|all] [-markdown]
+//	pnbench -exp E8 -json out/        # also write out/BENCH_E8.json
 //	pnbench -list
+//
+// With -json DIR each selected experiment additionally runs under full
+// observability instrumentation (see internal/obs) and writes a
+// machine-readable BENCH_<ID>.json into DIR: wall-clock run latency,
+// the result table as plain data, and the complete metrics snapshot
+// (per-segment access volume, defense verdicts, machine events, …).
+// Those files track the perf and behaviour trajectory across PRs.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
+	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/obs"
 	"repro/internal/report"
 )
 
@@ -24,11 +36,24 @@ func main() {
 	}
 }
 
+// benchReport is the schema of one BENCH_<ID>.json artifact.
+type benchReport struct {
+	Schema  string            `json:"schema"` // "pnbench/v1"
+	ID      string            `json:"id"`
+	Ref     string            `json:"ref"`
+	Title   string            `json:"title"`
+	RunNS   int64             `json:"run_ns"` // instrumented wall-clock latency
+	Ticks   uint64            `json:"ticks"`  // logical clock at finalize (deterministic)
+	Table   report.TableData  `json:"table"`
+	Metrics []obs.MetricPoint `json:"metrics"`
+}
+
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("pnbench", flag.ContinueOnError)
 	exp := fs.String("exp", "all", "experiment id (E1..E17) or all")
 	markdown := fs.Bool("markdown", false, "emit GitHub-flavoured Markdown tables")
 	csv := fs.Bool("csv", false, "emit CSV (one table per experiment, title omitted)")
+	jsonDir := fs.String("json", "", "directory to write BENCH_<ID>.json artifacts into (created if missing)")
 	list := fs.Bool("list", false, "list experiments")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -53,8 +78,21 @@ func run(args []string, out io.Writer) error {
 		}
 		selected = []experiments.Experiment{e}
 	}
+	if *jsonDir != "" {
+		if err := os.MkdirAll(*jsonDir, 0o755); err != nil {
+			return err
+		}
+	}
 	for i, e := range selected {
-		t, err := e.Run()
+		var (
+			t   *report.Table
+			err error
+		)
+		if *jsonDir == "" {
+			t, err = e.Run()
+		} else {
+			t, err = runAndDump(e, *jsonDir)
+		}
 		if err != nil {
 			return fmt.Errorf("%s: %w", e.ID, err)
 		}
@@ -71,4 +109,37 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// runAndDump runs e instrumented, writes dir/BENCH_<ID>.json, and
+// returns the experiment's table for the usual rendering.
+func runAndDump(e experiments.Experiment, dir string) (*report.Table, error) {
+	start := time.Now()
+	col, t, err := experiments.RunInstrumented(e)
+	elapsed := time.Since(start)
+	if err != nil {
+		return t, err
+	}
+	rep := benchReport{
+		Schema:  "pnbench/v1",
+		ID:      e.ID,
+		Ref:     e.Ref,
+		Title:   e.Title,
+		RunNS:   elapsed.Nanoseconds(),
+		Ticks:   uint64(col.Tracer.Now()),
+		Metrics: col.Metrics.Snapshot(),
+	}
+	if t != nil {
+		rep.Table = t.Data()
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return t, err
+	}
+	data = append(data, '\n')
+	name := filepath.Join(dir, "BENCH_"+e.ID+".json")
+	if err := os.WriteFile(name, data, 0o644); err != nil {
+		return t, err
+	}
+	return t, nil
 }

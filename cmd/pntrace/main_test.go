@@ -1,0 +1,132 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var artifactNames = []string{
+	"trace.json", "metrics.prom", "heatmap.txt", "heatmap.json", "events.ndjson", "table.txt",
+}
+
+func runCapture(t *testing.T, args ...string) string {
+	t.Helper()
+	var sb strings.Builder
+	if err := run(args, &sb); err != nil {
+		t.Fatalf("run(%v): %v", args, err)
+	}
+	return sb.String()
+}
+
+func readArtifacts(t *testing.T, dir string) map[string][]byte {
+	t.Helper()
+	out := make(map[string][]byte, len(artifactNames))
+	for _, name := range artifactNames {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatalf("artifact %s: %v", name, err)
+		}
+		out[name] = data
+	}
+	return out
+}
+
+func TestList(t *testing.T) {
+	out := runCapture(t, "-list")
+	for _, id := range []string{"E1", "E8", "E19"} {
+		if !strings.Contains(out, id) {
+			t.Errorf("list missing %s:\n%s", id, out)
+		}
+	}
+}
+
+func TestStdoutSections(t *testing.T) {
+	out := runCapture(t, "-experiment", "E8")
+	for _, name := range artifactNames {
+		if !strings.Contains(out, "== "+name+" ==") {
+			t.Errorf("stdout missing section %s", name)
+		}
+	}
+	if !strings.Contains(out, `"traceEvents"`) {
+		t.Error("trace JSON missing")
+	}
+	if !strings.Contains(out, "pn_mem_writes_total") {
+		t.Error("metrics missing")
+	}
+	if !strings.Contains(out, "__vptr") {
+		t.Error("heatmap missing vptr annotation")
+	}
+}
+
+func TestDirArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	out := runCapture(t, "-experiment", "E8", "-dir", dir)
+	if !strings.Contains(out, "wrote 6 artifacts") {
+		t.Errorf("summary line missing: %q", out)
+	}
+	arts := readArtifacts(t, dir)
+	var doc struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(arts["trace.json"], &doc); err != nil {
+		t.Fatalf("trace.json invalid: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Error("trace.json has no events")
+	}
+	if !bytes.Contains(arts["table.txt"], []byte("vtable")) {
+		t.Error("table.txt missing experiment rows")
+	}
+}
+
+// TestDeterministic is the contract CI gates: same flags, byte-identical
+// artifacts — with and without the chaos overlay.
+func TestDeterministic(t *testing.T) {
+	for _, args := range [][]string{
+		{"-experiment", "E8", "-seed", "7"},
+		{"-experiment", "E1", "-seed", "7", "-chaos-prob", "0.05"},
+	} {
+		d1, d2 := t.TempDir(), t.TempDir()
+		runCapture(t, append(args, "-dir", d1)...)
+		runCapture(t, append(args, "-dir", d2)...)
+		a1, a2 := readArtifacts(t, d1), readArtifacts(t, d2)
+		for _, name := range artifactNames {
+			if !bytes.Equal(a1[name], a2[name]) {
+				t.Errorf("%v: %s differs between identical invocations", args, name)
+			}
+		}
+	}
+}
+
+func TestChaosOverlayChangesTrace(t *testing.T) {
+	base, injected := t.TempDir(), t.TempDir()
+	runCapture(t, "-experiment", "E1", "-seed", "7", "-dir", base)
+	// At this probability the injected faults may fail the experiment
+	// itself; pntrace still emits the artifacts before reporting it.
+	var sb strings.Builder
+	_ = run([]string{"-experiment", "E1", "-seed", "7", "-chaos-prob", "0.2", "-dir", injected}, &sb)
+	m := readArtifacts(t, injected)["metrics.prom"]
+	if !bytes.Contains(m, []byte("pn_chaos_faults_total")) {
+		t.Errorf("chaos overlay injected nothing at prob 0.2:\n%s", m)
+	}
+	if bytes.Contains(readArtifacts(t, base)["metrics.prom"], []byte("pn_chaos_faults_total{")) {
+		t.Error("baseline run reports chaos faults")
+	}
+}
+
+func TestErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{},                                       // missing -experiment
+		{"-experiment", "E99"},                   // unknown id
+		{"-experiment", "E1", "-faults", "nope"}, // bad fault kind
+	} {
+		var sb strings.Builder
+		if err := run(args, &sb); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}

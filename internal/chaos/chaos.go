@@ -147,6 +147,13 @@ type Config struct {
 	PanicOnFault bool
 	// PageSize is the unmap granularity; zero selects 4096.
 	PageSize uint64
+	// OnInject, when non-nil, observes every injection as it is
+	// recorded — the observability seam through which the obs layer
+	// counts faults by kind and emits chaos trace events. The callback
+	// is passive: it must not touch the injector or the memory it is
+	// armed on, and it does not perturb the deterministic schedule
+	// (the RNG is never consulted on its behalf).
+	OnInject func(Injection)
 }
 
 func (c Config) prob() float64 {
@@ -305,6 +312,9 @@ func (in *Injector) record(rec Injection) {
 	rec.Seq = len(in.injected)
 	rec.Access = in.accesses
 	in.injected = append(in.injected, rec)
+	if in.cfg.OnInject != nil {
+		in.cfg.OnInject(rec)
+	}
 }
 
 // Hook returns the mem.AccessHook implementing the injector's schedule.

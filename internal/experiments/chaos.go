@@ -244,14 +244,21 @@ func RunChaosCampaign(cfg ChaosConfig) (*ChaosReport, error) {
 // schedules and returns the run report plus the raw supervised results
 // (for the degraded partial table).
 func executeChaosRun(cfg ChaosConfig, r int, scenarios []attack.Scenario, defenses []defense.Config) (ChaosRunReport, []*resilience.Result, error) {
-	sup := resilience.NewSupervisor(resilience.Policy{
+	pol := resilience.Policy{
 		Timeout:          cfg.Timeout,
 		MaxAttempts:      cfg.MaxAttempts,
 		BreakerThreshold: cfg.BreakerThreshold,
 		// Chaos jobs are microseconds long; backoff would only slow
 		// the campaign without changing its deterministic outcome.
 		Backoff: 0,
-	})
+	}
+	// When a collector is active (pntrace), supervised attempts become
+	// retry spans and crash counters. Observation is passive: it does
+	// not perturb the campaign's deterministic schedule or digests.
+	if col := activeCollector; col != nil {
+		pol.Observer = col
+	}
+	sup := resilience.NewSupervisor(pol)
 	runRep := ChaosRunReport{Run: r}
 
 	for _, s := range scenarios {
@@ -282,7 +289,7 @@ func executeChaosRun(cfg ChaosConfig, r int, scenarios []attack.Scenario, defens
 // runChaosCell executes one supervised (scenario, defense) job.
 func runChaosCell(cfg ChaosConfig, sup *resilience.Supervisor, r int, s attack.Scenario, d defense.Config) (ChaosCell, error) {
 	jobID := s.ID + "/" + d.Name
-	inj := chaos.New(chaos.Config{
+	ccfg := chaos.Config{
 		Seed:      chaos.DeriveSeed(cfg.Seed, strconv.Itoa(r), s.ID, d.Name),
 		Prob:      cfg.Prob,
 		Kinds:     cfg.Kinds,
@@ -291,7 +298,11 @@ func runChaosCell(cfg ChaosConfig, sup *resilience.Supervisor, r int, s attack.S
 		// signals (panics): the supervisor, not the scenario, must
 		// catch them — exactly the SIGSEGV -> core dump path.
 		PanicOnFault: true,
-	})
+	}
+	if col := activeCollector; col != nil {
+		ccfg.OnInject = col.ChaosHook()
+	}
+	inj := chaos.New(ccfg)
 
 	// The scenario builds its own process(es); the OnProcess seam
 	// captures each one, arms the injector on it, and checkpoints the

@@ -117,6 +117,8 @@ func run(id string, cfg defense.Config) (*attack.Outcome, error) {
 	if err != nil {
 		return nil, err
 	}
+	done := scenarioSpan(id, cfg)
+	defer done()
 	return s.Run(cfg)
 }
 

@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"repro/internal/defense"
+	"repro/internal/obs"
+	"repro/internal/report"
+)
+
+// activeCollector is the package's observability seam: when set, every
+// scenario run through run() opens a scenario span, and chaos campaigns
+// wire their injectors and supervisors into it. It is package-global
+// state for the same reason machine.OnNewProcess is — scenarios are
+// constructed deep inside experiment runners with no parameter path —
+// and carries the same rule: set it only from single-threaded drivers
+// (cmd/pntrace, cmd/pnbench, dedicated tests), never from parallel
+// tests.
+var activeCollector *obs.Collector
+
+// SetCollector installs (or, with nil, removes) the collector that
+// instruments subsequent experiment runs. It returns a restore
+// function for the previous value, so drivers can scope
+// instrumentation to one run.
+func SetCollector(c *obs.Collector) (restore func()) {
+	prev := activeCollector
+	activeCollector = c
+	return func() { activeCollector = prev }
+}
+
+// ActiveCollector returns the installed collector, or nil.
+func ActiveCollector() *obs.Collector { return activeCollector }
+
+// scenarioSpan opens a scenario span when a collector is active; the
+// returned close function is a no-op otherwise.
+func scenarioSpan(id string, cfg defense.Config) func() {
+	col := activeCollector
+	if col == nil {
+		return func() {}
+	}
+	sp := col.Tracer.Start(obs.CatScenario, id, obs.A("defense", cfg.Name))
+	return sp.Close
+}
+
+// RunInstrumented runs one experiment under a fresh collector: it
+// installs the machine seam and the experiments seam, opens the
+// experiment root span, runs, finalizes, and returns the collector
+// alongside the experiment's table. It is the programmatic face of
+// cmd/pntrace.
+func RunInstrumented(e Experiment, attrs ...obs.Attr) (*obs.Collector, *report.Table, error) {
+	col := obs.NewCollector()
+	restoreMachine := col.Install()
+	defer restoreMachine()
+	restoreExp := SetCollector(col)
+	defer restoreExp()
+
+	root := col.Tracer.Start(obs.CatExperiment, e.ID,
+		append([]obs.Attr{obs.A("ref", e.Ref), obs.A("title", e.Title)}, attrs...)...)
+	t, err := e.Run()
+	if err != nil {
+		root.SetAttr("error", err.Error())
+	}
+	root.Close()
+	col.Finalize()
+	return col, t, err
+}

@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/defense"
+	"repro/internal/obs"
+)
+
+// renderAll runs e instrumented and renders every deterministic
+// artifact the obs layer exports.
+func renderAll(t *testing.T, e Experiment) (trace, ndjson, heatJSON []byte, metrics, heat string) {
+	t.Helper()
+	col, _, err := RunInstrumented(e)
+	if err != nil {
+		t.Fatalf("%s: %v", e.ID, err)
+	}
+	trace, err = obs.ChromeTrace(col.Tracer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ndjson, err = obs.NDJSON(col.Tracer, col.Metrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	heatJSON, err = obs.HeatmapJSON(col.Heat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return trace, ndjson, heatJSON, col.Metrics.Exposition(), col.Heat.Render()
+}
+
+// TestInstrumentedRunDeterministic is the obs counterpart of
+// TestChaosCampaignDeterministic: two instrumented runs of the same
+// experiment render byte-identical artifacts. It must not run in
+// parallel — RunInstrumented owns the machine.OnNewProcess seam.
+func TestInstrumentedRunDeterministic(t *testing.T) {
+	e, err := ByID("E8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t1, n1, h1, m1, a1 := renderAll(t, e)
+	t2, n2, h2, m2, a2 := renderAll(t, e)
+	if !bytes.Equal(t1, t2) {
+		t.Error("trace JSON differs between identical runs")
+	}
+	if !bytes.Equal(n1, n2) {
+		t.Error("NDJSON differs between identical runs")
+	}
+	if !bytes.Equal(h1, h2) {
+		t.Error("heatmap JSON differs between identical runs")
+	}
+	if m1 != m2 {
+		t.Error("metrics exposition differs between identical runs")
+	}
+	if a1 != a2 {
+		t.Error("heatmap render differs between identical runs")
+	}
+}
+
+func TestInstrumentedRunObservesScenarios(t *testing.T) {
+	e, err := ByID("E8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	col, table, err := RunInstrumented(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if table == nil || table.NumRows() == 0 {
+		t.Fatal("experiment table missing")
+	}
+	// The experiment root span exists and scenario spans nest under it.
+	spans := col.Tracer.Spans()
+	if len(spans) == 0 || spans[0].Name != "E8" || spans[0].Category != obs.CatExperiment {
+		t.Fatalf("root span = %+v", spans)
+	}
+	var scenarios int
+	for _, s := range spans[1:] {
+		if s.Category == obs.CatScenario {
+			scenarios++
+			if s.Parent != spans[0].ID {
+				t.Errorf("scenario %q parented to %d, want root %d", s.Name, s.Parent, spans[0].ID)
+			}
+		}
+	}
+	if scenarios == 0 {
+		t.Error("no scenario spans recorded")
+	}
+	// The vptr-clobber run writes through the bss segment and its
+	// globals land in the heatmap as annotated regions.
+	if col.Metrics.Value(obs.MetricWrites, obs.L("segment", "bss")) == 0 {
+		t.Error("no bss writes observed")
+	}
+	heat := col.Heat.Render()
+	if !strings.Contains(heat, "__vptr") {
+		t.Errorf("heatmap lacks vptr annotation:\n%s", heat)
+	}
+	// Seams are restored: no collector or process hook left behind.
+	if ActiveCollector() != nil {
+		t.Error("RunInstrumented left the experiments collector installed")
+	}
+}
+
+func TestScenarioSpanNoCollector(t *testing.T) {
+	// With no collector installed, scenarioSpan degrades to a no-op.
+	done := scenarioSpan("x", defense.None)
+	done()
+}

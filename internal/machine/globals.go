@@ -83,6 +83,15 @@ func (p *Process) GlobalObject(name string) (*object.Object, error) {
 	return object.View(p.Mem, cls, p.Model, g.Addr)
 }
 
+// Globals returns every defined global in definition order. The slice
+// is a copy; the globals themselves are shared. The obs layer uses this
+// to annotate address-space heatmaps with object extents and vptr slots.
+func (p *Process) Globals() []*Global {
+	out := make([]*Global, len(p.globals))
+	copy(out, p.globals)
+	return out
+}
+
 // GlobalAt finds the global whose storage contains addr.
 func (p *Process) GlobalAt(addr mem.Addr) (*Global, bool) {
 	for _, g := range p.globals {

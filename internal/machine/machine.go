@@ -80,7 +80,20 @@ type Process struct {
 	events []Event
 	input  *Input
 	output []string
+
+	// onEvent, when non-nil, observes every recorded event as it
+	// happens (the observability seam; see SetEventObserver).
+	onEvent func(Event)
 }
+
+// OnNewProcess, when non-nil, is invoked on every Process immediately
+// after construction, before any program activity. It is the seam
+// through which full-run instrumentation (cmd/pntrace's obs.Collector)
+// reaches processes built deep inside attack scenarios without
+// threading a parameter through every layer. It is package-global
+// state: set it only from single-threaded drivers (CLIs, dedicated
+// tests), never from parallel tests.
+var OnNewProcess func(*Process)
 
 // New creates a process with a formatted heap and an empty call stack.
 func New(opts Options) (*Process, error) {
@@ -128,6 +141,9 @@ func New(opts Options) (*Process, error) {
 		vtables:  make(map[*layout.Class][]mem.Addr),
 		vtAddrs:  make(map[mem.Addr]bool),
 		input:    &Input{},
+	}
+	if OnNewProcess != nil {
+		OnNewProcess(p)
 	}
 	return p, nil
 }
@@ -205,8 +221,19 @@ type Event struct {
 }
 
 func (p *Process) record(k EventKind, addr mem.Addr, format string, args ...any) {
-	p.events = append(p.events, Event{Kind: k, Detail: fmt.Sprintf(format, args...), Addr: addr})
+	e := Event{Kind: k, Detail: fmt.Sprintf(format, args...), Addr: addr}
+	p.events = append(p.events, e)
+	if p.onEvent != nil {
+		p.onEvent(e)
+	}
 }
+
+// SetEventObserver installs fn to observe every event as it is
+// recorded — the live counterpart of the Events() post-mortem log,
+// used by the obs layer to convert hijacks, aborts, and dispatches
+// into trace events and defense-verdict metrics as they happen. Pass
+// nil to disarm. A nil observer costs one pointer check per event.
+func (p *Process) SetEventObserver(fn func(Event)) { p.onEvent = fn }
 
 // Events returns all recorded events in order.
 func (p *Process) Events() []Event {

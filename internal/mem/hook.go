@@ -55,3 +55,21 @@ type AccessHook func(kind AccessKind, addr Addr, data []byte) HookDecision
 // disarm. Only one hook is active at a time; installing a hook replaces
 // the previous one.
 func (m *Memory) SetAccessHook(hook AccessHook) { m.hook = hook }
+
+// AccessObserver passively observes every attempted access that passed
+// the mapping and permission checks. Unlike an AccessHook it cannot
+// alter the access, and it runs *before* the hook, so it sees the
+// access exactly as the program issued it — including writes a chaos
+// hook later drops or tears, and writes a guard region faults: the
+// observer records intent, which is what the write-density heatmaps
+// and per-segment volume metrics want ("where did the attack aim").
+//
+// The observer seam is independent of the hook seam: the obs layer
+// observes while the chaos layer perturbs, on the same Memory, without
+// either knowing about the other. A nil observer costs one pointer
+// check per access.
+type AccessObserver func(kind AccessKind, addr Addr, n uint64)
+
+// SetAccessObserver installs fn as the passive access observer. Pass
+// nil to disarm. Only one observer is active at a time.
+func (m *Memory) SetAccessObserver(fn AccessObserver) { m.obs = fn }

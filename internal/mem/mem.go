@@ -136,6 +136,9 @@ type Memory struct {
 	writeLog func(WriteRecord)
 	// hook, when non-nil, observes (and may alter) every checked access.
 	hook AccessHook
+	// obs, when non-nil, passively observes every attempted checked
+	// access before the hook runs (the observability seam).
+	obs AccessObserver
 }
 
 // WriteRecord describes one completed write, for tracing.
@@ -243,6 +246,9 @@ func (m *Memory) Read(addr Addr, n uint64) ([]byte, error) {
 	if s.Perm&PermRead == 0 {
 		return nil, &Fault{Kind: FaultPerm, Addr: addr, Size: n, Want: PermRead, Have: s.Perm}
 	}
+	if m.obs != nil {
+		m.obs(AccessRead, addr, n)
+	}
 	out := make([]byte, n)
 	copy(out, s.data[addr.Diff(s.Base):])
 	if m.hook != nil {
@@ -266,6 +272,9 @@ func (m *Memory) Write(addr Addr, b []byte) error {
 	}
 	if s.Perm&PermWrite == 0 {
 		return &Fault{Kind: FaultPerm, Addr: addr, Size: n, Want: PermWrite, Have: s.Perm}
+	}
+	if m.obs != nil {
+		m.obs(AccessWrite, addr, n)
 	}
 	if f := m.checkGuards(addr, n); f != nil {
 		return f

@@ -43,6 +43,17 @@ func (m *Memory) Unwatch(w *Watchpoint) {
 	}
 }
 
+// Watchpoints returns the currently installed watchpoints in
+// installation order. The slice is a copy; the watchpoints themselves
+// are shared, so callers can read Hits (the obs layer harvests them
+// into pn_watchpoint_hits_total) but should install/remove only via
+// Watch/Unwatch.
+func (m *Memory) Watchpoints() []*Watchpoint {
+	out := make([]*Watchpoint, len(m.watch))
+	copy(out, m.watch)
+	return out
+}
+
 // GuardRegion is a poisoned byte range: any simulated write that touches
 // it faults *before* modifying memory — the ASan-style red-zone semantics
 // the memguard defense installs after each placement. Loader writes

@@ -1,0 +1,132 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+)
+
+// chromeEvent is one entry of the Chrome trace_event format
+// (chrome://tracing / Perfetto "JSON Array" flavour). Field order is
+// fixed by the struct, and args maps are marshalled with sorted keys
+// by encoding/json, so the export is byte-deterministic.
+type chromeEvent struct {
+	Name  string            `json:"name"`
+	Cat   string            `json:"cat"`
+	Phase string            `json:"ph"`
+	TS    uint64            `json:"ts"`
+	Dur   *uint64           `json:"dur,omitempty"`
+	PID   int               `json:"pid"`
+	TID   int               `json:"tid"`
+	Scope string            `json:"s,omitempty"`
+	Args  map[string]string `json:"args,omitempty"`
+}
+
+func attrsToArgs(attrs []Attr, extra ...Attr) map[string]string {
+	if len(attrs)+len(extra) == 0 {
+		return nil
+	}
+	m := make(map[string]string, len(attrs)+len(extra))
+	for _, a := range attrs {
+		m[a.Key] = a.Value
+	}
+	for _, a := range extra {
+		m[a.Key] = a.Value
+	}
+	return m
+}
+
+// ChromeTrace renders the tracer as Chrome trace_event JSON, loadable
+// in chrome://tracing or https://ui.perfetto.dev. Spans become complete
+// ("X") events with their logical-clock start as ts and duration in
+// ticks; point events become thread-scoped instants ("i"). Open spans
+// are finished first, so the export is self-contained.
+func ChromeTrace(t *Tracer) ([]byte, error) {
+	t.Finish()
+	var evs []chromeEvent
+	for _, s := range t.Spans() {
+		dur := uint64(s.End - s.Start)
+		evs = append(evs, chromeEvent{
+			Name: s.Name, Cat: s.Category, Phase: "X",
+			TS: uint64(s.Start), Dur: &dur, PID: 1, TID: 1,
+			Args: attrsToArgs(s.Attrs, AInt("span_id", int64(s.ID)), AInt("parent", int64(s.Parent))),
+		})
+	}
+	for _, e := range t.Events() {
+		evs = append(evs, chromeEvent{
+			Name: e.Name, Cat: e.Category, Phase: "i",
+			TS: uint64(e.Time), PID: 1, TID: 1, Scope: "t",
+			Args: attrsToArgs(e.Attrs),
+		})
+	}
+	doc := struct {
+		TraceEvents     []chromeEvent `json:"traceEvents"`
+		DisplayTimeUnit string        `json:"displayTimeUnit"`
+	}{TraceEvents: evs, DisplayTimeUnit: "ns"}
+
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		return nil, fmt.Errorf("obs: chrome trace: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// ndjsonLine is one line of the structured event stream: a discriminated
+// union over spans, point events, and metric points.
+type ndjsonLine struct {
+	Type   string       `json:"type"`
+	Span   *Span        `json:"span,omitempty"`
+	Event  *PointEvent  `json:"event,omitempty"`
+	Metric *MetricPoint `json:"metric,omitempty"`
+}
+
+// NDJSON renders the collector's spans, events, and final metric values
+// as a newline-delimited JSON stream: spans and events merged in
+// timestamp order (spans keyed by start; spans before events on ties),
+// followed by metric points. Every consumer that can read a line of
+// JSON can tail the run.
+func NDJSON(t *Tracer, r *Registry) ([]byte, error) {
+	t.Finish()
+	spans := t.Spans()
+	events := t.Events()
+
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	write := func(l ndjsonLine) error { return enc.Encode(l) }
+
+	i, j := 0, 0
+	for i < len(spans) || j < len(events) {
+		takeSpan := j >= len(events) || (i < len(spans) && spans[i].Start <= events[j].Time)
+		var err error
+		if takeSpan {
+			err = write(ndjsonLine{Type: "span", Span: spans[i]})
+			i++
+		} else {
+			err = write(ndjsonLine{Type: "event", Event: &events[j]})
+			j++
+		}
+		if err != nil {
+			return nil, fmt.Errorf("obs: ndjson: %w", err)
+		}
+	}
+	for _, p := range r.Snapshot() {
+		p := p
+		if err := write(ndjsonLine{Type: "metric", Metric: &p}); err != nil {
+			return nil, fmt.Errorf("obs: ndjson: %w", err)
+		}
+	}
+	return buf.Bytes(), nil
+}
+
+// HeatmapJSON renders the heatmap's plain-data form as indented JSON.
+func HeatmapJSON(h *Heatmap) ([]byte, error) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(h.Data()); err != nil {
+		return nil, fmt.Errorf("obs: heatmap json: %w", err)
+	}
+	return buf.Bytes(), nil
+}

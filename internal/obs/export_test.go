@@ -1,0 +1,145 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// fixture builds a small, fully deterministic tracer + registry by
+// hand: an experiment span with one scenario child, a machine instant
+// inside it, and a handful of metric series including a histogram.
+func fixture() (*Tracer, *Registry) {
+	tr := NewTracer()
+	root := tr.Start(CatExperiment, "E0", A("ref", "§0"), A("title", "fixture"))
+	sc := tr.Start(CatScenario, "stack-ret", A("defense", "none"))
+	tr.Event(CatMachine, "control-hijack", AHex("addr", 0x8048000), A("detail", "ret clobbered"))
+	tr.Tick() // a lone observed access
+	sc.Close()
+	root.SetAttr("outcome", "SUCCESS")
+	root.Close()
+
+	r := NewRegistry()
+	r.Describe(MetricWrites, "checked writes observed, by segment", TypeCounter)
+	r.Describe(MetricAccessSize, "checked access sizes in bytes, by op", TypeHistogram, 1, 4, 16)
+	r.Inc(MetricWrites, L("segment", "stack"))
+	r.Inc(MetricWrites, L("segment", "stack"))
+	r.Inc(MetricWrites, L("segment", "bss"))
+	r.Observe(MetricAccessSize, 4, L("op", "write"))
+	r.Observe(MetricAccessSize, 64, L("op", "write"))
+	return tr, r
+}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./internal/obs -update` to create)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s drifted from golden.\n--- got ---\n%s\n--- want ---\n%s", name, got, want)
+	}
+}
+
+func TestChromeTraceGolden(t *testing.T) {
+	tr, _ := fixture()
+	got, err := ChromeTrace(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "trace.golden.json", got)
+
+	// Independently of the golden bytes, the document must be valid
+	// trace_event JSON with the phases chrome://tracing expects.
+	var doc struct {
+		TraceEvents []struct {
+			Name  string `json:"name"`
+			Phase string `json:"ph"`
+			Dur   *int   `json:"dur"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(got, &doc); err != nil {
+		t.Fatalf("not valid JSON: %v", err)
+	}
+	var xs, is int
+	for _, e := range doc.TraceEvents {
+		switch e.Phase {
+		case "X":
+			xs++
+			if e.Dur == nil {
+				t.Errorf("complete event %q lacks dur", e.Name)
+			}
+		case "i":
+			is++
+		default:
+			t.Errorf("unexpected phase %q", e.Phase)
+		}
+	}
+	if xs != 2 || is != 1 {
+		t.Errorf("phases: %d X + %d i, want 2 + 1", xs, is)
+	}
+}
+
+func TestExpositionGolden(t *testing.T) {
+	_, r := fixture()
+	checkGolden(t, "metrics.golden.prom", []byte(r.Exposition()))
+}
+
+func TestNDJSONGolden(t *testing.T) {
+	tr, r := fixture()
+	got, err := NDJSON(tr, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "events.golden.ndjson", got)
+
+	// Every line decodes on its own and carries a known type.
+	for i, line := range bytes.Split(bytes.TrimSuffix(got, []byte("\n")), []byte("\n")) {
+		var l struct {
+			Type string `json:"type"`
+		}
+		if err := json.Unmarshal(line, &l); err != nil {
+			t.Fatalf("line %d not JSON: %v", i, err)
+		}
+		switch l.Type {
+		case "span", "event", "metric":
+		default:
+			t.Errorf("line %d has type %q", i, l.Type)
+		}
+	}
+}
+
+func TestExportsDeterministic(t *testing.T) {
+	render := func() ([]byte, string, []byte) {
+		tr, r := fixture()
+		ct, err := ChromeTrace(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nd, err := NDJSON(tr, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ct, r.Exposition(), nd
+	}
+	c1, e1, n1 := render()
+	c2, e2, n2 := render()
+	if !bytes.Equal(c1, c2) || e1 != e2 || !bytes.Equal(n1, n2) {
+		t.Error("two renders of the same fixture differ")
+	}
+}

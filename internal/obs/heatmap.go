@@ -1,0 +1,313 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/mem"
+)
+
+// heatRamp maps a per-byte write count to a density glyph: unwritten
+// bytes render as spaces, then intensity rises per power of two. The
+// legend line in Render spells this out.
+const heatRamp = ".:-=+*#%@"
+
+// HeatRowBytes is the number of address-space bytes per heatmap row.
+const HeatRowBytes = 64
+
+func heatChar(count uint64) byte {
+	if count == 0 {
+		return ' '
+	}
+	idx := 0
+	for c := count; c > 1 && idx < len(heatRamp)-1; c >>= 1 {
+		idx++
+	}
+	return heatRamp[idx]
+}
+
+// HeatSegment names one address range of the observed image.
+type HeatSegment struct {
+	Kind string   `json:"kind"`
+	Base mem.Addr `json:"base"`
+	End  mem.Addr `json:"end"`
+}
+
+// HeatRegion annotates an object extent within the address space — a
+// global's storage, a vptr slot inside it — so the heatmap can say
+// *what* the perturbed bytes were, not just where they sit.
+type HeatRegion struct {
+	Name  string   `json:"name"`
+	Start mem.Addr `json:"start"`
+	Size  uint64   `json:"size"`
+}
+
+// Heatmap accumulates per-byte write density over a simulated address
+// space. Counts are sparse (a map keyed by address), which bounds
+// memory by the distinct bytes ever written rather than by the mapped
+// image size; attacks touch kilobytes of a multi-hundred-KiB image.
+// Writes record *attempted* stores that passed mapping and permission
+// checks (see mem.AccessObserver), so a guard-faulted overflow still
+// shows where it aimed. All methods are nil-safe and concurrency-safe.
+type Heatmap struct {
+	mu      sync.Mutex
+	counts  map[mem.Addr]uint64
+	segs    []HeatSegment
+	regions map[string]HeatRegion // keyed by name for dedup
+}
+
+// NewHeatmap builds an empty heatmap.
+func NewHeatmap() *Heatmap {
+	return &Heatmap{counts: make(map[mem.Addr]uint64), regions: make(map[string]HeatRegion)}
+}
+
+// RecordWrite increments the density of each byte in [addr, addr+n).
+func (h *Heatmap) RecordWrite(addr mem.Addr, n uint64) {
+	if h == nil || n == 0 {
+		return
+	}
+	h.mu.Lock()
+	for i := uint64(0); i < n; i++ {
+		h.counts[addr.Add(int64(i))]++
+	}
+	h.mu.Unlock()
+}
+
+// SetSegments records the segment geometry used to group rows. The
+// first call wins: every process in a deterministic experiment maps
+// the same image, so later processes agree with the first.
+func (h *Heatmap) SetSegments(segs []*mem.Segment) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.segs) > 0 {
+		return
+	}
+	for _, s := range segs {
+		h.segs = append(h.segs, HeatSegment{Kind: s.Kind.String(), Base: s.Base, End: s.End()})
+	}
+}
+
+// AddRegion annotates [start, start+size) with a name. Regions with
+// the same name are deduplicated (every process of a deterministic
+// experiment defines its globals at the same addresses).
+func (h *Heatmap) AddRegion(name string, start mem.Addr, size uint64) {
+	if h == nil || size == 0 {
+		return
+	}
+	h.mu.Lock()
+	h.regions[name] = HeatRegion{Name: name, Start: start, Size: size}
+	h.mu.Unlock()
+}
+
+// WrittenBytes returns the number of distinct bytes ever written.
+func (h *Heatmap) WrittenBytes() int {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.counts)
+}
+
+// HeatRow is one rendered row: HeatRowBytes consecutive bytes.
+type HeatRow struct {
+	Addr   mem.Addr `json:"addr"`
+	Counts []uint64 `json:"counts"`
+	Cells  string   `json:"cells"`
+}
+
+// HeatSegmentData is one segment's heat, rows ascending, empty rows
+// omitted.
+type HeatSegmentData struct {
+	HeatSegment
+	WriteBytes   uint64    `json:"write_bytes_total"`
+	UniqueBytes  int       `json:"unique_bytes"`
+	Rows         []HeatRow `json:"rows"`
+	RegionsInSeg []string  `json:"regions,omitempty"`
+}
+
+// HeatRegionData is one annotated region's summary.
+type HeatRegionData struct {
+	HeatRegion
+	BytesWritten int    `json:"bytes_written"`
+	MaxCount     uint64 `json:"max_count"`
+	TotalWrites  uint64 `json:"total_writes"`
+}
+
+// HeatmapData is the heatmap's deterministic plain-data form.
+type HeatmapData struct {
+	Scale    string            `json:"scale"`
+	RowBytes int               `json:"row_bytes"`
+	Segments []HeatSegmentData `json:"segments"`
+	Regions  []HeatRegionData  `json:"regions"`
+}
+
+// Data computes the plain-data rendering: segments in address order,
+// only rows with at least one written byte, regions sorted by address
+// then name.
+func (h *Heatmap) Data() HeatmapData {
+	d := HeatmapData{Scale: heatRamp, RowBytes: HeatRowBytes}
+	if h == nil {
+		return d
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+
+	segs := append([]HeatSegment(nil), h.segs...)
+	sort.Slice(segs, func(i, j int) bool { return segs[i].Base < segs[j].Base })
+
+	// Bucket written addresses by row start.
+	rows := make(map[mem.Addr][]uint64) // row base -> counts
+	var addrs []mem.Addr
+	for a := range h.counts {
+		addrs = append(addrs, a)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	for _, a := range addrs {
+		base := mem.Addr(uint64(a) / HeatRowBytes * HeatRowBytes)
+		r, ok := rows[base]
+		if !ok {
+			r = make([]uint64, HeatRowBytes)
+			rows[base] = r
+		}
+		r[uint64(a)-uint64(base)] = h.counts[a]
+	}
+	var rowBases []mem.Addr
+	for b := range rows {
+		rowBases = append(rowBases, b)
+	}
+	sort.Slice(rowBases, func(i, j int) bool { return rowBases[i] < rowBases[j] })
+
+	findSeg := func(a mem.Addr) int {
+		for i, s := range segs {
+			if a >= s.Base && a < s.End {
+				return i
+			}
+		}
+		return -1
+	}
+
+	segData := make([]HeatSegmentData, len(segs))
+	for i, s := range segs {
+		segData[i] = HeatSegmentData{HeatSegment: s}
+	}
+	orphan := HeatSegmentData{HeatSegment: HeatSegment{Kind: "unmapped"}}
+	for _, base := range rowBases {
+		counts := rows[base]
+		cells := make([]byte, HeatRowBytes)
+		for i, c := range counts {
+			cells[i] = heatChar(c)
+		}
+		row := HeatRow{Addr: base, Counts: counts, Cells: string(cells)}
+		tgt := &orphan
+		if i := findSeg(base); i >= 0 {
+			tgt = &segData[i]
+		}
+		tgt.Rows = append(tgt.Rows, row)
+		for _, c := range counts {
+			tgt.WriteBytes += c
+			if c > 0 {
+				tgt.UniqueBytes++
+			}
+		}
+	}
+
+	// Regions: sorted by start address, then name.
+	var regions []HeatRegion
+	for _, r := range h.regions {
+		regions = append(regions, r)
+	}
+	sort.Slice(regions, func(i, j int) bool {
+		if regions[i].Start != regions[j].Start {
+			return regions[i].Start < regions[j].Start
+		}
+		return regions[i].Name < regions[j].Name
+	})
+	for _, r := range regions {
+		rd := HeatRegionData{HeatRegion: r}
+		for i := uint64(0); i < r.Size; i++ {
+			if c := h.counts[r.Start.Add(int64(i))]; c > 0 {
+				rd.BytesWritten++
+				rd.TotalWrites += c
+				if c > rd.MaxCount {
+					rd.MaxCount = c
+				}
+			}
+		}
+		d.Regions = append(d.Regions, rd)
+		if i := findSeg(r.Start); i >= 0 {
+			segData[i].RegionsInSeg = append(segData[i].RegionsInSeg, r.Name)
+		}
+	}
+
+	for _, sd := range segData {
+		if len(sd.Rows) > 0 {
+			d.Segments = append(d.Segments, sd)
+		}
+	}
+	if len(orphan.Rows) > 0 {
+		d.Segments = append(d.Segments, orphan)
+	}
+	return d
+}
+
+// Render renders the ASCII heatmap: per segment, one 64-byte row per
+// line of written address space (gaps elided with a … marker), density
+// glyphs per byte, and an annotated-region table underneath showing
+// how many of each object's bytes the run perturbed.
+func (h *Heatmap) Render() string {
+	d := h.Data()
+	var sb strings.Builder
+	sb.WriteString("address-space write-density heatmap\n")
+	sb.WriteString("scale: ' '=0")
+	for i := 0; i < len(d.Scale); i++ {
+		lo := uint64(1) << uint(i)
+		hi := lo*2 - 1
+		if i == len(d.Scale)-1 {
+			fmt.Fprintf(&sb, "  %c=%d+", d.Scale[i], lo)
+		} else {
+			fmt.Fprintf(&sb, "  %c=%d", d.Scale[i], lo)
+			if hi > lo {
+				fmt.Fprintf(&sb, "-%d", hi)
+			}
+		}
+	}
+	sb.WriteString("  (writes per byte)\n")
+
+	if len(d.Segments) == 0 {
+		sb.WriteString("(no writes observed)\n")
+		return sb.String()
+	}
+	for _, s := range d.Segments {
+		fmt.Fprintf(&sb, "\nsegment %-6s [%#x,%#x)  bytes-written=%d  write-volume=%d\n",
+			s.Kind, uint64(s.Base), uint64(s.End), s.UniqueBytes, s.WriteBytes)
+		var prev mem.Addr
+		for i, row := range s.Rows {
+			if i > 0 && row.Addr != prev.Add(HeatRowBytes) {
+				sb.WriteString("      …\n")
+			}
+			fmt.Fprintf(&sb, "  %#010x |%s|\n", uint64(row.Addr), row.Cells)
+			prev = row.Addr
+		}
+	}
+	if len(d.Regions) > 0 {
+		sb.WriteString("\nannotated regions (object layouts):\n")
+		w := 0
+		for _, r := range d.Regions {
+			if len(r.Name) > w {
+				w = len(r.Name)
+			}
+		}
+		for _, r := range d.Regions {
+			fmt.Fprintf(&sb, "  %-*s  [%#x,%#x)  size=%-4d written=%d/%d  max-density=%d\n",
+				w, r.Name, uint64(r.Start), uint64(r.Start.Add(int64(r.Size))),
+				r.Size, r.BytesWritten, r.Size, r.MaxCount)
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,123 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/mem"
+)
+
+func TestHeatChar(t *testing.T) {
+	tests := []struct {
+		count uint64
+		want  byte
+	}{
+		{0, ' '}, {1, '.'}, {2, ':'}, {3, ':'}, {4, '-'}, {7, '-'},
+		{8, '='}, {16, '+'}, {32, '*'}, {64, '#'}, {128, '%'},
+		{256, '@'}, {1 << 20, '@'},
+	}
+	for _, tc := range tests {
+		if got := heatChar(tc.count); got != tc.want {
+			t.Errorf("heatChar(%d) = %q, want %q", tc.count, got, tc.want)
+		}
+	}
+}
+
+func newHeatMemory(t *testing.T) (*mem.Memory, *Heatmap) {
+	t.Helper()
+	m := &mem.Memory{}
+	if _, err := m.Map(mem.SegBSS, 0x1000, 0x1000, mem.PermRW); err != nil {
+		t.Fatal(err)
+	}
+	h := NewHeatmap()
+	h.SetSegments(m.Segments())
+	return m, h
+}
+
+func TestHeatmapRowsAndGaps(t *testing.T) {
+	_, h := newHeatMemory(t)
+	h.RecordWrite(0x1000, 4) // row 0x1000
+	h.RecordWrite(0x1000, 4) // density 2
+	h.RecordWrite(0x1800, 1) // distant row -> gap marker
+
+	if h.WrittenBytes() != 5 {
+		t.Errorf("WrittenBytes = %d, want 5", h.WrittenBytes())
+	}
+	d := h.Data()
+	if len(d.Segments) != 1 {
+		t.Fatalf("got %d segments, want 1", len(d.Segments))
+	}
+	s := d.Segments[0]
+	if s.Kind != "bss" || s.UniqueBytes != 5 || s.WriteBytes != 9 {
+		t.Errorf("segment = %+v", s)
+	}
+	if len(s.Rows) != 2 || s.Rows[0].Addr != 0x1000 || s.Rows[1].Addr != 0x1800 {
+		t.Fatalf("rows = %+v", s.Rows)
+	}
+	if !strings.HasPrefix(s.Rows[0].Cells, "::::    ") {
+		t.Errorf("row cells = %q, want leading \"::::\"", s.Rows[0].Cells)
+	}
+	out := h.Render()
+	if !strings.Contains(out, "…") {
+		t.Errorf("render missing gap marker:\n%s", out)
+	}
+	if !strings.Contains(out, "bytes-written=5  write-volume=9") {
+		t.Errorf("render missing totals:\n%s", out)
+	}
+}
+
+func TestHeatmapRegions(t *testing.T) {
+	_, h := newHeatMemory(t)
+	h.AddRegion("victim", 0x1010, 8)
+	h.AddRegion("victim", 0x1010, 8) // dedup by name
+	h.AddRegion("untouched", 0x1040, 4)
+	h.RecordWrite(0x1010, 4)
+	h.RecordWrite(0x1012, 2)
+
+	d := h.Data()
+	if len(d.Regions) != 2 {
+		t.Fatalf("got %d regions, want 2 (dedup failed?)", len(d.Regions))
+	}
+	victim := d.Regions[0]
+	if victim.Name != "victim" || victim.BytesWritten != 4 || victim.MaxCount != 2 || victim.TotalWrites != 6 {
+		t.Errorf("victim = %+v", victim)
+	}
+	if d.Regions[1].BytesWritten != 0 {
+		t.Errorf("untouched region shows writes: %+v", d.Regions[1])
+	}
+	out := h.Render()
+	if !strings.Contains(out, "victim") || !strings.Contains(out, "written=4/8") {
+		t.Errorf("render missing region summary:\n%s", out)
+	}
+}
+
+func TestHeatmapOrphanWrites(t *testing.T) {
+	h := NewHeatmap() // no segments registered
+	h.RecordWrite(0xdead00, 2)
+	d := h.Data()
+	if len(d.Segments) != 1 || d.Segments[0].Kind != "unmapped" {
+		t.Fatalf("segments = %+v, want one unmapped bucket", d.Segments)
+	}
+}
+
+func TestHeatmapEmptyRender(t *testing.T) {
+	h := NewHeatmap()
+	if out := h.Render(); !strings.Contains(out, "(no writes observed)") {
+		t.Errorf("empty render = %q", out)
+	}
+}
+
+func TestHeatmapFirstSegmentsWin(t *testing.T) {
+	m, h := newHeatMemory(t)
+	m2 := &mem.Memory{}
+	if _, err := m2.Map(mem.SegStack, 0x8000, 0x1000, mem.PermRW); err != nil {
+		t.Fatal(err)
+	}
+	h.SetSegments(m2.Segments()) // ignored: first call won
+	h.RecordWrite(0x1000, 1)
+	d := h.Data()
+	if len(d.Segments) != 1 || d.Segments[0].Kind != "bss" {
+		t.Errorf("segments = %+v, want the first memory's bss", d.Segments)
+	}
+	_ = m
+}

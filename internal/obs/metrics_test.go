@@ -1,0 +1,139 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCounterAndLabels(t *testing.T) {
+	r := NewRegistry()
+	r.Inc(MetricWrites, L("segment", "stack"))
+	r.Inc(MetricWrites, L("segment", "stack"))
+	r.Inc(MetricWrites, L("segment", "bss"))
+	r.Add(MetricWriteBytes, 16, L("segment", "stack"))
+	if got := r.Value(MetricWrites, L("segment", "stack")); got != 2 {
+		t.Errorf("stack writes = %g, want 2", got)
+	}
+	if got := r.Value(MetricWrites, L("segment", "bss")); got != 1 {
+		t.Errorf("bss writes = %g, want 1", got)
+	}
+	if got := r.Value(MetricWrites, L("segment", "heap")); got != 0 {
+		t.Errorf("absent series = %g, want 0", got)
+	}
+	// Negative deltas are ignored: counters are monotone.
+	r.Add(MetricWriteBytes, -5, L("segment", "stack"))
+	if got := r.Value(MetricWriteBytes, L("segment", "stack")); got != 16 {
+		t.Errorf("after negative Add: %g, want 16", got)
+	}
+}
+
+func TestLabelOrderInsensitive(t *testing.T) {
+	r := NewRegistry()
+	r.Inc("m", L("a", "1"), L("b", "2"))
+	r.Inc("m", L("b", "2"), L("a", "1"))
+	if got := r.Value("m", L("b", "2"), L("a", "1")); got != 2 {
+		t.Errorf("label order split the series: %g, want 2", got)
+	}
+}
+
+func TestGauge(t *testing.T) {
+	r := NewRegistry()
+	r.Describe("pn_depth", "current depth", TypeGauge)
+	r.Set("pn_depth", 3)
+	r.Set("pn_depth", 1)
+	if got := r.Value("pn_depth"); got != 1 {
+		t.Errorf("gauge = %g, want 1 (last set wins)", got)
+	}
+	if !strings.Contains(r.Exposition(), "# TYPE pn_depth gauge") {
+		t.Error("gauge TYPE line missing")
+	}
+}
+
+func TestHistogramExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Describe("h", "sizes", TypeHistogram, 1, 4, 16)
+	for _, v := range []float64{1, 2, 4, 8, 100} {
+		r.Observe("h", v)
+	}
+	exp := r.Exposition()
+	want := []string{
+		"# HELP h sizes",
+		"# TYPE h histogram",
+		`h_bucket{le="1"} 1`,
+		`h_bucket{le="4"} 3`,  // cumulative: 1 + (2,4)
+		`h_bucket{le="16"} 4`, // + 8
+		`h_bucket{le="+Inf"} 5`,
+		"h_sum 115",
+		"h_count 5",
+	}
+	for _, w := range want {
+		if !strings.Contains(exp, w) {
+			t.Errorf("exposition missing %q:\n%s", w, exp)
+		}
+	}
+	if got := r.Value("h"); got != 5 {
+		t.Errorf("histogram Value = %g, want count 5", got)
+	}
+}
+
+func TestExpositionDeterministic(t *testing.T) {
+	build := func(order []string) string {
+		r := NewRegistry()
+		r.Describe(MetricWrites, "w", TypeCounter)
+		for _, seg := range order {
+			r.Inc(MetricWrites, L("segment", seg))
+		}
+		r.Inc(MetricReads, L("segment", "stack"))
+		return r.Exposition()
+	}
+	a := build([]string{"stack", "bss", "heap"})
+	b := build([]string{"heap", "stack", "bss"})
+	if a != b {
+		t.Errorf("exposition depends on insertion order:\n%s\n--- vs ---\n%s", a, b)
+	}
+	if !strings.HasPrefix(a, "# HELP") && !strings.HasPrefix(a, "# TYPE") {
+		t.Errorf("unexpected prefix: %q", a[:20])
+	}
+}
+
+func TestLabelValueEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Inc("m", L("k", "a\"b\\c\nd"))
+	exp := r.Exposition()
+	if !strings.Contains(exp, `m{k="a\"b\\c\nd"} 1`) {
+		t.Errorf("label not escaped:\n%s", exp)
+	}
+}
+
+func TestSnapshotShape(t *testing.T) {
+	r := NewRegistry()
+	r.Describe("h", "sizes", TypeHistogram, 2, 8)
+	r.Observe("h", 1)
+	r.Observe("h", 4)
+	r.Inc("c", L("x", "1"))
+	snap := r.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("snapshot has %d points, want 2", len(snap))
+	}
+	// Sorted by family name: c before h.
+	if snap[0].Name != "c" || snap[1].Name != "h" {
+		t.Fatalf("order = %s, %s", snap[0].Name, snap[1].Name)
+	}
+	h := snap[1]
+	if h.Count != 2 || h.Sum != 5 || len(h.Buckets) != 2 || h.Counts[0] != 1 || h.Counts[1] != 1 {
+		t.Errorf("histogram point = %+v", h)
+	}
+}
+
+func TestRegistryTable(t *testing.T) {
+	r := NewRegistry()
+	r.Inc(MetricProcesses)
+	r.Observe(MetricAccessSize, 8, L("op", "write"))
+	tb := r.Table("Metrics")
+	s := tb.String()
+	for _, w := range []string{"pn_processes_total", "pn_mem_access_size_bytes", "count=1 sum=8"} {
+		if !strings.Contains(s, w) {
+			t.Errorf("table missing %q:\n%s", w, s)
+		}
+	}
+}

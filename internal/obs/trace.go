@@ -1,0 +1,249 @@
+// Package obs is the observability layer: a span-based tracer on a
+// deterministic logical clock, a Prometheus-style metrics registry, and
+// address-space write-density heatmaps, all fed through passive seams
+// in the substrates — mem's AccessObserver, machine's process/event
+// observers, chaos's OnInject callback, and resilience's supervision
+// Observer. A Collector bundles the three and exports Chrome
+// trace_event JSON, Prometheus text exposition, NDJSON event streams,
+// and ASCII/JSON heatmaps (cmd/pntrace is the CLI face).
+//
+// Two properties are load-bearing:
+//
+//   - Determinism. The clock is logical (it ticks on observed accesses
+//     and trace operations, never on wall time), every rendering sorts
+//     its keys, and observation never perturbs the observed run — the
+//     chaos RNG is not consulted on obs's behalf. Same seed ⇒
+//     byte-identical trace, metrics, and heatmap, the same contract
+//     pnchaos already makes.
+//
+//   - Zero cost when disabled. Every seam is a single nil check when no
+//     collector is attached; the placement-new hot path does not slow
+//     down (see BenchmarkWriteObserver*).
+package obs
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Span categories used by the built-in instrumentation.
+const (
+	CatExperiment = "experiment"
+	CatScenario   = "scenario"
+	CatRetry      = "retry"
+	CatChaos      = "chaos"
+	CatMachine    = "machine"
+	CatProcess    = "process"
+)
+
+// Tick is a timestamp on the deterministic logical clock. The clock
+// advances by one on every observed memory access and every trace
+// operation, so span durations measure work (accesses observed during
+// the span), not wall time.
+type Tick uint64
+
+// Attr is one structured span/event attribute.
+type Attr struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// A builds an attribute.
+func A(key, value string) Attr { return Attr{Key: key, Value: value} }
+
+// AInt builds an integer-valued attribute.
+func AInt(key string, v int64) Attr { return Attr{Key: key, Value: fmt.Sprintf("%d", v)} }
+
+// AHex builds a hex-address attribute (the repo-wide %#x convention).
+func AHex(key string, v uint64) Attr { return Attr{Key: key, Value: fmt.Sprintf("%#x", v)} }
+
+// Span is one timed region of the run: an experiment, a scenario under
+// one defense, a supervised retry attempt, a chaos injection window.
+// Spans nest by ID; Parent is zero for roots.
+type Span struct {
+	ID       int    `json:"id"`
+	Parent   int    `json:"parent,omitempty"`
+	Category string `json:"cat"`
+	Name     string `json:"name"`
+	Start    Tick   `json:"start"`
+	// End is zero while the span is open; Tracer finishes open spans on
+	// Finish so exports never see a zero End.
+	End   Tick   `json:"end"`
+	Attrs []Attr `json:"attrs,omitempty"`
+
+	tracer *Tracer
+}
+
+// PointEvent is an instantaneous trace event (a machine event, a chaos
+// injection) attributed to the innermost open span at record time.
+type PointEvent struct {
+	Time     Tick   `json:"ts"`
+	Span     int    `json:"span,omitempty"`
+	Category string `json:"cat"`
+	Name     string `json:"name"`
+	Attrs    []Attr `json:"attrs,omitempty"`
+}
+
+// Tracer records spans and point events on a logical clock. All methods
+// are safe on a nil receiver (they do nothing and return nil), which is
+// how instrumented code stays zero-cost when tracing is off, and safe
+// for concurrent use (supervised attempts run on their own goroutines).
+type Tracer struct {
+	mu     sync.Mutex
+	now    Tick
+	nextID int
+	spans  []*Span
+	events []PointEvent
+	stack  []*Span // innermost-open-span stack, for parenting
+}
+
+// NewTracer builds an empty tracer with the clock at zero.
+func NewTracer() *Tracer { return &Tracer{} }
+
+// Tick advances the logical clock by one and returns the new time.
+func (t *Tracer) Tick() Tick {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	t.now++
+	v := t.now
+	t.mu.Unlock()
+	return v
+}
+
+// Now returns the current logical time without advancing it.
+func (t *Tracer) Now() Tick {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.now
+}
+
+// Start opens a span nested under the innermost open span. It advances
+// the clock. End the span with (*Span).Close; spans still open at
+// Finish are ended then.
+func (t *Tracer) Start(category, name string, attrs ...Attr) *Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	t.now++
+	t.nextID++
+	s := &Span{
+		ID:       t.nextID,
+		Category: category,
+		Name:     name,
+		Start:    t.now,
+		Attrs:    attrs,
+		tracer:   t,
+	}
+	if n := len(t.stack); n > 0 {
+		s.Parent = t.stack[n-1].ID
+	}
+	t.spans = append(t.spans, s)
+	t.stack = append(t.stack, s)
+	t.mu.Unlock()
+	return s
+}
+
+// Close ends the span at the current clock (after advancing it). Safe
+// on a nil span and idempotent: only the first Close sticks. Closing a
+// span also ends any still-open spans nested inside it, so a panic
+// that unwinds past inner spans cannot leave the stack corrupted.
+func (s *Span) Close() {
+	if s == nil || s.tracer == nil {
+		return
+	}
+	t := s.tracer
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if s.End != 0 {
+		return
+	}
+	t.now++
+	// Pop through the stack to this span, ending anything nested.
+	for i := len(t.stack) - 1; i >= 0; i-- {
+		open := t.stack[i]
+		if open.End == 0 {
+			open.End = t.now
+		}
+		if open == s {
+			t.stack = t.stack[:i]
+			return
+		}
+	}
+	// Span was not on the stack (already popped by an ancestor's Close);
+	// its End time was still set above if unset.
+}
+
+// SetAttr appends an attribute to an open or closed span.
+func (s *Span) SetAttr(key, value string) {
+	if s == nil || s.tracer == nil {
+		return
+	}
+	s.tracer.mu.Lock()
+	s.Attrs = append(s.Attrs, Attr{Key: key, Value: value})
+	s.tracer.mu.Unlock()
+}
+
+// Event records an instantaneous event at the current clock (after
+// advancing it), attributed to the innermost open span.
+func (t *Tracer) Event(category, name string, attrs ...Attr) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.now++
+	e := PointEvent{Time: t.now, Category: category, Name: name, Attrs: attrs}
+	if n := len(t.stack); n > 0 {
+		e.Span = t.stack[n-1].ID
+	}
+	t.events = append(t.events, e)
+	t.mu.Unlock()
+}
+
+// Finish ends every still-open span (outermost last) and returns the
+// final clock value. Exports call it so no span escapes with End == 0.
+func (t *Tracer) Finish() Tick {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for i := len(t.stack) - 1; i >= 0; i-- {
+		if t.stack[i].End == 0 {
+			t.now++
+			t.stack[i].End = t.now
+		}
+	}
+	t.stack = t.stack[:0]
+	return t.now
+}
+
+// Spans returns all recorded spans in start order. The slice is a copy;
+// the spans are shared — callers must not mutate them.
+func (t *Tracer) Spans() []*Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]*Span, len(t.spans))
+	copy(out, t.spans)
+	return out
+}
+
+// Events returns all recorded point events in record order.
+func (t *Tracer) Events() []PointEvent {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]PointEvent, len(t.events))
+	copy(out, t.events)
+	return out
+}

@@ -123,16 +123,36 @@ func (t *Table) Data() TableData {
 	return d
 }
 
-// Markdown renders a GitHub-flavoured Markdown table.
+// mdEscape makes a cell safe inside a GitHub-flavoured Markdown table
+// row: pipes would otherwise split the cell and newlines would end the
+// row, so `|` becomes `\|` and line breaks become `<br>`.
+func mdEscape(c string) string {
+	c = strings.ReplaceAll(c, "|", `\|`)
+	c = strings.ReplaceAll(c, "\r\n", "<br>")
+	c = strings.ReplaceAll(c, "\n", "<br>")
+	c = strings.ReplaceAll(c, "\r", "<br>")
+	return c
+}
+
+// Markdown renders a GitHub-flavoured Markdown table. Cells (and
+// headers) containing pipes or newlines are escaped so they cannot
+// break the table grid.
 func (t *Table) Markdown() string {
 	var sb strings.Builder
 	if t.Title != "" {
 		fmt.Fprintf(&sb, "**%s**\n\n", t.Title)
 	}
-	sb.WriteString("| " + strings.Join(t.headers, " | ") + " |\n")
+	esc := func(cells []string) []string {
+		out := make([]string, len(cells))
+		for i, c := range cells {
+			out[i] = mdEscape(c)
+		}
+		return out
+	}
+	sb.WriteString("| " + strings.Join(esc(t.headers), " | ") + " |\n")
 	sb.WriteString("|" + strings.Repeat("---|", len(t.headers)) + "\n")
 	for _, r := range t.rows {
-		sb.WriteString("| " + strings.Join(r, " | ") + " |\n")
+		sb.WriteString("| " + strings.Join(esc(r), " | ") + " |\n")
 	}
 	return sb.String()
 }

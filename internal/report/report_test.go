@@ -76,3 +76,48 @@ func TestMarkdown(t *testing.T) {
 		}
 	}
 }
+
+func TestMarkdownEscaping(t *testing.T) {
+	tests := []struct {
+		name string
+		in   string
+		want string
+	}{
+		{"pipe", "a|b", `a\|b`},
+		{"double pipe", "||", `\|\|`},
+		{"newline", "line\nbreak", "line<br>break"},
+		{"crlf", "line\r\nbreak", "line<br>break"},
+		{"bare cr", "line\rbreak", "line<br>break"},
+		{"mixed", "x|y\nz", `x\|y<br>z`},
+		{"clean", "plain", "plain"},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := mdEscape(tc.in); got != tc.want {
+				t.Errorf("mdEscape(%q) = %q, want %q", tc.in, got, tc.want)
+			}
+			tb := NewTable("", "h")
+			tb.AddRow(tc.in)
+			md := tb.Markdown()
+			if !strings.Contains(md, "| "+tc.want+" |") {
+				t.Errorf("Markdown row for %q = %q, want cell %q", tc.in, md, tc.want)
+			}
+			// The rendered table must keep its grid shape: every line has
+			// exactly the header's pipe count.
+			for _, line := range strings.Split(strings.TrimSuffix(md, "\n"), "\n") {
+				if n := strings.Count(strings.ReplaceAll(line, `\|`, ""), "|"); n != 2 {
+					t.Errorf("line %q has %d unescaped pipes, want 2", line, n)
+				}
+			}
+		})
+	}
+}
+
+func TestMarkdownEscapesHeaders(t *testing.T) {
+	tb := NewTable("", "col|umn", "two\nlines")
+	tb.AddRow("x", "y")
+	md := tb.Markdown()
+	if !strings.Contains(md, `col\|umn`) || !strings.Contains(md, "two<br>lines") {
+		t.Errorf("headers not escaped:\n%s", md)
+	}
+}

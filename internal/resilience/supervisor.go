@@ -97,6 +97,26 @@ type Policy struct {
 	BreakerThreshold int
 	// Sleep is the backoff clock, injectable for tests; nil = time.Sleep.
 	Sleep func(time.Duration)
+	// Observer, when non-nil, receives supervision lifecycle
+	// notifications (the observability seam). Notifications are passive
+	// and synchronous; implementations must not call back into the
+	// supervisor.
+	Observer Observer
+}
+
+// Observer receives supervision lifecycle notifications: the obs layer
+// implements it to turn attempts into retry spans and crashes into
+// metrics. All methods are invoked from the supervisor's goroutine, in
+// deterministic order for deterministic job sequences.
+type Observer interface {
+	// AttemptStarted fires before each attempt (attempt is 1-based).
+	AttemptStarted(job string, attempt int)
+	// AttemptCrashed fires after a crashed attempt, once any OnCrash
+	// recovery callback has annotated the record.
+	AttemptCrashed(job string, rec CrashRecord)
+	// JobFinished fires once per job with its final result, including
+	// breaker-skipped jobs that never launched.
+	JobFinished(res *Result)
 }
 
 func (p Policy) maxAttempts() int {
@@ -183,6 +203,9 @@ func (s *Supervisor) Run(job Job) *Result {
 	if s.BreakerOpen() {
 		res.Status = StatusSkipped
 		res.Err = fmt.Sprintf("crash-loop breaker open after %d consecutive dead jobs", s.consecutive)
+		if s.pol.Observer != nil {
+			s.pol.Observer.JobFinished(res)
+		}
 		return res
 	}
 	backoff := s.pol.Backoff
@@ -197,17 +220,26 @@ func (s *Supervisor) Run(job Job) *Result {
 			s.pol.sleep(w)
 			backoff = time.Duration(float64(backoff) * s.pol.factor())
 		}
+		if s.pol.Observer != nil {
+			s.pol.Observer.AttemptStarted(job.ID, attempt)
+		}
 		val, crash := s.attempt(job, attempt)
 		if crash == nil {
 			res.Status = StatusOK
 			res.Value = val
 			s.consecutive = 0
+			if s.pol.Observer != nil {
+				s.pol.Observer.JobFinished(res)
+			}
 			return res
 		}
 		res.Crashes = append(res.Crashes, *crash)
 		rec := &res.Crashes[len(res.Crashes)-1]
 		if job.OnCrash != nil && rec.Kind != CrashTimeout {
 			job.OnCrash(rec)
+		}
+		if s.pol.Observer != nil {
+			s.pol.Observer.AttemptCrashed(job.ID, *rec)
 		}
 	}
 	last := res.Crashes[len(res.Crashes)-1]
@@ -218,6 +250,9 @@ func (s *Supervisor) Run(job Job) *Result {
 	}
 	res.Err = last.Message
 	s.consecutive++
+	if s.pol.Observer != nil {
+		s.pol.Observer.JobFinished(res)
+	}
 	return res
 }
 
