@@ -60,11 +60,7 @@ func run(args []string, out io.Writer) error {
 	}
 
 	if *list {
-		t := report.NewTable("Experiments", "id", "paper ref", "title")
-		for _, e := range experiments.All() {
-			t.AddRow(e.ID, e.Ref, e.Title)
-		}
-		fmt.Fprint(out, t.String())
+		fmt.Fprint(out, experiments.ListTable().String())
 		return nil
 	}
 

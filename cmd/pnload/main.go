@@ -1,0 +1,349 @@
+// Command pnload is a closed-loop load generator for pnserve: for each
+// concurrency level in a sweep it keeps exactly C requests in flight
+// until the level's request budget is spent, then records throughput,
+// latency percentiles (p50/p95/p99), cache hit rate, and shed rate.
+// The sweep is written to BENCH_SERVE.json — the serving-throughput
+// benchmark artifact whose schema is stable across PRs so the
+// trajectory can be compared.
+//
+// Usage:
+//
+//	pnload -url http://127.0.0.1:8099 [-ids E1,E3,E9] [-levels 1,2,4,8]
+//	       [-requests 64] [-out BENCH_SERVE.json] [-warm]
+//	       [-min-hit-rate 0.5] [-priority normal]
+//
+// IDs matching E<number> are sent as experiment requests, anything
+// else as scenario requests. Exit status is non-zero when any request
+// failed for a non-shedding reason, or when -min-hit-rate is set and
+// the workload's overall cache hit rate fell below it; shed requests
+// (structured 429s) are the server working as designed and are
+// reported, not failed.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"net/url"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "pnload:", err)
+		os.Exit(1)
+	}
+}
+
+// Schema is the BENCH_SERVE.json schema tag.
+const Schema = "pnserve-load/v1"
+
+// latencyStats summarises one level's latency distribution in
+// milliseconds.
+type latencyStats struct {
+	P50  float64 `json:"p50_ms"`
+	P95  float64 `json:"p95_ms"`
+	P99  float64 `json:"p99_ms"`
+	Mean float64 `json:"mean_ms"`
+	Max  float64 `json:"max_ms"`
+}
+
+// levelReport is one concurrency level of the sweep.
+type levelReport struct {
+	Concurrency int `json:"concurrency"`
+	Requests    int `json:"requests"`
+	OK          int `json:"ok"`
+	Shed        int `json:"shed"`
+	Errors      int `json:"errors"`
+	CacheHits   int `json:"cache_hits"`
+	// CacheHitRate is hits (hit + coalesced) over completed-OK requests.
+	CacheHitRate float64 `json:"cache_hit_rate"`
+	// ShedRate is shed over issued requests.
+	ShedRate float64 `json:"shed_rate"`
+	// ThroughputRPS is completed-OK requests per wall-clock second.
+	ThroughputRPS float64      `json:"throughput_rps"`
+	WallMS        float64      `json:"wall_ms"`
+	Latency       latencyStats `json:"latency"`
+}
+
+// benchServe is the whole artifact.
+type benchServe struct {
+	Schema           string        `json:"schema"`
+	URL              string        `json:"url"`
+	IDs              []string      `json:"ids"`
+	RequestsPerLevel int           `json:"requests_per_level"`
+	Warmed           bool          `json:"warmed"`
+	Levels           []levelReport `json:"levels"`
+	Totals           struct {
+		Requests     int     `json:"requests"`
+		OK           int     `json:"ok"`
+		Shed         int     `json:"shed"`
+		Errors       int     `json:"errors"`
+		CacheHits    int     `json:"cache_hits"`
+		CacheHitRate float64 `json:"cache_hit_rate"`
+	} `json:"totals"`
+}
+
+var expIDPattern = regexp.MustCompile(`^E[0-9]+$`)
+
+// runURL builds the /run request URL for one workload id.
+func runURL(base, id, priority string) string {
+	v := url.Values{}
+	if expIDPattern.MatchString(id) {
+		v.Set("experiment", id)
+	} else {
+		v.Set("scenario", id)
+	}
+	if priority != "" {
+		v.Set("priority", priority)
+	}
+	return strings.TrimSuffix(base, "/") + "/run?" + v.Encode()
+}
+
+// sample is one completed request.
+type sample struct {
+	ok        bool
+	shed      bool
+	cacheHit  bool
+	latencyMS float64
+}
+
+// issue performs one request and classifies it.
+func issue(client *http.Client, u string) sample {
+	start := time.Now()
+	resp, err := client.Get(u)
+	s := sample{latencyMS: float64(time.Since(start).Microseconds()) / 1000}
+	if err != nil {
+		return s
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	s.latencyMS = float64(time.Since(start).Microseconds()) / 1000
+	if err != nil {
+		return s
+	}
+	switch resp.StatusCode {
+	case http.StatusOK:
+		var rr struct {
+			Cache string `json:"cache"`
+		}
+		if json.Unmarshal(body, &rr) != nil {
+			return s
+		}
+		s.ok = true
+		s.cacheHit = rr.Cache == "hit" || rr.Cache == "coalesced"
+	case http.StatusTooManyRequests:
+		s.shed = true
+	}
+	return s
+}
+
+// runLevel drives one closed-loop level: c workers, n requests total,
+// round-robin over ids.
+func runLevel(client *http.Client, base string, ids []string, priority string, c, n int) levelReport {
+	var (
+		next    atomic.Int64
+		mu      sync.Mutex
+		samples = make([]sample, 0, n)
+		wg      sync.WaitGroup
+	)
+	start := time.Now()
+	wg.Add(c)
+	for w := 0; w < c; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := next.Add(1)
+				if i > int64(n) {
+					return
+				}
+				id := ids[(int(i)-1)%len(ids)]
+				s := issue(client, runURL(base, id, priority))
+				mu.Lock()
+				samples = append(samples, s)
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	rep := levelReport{Concurrency: c, Requests: n, WallMS: float64(wall.Microseconds()) / 1000}
+	lats := make([]float64, 0, n)
+	for _, s := range samples {
+		switch {
+		case s.ok:
+			rep.OK++
+			if s.cacheHit {
+				rep.CacheHits++
+			}
+			lats = append(lats, s.latencyMS)
+		case s.shed:
+			rep.Shed++
+		default:
+			rep.Errors++
+		}
+	}
+	if rep.OK > 0 {
+		rep.CacheHitRate = round4(float64(rep.CacheHits) / float64(rep.OK))
+		rep.ThroughputRPS = round4(float64(rep.OK) / wall.Seconds())
+	}
+	if n > 0 {
+		rep.ShedRate = round4(float64(rep.Shed) / float64(n))
+	}
+	rep.Latency = summarize(lats)
+	return rep
+}
+
+func summarize(lats []float64) latencyStats {
+	var st latencyStats
+	if len(lats) == 0 {
+		return st
+	}
+	sort.Float64s(lats)
+	sum := 0.0
+	for _, v := range lats {
+		sum += v
+	}
+	st.P50 = round4(percentile(lats, 0.50))
+	st.P95 = round4(percentile(lats, 0.95))
+	st.P99 = round4(percentile(lats, 0.99))
+	st.Mean = round4(sum / float64(len(lats)))
+	st.Max = round4(lats[len(lats)-1])
+	return st
+}
+
+// percentile returns the q-quantile of sorted values (nearest-rank).
+func percentile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+func round4(v float64) float64 { return math.Round(v*10000) / 10000 }
+
+func parseLevels(s string) ([]int, error) {
+	var out []int
+	for _, p := range strings.Split(s, ",") {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			continue
+		}
+		n, err := strconv.Atoi(p)
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("invalid concurrency level %q", p)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no concurrency levels")
+	}
+	return out, nil
+}
+
+func parseIDs(s string) ([]string, error) {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no workload ids")
+	}
+	return out, nil
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("pnload", flag.ContinueOnError)
+	base := fs.String("url", "", "pnserve base URL (e.g. http://127.0.0.1:8099)")
+	idsFlag := fs.String("ids", "E1,E3,E9", "comma list of workload ids (E<n> = experiment, otherwise scenario)")
+	levelsFlag := fs.String("levels", "1,2,4,8", "comma list of concurrency levels to sweep")
+	requests := fs.Int("requests", 64, "requests per level")
+	priority := fs.String("priority", "", "priority lane for every request (high, normal, low)")
+	outFile := fs.String("out", "BENCH_SERVE.json", "artifact path ('-' = stdout only)")
+	warm := fs.Bool("warm", true, "issue each id once before the sweep so the repeated-ID workload measures the cache")
+	minHitRate := fs.Float64("min-hit-rate", -1, "fail unless the overall cache hit rate reaches this (negative = no check)")
+	timeout := fs.Duration("timeout", 30*time.Second, "per-request HTTP timeout")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *base == "" {
+		return fmt.Errorf("missing -url")
+	}
+	ids, err := parseIDs(*idsFlag)
+	if err != nil {
+		return err
+	}
+	levels, err := parseLevels(*levelsFlag)
+	if err != nil {
+		return err
+	}
+
+	client := &http.Client{Timeout: *timeout}
+	rep := benchServe{Schema: Schema, URL: *base, IDs: ids, RequestsPerLevel: *requests, Warmed: *warm}
+
+	if *warm {
+		for _, id := range ids {
+			if s := issue(client, runURL(*base, id, *priority)); !s.ok {
+				return fmt.Errorf("warmup request for %s failed (server down or id invalid)", id)
+			}
+		}
+	}
+
+	for _, c := range levels {
+		lr := runLevel(client, *base, ids, *priority, c, *requests)
+		rep.Levels = append(rep.Levels, lr)
+		rep.Totals.Requests += lr.Requests
+		rep.Totals.OK += lr.OK
+		rep.Totals.Shed += lr.Shed
+		rep.Totals.Errors += lr.Errors
+		rep.Totals.CacheHits += lr.CacheHits
+		fmt.Fprintf(out, "c=%-3d ok=%d shed=%d err=%d hit=%.2f rps=%.1f p50=%.2fms p95=%.2fms p99=%.2fms\n",
+			c, lr.OK, lr.Shed, lr.Errors, lr.CacheHitRate, lr.ThroughputRPS,
+			lr.Latency.P50, lr.Latency.P95, lr.Latency.P99)
+	}
+	if rep.Totals.OK > 0 {
+		rep.Totals.CacheHitRate = round4(float64(rep.Totals.CacheHits) / float64(rep.Totals.OK))
+	}
+
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	blob = append(blob, '\n')
+	if *outFile != "-" {
+		if err := os.WriteFile(*outFile, blob, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote %s\n", *outFile)
+	} else {
+		out.Write(blob)
+	}
+
+	if rep.Totals.Errors > 0 {
+		return fmt.Errorf("%d requests failed for non-shedding reasons", rep.Totals.Errors)
+	}
+	if *minHitRate >= 0 && rep.Totals.CacheHitRate < *minHitRate {
+		return fmt.Errorf("cache hit rate %.4f below required %.4f", rep.Totals.CacheHitRate, *minHitRate)
+	}
+	return nil
+}

@@ -1,0 +1,147 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// fakeServe is a minimal pnserve stand-in: the first request per id is
+// a miss, repeats are hits; when shedEvery > 0 every shedEvery-th
+// request is shed with a 429.
+func fakeServe(shedEvery int64) http.Handler {
+	var count atomic.Int64
+	var mu sync.Mutex
+	seen := map[string]bool{}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := count.Add(1)
+		if shedEvery > 0 && n%shedEvery == 0 {
+			w.WriteHeader(http.StatusTooManyRequests)
+			json.NewEncoder(w).Encode(map[string]any{"error": "shed", "code": 429})
+			return
+		}
+		id := r.URL.Query().Get("experiment")
+		if id == "" {
+			id = r.URL.Query().Get("scenario")
+		}
+		mu.Lock()
+		cache := "hit"
+		if !seen[id] {
+			seen[id], cache = true, "miss"
+		}
+		mu.Unlock()
+		json.NewEncoder(w).Encode(map[string]any{"id": id, "status": "ok", "cache": cache})
+	})
+}
+
+func TestSweepWritesBenchServe(t *testing.T) {
+	ts := httptest.NewServer(fakeServe(0))
+	defer ts.Close()
+
+	outPath := filepath.Join(t.TempDir(), "BENCH_SERVE.json")
+	var stdout strings.Builder
+	if err := run([]string{
+		"-url", ts.URL, "-ids", "E1,E3", "-levels", "1,2", "-requests", "10",
+		"-out", outPath, "-min-hit-rate", "0.5",
+	}, &stdout); err != nil {
+		t.Fatalf("run: %v (stdout: %s)", err, stdout.String())
+	}
+
+	blob, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep benchServe
+	if err := json.Unmarshal(blob, &rep); err != nil {
+		t.Fatalf("BENCH_SERVE.json is not valid JSON: %v", err)
+	}
+	if rep.Schema != Schema {
+		t.Fatalf("schema = %q, want %q", rep.Schema, Schema)
+	}
+	if len(rep.Levels) != 2 || rep.Levels[0].Concurrency != 1 || rep.Levels[1].Concurrency != 2 {
+		t.Fatalf("levels = %+v, want the 1,2 sweep", rep.Levels)
+	}
+	if rep.Totals.Requests != 20 || rep.Totals.OK != 20 || rep.Totals.Errors != 0 {
+		t.Fatalf("totals = %+v, want 20 ok / 0 errors", rep.Totals)
+	}
+	// Warmup touched both ids, so the whole measured sweep hits.
+	if rep.Totals.CacheHitRate < 0.99 {
+		t.Fatalf("cache hit rate = %g, want ~1.0 after warmup", rep.Totals.CacheHitRate)
+	}
+	for _, lv := range rep.Levels {
+		if lv.Latency.P50 <= 0 || lv.Latency.P99 < lv.Latency.P50 {
+			t.Fatalf("level %d latency stats = %+v", lv.Concurrency, lv.Latency)
+		}
+		if lv.ThroughputRPS <= 0 {
+			t.Fatalf("level %d throughput = %g", lv.Concurrency, lv.ThroughputRPS)
+		}
+	}
+}
+
+func TestShedCountedNotFailed(t *testing.T) {
+	ts := httptest.NewServer(fakeServe(5)) // every 5th request shed
+	defer ts.Close()
+
+	outPath := filepath.Join(t.TempDir(), "BENCH_SERVE.json")
+	var stdout strings.Builder
+	if err := run([]string{
+		"-url", ts.URL, "-ids", "E1", "-levels", "2", "-requests", "20",
+		"-out", outPath, "-warm=false",
+	}, &stdout); err != nil {
+		t.Fatalf("run treated shed responses as failure: %v", err)
+	}
+	blob, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep benchServe
+	if err := json.Unmarshal(blob, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Totals.Shed == 0 {
+		t.Fatalf("totals = %+v, want shed > 0", rep.Totals)
+	}
+	if rep.Totals.Errors != 0 {
+		t.Fatalf("totals = %+v, want sheds excluded from errors", rep.Totals)
+	}
+	if rep.Totals.OK+rep.Totals.Shed != rep.Totals.Requests {
+		t.Fatalf("totals don't add up: %+v", rep.Totals)
+	}
+}
+
+func TestHitRateGateFails(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// Pathological server: never a cache hit.
+		json.NewEncoder(w).Encode(map[string]any{"status": "ok", "cache": "miss"})
+	}))
+	defer ts.Close()
+
+	outPath := filepath.Join(t.TempDir(), "BENCH_SERVE.json")
+	var stdout strings.Builder
+	err := run([]string{
+		"-url", ts.URL, "-ids", "E1", "-levels", "1", "-requests", "5",
+		"-out", outPath, "-min-hit-rate", "0.5",
+	}, &stdout)
+	if err == nil || !strings.Contains(err.Error(), "hit rate") {
+		t.Fatalf("err = %v, want hit-rate gate failure", err)
+	}
+	if _, statErr := os.Stat(outPath); statErr != nil {
+		t.Fatal("artifact must be written even when the gate fails")
+	}
+}
+
+func TestWorkloadIDKinds(t *testing.T) {
+	if got := runURL("http://x", "E12", ""); !strings.Contains(got, "experiment=E12") {
+		t.Fatalf("E12 url = %s, want experiment param", got)
+	}
+	if got := runURL("http://x/", "bss-overflow", "low"); !strings.Contains(got, "scenario=bss-overflow") ||
+		!strings.Contains(got, "priority=low") || strings.Contains(got, "//run") {
+		t.Fatalf("scenario url = %s", got)
+	}
+}

@@ -1,0 +1,324 @@
+// Command pnserve serves the experiment/attack corpus over HTTP: a
+// bounded worker pool with priority lanes executes requests, a
+// content-addressed result cache (LRU + TTL + singleflight) makes
+// repeated work nearly free, and load beyond the admission queue is
+// shed with structured 429 responses instead of queueing unboundedly.
+//
+// Endpoints:
+//
+//	POST /run          JSON service.Request body
+//	GET  /run          the same request as query parameters, e.g.
+//	                   /run?experiment=E8
+//	                   /run?scenario=bss-overflow&defense=stackguard&model=LP64
+//	                   /run?scenario=stack-ret&chaos_prob=0.01&seed=7
+//	GET  /experiments  the servable catalogue (experiments, scenarios,
+//	                   defenses, models) as JSON
+//	GET  /healthz      {"status":"ok"} — 503 while draining
+//	GET  /metrics      Prometheus text exposition (pn_serve_* plus
+//	                   anything else registered)
+//
+// Capacity knobs: -workers, -queue (per priority lane), -cache-size,
+// -cache-ttl, -deadline (default per-request budget, queueing
+// included), -max-deadline. On SIGTERM/SIGINT the server drains
+// gracefully: admission stops (429/503 + failing health checks),
+// in-flight and queued work completes, then the listener shuts down.
+//
+// Usage:
+//
+//	pnserve [-addr :8099] [-workers 8] [-queue 64]
+//	        [-cache-size 512] [-cache-ttl 10m]
+//	        [-deadline 15s] [-max-deadline 60s] [-drain-timeout 10s]
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"repro/internal/attack"
+	"repro/internal/defense"
+	"repro/internal/experiments"
+	"repro/internal/layout"
+	"repro/internal/obs"
+	"repro/internal/service"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "pnserve:", err)
+		os.Exit(1)
+	}
+}
+
+type serverConfig struct {
+	workers      int
+	queue        int
+	cacheSize    int
+	cacheTTL     time.Duration
+	deadline     time.Duration
+	maxDeadline  time.Duration
+	drainTimeout time.Duration
+}
+
+// server is the HTTP face of one service.Service.
+type server struct {
+	svc      *service.Service
+	reg      *obs.Registry
+	draining atomic.Bool
+	started  time.Time
+}
+
+func newServer(cfg serverConfig) *server {
+	reg := obs.NewRegistry()
+	return &server{
+		svc: service.New(service.Config{
+			Workers:         cfg.workers,
+			QueueDepth:      cfg.queue,
+			CacheCapacity:   cfg.cacheSize,
+			CacheTTL:        cfg.cacheTTL,
+			DefaultDeadline: cfg.deadline,
+			MaxDeadline:     cfg.maxDeadline,
+			Registry:        reg,
+		}),
+		reg:     reg,
+		started: time.Now(),
+	}
+}
+
+func (s *server) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/run", s.handleRun)
+	mux.HandleFunc("/experiments", s.handleCatalog)
+	mux.HandleFunc("/healthz", s.handleHealth)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	return mux
+}
+
+// runResponse is the /run success envelope.
+type runResponse struct {
+	*service.Result
+	// Cache is hit, miss, coalesced, or bypass.
+	Cache string `json:"cache"`
+	// ServeNS is this request's end-to-end time in the server,
+	// queueing and cache lookup included.
+	ServeNS int64 `json:"serve_ns"`
+}
+
+// errorResponse is every non-200 body.
+type errorResponse struct {
+	Error string `json:"error"`
+	Code  int    `json:"code"`
+	// Reject carries the structured load-shedding state for 429/503.
+	Reject *service.Rejection `json:"reject,omitempty"`
+	// Crashes carries supervised crash records for 500s.
+	Crashes any `json:"crashes,omitempty"`
+}
+
+func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{
+			Error: "server draining", Code: http.StatusServiceUnavailable,
+			Reject: &service.Rejection{Code: 503, Reason: "draining"},
+		})
+		return
+	}
+	req, err := parseRequest(r)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error(), Code: http.StatusBadRequest})
+		return
+	}
+	start := time.Now()
+	res, cacheTok, err := s.svc.Handle(r.Context(), req)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, runResponse{Result: res, Cache: cacheTok, ServeNS: time.Since(start).Nanoseconds()})
+}
+
+// writeError maps service errors onto structured HTTP responses.
+func (s *server) writeError(w http.ResponseWriter, err error) {
+	var bad *service.BadRequest
+	var rej *service.Rejection
+	var exe *service.ExecError
+	switch {
+	case errors.As(err, &bad):
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error(), Code: http.StatusBadRequest})
+	case errors.As(err, &rej):
+		w.Header().Set("Retry-After", strconv.FormatInt((rej.RetryAfterMS+999)/1000, 10))
+		writeJSON(w, rej.Code, errorResponse{Error: err.Error(), Code: rej.Code, Reject: rej})
+	case errors.As(err, &exe):
+		writeJSON(w, http.StatusInternalServerError, errorResponse{
+			Error: err.Error(), Code: http.StatusInternalServerError, Crashes: exe.Crashes,
+		})
+	case errors.Is(err, context.DeadlineExceeded):
+		writeJSON(w, http.StatusGatewayTimeout, errorResponse{Error: err.Error(), Code: http.StatusGatewayTimeout})
+	case errors.Is(err, context.Canceled):
+		// 499: client closed request (nginx convention).
+		writeJSON(w, 499, errorResponse{Error: err.Error(), Code: 499})
+	default:
+		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error(), Code: http.StatusInternalServerError})
+	}
+}
+
+// parseRequest accepts POST JSON or GET query parameters.
+func parseRequest(r *http.Request) (service.Request, error) {
+	var req service.Request
+	switch r.Method {
+	case http.MethodPost:
+		dec := json.NewDecoder(io.LimitReader(r.Body, 1<<20))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil {
+			return req, fmt.Errorf("invalid JSON body: %w", err)
+		}
+		return req, nil
+	case http.MethodGet:
+		q := r.URL.Query()
+		req.Experiment = q.Get("experiment")
+		req.Scenario = q.Get("scenario")
+		req.Defense = q.Get("defense")
+		req.Model = q.Get("model")
+		req.Faults = q.Get("faults")
+		req.Priority = q.Get("priority")
+		var err error
+		if v := q.Get("seed"); v != "" {
+			if req.Seed, err = strconv.ParseInt(v, 10, 64); err != nil {
+				return req, fmt.Errorf("invalid seed: %w", err)
+			}
+		}
+		if v := q.Get("chaos_prob"); v != "" {
+			if req.ChaosProb, err = strconv.ParseFloat(v, 64); err != nil {
+				return req, fmt.Errorf("invalid chaos_prob: %w", err)
+			}
+		}
+		if v := q.Get("deadline_ms"); v != "" {
+			if req.DeadlineMS, err = strconv.ParseInt(v, 10, 64); err != nil {
+				return req, fmt.Errorf("invalid deadline_ms: %w", err)
+			}
+		}
+		if v := q.Get("no_cache"); v != "" {
+			if req.NoCache, err = strconv.ParseBool(v); err != nil {
+				return req, fmt.Errorf("invalid no_cache: %w", err)
+			}
+		}
+		return req, nil
+	default:
+		return req, fmt.Errorf("method %s not allowed on /run", r.Method)
+	}
+}
+
+// catalog is the /experiments payload: everything servable.
+type catalog struct {
+	Experiments []catalogExperiment `json:"experiments"`
+	Scenarios   []catalogScenario   `json:"scenarios"`
+	Defenses    []string            `json:"defenses"`
+	Models      []string            `json:"models"`
+}
+
+type catalogExperiment struct {
+	ID    string `json:"id"`
+	Ref   string `json:"ref"`
+	Title string `json:"title"`
+}
+
+type catalogScenario struct {
+	ID  string `json:"id"`
+	Ref string `json:"ref"`
+}
+
+func (s *server) handleCatalog(w http.ResponseWriter, r *http.Request) {
+	var c catalog
+	for _, e := range experiments.All() {
+		c.Experiments = append(c.Experiments, catalogExperiment{ID: e.ID, Ref: e.Ref, Title: e.Title})
+	}
+	for _, sc := range attack.Catalog() {
+		c.Scenarios = append(c.Scenarios, catalogScenario{ID: sc.ID, Ref: sc.Ref})
+	}
+	for _, d := range defense.Catalog() {
+		c.Defenses = append(c.Defenses, d.Name)
+	}
+	c.Models = []string{layout.ILP32.Name, layout.ILP32i386.Name, layout.LP64.Name}
+	writeJSON(w, http.StatusOK, c)
+}
+
+func (s *server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	status, code := "ok", http.StatusOK
+	if s.draining.Load() {
+		status, code = "draining", http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, map[string]any{
+		"status":    status,
+		"uptime_ms": time.Since(s.started).Milliseconds(),
+	})
+}
+
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	io.WriteString(w, s.reg.Exposition())
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("pnserve", flag.ContinueOnError)
+	addr := fs.String("addr", ":8099", "listen address")
+	workers := fs.Int("workers", 8, "worker pool size")
+	queue := fs.Int("queue", 64, "admission queue depth per priority lane")
+	cacheSize := fs.Int("cache-size", 512, "result cache capacity (entries)")
+	cacheTTL := fs.Duration("cache-ttl", 10*time.Minute, "result cache TTL (0 = never expire)")
+	deadline := fs.Duration("deadline", 15*time.Second, "default per-request deadline (queueing included)")
+	maxDeadline := fs.Duration("max-deadline", time.Minute, "cap on client-supplied deadlines")
+	drainTimeout := fs.Duration("drain-timeout", 10*time.Second, "graceful shutdown budget after SIGTERM")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	srv := newServer(serverConfig{
+		workers: *workers, queue: *queue,
+		cacheSize: *cacheSize, cacheTTL: *cacheTTL,
+		deadline: *deadline, maxDeadline: *maxDeadline,
+		drainTimeout: *drainTimeout,
+	})
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.handler()}
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGTERM, syscall.SIGINT)
+	errCh := make(chan error, 1)
+	go func() {
+		fmt.Fprintf(out, "pnserve: listening on %s (%d workers, queue %d/lane, cache %d entries, ttl %s)\n",
+			*addr, *workers, *queue, *cacheSize, *cacheTTL)
+		errCh <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errCh:
+		return err
+	case sig := <-sigCh:
+		fmt.Fprintf(out, "pnserve: %s received, draining\n", sig)
+		srv.draining.Store(true)
+		srv.svc.Drain()
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			return fmt.Errorf("shutdown: %w", err)
+		}
+		fmt.Fprintln(out, "pnserve: drained cleanly")
+		return nil
+	}
+}

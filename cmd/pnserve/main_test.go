@@ -1,0 +1,142 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func newTestServer(t *testing.T) (*server, *httptest.Server) {
+	t.Helper()
+	srv := newServer(serverConfig{
+		workers: 4, queue: 16, cacheSize: 32,
+		cacheTTL: time.Minute, deadline: 10 * time.Second, maxDeadline: 30 * time.Second,
+	})
+	ts := httptest.NewServer(srv.handler())
+	t.Cleanup(func() {
+		ts.Close()
+		srv.svc.Drain()
+	})
+	return srv, ts
+}
+
+func getJSON(t *testing.T, url string, wantCode int) map[string]any {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != wantCode {
+		t.Fatalf("GET %s = %d, want %d", url, resp.StatusCode, wantCode)
+	}
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("GET %s: invalid JSON: %v", url, err)
+	}
+	return out
+}
+
+func TestRunEndpointCachesRepeats(t *testing.T) {
+	_, ts := newTestServer(t)
+
+	first := getJSON(t, ts.URL+"/run?experiment=E1", http.StatusOK)
+	if first["cache"] != "miss" || first["status"] != "ok" || first["id"] != "E1" {
+		t.Fatalf("first response = %v", first)
+	}
+	second := getJSON(t, ts.URL+"/run?experiment=E1", http.StatusOK)
+	if second["cache"] != "hit" {
+		t.Fatalf("second response cache = %v, want hit", second["cache"])
+	}
+	if first["key"] != second["key"] {
+		t.Fatalf("keys differ across identical requests: %v vs %v", first["key"], second["key"])
+	}
+}
+
+func TestRunEndpointPostScenario(t *testing.T) {
+	_, ts := newTestServer(t)
+	body := `{"scenario":"bss-overflow","defense":"stackguard","model":"LP64","priority":"high"}`
+	resp, err := http.Post(ts.URL+"/run", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /run = %d, want 200", resp.StatusCode)
+	}
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out["kind"] != "scenario" || out["id"] != "bss-overflow" || out["model"] != "LP64" {
+		t.Fatalf("response = %v", out)
+	}
+	if out["status"] == "" {
+		t.Fatal("scenario response missing status")
+	}
+}
+
+func TestRunEndpointBadRequest(t *testing.T) {
+	_, ts := newTestServer(t)
+	out := getJSON(t, ts.URL+"/run?experiment=E99", http.StatusBadRequest)
+	if msg, _ := out["error"].(string); !strings.Contains(msg, "E99") {
+		t.Fatalf("400 body = %v, want the unknown ID named", out)
+	}
+	// The unknown-ID text comes from experiments.ByID — the same error
+	// every other cmd prints.
+	if msg := out["error"].(string); !strings.Contains(msg, "unknown experiment") {
+		t.Fatalf("error text %q, want experiments.ByID's wording", msg)
+	}
+}
+
+func TestCatalogHealthMetrics(t *testing.T) {
+	srv, ts := newTestServer(t)
+
+	cat := getJSON(t, ts.URL+"/experiments", http.StatusOK)
+	if exps, ok := cat["experiments"].([]any); !ok || len(exps) < 19 {
+		t.Fatalf("catalog experiments = %v", cat["experiments"])
+	}
+	if scns, ok := cat["scenarios"].([]any); !ok || len(scns) == 0 {
+		t.Fatalf("catalog scenarios = %v", cat["scenarios"])
+	}
+
+	health := getJSON(t, ts.URL+"/healthz", http.StatusOK)
+	if health["status"] != "ok" {
+		t.Fatalf("healthz = %v", health)
+	}
+
+	// Generate one request so serving metrics exist, then scrape.
+	getJSON(t, ts.URL+"/run?experiment=E5", http.StatusOK)
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("/metrics Content-Type = %q, want Prometheus text", ct)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(raw)
+	for _, want := range []string{"pn_serve_requests_total", "pn_serve_cache_events_total", "pn_serve_latency_ms"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("/metrics missing %s:\n%s", want, text)
+		}
+	}
+
+	// Draining: health fails, /run sheds with 503.
+	srv.draining.Store(true)
+	if out := getJSON(t, ts.URL+"/healthz", http.StatusServiceUnavailable); out["status"] != "draining" {
+		t.Fatalf("draining healthz = %v", out)
+	}
+	out := getJSON(t, ts.URL+"/run?experiment=E1", http.StatusServiceUnavailable)
+	if rej, ok := out["reject"].(map[string]any); !ok || rej["reason"] != "draining" {
+		t.Fatalf("draining /run = %v, want structured draining rejection", out)
+	}
+}

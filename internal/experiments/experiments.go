@@ -102,7 +102,9 @@ func runE18() (*report.Table, error) {
 	return t, nil
 }
 
-// ByID resolves an experiment.
+// ByID resolves an experiment. It is the single lookup path every
+// entry point (pnbench, pntrace, pnscan, pnserve) uses, so the
+// unknown-ID error text is consistent across all cmds.
 func ByID(id string) (Experiment, error) {
 	for _, e := range All() {
 		if e.ID == id {
@@ -110,6 +112,16 @@ func ByID(id string) (Experiment, error) {
 		}
 	}
 	return Experiment{}, fmt.Errorf("experiments: unknown experiment %q", id)
+}
+
+// ListTable renders the catalogue as the standard listing table the
+// cmds print for -list, so every entry point shows the same columns.
+func ListTable() *report.Table {
+	t := report.NewTable("Experiments", "id", "paper ref", "title")
+	for _, e := range All() {
+		t.AddRow(e.ID, e.Ref, e.Title)
+	}
+	return t
 }
 
 func run(id string, cfg defense.Config) (*attack.Outcome, error) {

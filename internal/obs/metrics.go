@@ -29,6 +29,17 @@ const (
 	MetricCrashes        = "pn_supervisor_crashes_total"
 )
 
+// Serving-layer metric names (emitted by internal/service and exposed
+// by cmd/pnserve's /metrics endpoint).
+const (
+	MetricServeRequests   = "pn_serve_requests_total"
+	MetricServeCache      = "pn_serve_cache_events_total"
+	MetricServeShed       = "pn_serve_shed_total"
+	MetricServeQueueDepth = "pn_serve_queue_depth"
+	MetricServeInflight   = "pn_serve_inflight"
+	MetricServeLatency    = "pn_serve_latency_ms"
+)
+
 // Label is one metric dimension.
 type Label struct {
 	Key   string `json:"key"`

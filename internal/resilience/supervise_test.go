@@ -1,0 +1,69 @@
+package resilience
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestSuperviseConcurrent: Supervise shares no state between calls, so
+// many goroutines may supervise jobs at once — the property the
+// serving layer's per-request supervision depends on. Run under -race
+// this is its regression gate.
+func TestSuperviseConcurrent(t *testing.T) {
+	const n = 32
+	var wg sync.WaitGroup
+	results := make([]*Result, n)
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			defer wg.Done()
+			crash := i%2 == 1
+			results[i] = Supervise(Job{
+				ID: fmt.Sprintf("job-%d", i),
+				Run: func(ctx context.Context, attempt int) (any, error) {
+					if crash {
+						panic(fmt.Sprintf("crash-%d", i))
+					}
+					return i, nil
+				},
+			}, Policy{MaxAttempts: 1})
+		}(i)
+	}
+	wg.Wait()
+
+	for i, res := range results {
+		if i%2 == 1 {
+			if res.Status != StatusFailed || len(res.Crashes) != 1 || res.Crashes[0].Kind != CrashPanic {
+				t.Fatalf("job %d = %+v, want one panic crash", i, res)
+			}
+			if want := fmt.Sprintf("crash-%d", i); res.Crashes[0].Message != want {
+				t.Fatalf("job %d crash message %q, want %q (cross-call state leak?)", i, res.Crashes[0].Message, want)
+			}
+			continue
+		}
+		if res.Status != StatusOK || res.Value != i {
+			t.Fatalf("job %d = %+v, want ok with value %d", i, res, i)
+		}
+	}
+}
+
+// TestSuperviseHonoursPolicy: the one-shot wrapper applies the same
+// policy semantics as a Supervisor (here: bounded retry).
+func TestSuperviseHonoursPolicy(t *testing.T) {
+	attempts := 0
+	res := Supervise(Job{
+		ID: "retry",
+		Run: func(ctx context.Context, attempt int) (any, error) {
+			attempts++
+			if attempts < 3 {
+				return nil, fmt.Errorf("transient %d", attempts)
+			}
+			return "done", nil
+		},
+	}, Policy{MaxAttempts: 3})
+	if res.Status != StatusOK || res.Value != "done" || attempts != 3 {
+		t.Fatalf("res = %+v after %d attempts, want ok/done/3", res, attempts)
+	}
+}

@@ -256,6 +256,17 @@ func (s *Supervisor) Run(job Job) *Result {
 	return res
 }
 
+// Supervise executes one job under pol and returns its result. Unlike
+// a long-lived Supervisor — whose breaker and result log make it
+// strictly sequential — Supervise shares nothing between calls, so it
+// is safe to invoke from many goroutines at once. It is the serving
+// layer's per-request supervision primitive: each request gets panic
+// recovery, a deadline, and a structured crash record without any
+// cross-request state.
+func Supervise(job Job, pol Policy) *Result {
+	return NewSupervisor(pol).Run(job)
+}
+
 // RunAll executes jobs in order and returns their results.
 func (s *Supervisor) RunAll(jobs []Job) []*Result {
 	out := make([]*Result, 0, len(jobs))

@@ -1,0 +1,201 @@
+package service
+
+import (
+	"container/list"
+	"context"
+	"time"
+)
+
+// Cache event tokens reported through the OnEvent seam and echoed in
+// responses. They are stable wire/metric values.
+const (
+	CacheHit       = "hit"       // served from the store
+	CacheMiss      = "miss"      // executed; result stored
+	CacheCoalesced = "coalesced" // joined an identical in-flight execution
+	CacheBypass    = "bypass"    // NoCache request; executed, store refreshed
+	CacheEvict     = "evict"     // LRU capacity eviction
+	CacheExpire    = "expire"    // TTL expiry observed on access
+)
+
+// CacheConfig tunes the result cache. The zero value selects 256
+// entries, no TTL, and the wall clock.
+type CacheConfig struct {
+	// Capacity bounds the number of stored results (default 256).
+	Capacity int
+	// TTL expires entries this long after they were stored (0 = never).
+	TTL time.Duration
+	// Now is the clock, injectable for tests (nil = time.Now).
+	Now func() time.Time
+	// OnEvent receives one call per cache event with a Cache* token —
+	// the metrics seam. It runs under the cache lock: keep it cheap and
+	// never call back into the cache.
+	OnEvent func(event string)
+}
+
+// Cache is a content-addressed result store: bounded LRU with optional
+// TTL, plus singleflight collapsing so N concurrent requests for the
+// same key cost one execution. Safe for concurrent use. Results are
+// treated as immutable once stored — callers must not mutate them.
+type Cache struct {
+	cfg CacheConfig
+
+	mu      chMutex
+	entries map[string]*list.Element
+	lru     *list.List // front = most recent
+	flights map[string]*flight
+}
+
+// chMutex is a channel-based mutex so cache internals can also be
+// released while waiting on a flight without juggling sync.Cond.
+type chMutex chan struct{}
+
+func (m chMutex) lock()   { m <- struct{}{} }
+func (m chMutex) unlock() { <-m }
+
+type entry struct {
+	key    string
+	res    *Result
+	stored time.Time
+}
+
+// flight is one in-progress execution other callers can join.
+type flight struct {
+	done chan struct{} // closed when the leader finishes
+	res  *Result
+	err  error
+}
+
+// NewCache builds a cache.
+func NewCache(cfg CacheConfig) *Cache {
+	if cfg.Capacity <= 0 {
+		cfg.Capacity = 256
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	return &Cache{
+		cfg:     cfg,
+		mu:      make(chMutex, 1),
+		entries: make(map[string]*list.Element),
+		lru:     list.New(),
+		flights: make(map[string]*flight),
+	}
+}
+
+func (c *Cache) event(tok string) {
+	if c.cfg.OnEvent != nil {
+		c.cfg.OnEvent(tok)
+	}
+}
+
+// Len returns the number of stored entries.
+func (c *Cache) Len() int {
+	c.mu.lock()
+	defer c.mu.unlock()
+	return c.lru.Len()
+}
+
+// Keys returns the stored keys from most to least recently used — the
+// eviction order, exposed for tests.
+func (c *Cache) Keys() []string {
+	c.mu.lock()
+	defer c.mu.unlock()
+	out := make([]string, 0, c.lru.Len())
+	for e := c.lru.Front(); e != nil; e = e.Next() {
+		out = append(out, e.Value.(*entry).key)
+	}
+	return out
+}
+
+// lookupLocked returns a fresh entry's result, expiring stale ones.
+func (c *Cache) lookupLocked(key string) (*Result, bool) {
+	el, ok := c.entries[key]
+	if !ok {
+		return nil, false
+	}
+	ent := el.Value.(*entry)
+	if c.cfg.TTL > 0 && c.cfg.Now().Sub(ent.stored) >= c.cfg.TTL {
+		c.removeLocked(el)
+		c.event(CacheExpire)
+		return nil, false
+	}
+	c.lru.MoveToFront(el)
+	return ent.res, true
+}
+
+func (c *Cache) removeLocked(el *list.Element) {
+	c.lru.Remove(el)
+	delete(c.entries, el.Value.(*entry).key)
+}
+
+// storeLocked inserts (or refreshes) key and evicts past capacity.
+func (c *Cache) storeLocked(key string, res *Result) {
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*entry).res = res
+		el.Value.(*entry).stored = c.cfg.Now()
+		c.lru.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.lru.PushFront(&entry{key: key, res: res, stored: c.cfg.Now()})
+	for c.lru.Len() > c.cfg.Capacity {
+		c.removeLocked(c.lru.Back())
+		c.event(CacheEvict)
+	}
+}
+
+// Get returns the stored result for key, if fresh.
+func (c *Cache) Get(key string) (*Result, bool) {
+	c.mu.lock()
+	defer c.mu.unlock()
+	return c.lookupLocked(key)
+}
+
+// Put stores res under key unconditionally.
+func (c *Cache) Put(key string, res *Result) {
+	c.mu.lock()
+	defer c.mu.unlock()
+	c.storeLocked(key, res)
+}
+
+// Do returns the result for key, executing miss at most once across
+// all concurrent callers: the first miss becomes the flight leader and
+// runs miss(); callers arriving while it is in flight join the flight
+// instead of executing. The returned token is one of CacheHit,
+// CacheMiss, or CacheCoalesced.
+//
+// ctx bounds only the caller's wait: a follower whose context expires
+// unblocks with ctx.Err() while the leader's execution (governed by
+// its own context) continues for the callers still waiting.
+func (c *Cache) Do(ctx context.Context, key string, miss func() (*Result, error)) (*Result, string, error) {
+	c.mu.lock()
+	if res, ok := c.lookupLocked(key); ok {
+		c.event(CacheHit)
+		c.mu.unlock()
+		return res, CacheHit, nil
+	}
+	if f, ok := c.flights[key]; ok {
+		c.event(CacheCoalesced)
+		c.mu.unlock()
+		select {
+		case <-f.done:
+			return f.res, CacheCoalesced, f.err
+		case <-ctx.Done():
+			return nil, CacheCoalesced, ctx.Err()
+		}
+	}
+	f := &flight{done: make(chan struct{})}
+	c.flights[key] = f
+	c.event(CacheMiss)
+	c.mu.unlock()
+
+	f.res, f.err = miss()
+
+	c.mu.lock()
+	delete(c.flights, key)
+	if f.err == nil && f.res != nil {
+		c.storeLocked(key, f.res)
+	}
+	c.mu.unlock()
+	close(f.done)
+	return f.res, CacheMiss, f.err
+}

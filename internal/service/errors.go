@@ -1,0 +1,62 @@
+package service
+
+import (
+	"fmt"
+
+	"repro/internal/resilience"
+)
+
+// BadRequest is a request the service refuses to schedule: unknown
+// experiment/scenario/defense/model, contradictory fields, malformed
+// knobs. It maps to HTTP 400.
+type BadRequest struct {
+	Reason string
+}
+
+func (e *BadRequest) Error() string { return "service: bad request: " + e.Reason }
+
+func badRequestf(format string, args ...any) *BadRequest {
+	return &BadRequest{Reason: fmt.Sprintf(format, args...)}
+}
+
+// Rejection is a structured load-shedding decision: the service chose
+// not to queue the request rather than let the queue grow without
+// bound. It maps to HTTP 429 (queue full) or 503 (draining) and
+// carries enough state for the client to back off intelligently.
+type Rejection struct {
+	// Code is the HTTP-style status the rejection maps to: 429 for
+	// queue-full shedding, 503 for drain.
+	Code int `json:"code"`
+	// Reason is a stable machine-readable token: "queue-full" or
+	// "draining".
+	Reason string `json:"reason"`
+	// Lane is the priority lane the request was bound for.
+	Lane string `json:"lane"`
+	// QueueLen/QueueCap describe the lane at rejection time.
+	QueueLen int `json:"queue_len"`
+	QueueCap int `json:"queue_cap"`
+	// RetryAfterMS is the server's backoff hint.
+	RetryAfterMS int64 `json:"retry_after_ms"`
+}
+
+func (r *Rejection) Error() string {
+	return fmt.Sprintf("service: %s (lane %s, queue %d/%d, retry after %dms)",
+		r.Reason, r.Lane, r.QueueLen, r.QueueCap, r.RetryAfterMS)
+}
+
+// ExecError is a request whose supervised execution died: the scenario
+// panicked (a simulated SIGSEGV escaping the harness) or returned an
+// infrastructure error. The request degrades to a structured 500; the
+// process and every other in-flight request carry on.
+type ExecError struct {
+	ID string
+	// Status is the supervisor's verdict (failed or timeout).
+	Status resilience.Status
+	// Crashes are the structured records of every attempt.
+	Crashes []resilience.CrashRecord
+	Message string
+}
+
+func (e *ExecError) Error() string {
+	return fmt.Sprintf("service: execution of %s %s: %s", e.ID, e.Status, e.Message)
+}

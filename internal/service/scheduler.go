@@ -1,0 +1,250 @@
+package service
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/resilience"
+)
+
+// SchedulerConfig tunes the worker pool.
+type SchedulerConfig struct {
+	// Workers is the pool size (default 4).
+	Workers int
+	// QueueDepth bounds each priority lane's admission queue
+	// (default 64). A full lane sheds instead of queueing.
+	QueueDepth int
+	// RetryAfter is the backoff hint attached to shed responses
+	// (default 250ms).
+	RetryAfter time.Duration
+	// Metrics, when non-nil, receives queue-depth and in-flight gauges
+	// plus per-outcome request counters.
+	Metrics *obs.Registry
+}
+
+func (c SchedulerConfig) withDefaults() SchedulerConfig {
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = 250 * time.Millisecond
+	}
+	return c
+}
+
+// task is one admitted unit of work.
+type task struct {
+	ctx  context.Context
+	id   string
+	pri  Priority
+	fn   func(ctx context.Context) (any, error)
+	done chan taskResult
+}
+
+type taskResult struct {
+	val any
+	err error
+}
+
+// Scheduler is a bounded worker pool with strict-ish priority lanes
+// and load shedding. Admission is non-blocking: when a lane's queue is
+// full the request is rejected with a structured Rejection rather than
+// queued unboundedly. Each execution runs under resilience supervision
+// so a panicking scenario degrades that one request, not the process.
+type Scheduler struct {
+	cfg   SchedulerConfig
+	lanes [3]chan *task // indexed by Priority
+
+	mu       sync.Mutex
+	draining bool
+	inflight atomic.Int64
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// NewScheduler builds and starts the pool.
+func NewScheduler(cfg SchedulerConfig) *Scheduler {
+	cfg = cfg.withDefaults()
+	s := &Scheduler{cfg: cfg, stop: make(chan struct{})}
+	for i := range s.lanes {
+		s.lanes[i] = make(chan *task, cfg.QueueDepth)
+	}
+	s.wg.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// Drain stops admitting new work. In-flight and already-queued work
+// still completes; call Wait to join it.
+func (s *Scheduler) Drain() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return
+	}
+	s.draining = true
+	close(s.stop)
+}
+
+// Draining reports whether Drain was called.
+func (s *Scheduler) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// Wait blocks until every worker has exited. Only meaningful after
+// Drain.
+func (s *Scheduler) Wait() { s.wg.Wait() }
+
+// QueueLen returns a lane's current depth.
+func (s *Scheduler) QueueLen(p Priority) int { return len(s.lanes[p]) }
+
+// Do admits fn into lane pri and waits for its completion. The
+// contract the serving layer depends on:
+//
+//   - A full lane returns a *Rejection immediately (load shedding).
+//   - After Drain, every Do returns a *Rejection with Code 503.
+//   - A request whose ctx ends while still queued is never executed;
+//     Do returns ctx.Err().
+//   - fn runs under resilience supervision with the context's
+//     remaining time as its deadline: panics become structured
+//     *ExecError values, not process crashes.
+func (s *Scheduler) Do(ctx context.Context, pri Priority, id string, fn func(ctx context.Context) (any, error)) (any, error) {
+	if s.Draining() {
+		return nil, s.reject(pri, 503, "draining")
+	}
+	t := &task{ctx: ctx, id: id, pri: pri, fn: fn, done: make(chan taskResult, 1)}
+	select {
+	case s.lanes[pri] <- t:
+		s.gauges()
+	default:
+		s.count(pri, "shed")
+		return nil, s.reject(pri, 429, "queue-full")
+	}
+	select {
+	case r := <-t.done:
+		return r.val, r.err
+	case <-ctx.Done():
+		// The worker may still pick the task up; it re-checks ctx before
+		// executing, so a cancelled queued request never runs.
+		s.count(pri, "canceled")
+		return nil, ctx.Err()
+	}
+}
+
+func (s *Scheduler) reject(pri Priority, code int, reason string) *Rejection {
+	return &Rejection{
+		Code:         code,
+		Reason:       reason,
+		Lane:         pri.String(),
+		QueueLen:     len(s.lanes[pri]),
+		QueueCap:     s.cfg.QueueDepth,
+		RetryAfterMS: s.cfg.RetryAfter.Milliseconds(),
+	}
+}
+
+func (s *Scheduler) count(pri Priority, outcome string) {
+	s.cfg.Metrics.Inc(obs.MetricServeRequests, obs.L("lane", pri.String()), obs.L("outcome", outcome))
+	if outcome == "shed" {
+		s.cfg.Metrics.Inc(obs.MetricServeShed, obs.L("lane", pri.String()))
+	}
+}
+
+func (s *Scheduler) gauges() {
+	if s.cfg.Metrics == nil {
+		return
+	}
+	for p := PriorityHigh; p <= PriorityLow; p++ {
+		s.cfg.Metrics.Set(obs.MetricServeQueueDepth, float64(len(s.lanes[p])), obs.L("lane", p.String()))
+	}
+}
+
+// worker drains the lanes highest-priority-first until Drain and all
+// queues are empty.
+func (s *Scheduler) worker() {
+	defer s.wg.Done()
+	hi, no, lo := s.lanes[PriorityHigh], s.lanes[PriorityNormal], s.lanes[PriorityLow]
+	for {
+		// Strict preference without busy-waiting: probe lanes in priority
+		// order, then block across all of them (plus stop).
+		var t *task
+		select {
+		case t = <-hi:
+		default:
+			select {
+			case t = <-hi:
+			case t = <-no:
+			default:
+				select {
+				case t = <-hi:
+				case t = <-no:
+				case t = <-lo:
+				case <-s.stop:
+					// Draining: finish whatever is still queued, then exit.
+					select {
+					case t = <-hi:
+					case t = <-no:
+					case t = <-lo:
+					default:
+						return
+					}
+				}
+			}
+		}
+		s.execute(t)
+		s.gauges()
+	}
+}
+
+// execute runs one task under supervision, honouring its context.
+func (s *Scheduler) execute(t *task) {
+	if err := t.ctx.Err(); err != nil {
+		// Cancelled or expired while queued: never execute. Do's ctx arm
+		// already reported the outcome to the caller.
+		t.done <- taskResult{err: err}
+		return
+	}
+	s.cfg.Metrics.Set(obs.MetricServeInflight, float64(s.inflight.Add(1)))
+	defer func() { s.cfg.Metrics.Set(obs.MetricServeInflight, float64(s.inflight.Add(-1))) }()
+	start := time.Now()
+
+	pol := resilience.Policy{MaxAttempts: 1}
+	if dl, ok := t.ctx.Deadline(); ok {
+		remaining := time.Until(dl)
+		if remaining <= 0 {
+			t.done <- taskResult{err: context.DeadlineExceeded}
+			return
+		}
+		pol.Timeout = remaining
+	}
+	res := resilience.Supervise(resilience.Job{
+		ID:  t.id,
+		Run: func(ctx context.Context, attempt int) (any, error) { return t.fn(ctx) },
+	}, pol)
+
+	s.cfg.Metrics.Observe(obs.MetricServeLatency, float64(time.Since(start).Milliseconds()),
+		obs.L("lane", t.pri.String()))
+
+	if res.Status == resilience.StatusOK {
+		s.count(t.pri, "ok")
+		t.done <- taskResult{val: res.Value}
+		return
+	}
+	s.count(t.pri, string(res.Status))
+	t.done <- taskResult{err: &ExecError{
+		ID:      t.id,
+		Status:  res.Status,
+		Crashes: res.Crashes,
+		Message: res.Err,
+	}}
+}

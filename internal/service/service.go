@@ -1,0 +1,233 @@
+// Package service is the serving layer: it turns the repository's
+// experiment/attack corpus into a servable workload. A bounded
+// worker-pool Scheduler with priority lanes and load shedding admits
+// requests; a content-addressed Cache (LRU + TTL + singleflight)
+// exploits the corpus's determinism — the same experiment under the
+// same data model, chaos seed/config, and code version always produces
+// the same bytes, so the safe path is the fast path; and supervised
+// execution (internal/resilience) turns a panicking scenario into one
+// degraded request instead of a dead process. cmd/pnserve exposes the
+// service over HTTP; cmd/pnload drives it closed-loop and records the
+// serving-throughput trajectory in BENCH_SERVE.json.
+package service
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/attack"
+	"repro/internal/chaos"
+	"repro/internal/machine"
+	"repro/internal/obs"
+)
+
+// Config assembles a Service.
+type Config struct {
+	// Workers/QueueDepth/RetryAfter tune the scheduler (see
+	// SchedulerConfig).
+	Workers    int
+	QueueDepth int
+	RetryAfter time.Duration
+	// CacheCapacity/CacheTTL tune the result cache (see CacheConfig).
+	CacheCapacity int
+	CacheTTL      time.Duration
+	// DefaultDeadline bounds requests that do not set their own
+	// (default 15s). The deadline covers queueing and execution.
+	DefaultDeadline time.Duration
+	// MaxDeadline caps client-supplied deadlines (default 60s).
+	MaxDeadline time.Duration
+	// Registry, when non-nil, receives the serving metrics (request,
+	// cache, shed counters; queue and in-flight gauges; latency
+	// histogram).
+	Registry *obs.Registry
+}
+
+func (c Config) withDefaults() Config {
+	if c.DefaultDeadline <= 0 {
+		c.DefaultDeadline = 15 * time.Second
+	}
+	if c.MaxDeadline <= 0 {
+		c.MaxDeadline = 60 * time.Second
+	}
+	return c
+}
+
+// Service schedules, executes, and caches corpus requests.
+type Service struct {
+	cfg   Config
+	sched *Scheduler
+	cache *Cache
+	reg   *obs.Registry
+}
+
+// New builds a Service and starts its worker pool.
+func New(cfg Config) *Service {
+	cfg = cfg.withDefaults()
+	reg := cfg.Registry
+	describeServeMetrics(reg)
+	s := &Service{
+		cfg: cfg,
+		reg: reg,
+		sched: NewScheduler(SchedulerConfig{
+			Workers:    cfg.Workers,
+			QueueDepth: cfg.QueueDepth,
+			RetryAfter: cfg.RetryAfter,
+			Metrics:    reg,
+		}),
+	}
+	s.cache = NewCache(CacheConfig{
+		Capacity: cfg.CacheCapacity,
+		TTL:      cfg.CacheTTL,
+		OnEvent: func(event string) {
+			reg.Inc(obs.MetricServeCache, obs.L("event", event))
+		},
+	})
+	return s
+}
+
+// describeServeMetrics declares the serving metric families on reg.
+func describeServeMetrics(reg *obs.Registry) {
+	reg.Describe(obs.MetricServeRequests, "serving requests finished, by lane and outcome", obs.TypeCounter)
+	reg.Describe(obs.MetricServeCache, "result-cache events, by event", obs.TypeCounter)
+	reg.Describe(obs.MetricServeShed, "requests shed at admission, by lane", obs.TypeCounter)
+	reg.Describe(obs.MetricServeQueueDepth, "admission-queue depth, by lane", obs.TypeGauge)
+	reg.Describe(obs.MetricServeInflight, "requests currently executing", obs.TypeGauge)
+	reg.Describe(obs.MetricServeLatency, "request execution latency in milliseconds, by lane",
+		obs.TypeHistogram, 1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000)
+}
+
+// Scheduler exposes the pool (for drain and tests).
+func (s *Service) Scheduler() *Scheduler { return s.sched }
+
+// Cache exposes the result cache (for tests and tooling).
+func (s *Service) Cache() *Cache { return s.cache }
+
+// Drain stops admitting requests and waits for in-flight work.
+func (s *Service) Drain() {
+	s.sched.Drain()
+	s.sched.Wait()
+}
+
+// Handle validates req, applies its deadline, and serves it — from the
+// cache when possible, otherwise through the scheduler. The returned
+// token is one of the Cache* event values (CacheHit, CacheMiss,
+// CacheCoalesced, CacheBypass).
+func (s *Service) Handle(ctx context.Context, req Request) (*Result, string, error) {
+	n, err := normalize(req)
+	if err != nil {
+		return nil, "", err
+	}
+
+	deadline := s.cfg.DefaultDeadline
+	if req.DeadlineMS > 0 {
+		deadline = time.Duration(req.DeadlineMS) * time.Millisecond
+		if deadline > s.cfg.MaxDeadline {
+			deadline = s.cfg.MaxDeadline
+		}
+	}
+	ctx, cancel := context.WithTimeout(ctx, deadline)
+	defer cancel()
+
+	execute := func() (*Result, error) {
+		v, err := s.sched.Do(ctx, n.priority, n.kind+"/"+n.id, func(ctx context.Context) (any, error) {
+			return s.compute(ctx, n)
+		})
+		if err != nil {
+			return nil, err
+		}
+		res, ok := v.(*Result)
+		if !ok {
+			return nil, fmt.Errorf("service: compute returned %T, want *Result", v)
+		}
+		return res, nil
+	}
+
+	if n.NoCache {
+		res, err := execute()
+		if err != nil {
+			return nil, CacheBypass, err
+		}
+		s.cache.Put(n.key, res)
+		s.reg.Inc(obs.MetricServeCache, obs.L("event", CacheBypass))
+		return res, CacheBypass, nil
+	}
+	return s.cache.Do(ctx, n.key, execute)
+}
+
+// compute executes one validated request on a worker goroutine. It is
+// the single place the serving path calls into the corpus, and it
+// checks ctx immediately so work cancelled between admission and
+// dispatch never runs.
+func (s *Service) compute(ctx context.Context, n *request) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	res := &Result{
+		Key:     n.key,
+		Kind:    n.kind,
+		ID:      n.id,
+		Version: CodeVersion,
+	}
+	switch n.kind {
+	case "experiment":
+		t, err := n.exp.Run()
+		if err != nil {
+			return nil, err
+		}
+		res.Status = "ok"
+		res.Table = t.Data()
+	default:
+		o, injected, err := runScenario(n)
+		if err != nil {
+			return nil, err
+		}
+		res.Defense = n.Defense
+		res.Model = n.Model
+		res.Seed = n.Seed
+		res.ChaosProb = n.ChaosProb
+		res.Faults = n.Faults
+		res.Status = o.Status()
+		res.Details = o.Details
+		res.Metrics = o.Metrics
+		res.InjectedFaults = injected
+		res.Table = outcomeTable(o, n.Model).Data()
+	}
+	res.ComputeNS = time.Since(start).Nanoseconds()
+	return res, nil
+}
+
+// runScenario executes one attack scenario under its defense config
+// and optional chaos overlay. Everything is request-local — injector,
+// process hook, defense config copy — so scenario requests are safe to
+// run concurrently, unlike the process-global instrumentation seams
+// cmd/pntrace uses.
+func runScenario(n *request) (*attack.Outcome, int, error) {
+	cfg := n.defCfg // copy; the catalogue config stays pristine
+	var inj *chaos.Injector
+	if n.ChaosProb > 0 {
+		inj = chaos.New(chaos.Config{
+			Seed:  chaos.DeriveSeed(n.Seed, n.id, n.Defense, n.Model),
+			Prob:  n.ChaosProb,
+			Kinds: n.kinds,
+			// Faults surface as synchronous signals (panics); the
+			// scheduler's supervision catches them — the SIGSEGV -> one
+			// degraded request path.
+			PanicOnFault: true,
+		})
+		prev := cfg.OnProcess
+		cfg.OnProcess = func(p *machine.Process) {
+			if prev != nil {
+				prev(p)
+			}
+			inj.Arm(p.Mem)
+		}
+	}
+	o, err := n.scenario.Run(cfg)
+	injected := 0
+	if inj != nil {
+		injected = inj.Count()
+	}
+	return o, injected, err
+}

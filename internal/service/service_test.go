@@ -1,0 +1,222 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+func newTestService(t *testing.T) *Service {
+	t.Helper()
+	s := New(Config{Workers: 4, QueueDepth: 32, CacheCapacity: 64, Registry: obs.NewRegistry()})
+	t.Cleanup(s.Drain)
+	return s
+}
+
+func TestExperimentRequestServedAndCached(t *testing.T) {
+	s := newTestService(t)
+	req := Request{Experiment: "E1"}
+
+	res, tok, err := s.Handle(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tok != CacheMiss {
+		t.Fatalf("first request token = %q, want miss", tok)
+	}
+	if res.Kind != "experiment" || res.ID != "E1" || res.Status != "ok" {
+		t.Fatalf("result = %+v", res)
+	}
+	if len(res.Table.Rows) == 0 {
+		t.Fatal("experiment result carries an empty table")
+	}
+	if res.Version != CodeVersion {
+		t.Fatalf("result version = %q, want %q", res.Version, CodeVersion)
+	}
+
+	res2, tok2, err := s.Handle(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tok2 != CacheHit {
+		t.Fatalf("second request token = %q, want hit", tok2)
+	}
+	if res2.Key != res.Key {
+		t.Fatalf("cache hit key %s != original %s", res2.Key, res.Key)
+	}
+	if got := s.reg.Value(obs.MetricServeCache, obs.L("event", CacheHit)); got != 1 {
+		t.Fatalf("cache hit counter = %g, want 1", got)
+	}
+	if got := s.reg.Value(obs.MetricServeRequests, obs.L("lane", "normal"), obs.L("outcome", "ok")); got != 1 {
+		t.Fatalf("ok request counter = %g, want 1 (hit must not re-execute)", got)
+	}
+}
+
+func TestScenarioRequestOutcome(t *testing.T) {
+	s := newTestService(t)
+	res, _, err := s.Handle(context.Background(), Request{Scenario: "bss-overflow", Model: "LP64"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Kind != "scenario" || res.ID != "bss-overflow" {
+		t.Fatalf("result = %+v", res)
+	}
+	if res.Status != "SUCCESS" {
+		t.Fatalf("undefended bss overflow status = %q, want SUCCESS", res.Status)
+	}
+	if res.Defense != "none" || res.Model != "LP64" {
+		t.Fatalf("normalized defense/model = %s/%s, want none/LP64", res.Defense, res.Model)
+	}
+	if len(res.Table.Rows) == 0 || len(res.Metrics) == 0 {
+		t.Fatal("scenario result missing table or metrics")
+	}
+
+	// The same attack under the full paper defense suite is stopped.
+	res2, _, err := s.Handle(context.Background(), Request{Scenario: "bss-overflow", Defense: "checked-pnew"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Status == "SUCCESS" {
+		t.Fatalf("checked-pnew status = %q, want a non-SUCCESS verdict", res2.Status)
+	}
+}
+
+func TestScenarioChaosSeedsDoNotShareCacheEntries(t *testing.T) {
+	s := newTestService(t)
+	base := Request{Scenario: "stack-ret", ChaosProb: 0.01}
+
+	r1 := base
+	r1.Seed = 1
+	res1, tok1, err := s.Handle(context.Background(), r1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2 := base
+	r2.Seed = 2
+	res2, tok2, err := s.Handle(context.Background(), r2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tok1 != CacheMiss || tok2 != CacheMiss {
+		t.Fatalf("tokens = %q, %q; differing seeds must both miss", tok1, tok2)
+	}
+	if res1.Key == res2.Key {
+		t.Fatal("differing chaos seeds shared a cache entry")
+	}
+	// Repeating seed 1 is a hit on seed 1's entry only.
+	res1b, tok1b, err := s.Handle(context.Background(), r1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tok1b != CacheHit || res1b.Key != res1.Key {
+		t.Fatalf("repeat of seed 1 = (%q, %s), want hit on %s", tok1b, res1b.Key, res1.Key)
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	s := newTestService(t)
+	cases := []struct {
+		name string
+		req  Request
+	}{
+		{"unknown experiment", Request{Experiment: "E99"}},
+		{"unknown scenario", Request{Scenario: "no-such-attack"}},
+		{"unknown defense", Request{Scenario: "bss-overflow", Defense: "asan"}},
+		{"unknown model", Request{Scenario: "bss-overflow", Model: "ILP64"}},
+		{"both kinds", Request{Experiment: "E1", Scenario: "bss-overflow"}},
+		{"neither kind", Request{}},
+		{"chaos on experiment", Request{Experiment: "E1", ChaosProb: 0.01}},
+		{"prob out of range", Request{Scenario: "bss-overflow", ChaosProb: 1.5}},
+		{"bad priority", Request{Experiment: "E1", Priority: "urgent"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, _, err := s.Handle(context.Background(), tc.req)
+			var bad *BadRequest
+			if !errors.As(err, &bad) {
+				t.Fatalf("Handle(%+v) err = %v, want *BadRequest", tc.req, err)
+			}
+		})
+	}
+}
+
+func TestNoCacheBypassRefreshesStore(t *testing.T) {
+	s := newTestService(t)
+	req := Request{Experiment: "E5"}
+	if _, tok, err := s.Handle(context.Background(), req); err != nil || tok != CacheMiss {
+		t.Fatalf("first = (%q, %v), want miss", tok, err)
+	}
+	bypass := req
+	bypass.NoCache = true
+	if _, tok, err := s.Handle(context.Background(), bypass); err != nil || tok != CacheBypass {
+		t.Fatalf("no_cache = (%q, %v), want bypass", tok, err)
+	}
+	// The bypass refreshed the entry; plain requests still hit.
+	if _, tok, err := s.Handle(context.Background(), req); err != nil || tok != CacheHit {
+		t.Fatalf("after bypass = (%q, %v), want hit", tok, err)
+	}
+}
+
+// TestConcurrentMixedWorkload is the race gate for the serving path:
+// experiments and (chaos-injected) scenarios run through the pool from
+// many goroutines at once.
+func TestConcurrentMixedWorkload(t *testing.T) {
+	s := New(Config{Workers: 8, QueueDepth: 128, CacheCapacity: 64, Registry: obs.NewRegistry()})
+	defer s.Drain()
+
+	reqs := []Request{
+		{Experiment: "E1"},
+		{Experiment: "E5"},
+		{Experiment: "E9"},
+		{Scenario: "bss-overflow"},
+		{Scenario: "stack-ret", Defense: "stackguard"},
+		{Scenario: "heap-overflow", Model: "LP64", Priority: "high"},
+		{Scenario: "memleak", ChaosProb: 0.002, Seed: 7, Priority: "low"},
+	}
+	var wg sync.WaitGroup
+	const rounds = 6
+	for round := 0; round < rounds; round++ {
+		for _, req := range reqs {
+			wg.Add(1)
+			go func(req Request) {
+				defer wg.Done()
+				res, _, err := s.Handle(context.Background(), req)
+				if err != nil {
+					// A chaos-injected request may legitimately die from
+					// its own injected fault: that is a degraded request
+					// (structured ExecError), not a serving bug.
+					var exe *ExecError
+					if req.ChaosProb > 0 && errors.As(err, &exe) {
+						return
+					}
+					t.Errorf("Handle(%+v): %v", req, err)
+					return
+				}
+				if res.Status == "" {
+					t.Errorf("Handle(%+v): empty status", req)
+				}
+			}(req)
+		}
+	}
+	wg.Wait()
+
+	// The repeated workload must have been largely served from cache:
+	// at most one execution per distinct request, everything else
+	// hit/coalesced.
+	reg := s.reg
+	hits := reg.Value(obs.MetricServeCache, obs.L("event", CacheHit)) +
+		reg.Value(obs.MetricServeCache, obs.L("event", CacheCoalesced))
+	misses := reg.Value(obs.MetricServeCache, obs.L("event", CacheMiss))
+	// Every distinct request executes at most once per round it failed
+	// in; the chaos request may fail (and so miss) every round, the six
+	// deterministic ones at most once each.
+	if max := float64(len(reqs) - 1 + rounds); misses > max {
+		t.Fatalf("misses = %g, want <= %g (singleflight + cache)", misses, max)
+	}
+	if want := float64((len(reqs) - 1) * (rounds - 1)); hits < want {
+		t.Fatalf("hits+coalesced = %g, want >= %g", hits, want)
+	}
+}
