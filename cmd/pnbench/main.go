@@ -5,6 +5,7 @@
 //
 //	pnbench [-exp E1|E2|...|all] [-markdown]
 //	pnbench -exp E8 -json out/        # also write out/BENCH_E8.json
+//	pnbench -mem out/ -min-cow-speedup 1.0   # checkpoint micro-bench -> out/BENCH_MEM.json
 //	pnbench -list
 //
 // With -json DIR each selected experiment additionally runs under full
@@ -54,6 +55,9 @@ func run(args []string, out io.Writer) error {
 	markdown := fs.Bool("markdown", false, "emit GitHub-flavoured Markdown tables")
 	csv := fs.Bool("csv", false, "emit CSV (one table per experiment, title omitted)")
 	jsonDir := fs.String("json", "", "directory to write BENCH_<ID>.json artifacts into (created if missing)")
+	memDir := fs.String("mem", "", "run the checkpoint/restore micro-benchmark and write BENCH_MEM.json into this directory")
+	minCowSpeedup := fs.Float64("min-cow-speedup", 0,
+		"with -mem: fail unless the COW path beats the deep copy by at least this factor on the sparse workload")
 	list := fs.Bool("list", false, "list experiments")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -62,6 +66,9 @@ func run(args []string, out io.Writer) error {
 	if *list {
 		fmt.Fprint(out, experiments.ListTable().String())
 		return nil
+	}
+	if *memDir != "" {
+		return runMemBench(*memDir, *minCowSpeedup, out)
 	}
 
 	var selected []experiments.Experiment

@@ -1,0 +1,196 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/mem"
+	"repro/internal/report"
+)
+
+// The -mem mode measures the checkpoint/restore cycle that dominates
+// the chaos campaign and the serving layer's template pool: snapshot
+// the canonical process image, dirty it, roll back. Each workload runs
+// under both strategies — the deep copy (Checkpoint/Restore, O(address
+// space)) and the copy-on-write dirty-page path (CowCheckpoint/
+// RestoreDirty, O(dirty bytes)) — and the artifact records ns/cycle
+// and the speedup. The -min-cow-speedup gate makes CI fail if the COW
+// path ever regresses below the deep copy on the sparse workload.
+
+// MemSchema identifies the BENCH_MEM.json layout.
+const MemSchema = "pnbench-mem/v1"
+
+// benchMem is the BENCH_MEM.json artifact.
+type benchMem struct {
+	Schema    string        `json:"schema"`
+	PageSize  uint64        `json:"page_size"`
+	Workloads []memWorkload `json:"workloads"`
+}
+
+// memWorkload is one workload's deep-vs-COW comparison.
+type memWorkload struct {
+	Name       string  `json:"name"`
+	ImageBytes uint64  `json:"image_bytes"` // mapped address-space size
+	DirtyPages int     `json:"dirty_pages"` // pages written per cycle
+	TotalPages int     `json:"total_pages"`
+	DeepNS     int64   `json:"deep_ns_per_cycle"`
+	CowNS      int64   `json:"cow_ns_per_cycle"`
+	Speedup    float64 `json:"speedup"` // deep / cow
+}
+
+// memWorkloads defines the two shapes: sparse is one simulated run's
+// scattered write set (the chaos-campaign case the COW path targets),
+// dense rewrites data+heap+stack wholesale (COW's worst case).
+func memWorkloads() []struct {
+	name  string
+	dirty func(img *mem.Image) error
+} {
+	sparse := func(img *mem.Image) error {
+		for _, w := range []struct {
+			addr mem.Addr
+			val  byte
+		}{
+			{img.Data.Base.Add(8), 0x11},
+			{img.Data.Base.Add(3 * mem.PageSize), 0x22},
+			{img.BSS.Base.Add(64), 0x33},
+			{img.Heap.Base.Add(128), 0x44},
+			{img.Stack.End().Add(-16), 0x55},
+		} {
+			if err := img.Mem.Poke(w.addr, []byte{w.val, w.val ^ 0xFF}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	dense := func(img *mem.Image) error {
+		for _, s := range []*mem.Segment{img.Data, img.Heap, img.Stack} {
+			if err := img.Mem.Memset(s.Base, 0xA5, s.Size()); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return []struct {
+		name  string
+		dirty func(img *mem.Image) error
+	}{{"sparse", sparse}, {"dense", dense}}
+}
+
+// measureCycle times checkpoint → dirty → restore, adaptively choosing
+// an iteration count so the measurement spans at least minSpan.
+func measureCycle(img *mem.Image, dirty func(*mem.Image) error, cow bool) (int64, error) {
+	cycle := func() error {
+		var cp *mem.Checkpoint
+		if cow {
+			cp = img.Mem.CowCheckpoint()
+		} else {
+			cp = img.Mem.Checkpoint()
+		}
+		if err := dirty(img); err != nil {
+			return err
+		}
+		if cow {
+			_, err := img.Mem.RestoreDirty(cp)
+			return err
+		}
+		return img.Mem.Restore(cp)
+	}
+	// Warm up (first cycle pays one-time COW copies of prior state).
+	for i := 0; i < 3; i++ {
+		if err := cycle(); err != nil {
+			return 0, err
+		}
+	}
+	const minSpan = 50 * time.Millisecond
+	iters := 1
+	for {
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			if err := cycle(); err != nil {
+				return 0, err
+			}
+		}
+		elapsed := time.Since(start)
+		if elapsed >= minSpan || iters >= 1<<16 {
+			return elapsed.Nanoseconds() / int64(iters), nil
+		}
+		iters *= 2
+	}
+}
+
+// runMemBench measures every workload, writes dir/BENCH_MEM.json, and
+// enforces the sparse-workload speedup gate when minSpeedup > 0.
+func runMemBench(dir string, minSpeedup float64, out io.Writer) error {
+	img, err := mem.NewProcessImage(mem.ImageConfig{})
+	if err != nil {
+		return err
+	}
+	var imageBytes uint64
+	for _, s := range img.Mem.Segments() {
+		imageBytes += s.Size()
+	}
+
+	rep := benchMem{Schema: MemSchema, PageSize: mem.PageSize}
+	t := report.NewTable("checkpoint+restore cycle, deep copy vs copy-on-write",
+		"workload", "dirty pages", "total pages", "deep ns/cycle", "cow ns/cycle", "speedup")
+	for _, w := range memWorkloads() {
+		// Count the workload's dirty-page footprint once, via the
+		// tracker the COW path consults.
+		d := img.Mem.Dirty()
+		d.Reset()
+		if err := w.dirty(img); err != nil {
+			return fmt.Errorf("mem bench %s: %w", w.name, err)
+		}
+		dirtyPages := d.DirtyPageCount()
+
+		deepNS, err := measureCycle(img, w.dirty, false)
+		if err != nil {
+			return fmt.Errorf("mem bench %s (deep): %w", w.name, err)
+		}
+		cowNS, err := measureCycle(img, w.dirty, true)
+		if err != nil {
+			return fmt.Errorf("mem bench %s (cow): %w", w.name, err)
+		}
+		speedup := float64(deepNS) / float64(cowNS)
+		rep.Workloads = append(rep.Workloads, memWorkload{
+			Name:       w.name,
+			ImageBytes: imageBytes,
+			DirtyPages: dirtyPages,
+			TotalPages: d.PageCount(),
+			DeepNS:     deepNS,
+			CowNS:      cowNS,
+			Speedup:    speedup,
+		})
+		t.AddRow(w.name, fmt.Sprint(dirtyPages), fmt.Sprint(d.PageCount()),
+			fmt.Sprint(deepNS), fmt.Sprint(cowNS), fmt.Sprintf("%.2fx", speedup))
+	}
+
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(filepath.Join(dir, "BENCH_MEM.json"), data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprint(out, t.String())
+
+	if minSpeedup > 0 {
+		for _, w := range rep.Workloads {
+			if w.Name != "sparse" {
+				continue
+			}
+			if w.Speedup < minSpeedup {
+				return fmt.Errorf("mem bench gate: sparse COW speedup %.2fx < required %.2fx", w.Speedup, minSpeedup)
+			}
+		}
+	}
+	return nil
+}

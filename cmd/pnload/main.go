@@ -11,6 +11,13 @@
 //	pnload -url http://127.0.0.1:8099 [-ids E1,E3,E9] [-levels 1,2,4,8]
 //	       [-requests 64] [-out BENCH_SERVE.json] [-warm]
 //	       [-min-hit-rate 0.5] [-priority normal]
+//	       [-no-cache] [-batch 8]
+//
+// -no-cache forces execution on every request — a cache-miss-heavy
+// sweep that measures the execution path (and the server's image
+// template pool) instead of the result cache. -batch N groups requests
+// into POST /runbatch calls of N, exercising the batched admission
+// path; each item's recorded latency is its call's wall time.
 //
 // IDs matching E<number> are sent as experiment requests, anything
 // else as scenario requests. Exit status is non-zero when any request
@@ -83,6 +90,8 @@ type benchServe struct {
 	IDs              []string      `json:"ids"`
 	RequestsPerLevel int           `json:"requests_per_level"`
 	Warmed           bool          `json:"warmed"`
+	NoCache          bool          `json:"no_cache,omitempty"`
+	Batch            int           `json:"batch,omitempty"`
 	Levels           []levelReport `json:"levels"`
 	Totals           struct {
 		Requests     int     `json:"requests"`
@@ -97,7 +106,7 @@ type benchServe struct {
 var expIDPattern = regexp.MustCompile(`^E[0-9]+$`)
 
 // runURL builds the /run request URL for one workload id.
-func runURL(base, id, priority string) string {
+func runURL(base, id, priority string, noCache bool) string {
 	v := url.Values{}
 	if expIDPattern.MatchString(id) {
 		v.Set("experiment", id)
@@ -107,7 +116,34 @@ func runURL(base, id, priority string) string {
 	if priority != "" {
 		v.Set("priority", priority)
 	}
+	if noCache {
+		v.Set("no_cache", "true")
+	}
 	return strings.TrimSuffix(base, "/") + "/run?" + v.Encode()
+}
+
+// batchBody builds the POST /runbatch body for a slice of workload ids.
+func batchBody(ids []string, priority string, noCache bool) []byte {
+	type req struct {
+		Experiment string `json:"experiment,omitempty"`
+		Scenario   string `json:"scenario,omitempty"`
+		Priority   string `json:"priority,omitempty"`
+		NoCache    bool   `json:"no_cache,omitempty"`
+	}
+	var body struct {
+		Requests []req `json:"requests"`
+	}
+	for _, id := range ids {
+		r := req{Priority: priority, NoCache: noCache}
+		if expIDPattern.MatchString(id) {
+			r.Experiment = id
+		} else {
+			r.Scenario = id
+		}
+		body.Requests = append(body.Requests, r)
+	}
+	blob, _ := json.Marshal(body)
+	return blob
 }
 
 // sample is one completed request.
@@ -148,29 +184,95 @@ func issue(client *http.Client, u string) sample {
 	return s
 }
 
+// issueBatch POSTs one /runbatch call for ids and classifies every item.
+// Each item's latency is the whole call's wall time: that is what the
+// client actually waited for each answer in a batched workload.
+func issueBatch(client *http.Client, base string, ids []string, priority string, noCache bool) []sample {
+	start := time.Now()
+	out := make([]sample, len(ids))
+	resp, err := client.Post(strings.TrimSuffix(base, "/")+"/runbatch",
+		"application/json", strings.NewReader(string(batchBody(ids, priority, noCache))))
+	if err != nil {
+		return out
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 8<<20))
+	lat := float64(time.Since(start).Microseconds()) / 1000
+	for i := range out {
+		out[i].latencyMS = lat
+	}
+	if err != nil || resp.StatusCode != http.StatusOK {
+		return out
+	}
+	var br struct {
+		Results []struct {
+			Cache string `json:"cache"`
+			Code  int    `json:"code"`
+		} `json:"results"`
+	}
+	if json.Unmarshal(body, &br) != nil || len(br.Results) != len(ids) {
+		return out
+	}
+	for i, it := range br.Results {
+		switch it.Code {
+		case http.StatusOK:
+			out[i].ok = true
+			out[i].cacheHit = it.Cache == "hit" || it.Cache == "coalesced"
+		case http.StatusTooManyRequests:
+			out[i].shed = true
+		}
+	}
+	return out
+}
+
+// levelOptions carry the per-request workload shape through a sweep.
+type levelOptions struct {
+	priority string
+	noCache  bool // force execution: a cache-miss-heavy sweep
+	batch    int  // >1: group requests into /runbatch calls of this size
+}
+
 // runLevel drives one closed-loop level: c workers, n requests total,
-// round-robin over ids.
-func runLevel(client *http.Client, base string, ids []string, priority string, c, n int) levelReport {
+// round-robin over ids. With opts.batch > 1 each worker claims up to
+// batch consecutive request slots and issues them as one /runbatch
+// call.
+func runLevel(client *http.Client, base string, ids []string, opts levelOptions, c, n int) levelReport {
 	var (
 		next    atomic.Int64
 		mu      sync.Mutex
 		samples = make([]sample, 0, n)
 		wg      sync.WaitGroup
 	)
+	k := opts.batch
+	if k < 1 {
+		k = 1
+	}
 	start := time.Now()
 	wg.Add(c)
 	for w := 0; w < c; w++ {
 		go func() {
 			defer wg.Done()
 			for {
-				i := next.Add(1)
-				if i > int64(n) {
+				lo := next.Add(int64(k)) - int64(k) // first claimed slot, 0-based
+				if lo >= int64(n) {
 					return
 				}
-				id := ids[(int(i)-1)%len(ids)]
-				s := issue(client, runURL(base, id, priority))
+				hi := lo + int64(k)
+				if hi > int64(n) {
+					hi = int64(n)
+				}
+				var got []sample
+				if k == 1 {
+					got = []sample{issue(client, runURL(base, ids[int(lo)%len(ids)], opts.priority, opts.noCache))}
+				} else {
+					claimed := make([]string, 0, hi-lo)
+					for i := lo; i < hi; i++ {
+						claimed = append(claimed, ids[int(i)%len(ids)])
+					}
+					got = issueBatch(client, base, claimed, opts.priority, opts.noCache)
+				}
 				mu.Lock()
-				samples = append(samples, s)
+				samples = append(samples, got...)
 				mu.Unlock()
 			}
 		}()
@@ -280,6 +382,8 @@ func run(args []string, out io.Writer) error {
 	requests := fs.Int("requests", 64, "requests per level")
 	priority := fs.String("priority", "", "priority lane for every request (high, normal, low)")
 	outFile := fs.String("out", "BENCH_SERVE.json", "artifact path ('-' = stdout only)")
+	noCache := fs.Bool("no-cache", false, "set no_cache on every request: a cache-miss-heavy sweep that measures the execution (and template-pool) path")
+	batch := fs.Int("batch", 0, "group requests into POST /runbatch calls of this size (0/1 = individual /run calls)")
 	warm := fs.Bool("warm", true, "issue each id once before the sweep so the repeated-ID workload measures the cache")
 	minHitRate := fs.Float64("min-hit-rate", -1, "fail unless the overall cache hit rate reaches this (negative = no check)")
 	timeout := fs.Duration("timeout", 30*time.Second, "per-request HTTP timeout")
@@ -299,18 +403,20 @@ func run(args []string, out io.Writer) error {
 	}
 
 	client := &http.Client{Timeout: *timeout}
-	rep := benchServe{Schema: Schema, URL: *base, IDs: ids, RequestsPerLevel: *requests, Warmed: *warm}
+	rep := benchServe{Schema: Schema, URL: *base, IDs: ids, RequestsPerLevel: *requests, Warmed: *warm,
+		NoCache: *noCache, Batch: *batch}
 
 	if *warm {
 		for _, id := range ids {
-			if s := issue(client, runURL(*base, id, *priority)); !s.ok {
+			if s := issue(client, runURL(*base, id, *priority, false)); !s.ok {
 				return fmt.Errorf("warmup request for %s failed (server down or id invalid)", id)
 			}
 		}
 	}
 
+	opts := levelOptions{priority: *priority, noCache: *noCache, batch: *batch}
 	for _, c := range levels {
-		lr := runLevel(client, *base, ids, *priority, c, *requests)
+		lr := runLevel(client, *base, ids, opts, c, *requests)
 		rep.Levels = append(rep.Levels, lr)
 		rep.Totals.Requests += lr.Requests
 		rep.Totals.OK += lr.OK

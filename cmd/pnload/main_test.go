@@ -137,11 +137,14 @@ func TestHitRateGateFails(t *testing.T) {
 }
 
 func TestWorkloadIDKinds(t *testing.T) {
-	if got := runURL("http://x", "E12", ""); !strings.Contains(got, "experiment=E12") {
+	if got := runURL("http://x", "E12", "", false); !strings.Contains(got, "experiment=E12") {
 		t.Fatalf("E12 url = %s, want experiment param", got)
 	}
-	if got := runURL("http://x/", "bss-overflow", "low"); !strings.Contains(got, "scenario=bss-overflow") ||
+	if got := runURL("http://x/", "bss-overflow", "low", false); !strings.Contains(got, "scenario=bss-overflow") ||
 		!strings.Contains(got, "priority=low") || strings.Contains(got, "//run") {
 		t.Fatalf("scenario url = %s", got)
+	}
+	if got := runURL("http://x", "E12", "", true); !strings.Contains(got, "no_cache=true") {
+		t.Fatalf("no-cache url = %s, want no_cache param", got)
 	}
 }

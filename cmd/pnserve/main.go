@@ -7,6 +7,10 @@
 // Endpoints:
 //
 //	POST /run          JSON service.Request body
+//	POST /runbatch     {"requests":[...]} — up to 64 service.Request
+//	                   objects admitted in one call, executed
+//	                   concurrently with one shared template-pool
+//	                   lookup; per-item status codes in the response
 //	GET  /run          the same request as query parameters, e.g.
 //	                   /run?experiment=E8
 //	                   /run?scenario=bss-overflow&defense=stackguard&model=LP64
@@ -98,6 +102,7 @@ func newServer(cfg serverConfig) *server {
 func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/run", s.handleRun)
+	mux.HandleFunc("/runbatch", s.handleRunBatch)
 	mux.HandleFunc("/experiments", s.handleCatalog)
 	mux.HandleFunc("/healthz", s.handleHealth)
 	mux.HandleFunc("/metrics", s.handleMetrics)
@@ -144,6 +149,107 @@ func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, runResponse{Result: res, Cache: cacheTok, ServeNS: time.Since(start).Nanoseconds()})
+}
+
+// batchRequest is the POST /runbatch body.
+type batchRequest struct {
+	Requests []service.Request `json:"requests"`
+}
+
+// batchItem is one request's outcome in a /runbatch response, in
+// request order. Successful items carry the result and Code 200; failed
+// items carry the structured error fields and their per-item status
+// code — one bad request never fails its siblings.
+type batchItem struct {
+	*service.Result
+	Cache string `json:"cache,omitempty"`
+	Error string `json:"error,omitempty"`
+	Code  int    `json:"code"`
+	// Reject carries the structured load-shedding state for shed items.
+	Reject *service.Rejection `json:"reject,omitempty"`
+}
+
+// batchResponse is the POST /runbatch success envelope.
+type batchResponse struct {
+	Results []batchItem `json:"results"`
+	OK      int         `json:"ok"`
+	Failed  int         `json:"failed"`
+	// ServeNS is the whole batch's end-to-end time in the server.
+	ServeNS int64 `json:"serve_ns"`
+}
+
+// handleRunBatch admits up to service.MaxBatchSize requests in one
+// call. Items execute concurrently through the normal per-request path
+// (lanes, deadlines, cache, shedding per item) while sharing one
+// template-pool lookup; see docs/serving.md for the schema.
+func (s *server) handleRunBatch(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{
+			Error: "server draining", Code: http.StatusServiceUnavailable,
+			Reject: &service.Rejection{Code: 503, Reason: "draining"},
+		})
+		return
+	}
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusBadRequest, errorResponse{
+			Error: fmt.Sprintf("method %s not allowed on /runbatch (POST a JSON body)", r.Method),
+			Code:  http.StatusBadRequest,
+		})
+		return
+	}
+	var breq batchRequest
+	dec := json.NewDecoder(io.LimitReader(r.Body, 8<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&breq); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "invalid JSON body: " + err.Error(), Code: http.StatusBadRequest})
+		return
+	}
+	if len(breq.Requests) == 0 {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "empty batch", Code: http.StatusBadRequest})
+		return
+	}
+	if len(breq.Requests) > service.MaxBatchSize {
+		writeJSON(w, http.StatusBadRequest, errorResponse{
+			Error: fmt.Sprintf("batch of %d exceeds limit %d", len(breq.Requests), service.MaxBatchSize),
+			Code:  http.StatusBadRequest,
+		})
+		return
+	}
+
+	start := time.Now()
+	outcomes := s.svc.HandleBatch(r.Context(), breq.Requests)
+	resp := batchResponse{Results: make([]batchItem, len(outcomes))}
+	for i, o := range outcomes {
+		if o.Err == nil {
+			resp.Results[i] = batchItem{Result: o.Result, Cache: o.Cache, Code: http.StatusOK}
+			resp.OK++
+			continue
+		}
+		code, rej := errorStatus(o.Err)
+		resp.Results[i] = batchItem{Error: o.Err.Error(), Code: code, Reject: rej}
+		resp.Failed++
+	}
+	resp.ServeNS = time.Since(start).Nanoseconds()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// errorStatus maps a service error to its per-item status code (the
+// same mapping writeError applies to whole responses).
+func errorStatus(err error) (int, *service.Rejection) {
+	var bad *service.BadRequest
+	var rej *service.Rejection
+	switch {
+	case errors.As(err, &bad):
+		return http.StatusBadRequest, nil
+	case errors.As(err, &rej):
+		return rej.Code, rej
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout, nil
+	case errors.Is(err, context.Canceled):
+		return 499, nil
+	default:
+		return http.StatusInternalServerError, nil
+	}
 }
 
 // writeError maps service errors onto structured HTTP responses.

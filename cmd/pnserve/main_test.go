@@ -140,3 +140,87 @@ func TestCatalogHealthMetrics(t *testing.T) {
 		t.Fatalf("draining /run = %v, want structured draining rejection", out)
 	}
 }
+
+func postJSON(t *testing.T, url, body string, wantCode int) map[string]any {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != wantCode {
+		raw, _ := io.ReadAll(resp.Body)
+		t.Fatalf("POST %s = %d, want %d (body: %s)", url, resp.StatusCode, wantCode, raw)
+	}
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("POST %s: invalid JSON: %v", url, err)
+	}
+	return out
+}
+
+func TestRunBatchMixedOutcomes(t *testing.T) {
+	_, ts := newTestServer(t)
+	out := postJSON(t, ts.URL+"/runbatch", `{"requests":[
+		{"experiment":"E1"},
+		{"scenario":"bss-overflow","defense":"nx"},
+		{"experiment":"does-not-exist"}
+	]}`, http.StatusOK)
+	if out["ok"] != float64(2) || out["failed"] != float64(1) {
+		t.Fatalf("batch envelope = %v, want ok=2 failed=1", out)
+	}
+	results, ok := out["results"].([]any)
+	if !ok || len(results) != 3 {
+		t.Fatalf("results = %v, want 3 in request order", out["results"])
+	}
+	first := results[0].(map[string]any)
+	if first["id"] != "E1" || first["code"] != float64(200) || first["cache"] == "" {
+		t.Fatalf("item 0 = %v, want E1 ok with cache token", first)
+	}
+	second := results[1].(map[string]any)
+	if second["id"] != "bss-overflow" || second["code"] != float64(200) {
+		t.Fatalf("item 1 = %v, want bss-overflow ok", second)
+	}
+	third := results[2].(map[string]any)
+	if third["code"] != float64(400) || third["error"] == "" {
+		t.Fatalf("item 2 = %v, want per-item 400 with error text", third)
+	}
+	// A failed sibling never fails the call: whole-batch serve_ns present.
+	if _, ok := out["serve_ns"]; !ok {
+		t.Fatalf("batch envelope missing serve_ns: %v", out)
+	}
+}
+
+func TestRunBatchValidation(t *testing.T) {
+	srv, ts := newTestServer(t)
+
+	// Empty batch.
+	out := postJSON(t, ts.URL+"/runbatch", `{"requests":[]}`, http.StatusBadRequest)
+	if !strings.Contains(out["error"].(string), "empty") {
+		t.Fatalf("empty batch error = %v", out)
+	}
+	// Unknown top-level fields are rejected.
+	postJSON(t, ts.URL+"/runbatch", `{"requests":[{"experiment":"E1"}],"oops":1}`, http.StatusBadRequest)
+	// Oversize batch.
+	var sb strings.Builder
+	sb.WriteString(`{"requests":[`)
+	for i := 0; i < 65; i++ {
+		if i > 0 {
+			sb.WriteString(",")
+		}
+		sb.WriteString(`{"experiment":"E1"}`)
+	}
+	sb.WriteString(`]}`)
+	out = postJSON(t, ts.URL+"/runbatch", sb.String(), http.StatusBadRequest)
+	if !strings.Contains(out["error"].(string), "exceeds limit") {
+		t.Fatalf("oversize batch error = %v", out)
+	}
+	// GET is refused.
+	getJSON(t, ts.URL+"/runbatch", http.StatusBadRequest)
+	// Draining answers the structured 503.
+	srv.draining.Store(true)
+	out = postJSON(t, ts.URL+"/runbatch", `{"requests":[{"experiment":"E1"}]}`, http.StatusServiceUnavailable)
+	if rej, ok := out["reject"].(map[string]any); !ok || rej["reason"] != "draining" {
+		t.Fatalf("draining /runbatch = %v, want structured draining rejection", out)
+	}
+}

@@ -1,0 +1,11 @@
+package main
+
+import "testing"
+
+// TestMainSmoke runs the example end to end. The example is a
+// terminating program that log.Fatals on any failure, so simply
+// reaching the end of main is the pass condition; a regression in any
+// layer it exercises kills the test binary.
+func TestMainSmoke(t *testing.T) {
+	main()
+}

@@ -306,15 +306,18 @@ func runChaosCell(cfg ChaosConfig, sup *resilience.Supervisor, r int, s attack.S
 
 	// The scenario builds its own process(es); the OnProcess seam
 	// captures each one, arms the injector on it, and checkpoints the
-	// pristine pre-run image for crash rollback. mu guards the
-	// captured state against the (timeout-only) case where an
-	// abandoned attempt races the next one.
+	// pristine pre-run image for crash rollback. The checkpoint is
+	// copy-on-write: capture costs O(pages) pointer operations, and a
+	// crashed attempt rolls back (and byte-verifies) in O(dirty pages)
+	// instead of re-copying the whole address space per trial. mu
+	// guards the captured state against the (timeout-only) case where
+	// an abandoned attempt races the next one.
 	var mu sync.Mutex
 	var curP *machine.Process
 	var curCP *mem.Checkpoint
 	dcfg := d // copy; the catalogue config stays pristine
 	dcfg.OnProcess = func(p *machine.Process) {
-		cp := p.Checkpoint()
+		cp := p.CowCheckpoint()
 		mu.Lock()
 		curP, curCP = p, cp
 		mu.Unlock()
@@ -334,13 +337,15 @@ func runChaosCell(cfg ChaosConfig, sup *resilience.Supervisor, r int, s attack.S
 				return
 			}
 			// Roll the crashed image back to its pre-run state and
-			// verify the rollback: the whole-image diff against the
-			// checkpoint must come back empty.
+			// verify the rollback. Both legs use the dirty-page API:
+			// restore swaps back only the pages the attempt dirtied,
+			// and the verification diff skips every page still shared
+			// with the checkpoint — it must come back empty.
 			if err := p.RestoreCheckpoint(cp); err != nil {
 				return
 			}
 			rec.Restored = true
-			if diff, err := p.Mem.DiffCheckpoint(cp); err == nil && len(diff) == 0 {
+			if diff, err := p.Mem.DiffDirty(cp); err == nil && len(diff) == 0 {
 				rec.RestoreClean = true
 			}
 		},

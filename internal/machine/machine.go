@@ -44,6 +44,13 @@ type Options struct {
 	ShadowStack bool
 	// Image overrides segment sizes.
 	Image mem.ImageConfig
+	// Pool, when non-nil, sources the process's address space from the
+	// image template pool: the first construction for a given image
+	// configuration registers a pristine template, and later
+	// constructions clone it via copy-on-write page sharing instead of
+	// allocating and zeroing fresh segments. Cloned processes are fully
+	// isolated — their writes copy shared pages before mutating them.
+	Pool *mem.ImagePool
 }
 
 func (o Options) model() layout.Model {
@@ -100,7 +107,13 @@ func New(opts Options) (*Process, error) {
 	model := opts.model()
 	cfg := opts.Image
 	cfg.ExecStack = opts.ExecStack
-	img, err := mem.NewProcessImage(cfg)
+	var img *mem.Image
+	var err error
+	if opts.Pool != nil {
+		img, _, err = opts.Pool.Acquire(cfg)
+	} else {
+		img, err = mem.NewProcessImage(cfg)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("machine: %w", err)
 	}
@@ -152,17 +165,26 @@ func New(opts Options) (*Process, error) {
 func (p *Process) Options() Options { return p.opts }
 
 // Checkpoint captures the process's full address-space image — segment
-// bytes and permissions — for later rollback. The supervisor layer
-// checkpoints a process right after construction so a chaos-faulted run
-// can be rolled back to its pristine pre-run state.
+// bytes and permissions — by deep copy. Prefer CowCheckpoint on hot
+// paths; this remains for callers that want capture cost paid eagerly.
 func (p *Process) Checkpoint() *mem.Checkpoint { return p.Mem.Checkpoint() }
 
+// CowCheckpoint captures the process's full address-space image by
+// copy-on-write page sharing: O(pages) pointer operations at capture,
+// with copies deferred to the pages the run actually dirties. The
+// supervisor layer checkpoints a process right after construction so a
+// chaos-faulted run can be rolled back to its pristine pre-run state in
+// O(dirty pages).
+func (p *Process) CowCheckpoint() *mem.Checkpoint { return p.Mem.CowCheckpoint() }
+
 // RestoreCheckpoint rolls the address space back to cp and records an
-// EvRestore event. Only memory is rolled back: the event log, program
-// output, and pending input survive, the same way a core-dump-and-
-// restart preserves the testbed's logs while resetting the process.
+// EvRestore event. Only the pages that differ from the checkpoint are
+// touched (O(dirty), not O(address space)). Only memory is rolled back:
+// the event log, program output, and pending input survive, the same
+// way a core-dump-and-restart preserves the testbed's logs while
+// resetting the process.
 func (p *Process) RestoreCheckpoint(cp *mem.Checkpoint) error {
-	if err := p.Mem.Restore(cp); err != nil {
+	if _, err := p.Mem.RestoreDirty(cp); err != nil {
 		return fmt.Errorf("machine: %w", err)
 	}
 	p.record(EvRestore, 0, "address space restored from checkpoint (%d segments, %d bytes)",

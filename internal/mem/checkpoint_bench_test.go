@@ -1,0 +1,119 @@
+package mem
+
+import "testing"
+
+// The checkpoint benchmarks compare the two rollback strategies on the
+// canonical process image under the two workload shapes that matter:
+//
+//   - sparse: a handful of scattered single-word writes — the footprint
+//     of one chaos cell or one scenario run. This is the case the COW
+//     path is built for: restore cost proportional to dirty pages, not
+//     address-space size.
+//   - dense: every data/heap/stack byte rewritten — the worst case for
+//     COW (every touched page was copied anyway), where it should still
+//     be no slower than the deep copy by more than a small constant.
+//
+// benchstat over `go test -bench 'Checkpoint(Deep|COW)' ./internal/mem`
+// gives the comparison; cmd/pnbench -mem emits the same cycle into
+// BENCH_MEM.json for the CI trajectory.
+
+// benchImage builds the default canonical process image.
+func benchImage(b *testing.B) *Image {
+	b.Helper()
+	img, err := NewProcessImage(ImageConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return img
+}
+
+// sparseWrites dirties a few pages across three segments, the shape of
+// one simulated run's write set.
+func sparseWrites(b *testing.B, img *Image) {
+	b.Helper()
+	for _, w := range []struct {
+		addr Addr
+		val  byte
+	}{
+		{img.Data.Base.Add(8), 0x11},
+		{img.Data.Base.Add(int64(PageSize * 3)), 0x22},
+		{img.BSS.Base.Add(64), 0x33},
+		{img.Heap.Base.Add(128), 0x44},
+		{img.Stack.End().Add(-16), 0x55},
+	} {
+		if err := img.Mem.Poke(w.addr, []byte{w.val, w.val ^ 0xFF}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// denseWrites rewrites data, heap, and stack wholesale.
+func denseWrites(b *testing.B, img *Image) {
+	b.Helper()
+	for _, s := range []*Segment{img.Data, img.Heap, img.Stack} {
+		if err := img.Mem.Memset(s.Base, 0xA5, s.Size()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchCycle(b *testing.B, dirty func(*testing.B, *Image), cow bool) {
+	img := benchImage(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var cp *Checkpoint
+		if cow {
+			cp = img.Mem.CowCheckpoint()
+		} else {
+			cp = img.Mem.Checkpoint()
+		}
+		dirty(b, img)
+		if cow {
+			if _, err := img.Mem.RestoreDirty(cp); err != nil {
+				b.Fatal(err)
+			}
+		} else {
+			if err := img.Mem.Restore(cp); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkCheckpointDeep(b *testing.B) {
+	b.Run("sparse", func(b *testing.B) { benchCycle(b, sparseWrites, false) })
+	b.Run("dense", func(b *testing.B) { benchCycle(b, denseWrites, false) })
+}
+
+func BenchmarkCheckpointCOW(b *testing.B) {
+	b.Run("sparse", func(b *testing.B) { benchCycle(b, sparseWrites, true) })
+	b.Run("dense", func(b *testing.B) { benchCycle(b, denseWrites, true) })
+}
+
+// BenchmarkImageConstruct pins what the template pool saves: a cold
+// NewProcessImage allocates and zeroes every segment, a pool clone is
+// O(pages) pointer bumps.
+func BenchmarkImageConstruct(b *testing.B) {
+	b.Run("cold", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := NewProcessImage(ImageConfig{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("pool-clone", func(b *testing.B) {
+		p := NewImagePool()
+		if err := p.Prewarm(ImageConfig{}); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := p.Acquire(ImageConfig{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -19,7 +19,7 @@ func (m *Memory) Snapshot(start Addr, n uint64) (*Snapshot, error) {
 		return nil, f
 	}
 	data := make([]byte, n)
-	copy(data, s.data[start.Diff(s.Base):])
+	s.readRaw(uint64(start.Diff(s.Base)), data)
 	return &Snapshot{Start: start, Data: data}, nil
 }
 

@@ -95,19 +95,28 @@ func (k SegKind) String() string {
 	return fmt.Sprintf("SegKind(%d)", int(k))
 }
 
-// Segment is one mapped region of the address space.
+// Segment is one mapped region of the address space. Its backing store
+// is an array of reference-counted fixed-size pages (see paging.go):
+// pages may be shared with checkpoints or with other segments cloned
+// from the same image template, and every write path copy-on-writes a
+// shared page before mutating it. A per-segment dirty bitmap records
+// which pages have been written since the last DirtyTracker reset.
 type Segment struct {
 	Kind SegKind
 	Base Addr
 	Perm Perm
-	data []byte
+
+	size   uint64
+	pages  []*page
+	dirty  []uint64 // dirty-page bitmap, one bit per page
+	ndirty int      // population count of dirty
 }
 
 // Size returns the segment length in bytes.
-func (s *Segment) Size() uint64 { return uint64(len(s.data)) }
+func (s *Segment) Size() uint64 { return s.size }
 
 // End returns the first address past the segment.
-func (s *Segment) End() Addr { return s.Base.Add(int64(len(s.data))) }
+func (s *Segment) End() Addr { return s.Base.Add(int64(s.size)) }
 
 // Contains reports whether addr lies inside the segment.
 func (s *Segment) Contains(addr Addr) bool {
@@ -168,7 +177,12 @@ func (m *Memory) Map(kind SegKind, base Addr, n uint64, perm Perm) (*Segment, er
 				kind, uint64(base), uint64(end), s.Kind, uint64(s.Base), uint64(s.End()))
 		}
 	}
-	seg := &Segment{Kind: kind, Base: base, Perm: perm, data: make([]byte, n)}
+	seg := &Segment{
+		Kind: kind, Base: base, Perm: perm,
+		size:  n,
+		pages: newPages(n),
+		dirty: make([]uint64, (pagesFor(n)+63)/64),
+	}
 	m.segs = append(m.segs, seg)
 	sort.Slice(m.segs, func(i, j int) bool { return m.segs[i].Base < m.segs[j].Base })
 	return seg, nil
@@ -250,7 +264,7 @@ func (m *Memory) Read(addr Addr, n uint64) ([]byte, error) {
 		m.obs(AccessRead, addr, n)
 	}
 	out := make([]byte, n)
-	copy(out, s.data[addr.Diff(s.Base):])
+	s.readRaw(uint64(addr.Diff(s.Base)), out)
 	if m.hook != nil {
 		switch d := m.hook(AccessRead, addr, out); {
 		case d.Fault != nil:
@@ -293,13 +307,13 @@ func (m *Memory) Write(addr Addr, b []byte) error {
 			}
 		}
 	}
-	off := addr.Diff(s.Base)
+	off := uint64(addr.Diff(s.Base))
 	var old []byte
 	if m.writeLog != nil || len(m.watch) > 0 {
 		old = make([]byte, n)
-		copy(old, s.data[off:off+int64(n)])
+		s.readRaw(off, old)
 	}
-	copy(s.data[off:], b)
+	s.writeRaw(off, b)
 	if m.writeLog != nil {
 		nb := make([]byte, n)
 		copy(nb, b)
@@ -317,7 +331,7 @@ func (m *Memory) Poke(addr Addr, b []byte) error {
 	if f != nil {
 		return f
 	}
-	copy(s.data[addr.Diff(s.Base):], b)
+	s.writeRaw(uint64(addr.Diff(s.Base)), b)
 	return nil
 }
 

@@ -38,6 +38,7 @@ const (
 	MetricServeQueueDepth = "pn_serve_queue_depth"
 	MetricServeInflight   = "pn_serve_inflight"
 	MetricServeLatency    = "pn_serve_latency_ms"
+	MetricServePool       = "pn_serve_pool_events_total"
 )
 
 // Label is one metric dimension.

@@ -19,6 +19,7 @@ import (
 	"repro/internal/attack"
 	"repro/internal/chaos"
 	"repro/internal/machine"
+	"repro/internal/mem"
 	"repro/internal/obs"
 )
 
@@ -32,6 +33,12 @@ type Config struct {
 	// CacheCapacity/CacheTTL tune the result cache (see CacheConfig).
 	CacheCapacity int
 	CacheTTL      time.Duration
+	// DisableTemplatePool turns off the image template pool. By default
+	// every scenario request sources its process address space from a
+	// pool of prewarmed copy-on-write templates (see mem.ImagePool), so
+	// a cache miss clones a pristine image in O(pages) pointer
+	// operations instead of allocating and zeroing fresh segments.
+	DisableTemplatePool bool
 	// DefaultDeadline bounds requests that do not set their own
 	// (default 15s). The deadline covers queueing and execution.
 	DefaultDeadline time.Duration
@@ -59,6 +66,7 @@ type Service struct {
 	sched *Scheduler
 	cache *Cache
 	reg   *obs.Registry
+	pool  *mem.ImagePool
 }
 
 // New builds a Service and starts its worker pool.
@@ -83,14 +91,30 @@ func New(cfg Config) *Service {
 			reg.Inc(obs.MetricServeCache, obs.L("event", event))
 		},
 	})
+	if !cfg.DisableTemplatePool {
+		s.pool = mem.NewImagePool()
+		s.pool.OnEvent = func(event string) {
+			reg.Inc(obs.MetricServePool, obs.L("event", event))
+		}
+		// Prewarm the canonical image configurations the defense
+		// catalogue produces (only ExecStack varies; segment sizes stay
+		// at their defaults), so even the very first cache miss clones
+		// instead of constructing.
+		s.pool.Prewarm(mem.ImageConfig{}, mem.ImageConfig{ExecStack: true})
+	}
 	return s
 }
+
+// Pool exposes the image template pool (nil when disabled). Used by
+// tests to assert template isolation and by tooling to read stats.
+func (s *Service) Pool() *mem.ImagePool { return s.pool }
 
 // describeServeMetrics declares the serving metric families on reg.
 func describeServeMetrics(reg *obs.Registry) {
 	reg.Describe(obs.MetricServeRequests, "serving requests finished, by lane and outcome", obs.TypeCounter)
 	reg.Describe(obs.MetricServeCache, "result-cache events, by event", obs.TypeCounter)
 	reg.Describe(obs.MetricServeShed, "requests shed at admission, by lane", obs.TypeCounter)
+	reg.Describe(obs.MetricServePool, "image template pool events, by event", obs.TypeCounter)
 	reg.Describe(obs.MetricServeQueueDepth, "admission-queue depth, by lane", obs.TypeGauge)
 	reg.Describe(obs.MetricServeInflight, "requests currently executing", obs.TypeGauge)
 	reg.Describe(obs.MetricServeLatency, "request execution latency in milliseconds, by lane",
@@ -179,7 +203,7 @@ func (s *Service) compute(ctx context.Context, n *request) (*Result, error) {
 		res.Status = "ok"
 		res.Table = t.Data()
 	default:
-		o, injected, err := runScenario(n)
+		o, injected, err := s.runScenario(n)
 		if err != nil {
 			return nil, err
 		}
@@ -202,9 +226,12 @@ func (s *Service) compute(ctx context.Context, n *request) (*Result, error) {
 // and optional chaos overlay. Everything is request-local — injector,
 // process hook, defense config copy — so scenario requests are safe to
 // run concurrently, unlike the process-global instrumentation seams
-// cmd/pntrace uses.
-func runScenario(n *request) (*attack.Outcome, int, error) {
+// cmd/pntrace uses. The image template pool is shared, but only through
+// immutable copy-on-write pages: every process clones its address space
+// from a pristine template and copies any page before writing it.
+func (s *Service) runScenario(n *request) (*attack.Outcome, int, error) {
 	cfg := n.defCfg // copy; the catalogue config stays pristine
+	cfg.Pool = s.pool
 	var inj *chaos.Injector
 	if n.ChaosProb > 0 {
 		inj = chaos.New(chaos.Config{
