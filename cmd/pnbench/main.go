@@ -6,6 +6,7 @@
 //	pnbench [-exp E1|E2|...|all] [-markdown]
 //	pnbench -exp E8 -json out/        # also write out/BENCH_E8.json
 //	pnbench -mem out/ -min-cow-speedup 1.0   # checkpoint micro-bench -> out/BENCH_MEM.json
+//	pnbench -shadow out/ -max-disabled-overhead 1.5   # sanitizer micro-bench -> out/BENCH_SHADOW.json
 //	pnbench -list
 //
 // With -json DIR each selected experiment additionally runs under full
@@ -58,6 +59,11 @@ func run(args []string, out io.Writer) error {
 	memDir := fs.String("mem", "", "run the checkpoint/restore micro-benchmark and write BENCH_MEM.json into this directory")
 	minCowSpeedup := fs.Float64("min-cow-speedup", 0,
 		"with -mem: fail unless the COW path beats the deep copy by at least this factor on the sparse workload")
+	shadowDir := fs.String("shadow", "", "run the shadow-memory sanitizer micro-benchmark and write BENCH_SHADOW.json into this directory")
+	maxDisabledOverhead := fs.Float64("max-disabled-overhead", 0,
+		"with -shadow: fail if the disabled (nil-checker) write path exceeds this multiple of the no-seam baseline")
+	maxArmedOverhead := fs.Float64("max-armed-overhead", 0,
+		"with -shadow: fail if the armed clean write path exceeds this multiple of the no-seam baseline")
 	list := fs.Bool("list", false, "list experiments")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -69,6 +75,9 @@ func run(args []string, out io.Writer) error {
 	}
 	if *memDir != "" {
 		return runMemBench(*memDir, *minCowSpeedup, out)
+	}
+	if *shadowDir != "" {
+		return runShadowBench(*shadowDir, *maxDisabledOverhead, *maxArmedOverhead, out)
 	}
 
 	var selected []experiments.Experiment

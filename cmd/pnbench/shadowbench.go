@@ -1,0 +1,230 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/attack"
+	"repro/internal/defense"
+	"repro/internal/mem"
+	"repro/internal/report"
+	"repro/internal/shadow"
+)
+
+// The -shadow mode measures the cost of the byte-granular shadow-memory
+// sanitizer on the write path, which is where all of its per-access
+// cost lives (reads are unchecked by design):
+//
+//   - baseline:        a memory that never had a checker attached
+//   - disabled:        a checker attached, then detached — the nil-check
+//     path every write pays once the seam exists
+//   - armed-clean:     the sanitizer attached with nothing poisoned
+//   - armed-poisoned:  the sanitizer attached with a realistic poison
+//     population (red zones + quarantine elsewhere); writes stay clean
+//   - scenario sweep:  the full attack catalogue under `none` vs
+//     `shadow`, end to end
+//
+// The -max-disabled-overhead gate enforces the zero-cost-when-disabled
+// contract (see mem.SetShadow); -max-armed-overhead bounds the armed
+// write tax. Both artifacts land in BENCH_SHADOW.json before any gate
+// fires, so CI uploads numbers even on a failing run.
+
+// ShadowSchema identifies the BENCH_SHADOW.json layout.
+const ShadowSchema = "pnbench-shadow/v1"
+
+// benchShadow is the BENCH_SHADOW.json artifact.
+type benchShadow struct {
+	Schema string `json:"schema"`
+	// Per-write costs, nanoseconds.
+	BaselineNS      float64 `json:"baseline_ns_per_write"`
+	DisabledNS      float64 `json:"disabled_ns_per_write"`
+	ArmedCleanNS    float64 `json:"armed_clean_ns_per_write"`
+	ArmedPoisonedNS float64 `json:"armed_poisoned_ns_per_write"`
+	// Ratios against baseline.
+	DisabledOverhead      float64 `json:"disabled_overhead"`
+	ArmedCleanOverhead    float64 `json:"armed_clean_overhead"`
+	ArmedPoisonedOverhead float64 `json:"armed_poisoned_overhead"`
+	// Full attack-catalogue sweep, nanoseconds per pass.
+	SweepNoneNS     int64   `json:"sweep_none_ns"`
+	SweepShadowNS   int64   `json:"sweep_shadow_ns"`
+	SweepOverhead   float64 `json:"sweep_overhead"`
+	SweepScenarios  int     `json:"sweep_scenarios"`
+	SweepDetections int     `json:"sweep_detections"`
+}
+
+// measureWrites times n-byte writes at rotating in-bounds offsets of
+// the image's data segment, adaptively spanning at least 50ms.
+func measureWrites(m *mem.Memory, base mem.Addr, span uint64) (float64, error) {
+	payload := []byte{1, 2, 3, 4, 5, 6, 7, 8}
+	slots := int64(span-uint64(len(payload))) / 16
+	if slots < 1 {
+		slots = 1
+	}
+	const minSpan = 50 * time.Millisecond
+	iters := 1024
+	for {
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			if err := m.Write(base.Add(int64(i)%slots*16), payload); err != nil {
+				return 0, err
+			}
+		}
+		elapsed := time.Since(start)
+		if elapsed >= minSpan || iters >= 1<<24 {
+			return float64(elapsed.Nanoseconds()) / float64(iters), nil
+		}
+		iters *= 2
+	}
+}
+
+// shadowWriteImage maps a fresh canonical image and returns its memory
+// plus the data-segment write window.
+func shadowWriteImage() (*mem.Memory, mem.Addr, uint64, error) {
+	img, err := mem.NewProcessImage(mem.ImageConfig{})
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	return img.Mem, img.Data.Base, img.Data.Size(), nil
+}
+
+// measureSweep times one full catalogue pass under cfg.
+func measureSweep(cfg defense.Config) (nsPerPass int64, detections int, err error) {
+	pass := func() (int, error) {
+		det := 0
+		for _, s := range attack.Catalog() {
+			o, err := s.Run(cfg)
+			if err != nil {
+				return 0, fmt.Errorf("scenario %s under %s: %w", s.ID, cfg.Name, err)
+			}
+			if o.Detected {
+				det++
+			}
+		}
+		return det, nil
+	}
+	// Warm-up pass also yields the detection count (deterministic).
+	if detections, err = pass(); err != nil {
+		return 0, 0, err
+	}
+	const minSpan = 100 * time.Millisecond
+	iters := 1
+	for {
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			if _, err := pass(); err != nil {
+				return 0, 0, err
+			}
+		}
+		elapsed := time.Since(start)
+		if elapsed >= minSpan || iters >= 1<<10 {
+			return elapsed.Nanoseconds() / int64(iters), detections, nil
+		}
+		iters *= 2
+	}
+}
+
+// runShadowBench measures all configurations, writes dir/BENCH_SHADOW.json,
+// then enforces the overhead gates (0 disables a gate).
+func runShadowBench(dir string, maxDisabled, maxArmed float64, out io.Writer) error {
+	rep := benchShadow{Schema: ShadowSchema}
+
+	// Baseline: the seam was never exercised.
+	m, base, span, err := shadowWriteImage()
+	if err != nil {
+		return err
+	}
+	if rep.BaselineNS, err = measureWrites(m, base, span); err != nil {
+		return err
+	}
+
+	// Disabled: attach then detach — the permanent cost of the seam.
+	m, base, span, err = shadowWriteImage()
+	if err != nil {
+		return err
+	}
+	m.SetShadow(shadow.New())
+	m.SetShadow(nil)
+	if rep.DisabledNS, err = measureWrites(m, base, span); err != nil {
+		return err
+	}
+
+	// Armed, nothing poisoned.
+	m, base, span, err = shadowWriteImage()
+	if err != nil {
+		return err
+	}
+	m.SetShadow(shadow.New())
+	if rep.ArmedCleanNS, err = measureWrites(m, base, span); err != nil {
+		return err
+	}
+
+	// Armed with a realistic poison population away from the write
+	// window: red zones and quarantine in other segments.
+	img, err := mem.NewProcessImage(mem.ImageConfig{})
+	if err != nil {
+		return err
+	}
+	s := shadow.New()
+	for i := 0; i < 64; i++ {
+		s.Poison(shadow.KindRedzone, img.Heap.Base.Add(int64(i)*64), 16, "bench red zone")
+		s.Quarantine(img.BSS.Base.Add(int64(i)*64), 32, "bench quarantine")
+	}
+	img.Mem.SetShadow(s)
+	if rep.ArmedPoisonedNS, err = measureWrites(img.Mem, img.Data.Base, img.Data.Size()); err != nil {
+		return err
+	}
+
+	rep.DisabledOverhead = rep.DisabledNS / rep.BaselineNS
+	rep.ArmedCleanOverhead = rep.ArmedCleanNS / rep.BaselineNS
+	rep.ArmedPoisonedOverhead = rep.ArmedPoisonedNS / rep.BaselineNS
+
+	// Scenario sweep: the whole catalogue, undefended vs sanitized.
+	rep.SweepScenarios = len(attack.Catalog())
+	noneNS, _, err := measureSweep(defense.None)
+	if err != nil {
+		return err
+	}
+	shadowNS, detections, err := measureSweep(defense.ShadowMemOnly)
+	if err != nil {
+		return err
+	}
+	rep.SweepNoneNS, rep.SweepShadowNS = noneNS, shadowNS
+	rep.SweepOverhead = float64(shadowNS) / float64(noneNS)
+	rep.SweepDetections = detections
+
+	t := report.NewTable("shadow-memory sanitizer write overhead",
+		"configuration", "ns/write", "overhead vs baseline")
+	t.AddRow("baseline (no seam use)", fmt.Sprintf("%.1f", rep.BaselineNS), "1.00x")
+	t.AddRow("disabled (nil checker)", fmt.Sprintf("%.1f", rep.DisabledNS), fmt.Sprintf("%.2fx", rep.DisabledOverhead))
+	t.AddRow("armed, clean", fmt.Sprintf("%.1f", rep.ArmedCleanNS), fmt.Sprintf("%.2fx", rep.ArmedCleanOverhead))
+	t.AddRow("armed, poisoned elsewhere", fmt.Sprintf("%.1f", rep.ArmedPoisonedNS), fmt.Sprintf("%.2fx", rep.ArmedPoisonedOverhead))
+	t.AddRow(fmt.Sprintf("catalogue sweep (%d scenarios, %d detected)", rep.SweepScenarios, rep.SweepDetections),
+		fmt.Sprintf("%d ns/pass vs %d", rep.SweepShadowNS, rep.SweepNoneNS), fmt.Sprintf("%.2fx", rep.SweepOverhead))
+
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(filepath.Join(dir, "BENCH_SHADOW.json"), data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprint(out, t.String())
+
+	if maxDisabled > 0 && rep.DisabledOverhead > maxDisabled {
+		return fmt.Errorf("shadow bench gate: disabled-path overhead %.2fx > allowed %.2fx (zero-cost-when-disabled contract)",
+			rep.DisabledOverhead, maxDisabled)
+	}
+	if maxArmed > 0 && rep.ArmedCleanOverhead > maxArmed {
+		return fmt.Errorf("shadow bench gate: armed write overhead %.2fx > allowed %.2fx",
+			rep.ArmedCleanOverhead, maxArmed)
+	}
+	return nil
+}

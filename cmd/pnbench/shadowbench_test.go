@@ -1,0 +1,62 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestShadowBenchWritesArtifact(t *testing.T) {
+	dir := t.TempDir()
+	var out strings.Builder
+	// Generous gates: the structural claims (artifact shape, detection
+	// count, ordering of costs) are asserted exactly; the timing gates
+	// only have to hold loosely under test-runner noise.
+	if err := run([]string{"-shadow", dir, "-max-disabled-overhead", "3.0"}, &out); err != nil {
+		t.Fatalf("run -shadow: %v (out: %s)", err, out.String())
+	}
+	blob, err := os.ReadFile(filepath.Join(dir, "BENCH_SHADOW.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep benchShadow
+	if err := json.Unmarshal(blob, &rep); err != nil {
+		t.Fatalf("BENCH_SHADOW.json is not valid JSON: %v", err)
+	}
+	if rep.Schema != ShadowSchema {
+		t.Fatalf("schema = %q, want %q", rep.Schema, ShadowSchema)
+	}
+	if rep.BaselineNS <= 0 || rep.DisabledNS <= 0 || rep.ArmedCleanNS <= 0 || rep.ArmedPoisonedNS <= 0 {
+		t.Fatalf("timings not populated: %+v", rep)
+	}
+	if rep.SweepNoneNS <= 0 || rep.SweepShadowNS <= 0 {
+		t.Fatalf("sweep timings not populated: %+v", rep)
+	}
+	// Deterministic facts, not timings: the sweep covers the whole
+	// catalogue and the sanitizer detects exactly the in-scope set.
+	if rep.SweepScenarios != 29 {
+		t.Errorf("sweep covered %d scenarios, want 29", rep.SweepScenarios)
+	}
+	if rep.SweepDetections != 25 {
+		t.Errorf("sweep detected %d scenarios under shadow, want 25", rep.SweepDetections)
+	}
+	if !strings.Contains(out.String(), "armed, clean") || !strings.Contains(out.String(), "catalogue sweep") {
+		t.Fatalf("table output missing rows: %s", out.String())
+	}
+}
+
+func TestShadowBenchGateFails(t *testing.T) {
+	dir := t.TempDir()
+	var out strings.Builder
+	// An impossible armed-overhead ceiling must trip the gate — after
+	// the artifact is written, so CI still uploads it for inspection.
+	err := run([]string{"-shadow", dir, "-max-armed-overhead", "1e-9"}, &out)
+	if err == nil || !strings.Contains(err.Error(), "gate") {
+		t.Fatalf("err = %v, want overhead-gate failure", err)
+	}
+	if _, statErr := os.Stat(filepath.Join(dir, "BENCH_SHADOW.json")); statErr != nil {
+		t.Fatal("artifact must be written even when the gate fails")
+	}
+}

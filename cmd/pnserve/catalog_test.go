@@ -1,0 +1,51 @@
+package main
+
+import (
+	"fmt"
+	"net/http"
+	"net/url"
+	"testing"
+
+	"repro/internal/defense"
+)
+
+// TestRunAcceptsEveryCatalogDefense closes the last gap of the
+// catalogue drift guard: every defense the catalogue exports must be
+// accepted end-to-end by the /run endpoint's defense parameter, and
+// the shadow configurations must actually report detection over the
+// wire. The /experiments catalogue endpoint must advertise the same set.
+func TestRunAcceptsEveryCatalogDefense(t *testing.T) {
+	_, ts := newTestServer(t)
+
+	advertised := map[string]bool{}
+	cat := getJSON(t, ts.URL+"/experiments", http.StatusOK)
+	if ds, ok := cat["defenses"].([]any); ok {
+		for _, d := range ds {
+			if s, ok := d.(string); ok {
+				advertised[s] = true
+			}
+		}
+	}
+
+	for _, c := range defense.Catalog() {
+		c := c
+		t.Run(c.Name, func(t *testing.T) {
+			if !advertised[c.Name] {
+				t.Errorf("/catalog does not advertise defense %q", c.Name)
+			}
+			u := fmt.Sprintf("%s/run?scenario=construct-overflow&defense=%s", ts.URL, url.QueryEscape(c.Name))
+			out := getJSON(t, u, http.StatusOK)
+			if out["defense"] != c.Name {
+				t.Errorf("result echoes defense %v, want %q", out["defense"], c.Name)
+			}
+			if out["status"] == nil || out["status"] == "" {
+				t.Errorf("result carries no status: %v", out)
+			}
+			// The two sanitizer configs must report detection over the
+			// wire — the served verdict, not just an in-process one.
+			if c.Shadow && out["status"] != "detected" {
+				t.Errorf("shadow defense %q served status %v, want detected", c.Name, out["status"])
+			}
+		})
+	}
+}

@@ -107,11 +107,19 @@ func (o *Outcome) classify(err error) bool {
 		o.note("hardened allocator detected the overflow: %v", err)
 		return true
 	}
-	if flt, ok := mem.IsFault(err); ok && flt.Kind == mem.FaultGuard {
-		o.Detected = true
-		o.DetectedBy = "memguard"
-		o.note("red zone caught the overflowing write: %v", err)
-		return true
+	if flt, ok := mem.IsFault(err); ok {
+		switch flt.Kind {
+		case mem.FaultGuard:
+			o.Detected = true
+			o.DetectedBy = "memguard"
+			o.note("red zone caught the overflowing write: %v", err)
+			return true
+		case mem.FaultShadow:
+			o.Detected = true
+			o.DetectedBy = "shadow"
+			o.note("shadow memory rejected the write before it landed: %v", err)
+			return true
+		}
 	}
 	var ab *machine.AbortError
 	if errors.As(err, &ab) {
@@ -125,6 +133,9 @@ func (o *Outcome) classify(err error) bool {
 		case machine.EvGuardAbort:
 			o.Detected = true
 			o.DetectedBy = "memguard"
+		case machine.EvShadowViolation:
+			o.Detected = true
+			o.DetectedBy = "shadow"
 		case machine.EvNXViolation:
 			o.Prevented = true
 			o.PreventedBy = "nx"
@@ -180,6 +191,7 @@ func Catalog() []Scenario {
 		{"dos-loop", "§4.4", "denial of service via loop-bound modification", runDoSLoop},
 		{"dos-exhaust", "§4.4", "denial of service via resource exhaustion", runDoSExhaust},
 		{"memleak", "§4.5 L23", "memory leak via undersized release", runMemLeak},
+		{"dangling-write", "§4.5 L23", "stale store through a released placement", runDanglingWrite},
 	}
 }
 

@@ -26,8 +26,8 @@ func runScenario(t *testing.T, id string, cfg defense.Config) *Outcome {
 
 func TestCatalogIntegrity(t *testing.T) {
 	cat := Catalog()
-	if len(cat) != 28 {
-		t.Errorf("catalogue has %d scenarios, want 28", len(cat))
+	if len(cat) != 29 {
+		t.Errorf("catalogue has %d scenarios, want 29", len(cat))
 	}
 	seen := map[string]bool{}
 	for _, s := range cat {

@@ -121,6 +121,7 @@ func runRemoteOverflow(cfg defense.Config) (*Outcome, error) {
 
 	// An instrumented build wraps the deserializer's placement too.
 	cfg.GuardArena(w.p, arena)
+	cfg.ShadowArena(w.p, arena)
 
 	switch {
 	case cfg.CheckedPlacement:

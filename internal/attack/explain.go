@@ -143,4 +143,12 @@ memory" — the allocator is exhausted and every later request fails.`,
 through a Student-typed pointer; "the amount of memory leaked per
 iteration is the difference in the size". C++ has no placement delete,
 so the fix is writing one (§5.1).`,
+
+	"dangling-write": `The write-side twin of Listing 23's lifecycle bug: the GradStudent is
+released through a Student-typed pointer, but a stale view of the dead
+object survives and one more ssn store goes through it before the arena
+is reused. The store lands in the released tail — outside the
+replacement Student's extent — so construction never wipes it. Only a
+quarantined shadow plane faults the store itself; §5.1 sanitization
+merely scrubs the planted word afterwards.`,
 }

@@ -279,6 +279,7 @@ func runRemoteArray(cfg defense.Config) (*Outcome, error) {
 
 	// An instrumented build wraps the deserializer's placement too.
 	cfg.GuardArena(w.p, arena)
+	cfg.ShadowArena(w.p, arena)
 
 	var placeErr error
 	if cfg.CheckedPlacement {

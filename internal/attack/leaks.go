@@ -223,7 +223,9 @@ func runDoSLoop(cfg defense.Config) (*Outcome, error) {
 	if callErr != nil && !o.classify(callErr) {
 		return nil, callErr
 	}
-	bypass := placeErr == nil && !validated
+	// An abort (canary, shadow violation, ...) means the service died
+	// before serving, not that the attacker slipped past validation.
+	bypass := placeErr == nil && callErr == nil && !validated
 	if bypass {
 		o.Metrics["validation_bypassed"] = 1
 	}
@@ -317,6 +319,79 @@ func runDoSExhaust(cfg defense.Config) (*Outcome, error) {
 		o.Succeeded = true
 		o.note("heap exhausted: %d bytes pinned (%.0f%% of the arena)",
 			stats.InUse, 100*float64(stats.InUse)/float64(w.p.Img.Heap.Size()))
+	}
+	return o, nil
+}
+
+// runDanglingWrite models the write-side twin of the §4.5 lifecycle
+// bug: a placement is released through an undersized pointer
+// (Listing 23's pattern) but a stale view of the dead object survives,
+// and the attacker drives one more store through it between release and
+// arena reuse. The store lands outside the next tenant's extent, so
+// zero-initialising the replacement Student never wipes it — only
+// quarantine (shadow) faults the store itself, and only arena
+// sanitization (§5.1) scrubs the planted word before reuse.
+func runDanglingWrite(cfg defense.Config) (*Outcome, error) {
+	w, err := newWorld(cfg)
+	if err != nil {
+		return nil, err
+	}
+	o := newOutcome("dangling-write", cfg)
+	if _, err := w.p.DefineGlobal("pool", w.grad, false); err != nil {
+		return nil, err
+	}
+	arena, err := w.globalArena("pool")
+	if err != nil {
+		return nil, err
+	}
+	sSize, gSize := w.sizes()
+	o.Metrics["stale_window"] = float64(gSize - sSize)
+
+	gs, err := cfg.Place(w.p, arena, w.grad)
+	if err != nil {
+		if !o.classify(err) {
+			return nil, err
+		}
+		return o, nil
+	}
+	ssnAddr, err := gs.FieldAddr("ssn")
+	if err != nil {
+		return nil, err
+	}
+	// The program releases the record through a Student-typed pointer
+	// (Listing 23) but a stale GradStudent* survives in the attacker's
+	// reach.
+	if err := cfg.Release(w.p, arena.Base, sSize); err != nil {
+		return nil, err
+	}
+	// One more store through the dead placement.
+	if err := gs.SetIndex("ssn", 0, 0x5A5A5A5A); err != nil {
+		if !o.classify(err) {
+			return nil, err
+		}
+		return o, nil
+	}
+	// Later, the arena is reused for a fresh Student. A sanitizing
+	// program (§5.1) scrubs the arena first.
+	if cfg.SanitizePools {
+		if err := core.Sanitize(w.p.Mem, arena); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := cfg.Place(w.p, arena, w.student); err != nil {
+		if !o.classify(err) {
+			return nil, err
+		}
+		return o, nil
+	}
+	got, err := w.p.Mem.ReadU32(ssnAddr)
+	if err != nil {
+		return nil, err
+	}
+	if got == 0x5A5A5A5A {
+		o.Succeeded = true
+		o.note("stale store through released placement persisted past reuse: [%#x] = %#x",
+			uint64(ssnAddr), got)
 	}
 	return o, nil
 }

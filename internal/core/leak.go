@@ -67,6 +67,15 @@ func (t *LeakTracker) ReleaseSized(addr mem.Addr, size uint64) error {
 	return nil
 }
 
+// PlacementSize returns the recorded size of the live placement at
+// addr, if one exists. Defense wiring uses it to quarantine the full
+// placed extent on release, regardless of how many bytes the (possibly
+// buggy) release path claimed.
+func (t *LeakTracker) PlacementSize(addr mem.Addr) (uint64, bool) {
+	p, ok := t.placed[addr]
+	return p.size, ok
+}
+
 // Leaked returns bytes allocated but never released.
 func (t *LeakTracker) Leaked() uint64 {
 	return t.AllocatedBytes - t.ReleasedBytes

@@ -50,9 +50,29 @@ func (p *Pool) Base() mem.Addr { return p.arena.Base }
 // Size returns the pool's capacity in bytes.
 func (p *Pool) Size() uint64 { return p.arena.Size }
 
+// arenaShadow is the optional fine-grained interface the memory's
+// attached shadow checker may implement (internal/shadow.Sanitizer
+// does). Pools consult it so that re-placement over a reused arena —
+// the paper's legitimate pool lifecycle — first clears stale
+// quarantine or slot poison over the pool's own extent; without this,
+// the §5.1 sanitization pass itself would trip the sanitizer.
+type arenaShadow interface {
+	Unpoison(mem.Addr, uint64)
+}
+
+// unpoisonArena clears shadow poison over the pool's extent before a
+// placement writes it. Trailing red zones live *after* the arena and
+// are untouched.
+func (p *Pool) unpoisonArena() {
+	if sh, ok := p.m.Shadow().(arenaShadow); ok {
+		sh.Unpoison(p.arena.Base, p.arena.Size)
+	}
+}
+
 // PlaceArray carves `new (pool) elem[n]` at the pool base. With Checked
 // unset this is the raw Listing 19 expression: n may exceed the pool.
 func (p *Pool) PlaceArray(elem layout.Type, n uint64) (*Buffer, error) {
+	p.unpoisonArena()
 	if p.SanitizeOnPlace {
 		if err := Sanitize(p.m, p.arena); err != nil {
 			return nil, err
@@ -66,6 +86,7 @@ func (p *Pool) PlaceArray(elem layout.Type, n uint64) (*Buffer, error) {
 
 // PlaceObject places `new (pool) T()` at the pool base.
 func (p *Pool) PlaceObject(cls *layout.Class) (*object.Object, error) {
+	p.unpoisonArena()
 	if p.SanitizeOnPlace {
 		if err := Sanitize(p.m, p.arena); err != nil {
 			return nil, err

@@ -1,0 +1,67 @@
+package defense
+
+import (
+	"testing"
+)
+
+// TestCatalogRoundTripsMachineOptions is the drift guard for the
+// config → machine seam: every catalogue entry's knobs must survive
+// MachineOptions() and come out armed on the process NewProcess()
+// builds. A knob added to Config but forgotten in MachineOptions (or
+// in machine.New) silently runs the "defended" configuration
+// undefended — exactly the failure this test turns into a red bar.
+func TestCatalogRoundTripsMachineOptions(t *testing.T) {
+	seen := map[string]bool{}
+	for _, c := range Catalog() {
+		c := c
+		t.Run(c.Name, func(t *testing.T) {
+			if c.Name == "" {
+				t.Fatal("catalogue entry without a name")
+			}
+			if seen[c.Name] {
+				t.Fatalf("duplicate catalogue name %q", c.Name)
+			}
+			seen[c.Name] = true
+
+			opts := c.MachineOptions()
+			if opts.StackGuard != c.StackGuard {
+				t.Errorf("MachineOptions dropped StackGuard: %v != %v", opts.StackGuard, c.StackGuard)
+			}
+			if opts.ShadowStack != c.ShadowStack {
+				t.Errorf("MachineOptions dropped ShadowStack: %v != %v", opts.ShadowStack, c.ShadowStack)
+			}
+			if opts.ExecStack != !c.NXStack {
+				t.Errorf("MachineOptions NXStack inversion broken: ExecStack=%v, NXStack=%v", opts.ExecStack, c.NXStack)
+			}
+			if opts.Shadow != c.Shadow {
+				t.Errorf("MachineOptions dropped Shadow: %v != %v", opts.Shadow, c.Shadow)
+			}
+
+			p, err := c.NewProcess()
+			if err != nil {
+				t.Fatalf("NewProcess: %v", err)
+			}
+			got := p.Options()
+			if got.StackGuard != c.StackGuard || got.ShadowStack != c.ShadowStack ||
+				got.ExecStack != !c.NXStack || got.Shadow != c.Shadow {
+				t.Errorf("process options drifted from config: %+v vs %+v", got, c)
+			}
+			// The knobs must be armed, not just recorded.
+			if c.Shadow {
+				if p.Sanitizer() == nil {
+					t.Error("Shadow config built a process without a sanitizer")
+				}
+				if p.Mem.Shadow() == nil {
+					t.Error("Shadow config left the memory write path unchecked")
+				}
+			} else {
+				if p.Sanitizer() != nil || p.Mem.Shadow() != nil {
+					t.Error("non-Shadow config armed a sanitizer")
+				}
+			}
+			if c.HeapGuard != p.Heap.RedZonesEnabled() {
+				t.Errorf("HeapGuard=%v but allocator red zones enabled=%v", c.HeapGuard, p.Heap.RedZonesEnabled())
+			}
+		})
+	}
+}

@@ -56,6 +56,53 @@ type Allocator struct {
 	// zones maps live payloads to the caller-requested size, locating the
 	// red-zone bytes at payload+requested.
 	zones map[mem.Addr]uint64
+
+	// sh, when non-nil, is the shadow-memory sanitizer's view of the
+	// heap (see SetShadow).
+	sh Shadow
+}
+
+// Shadow is the seam through which a byte-granular shadow-memory
+// sanitizer (see internal/shadow) cooperates with the allocator. The
+// allocator's own metadata writes run under Exempt (they are the
+// allocator's business, not the program's), every header is re-poisoned
+// after it is written so a program write that tramples it faults at the
+// offending store (§3.5.1 at detection time), allocated payloads are
+// unpoisoned (address reuse after a free must not inherit quarantine),
+// and freed payloads are quarantined (use-after-free writes fault).
+type Shadow interface {
+	// Exempt runs f with shadow write-checking suspended.
+	Exempt(f func() error) error
+	// OnAlloc reports that [payload, payload+n) was handed to the
+	// program; the sanitizer makes it addressable.
+	OnAlloc(payload mem.Addr, n uint64)
+	// OnFree reports that [payload, payload+n) was released; the
+	// sanitizer quarantines it.
+	OnFree(payload mem.Addr, n uint64)
+	// PoisonHeader marks [h, h+n) as allocator metadata.
+	PoisonHeader(h mem.Addr, n uint64)
+}
+
+// SetShadow attaches the sanitizer seam and poisons every block header
+// already present (the heap is formatted before a sanitizer can be
+// attached). Pass nil to detach.
+func (a *Allocator) SetShadow(sh Shadow) error {
+	a.sh = sh
+	if sh == nil {
+		return nil
+	}
+	for h := a.base; h < a.limit; {
+		payload, magic, err := a.readHeader(h)
+		if err != nil {
+			return err
+		}
+		if magic != magicAlloc && magic != magicFree {
+			return &CorruptError{At: h}
+		}
+		sh.PoisonHeader(h, headerSize)
+		h = h.Add(int64(headerSize + payload))
+	}
+	return nil
 }
 
 const redZoneSize = 4
@@ -67,6 +114,11 @@ var redZonePattern = [redZoneSize]byte{0xFD, 0xFD, 0xFD, 0xFD}
 // CheckRedZones — the hardened-allocator defense a modern malloc
 // implements, which the §3.5.1 heap overflow tramples.
 func (a *Allocator) EnableRedZones() { a.redZone = true }
+
+// RedZonesEnabled reports whether allocations carry guard patterns —
+// the observable half of the heapguard defense knob, so configuration
+// tests can assert the catalog actually arms what it names.
+func (a *Allocator) RedZonesEnabled() bool { return a.redZone }
 
 // RedZoneError reports a trampled allocation guard.
 type RedZoneError struct {
@@ -110,10 +162,23 @@ func NewOnImage(img *mem.Image) (*Allocator, error) {
 
 // header encoding: [payloadSize uint32][magic uint16][reserved uint16]
 func (a *Allocator) writeHeader(h mem.Addr, payload uint64, magic uint16) error {
-	if err := a.m.WriteU32(h, uint32(payload)); err != nil {
-		return err
+	w := func() error {
+		if err := a.m.WriteU32(h, uint32(payload)); err != nil {
+			return err
+		}
+		return a.m.WriteU16(h.Add(4), magic)
 	}
-	return a.m.WriteU16(h.Add(4), magic)
+	if a.sh != nil {
+		// The allocator's own metadata stores are exempt from shadow
+		// checking; the header is re-poisoned immediately after, so the
+		// next *program* write into it faults.
+		if err := a.sh.Exempt(w); err != nil {
+			return err
+		}
+		a.sh.PoisonHeader(h, headerSize)
+		return nil
+	}
+	return w()
 }
 
 func (a *Allocator) readHeader(h mem.Addr) (payload uint64, magic uint16, err error) {
@@ -179,6 +244,9 @@ func (a *Allocator) AllocTagged(n uint64, tag string) (mem.Addr, error) {
 			a.stats.LiveBlocks++
 			if tag != "" {
 				a.tags[p] = tag
+			}
+			if a.sh != nil {
+				a.sh.OnAlloc(p, want)
 			}
 			if a.redZone {
 				if err := a.m.Write(p.Add(int64(n)), redZonePattern[:]); err != nil {
@@ -270,6 +338,9 @@ func (a *Allocator) Free(p mem.Addr) error {
 	a.stats.InUse -= payload
 	a.stats.LiveBlocks--
 	delete(a.tags, p)
+	if a.sh != nil {
+		a.sh.OnFree(p, payload)
+	}
 	return a.coalesce()
 }
 

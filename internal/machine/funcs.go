@@ -101,16 +101,22 @@ func (p *Process) Call(name string) error {
 		p.shadow = append(p.shadow, ret)
 	}
 	p.record(EvCall, f.Addr, "%s()", f.Name)
+	p.poisonFrameControl(frame)
 
 	if err := f.Body(p, frame); err != nil {
 		// The body crashed (e.g. a wild dereference): surface the fault
 		// without running the epilogue, like a mid-function SIGSEGV. A
 		// guard fault is the red-zone instrumentation catching an
-		// overflow at the offending write.
+		// overflow at the offending write; a shadow fault is the
+		// byte-granular sanitizer rejecting a store before it landed.
 		if flt, isFault := mem.IsFault(err); isFault {
-			if flt.Kind == mem.FaultGuard {
+			switch flt.Kind {
+			case mem.FaultGuard:
 				p.record(EvGuardAbort, flt.Addr, "%s: %v", f.Name, err)
 				return &AbortError{Kind: EvGuardAbort, Reason: err.Error()}
+			case mem.FaultShadow:
+				p.record(EvShadowViolation, flt.Addr, "%s: %v", f.Name, err)
+				return &AbortError{Kind: EvShadowViolation, Reason: err.Error()}
 			}
 			p.record(EvSegfault, 0, "%s: %v", f.Name, err)
 			return &AbortError{Kind: EvSegfault, Reason: err.Error()}
@@ -121,10 +127,14 @@ func (p *Process) Call(name string) error {
 }
 
 func (p *Process) returnFrom(f *Func) error {
+	frame := p.Stack.Current()
 	res, err := p.Stack.Pop()
 	if err != nil {
 		return fmt.Errorf("machine: returning from %s: %w", f.Name, err)
 	}
+	// The frame's storage is dead after the pop: clear any shadow
+	// poison over it so the next frame starts clean.
+	p.unpoisonFrame(frame)
 	if p.opts.StackGuard && !res.CanaryOK {
 		p.record(EvCanaryAbort, res.Ret, "%s: stack smashing detected (canary %#x)", f.Name, res.CanaryFound)
 		return &AbortError{Kind: EvCanaryAbort, Reason: "*** stack smashing detected ***"}

@@ -19,6 +19,7 @@ import (
 	"repro/internal/heap"
 	"repro/internal/layout"
 	"repro/internal/mem"
+	"repro/internal/shadow"
 	"repro/internal/stackm"
 )
 
@@ -42,6 +43,13 @@ type Options struct {
 	// addresses are duplicated in protected storage and verified before
 	// any transfer.
 	ShadowStack bool
+	// Shadow arms the byte-granular shadow-memory sanitizer (see
+	// internal/shadow): trailing red zones around placement arenas,
+	// poisoned vtable-pointer slots, stack control words, and heap
+	// metadata, plus quarantine of freed/released memory. Every
+	// program write is validated before it lands; a violation aborts
+	// the simulated process with EvShadowViolation.
+	Shadow bool
 	// Image overrides segment sizes.
 	Image mem.ImageConfig
 	// Pool, when non-nil, sources the process's address space from the
@@ -82,7 +90,10 @@ type Process struct {
 	globalBy map[string]*Global
 	vtables  map[*layout.Class][]mem.Addr
 	vtAddrs  map[mem.Addr]bool // every emitted table address
-	shadow   []mem.Addr
+	shadow   []mem.Addr        // the §5.2 return-address shadow *stack*
+	// san is the byte-granular shadow-memory *sanitizer*, non-nil only
+	// when Options.Shadow is set (distinct from the shadow stack above).
+	san *shadow.Sanitizer
 
 	events []Event
 	input  *Input
@@ -155,11 +166,24 @@ func New(opts Options) (*Process, error) {
 		vtAddrs:  make(map[mem.Addr]bool),
 		input:    &Input{},
 	}
+	if opts.Shadow {
+		p.san = shadow.New()
+		p.Mem.SetShadow(p.san)
+		// The heap was formatted before the sanitizer existed; SetShadow
+		// walks the existing headers and poisons them as metadata.
+		if err := h.SetShadow(heapShadow{p.san}); err != nil {
+			return nil, fmt.Errorf("machine: %w", err)
+		}
+	}
 	if OnNewProcess != nil {
 		OnNewProcess(p)
 	}
 	return p, nil
 }
+
+// Sanitizer returns the shadow-memory sanitizer, or nil when the
+// process was built without Options.Shadow.
+func (p *Process) Sanitizer() *shadow.Sanitizer { return p.san }
 
 // Options returns the options the process was built with.
 func (p *Process) Options() Options { return p.opts }
@@ -215,6 +239,7 @@ const (
 	EvGuardAbort
 	EvOutput
 	EvRestore
+	EvShadowViolation
 )
 
 var eventNames = map[EventKind]string{
@@ -225,6 +250,7 @@ var eventNames = map[EventKind]string{
 	EvShadowAbort: "shadow-abort", EvVirtualCall: "virtual-call",
 	EvVTableHijack: "vtable-hijack", EvMethodCall: "method-call",
 	EvGuardAbort: "guard-abort", EvOutput: "output", EvRestore: "restore",
+	EvShadowViolation: "shadow-violation",
 }
 
 // String returns the event kind name.

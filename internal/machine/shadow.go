@@ -1,0 +1,61 @@
+package machine
+
+import (
+	"repro/internal/heap"
+	"repro/internal/mem"
+	"repro/internal/shadow"
+	"repro/internal/stackm"
+)
+
+// heapShadow adapts the sanitizer onto the heap allocator's Shadow
+// seam: block headers are poisoned as metadata, allocated payloads
+// become addressable (address reuse after a free must not inherit
+// quarantine), freed payloads are quarantined.
+type heapShadow struct{ san *shadow.Sanitizer }
+
+var _ heap.Shadow = heapShadow{}
+
+func (h heapShadow) Exempt(f func() error) error { return h.san.Exempt(f) }
+
+func (h heapShadow) OnAlloc(p mem.Addr, n uint64) { h.san.Unpoison(p, n) }
+
+func (h heapShadow) OnFree(p mem.Addr, n uint64) {
+	h.san.Quarantine(p, n, "freed heap block")
+}
+
+func (h heapShadow) PoisonHeader(a mem.Addr, n uint64) {
+	h.san.Poison(shadow.KindHeapMeta, a, n, "heap block header")
+}
+
+// poisonFrameControl poisons the control words of a freshly pushed
+// frame — return address, saved frame pointer, canary — so the §3.6
+// stack overflows fault at the first control byte they would trample,
+// before the epilogue ever runs. Push has already stored the
+// legitimate values; the poison arms afterwards, so only *subsequent*
+// program stores (the attack) are rejected.
+func (p *Process) poisonFrameControl(f *stackm.Frame) {
+	if p.san == nil || f == nil {
+		return
+	}
+	ptr := uint64(p.Model.PtrSize)
+	p.san.Poison(shadow.KindStackCtl, f.RetSlot, ptr, "return address of "+f.Func)
+	if f.FPSlot != 0 {
+		p.san.Poison(shadow.KindStackCtl, f.FPSlot, ptr, "saved frame pointer of "+f.Func)
+	}
+	if f.CanarySlot != 0 {
+		p.san.Poison(shadow.KindStackCtl, f.CanarySlot, ptr, "canary of "+f.Func)
+	}
+}
+
+// unpoisonFrame clears all shadow state over a popped frame's extent.
+// The frame's addresses are dead storage after return; leaving control
+// poison (or red zones over stack arenas) behind would fault the next
+// frame pushed over the same bytes.
+func (p *Process) unpoisonFrame(f *stackm.Frame) {
+	if p.san == nil || f == nil {
+		return
+	}
+	if n := f.Top.Diff(f.SP); n > 0 {
+		p.san.Unpoison(f.SP, uint64(n))
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"repro/internal/layout"
 	"repro/internal/mem"
 	"repro/internal/object"
+	"repro/internal/shadow"
 	"repro/internal/stackm"
 	"repro/internal/vtab"
 )
@@ -86,12 +87,34 @@ func (p *Process) VTableAddrs(cls *layout.Class) ([]mem.Addr, error) {
 // (unchecked, per §2.5), zero-initialisation, and vtable-pointer
 // installation for polymorphic classes. Tables are emitted on demand.
 func (p *Process) Construct(cls *layout.Class, addr mem.Addr) (*object.Object, error) {
+	if p.san != nil {
+		// Placement over a reused arena is the paper's legitimate
+		// lifecycle: clear stale quarantine / vptr poison over the
+		// object's own extent before construction writes it. Structural
+		// poison (red zones, heap metadata, stack control words) stays
+		// armed — an oversized construction that reaches it is the
+		// overflow itself, and the zero-initialising store faults before
+		// a single byte lands.
+		if l, err := layout.Of(cls, p.Model); err == nil {
+			p.san.PrepareReuse(addr, l.Size)
+		}
+	}
 	o, err := core.PlacementNew(p.Mem, p.Model, addr, cls)
 	if err != nil {
 		return nil, err
 	}
 	if err := p.installVPtrs(o); err != nil {
 		return nil, err
+	}
+	if p.san != nil {
+		l := o.Layout()
+		p.san.RecordObject(addr, l)
+		// The program never stores to its own vtable pointers after
+		// construction; any write there is a hijack. Poison the slots.
+		for _, vo := range l.VPtrOffsets {
+			p.san.Poison(shadow.KindVPtr, addr.Add(int64(vo)), p.Model.PtrSize,
+				cls.Name()+" vtable pointer")
+		}
 	}
 	p.Tracker.RecordPlacement(addr, cls.Name(), o.Size())
 	return o, nil

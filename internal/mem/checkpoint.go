@@ -38,6 +38,11 @@ type segState struct {
 type Checkpoint struct {
 	segs []segState
 	cow  bool
+	// shadow is the attached ShadowChecker's opaque snapshot, captured
+	// when a checker was installed at checkpoint time. Restore hands
+	// it back so shadow state (red zones, quarantine) rolls back in
+	// lockstep with the data pages it describes.
+	shadow any
 }
 
 // NumSegments returns the number of segments captured.
@@ -73,6 +78,9 @@ func (m *Memory) Checkpoint() *Checkpoint {
 		}
 		cp.segs = append(cp.segs, segState{kind: s.Kind, base: s.Base, perm: s.Perm, size: s.size, pages: ps})
 	}
+	if m.shadow != nil {
+		cp.shadow = m.shadow.Snapshot()
+	}
 	return cp
 }
 
@@ -90,6 +98,9 @@ func (m *Memory) CowCheckpoint() *Checkpoint {
 			ps[i] = p.get()
 		}
 		cp.segs = append(cp.segs, segState{kind: s.Kind, base: s.Base, perm: s.Perm, size: s.size, pages: ps})
+	}
+	if m.shadow != nil {
+		cp.shadow = m.shadow.Snapshot()
 	}
 	return cp
 }
@@ -148,6 +159,9 @@ func (m *Memory) RestoreDirty(cp *Checkpoint) (restored int, err error) {
 			restored++
 		}
 		s.Perm = st.perm
+	}
+	if m.shadow != nil && cp.shadow != nil {
+		m.shadow.Restore(cp.shadow)
 	}
 	return restored, nil
 }

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"fmt"
 	"math/rand"
+	"sort"
 	"strings"
 	"testing"
 )
@@ -17,10 +18,63 @@ import (
 // against every live checkpoint, restore results, and errors. Any
 // divergence is shrunk to a minimal op sequence before reporting.
 
+// dsShadow is a minimal reference ShadowChecker used to test that
+// checkpoints carry shadow state in lockstep with data pages: a plain
+// per-byte poison set whose Snapshot deep-copies the map. The real
+// sanitizer (internal/shadow) runs the same lockstep contract in its
+// own checkpoint tests; here the stub keeps the differential harness
+// free of the compressed encoding so a divergence unambiguously blames
+// the checkpoint plumbing.
+type dsShadow struct{ poison map[Addr]bool }
+
+func newDSShadow() *dsShadow { return &dsShadow{poison: map[Addr]bool{}} }
+
+func (s *dsShadow) CheckWrite(addr Addr, n uint64) *Fault {
+	for i := uint64(0); i < n; i++ {
+		if b := addr.Add(int64(i)); s.poison[b] {
+			return &Fault{Kind: FaultShadow, Addr: b, Size: n, Shadow: "test-poison"}
+		}
+	}
+	return nil
+}
+
+func (s *dsShadow) Snapshot() any {
+	cp := make(map[Addr]bool, len(s.poison))
+	for k := range s.poison {
+		cp[k] = true
+	}
+	return cp
+}
+
+func (s *dsShadow) Restore(v any) {
+	m, ok := v.(map[Addr]bool)
+	if !ok {
+		return
+	}
+	s.poison = make(map[Addr]bool, len(m))
+	for k := range m {
+		s.poison[k] = true
+	}
+}
+
+// state renders the poison set deterministically for twin comparison.
+func (s *dsShadow) state() string {
+	var addrs []uint64
+	for a := range s.poison {
+		addrs = append(addrs, uint64(a))
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	var sb strings.Builder
+	for _, a := range addrs {
+		fmt.Fprintf(&sb, "%#x ", a)
+	}
+	return sb.String()
+}
+
 // dsOp is one step of a differential scenario, applied identically to
 // both twins. Fields are interpreted per Kind; unused fields are zero.
 type dsOp struct {
-	Kind string // write poke memset strncpy wcstring protect checkpoint restore diff
+	Kind string // write poke memset strncpy wcstring protect shpoison shunpoison checkpoint restore diff
 	Seg  int    // index into the scenario's segment layout
 	Off  uint64 // offset within the segment (may run past the end: faults must match)
 	Len  uint64 // length for memset/strncpy
@@ -42,6 +96,8 @@ func (o dsOp) String() string {
 		return fmt.Sprintf("wcstring seg=%d off=%#x src=%d bytes", o.Seg, o.Off, len(o.Str))
 	case "protect":
 		return fmt.Sprintf("protect seg=%d perm=%s", o.Seg, o.Perm)
+	case "shpoison", "shunpoison":
+		return fmt.Sprintf("%s seg=%d off=%#x len=%d", o.Kind, o.Seg, o.Off, o.Len)
 	default:
 		return o.Kind
 	}
@@ -89,7 +145,8 @@ func (l dsLayout) build(t *testing.T) *Memory {
 func randOps(rng *rand.Rand, l dsLayout) []dsOp {
 	kinds := []string{
 		"write", "write", "write", "poke", "memset", "strncpy", "wcstring",
-		"protect", "checkpoint", "checkpoint", "restore", "diff",
+		"protect", "shpoison", "shpoison", "shunpoison",
+		"checkpoint", "checkpoint", "restore", "diff",
 	}
 	n := 8 + rng.Intn(56)
 	ops := make([]dsOp, 0, n)
@@ -117,12 +174,19 @@ func randOps(rng *rand.Rand, l dsLayout) []dsOp {
 		case "protect":
 			perms := []Perm{PermRead, PermRW, PermRWX}
 			op.Perm = perms[rng.Intn(len(perms))]
+		case "shpoison", "shunpoison":
+			op.Len = uint64(1 + rng.Intn(96))
 		}
 		ops = append(ops, op)
 	}
 	// Always end with a restore and a diff when any checkpoint exists,
-	// so every scenario exercises the interesting paths at least once.
-	ops = append(ops, dsOp{Kind: "checkpoint"}, dsOp{Kind: "write", Seg: 0, Data: []byte{0xAA}},
+	// so every scenario exercises the interesting paths at least once —
+	// including a shadow snapshot taken at checkpoint time, cleared
+	// afterwards, and reinstated by the restore.
+	ops = append(ops,
+		dsOp{Kind: "shpoison", Seg: 0, Off: 1, Len: 2},
+		dsOp{Kind: "checkpoint"}, dsOp{Kind: "write", Seg: 0, Data: []byte{0xAA}},
+		dsOp{Kind: "shunpoison", Seg: 0, Off: 1, Len: 2},
 		dsOp{Kind: "diff"}, dsOp{Kind: "restore"})
 	return ops
 }
@@ -130,16 +194,27 @@ func randOps(rng *rand.Rand, l dsLayout) []dsOp {
 // dsTwins holds the paired state: the deep twin checkpoints with
 // Checkpoint(), the cow twin with CowCheckpoint().
 type dsTwins struct {
-	l        dsLayout
-	deep     *Memory
-	cow      *Memory
-	deepCPs  []*Checkpoint
-	cowCPs   []*Checkpoint
+	l       dsLayout
+	deep    *Memory
+	cow     *Memory
+	deepSh  *dsShadow
+	cowSh   *dsShadow
+	deepCPs []*Checkpoint
+	cowCPs  []*Checkpoint
+	// cpShadow records the shadow plane's rendered state at each
+	// checkpoint: an absolute oracle for restores, since a
+	// forgotten-shadow bug would hit both twins symmetrically and
+	// never diverge on its own.
+	cpShadow []string
 	restores int
 }
 
 func newTwins(t *testing.T, l dsLayout) *dsTwins {
-	return &dsTwins{l: l, deep: l.build(t), cow: l.build(t)}
+	tw := &dsTwins{l: l, deep: l.build(t), cow: l.build(t),
+		deepSh: newDSShadow(), cowSh: newDSShadow()}
+	tw.deep.SetShadow(tw.deepSh)
+	tw.cow.SetShadow(tw.cowSh)
+	return tw
 }
 
 // step applies op to both twins and returns a description of the first
@@ -164,9 +239,22 @@ func (tw *dsTwins) step(op dsOp) string {
 		return nil
 	}
 	switch op.Kind {
+	case "shpoison":
+		for _, sh := range []*dsShadow{tw.deepSh, tw.cowSh} {
+			for i := uint64(0); i < op.Len; i++ {
+				sh.poison[addr().Add(int64(i))] = true
+			}
+		}
+	case "shunpoison":
+		for _, sh := range []*dsShadow{tw.deepSh, tw.cowSh} {
+			for i := uint64(0); i < op.Len; i++ {
+				delete(sh.poison, addr().Add(int64(i)))
+			}
+		}
 	case "checkpoint":
 		tw.deepCPs = append(tw.deepCPs, tw.deep.Checkpoint())
 		tw.cowCPs = append(tw.cowCPs, tw.cow.CowCheckpoint())
+		tw.cpShadow = append(tw.cpShadow, tw.deepSh.state())
 	case "restore":
 		if len(tw.deepCPs) == 0 {
 			return ""
@@ -176,6 +264,9 @@ func (tw *dsTwins) step(op dsOp) string {
 		_, errC := tw.cow.RestoreDirty(tw.cowCPs[i])
 		if d := matchErr("restore", errD, errC); d != "" {
 			return d
+		}
+		if got := tw.deepSh.state(); got != tw.cpShadow[i] {
+			return fmt.Sprintf("restore lost shadow lockstep: got [%s], checkpointed [%s]", got, tw.cpShadow[i])
 		}
 		tw.restores++
 	case "diff":
@@ -220,6 +311,12 @@ func (tw *dsTwins) compare() string {
 		if pd != pc {
 			return fmt.Sprintf("%s perms diverge: deep=%s cow=%s", tw.l.kinds[i], pd, pc)
 		}
+	}
+	// The shadow planes must stay in lockstep with the data pages: a
+	// restore that rolled bytes back without the matching poison state
+	// (or vice versa) diverges here.
+	if sd, sc := tw.deepSh.state(), tw.cowSh.state(); sd != sc {
+		return fmt.Sprintf("shadow planes diverge: deep=[%s] cow=[%s]", sd, sc)
 	}
 	return ""
 }

@@ -11,11 +11,14 @@ type FaultKind int
 // Fault kinds. FaultUnmapped corresponds to a SIGSEGV on an unmapped page;
 // FaultPerm to a permission violation (write to rodata, execute with NX);
 // FaultGuard to a write into a poisoned guard region (the ASan-style
-// red-zone instrumentation of the memguard defense).
+// red-zone instrumentation of the memguard defense); FaultShadow to a
+// write rejected by the byte-granular shadow-memory sanitizer (see
+// internal/shadow).
 const (
 	FaultUnmapped FaultKind = iota + 1
 	FaultPerm
 	FaultGuard
+	FaultShadow
 )
 
 // String returns a short human-readable name.
@@ -27,6 +30,8 @@ func (k FaultKind) String() string {
 		return "permission"
 	case FaultGuard:
 		return "guard"
+	case FaultShadow:
+		return "shadow"
 	default:
 		return fmt.Sprintf("FaultKind(%d)", int(k))
 	}
@@ -42,8 +47,14 @@ type Fault struct {
 	// Want and Have are set for permission faults.
 	Want Perm
 	Have Perm
-	// Guard names the violated red zone for guard faults.
+	// Guard names the violated red zone for guard faults, and carries
+	// the poisoned-region label (with class/field attribution) for
+	// shadow faults.
 	Guard string
+	// Shadow names the poison kind ("redzone", "quarantine", ...) for
+	// shadow faults. For shadow faults Addr is the first poisoned byte
+	// the rejected write would have corrupted; no byte was written.
+	Shadow string
 }
 
 // Error implements the error interface.
@@ -55,6 +66,9 @@ func (f *Fault) Error() string {
 	case FaultGuard:
 		return fmt.Sprintf("mem: guard violation: write of %d bytes at %#x enters red zone %q",
 			f.Size, uint64(f.Addr), f.Guard)
+	case FaultShadow:
+		return fmt.Sprintf("mem: shadow violation: write of %d bytes hits %s byte at %#x (%s)",
+			f.Size, f.Shadow, uint64(f.Addr), f.Guard)
 	default:
 		return fmt.Sprintf("mem: segmentation fault at %#x (size %d)", uint64(f.Addr), f.Size)
 	}

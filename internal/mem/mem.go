@@ -148,6 +148,10 @@ type Memory struct {
 	// obs, when non-nil, passively observes every attempted checked
 	// access before the hook runs (the observability seam).
 	obs AccessObserver
+	// shadow, when non-nil, validates every checked write against the
+	// byte-granular shadow encoding before it lands (the sanitizer
+	// seam, see internal/shadow).
+	shadow ShadowChecker
 }
 
 // WriteRecord describes one completed write, for tracing.
@@ -289,6 +293,14 @@ func (m *Memory) Write(addr Addr, b []byte) error {
 	}
 	if m.obs != nil {
 		m.obs(AccessWrite, addr, n)
+	}
+	if m.shadow != nil {
+		// The sanitizer runs before the guard check so the
+		// byte-granular diagnosis wins attribution, and before any
+		// byte is stored: a rejected write corrupts nothing.
+		if f := m.shadow.CheckWrite(addr, n); f != nil {
+			return f
+		}
 	}
 	if f := m.checkGuards(addr, n); f != nil {
 		return f

@@ -58,6 +58,12 @@ func NewCollector() *Collector {
 	m.Describe(MetricAttempts, "supervised attempts started", TypeCounter)
 	m.Describe(MetricRetries, "supervised retries (attempts beyond the first)", TypeCounter)
 	m.Describe(MetricCrashes, "supervised attempt crashes, by kind", TypeCounter)
+	m.Describe(MetricShadowPoisonOps, "shadow poison operations, harvested at finalize", TypeCounter)
+	m.Describe(MetricShadowUnpoisonOps, "shadow unpoison operations, harvested at finalize", TypeCounter)
+	m.Describe(MetricShadowQuarantines, "shadow quarantine operations, harvested at finalize", TypeCounter)
+	m.Describe(MetricShadowCheckedWrites, "writes validated against shadow memory, harvested at finalize", TypeCounter)
+	m.Describe(MetricShadowViolations, "writes rejected by shadow memory, harvested at finalize", TypeCounter)
+	m.Describe(MetricShadowPoisoned, "granules carrying shadow poison at finalize", TypeGauge)
 	return c
 }
 
@@ -136,6 +142,8 @@ func verdictOf(k machine.EventKind) (string, bool) {
 		return "nx-violation", true
 	case machine.EvGuardAbort:
 		return "guard-abort", true
+	case machine.EvShadowViolation:
+		return "shadow-violation", true
 	case machine.EvSegfault:
 		return "segfault", true
 	default:
@@ -231,10 +239,28 @@ func (c *Collector) Finalize() {
 	c.mu.Unlock()
 
 	seenW := map[string]int{}
+	var shadowPoisoned int
 	for _, p := range procs {
 		for _, w := range p.Mem.Watchpoints() {
 			seenW[w.Name] += w.Hits
 		}
+		if san := p.Sanitizer(); san != nil {
+			st := san.Stats()
+			c.Metrics.Add(MetricShadowPoisonOps, float64(st.PoisonOps))
+			c.Metrics.Add(MetricShadowUnpoisonOps, float64(st.UnpoisonOps))
+			c.Metrics.Add(MetricShadowQuarantines, float64(st.QuarantineOps))
+			c.Metrics.Add(MetricShadowCheckedWrites, float64(st.CheckedWrites))
+			c.Metrics.Add(MetricShadowViolations, float64(st.Violations))
+			shadowPoisoned += san.PoisonedGranules()
+			for _, r := range san.Regions() {
+				c.Heat.AddRegion(fmt.Sprintf("shadow:%s@%#x", r.Kind, uint64(r.Base)), r.Base, r.Size)
+			}
+		}
+	}
+	if shadowPoisoned > 0 {
+		c.Metrics.Set(MetricShadowPoisoned, float64(shadowPoisoned))
+	}
+	for _, p := range procs {
 		for _, g := range p.Globals() {
 			c.Heat.AddRegion(g.Name, g.Addr, g.Type.Size(p.Model))
 			if cls, ok := g.Type.(*layout.Class); ok {

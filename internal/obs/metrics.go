@@ -29,6 +29,17 @@ const (
 	MetricCrashes        = "pn_supervisor_crashes_total"
 )
 
+// Shadow-memory sanitizer metric names (harvested from each process's
+// shadow.Sanitizer at finalize).
+const (
+	MetricShadowPoisonOps     = "pn_shadow_poison_ops_total"
+	MetricShadowUnpoisonOps   = "pn_shadow_unpoison_ops_total"
+	MetricShadowQuarantines   = "pn_shadow_quarantine_ops_total"
+	MetricShadowCheckedWrites = "pn_shadow_checked_writes_total"
+	MetricShadowViolations    = "pn_shadow_violations_total"
+	MetricShadowPoisoned      = "pn_shadow_poisoned_granules"
+)
+
 // Serving-layer metric names (emitted by internal/service and exposed
 // by cmd/pnserve's /metrics endpoint).
 const (

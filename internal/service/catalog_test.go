@@ -1,0 +1,40 @@
+package service
+
+import (
+	"testing"
+
+	"repro/internal/defense"
+)
+
+// TestEveryCatalogDefenseIsServable is the service half of the
+// catalogue drift guard: each defense.Catalog() entry must be accepted
+// by request normalization under its wire name, echo back normalized,
+// and address a distinct cache entry. A defense added to the catalogue
+// but rejected here would be runnable in-process yet unreachable over
+// the API.
+func TestEveryCatalogDefenseIsServable(t *testing.T) {
+	keys := map[string]string{}
+	for _, c := range defense.Catalog() {
+		req := Request{Scenario: "construct-overflow", Defense: c.Name}
+		n, err := normalize(req)
+		if err != nil {
+			t.Errorf("defense %q rejected by normalize: %v", c.Name, err)
+			continue
+		}
+		if n.Defense != c.Name {
+			t.Errorf("defense %q echoed back as %q", c.Name, n.Defense)
+		}
+		if prev, dup := keys[n.key]; dup {
+			t.Errorf("defenses %q and %q share cache key %s", prev, c.Name, n.key)
+		}
+		keys[n.key] = c.Name
+	}
+	// The default resolves to the catalogue's no-defense entry.
+	n, err := normalize(Request{Scenario: "construct-overflow"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Defense != defense.None.Name {
+		t.Errorf("empty defense normalized to %q, want %q", n.Defense, defense.None.Name)
+	}
+}

@@ -19,7 +19,9 @@ import (
 // CodeVersion participates in every cache key: results computed by a
 // different build of the corpus must never be served for this one.
 // Bump it whenever experiment or scenario semantics change.
-const CodeVersion = "pnserve/v1"
+// v2: shadow-memory sanitizer configs (shadow, sanitized+shadow), the
+// dangling-write scenario, and shadow-detection outcome changes.
+const CodeVersion = "pnserve/v2"
 
 // Priority selects the scheduler lane.
 type Priority int

@@ -1,0 +1,184 @@
+package shadow
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+)
+
+// refShadow is the naive per-byte reference model of the shadow
+// encoding: one map entry per poisoned byte. It applies the exact
+// rounding rules documented in the package comment, independently of
+// the compressed (prefix, kind) representation, so any divergence is an
+// implementation bug in one of the two.
+type refShadow struct {
+	poison map[uint64]Kind
+}
+
+func newRef() *refShadow { return &refShadow{poison: make(map[uint64]Kind)} }
+
+// prefixOf counts the leading addressable bytes of a granule.
+func (r *refShadow) prefixOf(idx uint64) uint64 {
+	start := idx * Granule
+	for i := uint64(0); i < Granule; i++ {
+		if _, ok := r.poison[start+i]; ok {
+			return i
+		}
+	}
+	return Granule
+}
+
+// kindOf returns the (uniform, by invariant) kind of a granule's
+// poisoned bytes.
+func (r *refShadow) kindOf(idx uint64) (Kind, bool) {
+	start := idx * Granule
+	for i := uint64(0); i < Granule; i++ {
+		if k, ok := r.poison[start+i]; ok {
+			return k, true
+		}
+	}
+	return KindAddressable, false
+}
+
+func (r *refShadow) Poison(kind Kind, a, n uint64) {
+	if n == 0 || kind == KindAddressable {
+		return
+	}
+	hiIdx := (a + n - 1) / Granule
+	for idx := a / Granule; idx <= hiIdx; idx++ {
+		start := idx * Granule
+		k := uint64(0)
+		if a > start {
+			k = a - start
+		}
+		if p := r.prefixOf(idx); p < k {
+			k = p
+		}
+		for i := k; i < Granule; i++ {
+			r.poison[start+i] = kind
+		}
+	}
+}
+
+func (r *refShadow) Unpoison(a, n uint64) {
+	if n == 0 {
+		return
+	}
+	hi := a + n
+	hiIdx := (hi - 1) / Granule
+	for idx := a / Granule; idx <= hiIdx; idx++ {
+		start := idx * Granule
+		if hi >= start+Granule {
+			// Left edge rounds down: the whole granule clears.
+			for i := uint64(0); i < Granule; i++ {
+				delete(r.poison, start+i)
+			}
+			continue
+		}
+		// Right-partial granule: the addressable prefix grows.
+		for b := start; b < hi; b++ {
+			delete(r.poison, b)
+		}
+	}
+}
+
+func (r *refShadow) PrepareReuse(a, n uint64) {
+	if n == 0 {
+		return
+	}
+	hi := a + n
+	hiIdx := (hi - 1) / Granule
+	for idx := a / Granule; idx <= hiIdx; idx++ {
+		k, ok := r.kindOf(idx)
+		if !ok || (k != KindQuarantine && k != KindVPtr) {
+			continue
+		}
+		start := idx * Granule
+		if hi >= start+Granule {
+			for i := uint64(0); i < Granule; i++ {
+				delete(r.poison, start+i)
+			}
+			continue
+		}
+		for b := start; b < hi; b++ {
+			delete(r.poison, b)
+		}
+	}
+}
+
+// firstPoisoned returns the lowest poisoned byte in [a, a+n), if any.
+func (r *refShadow) firstPoisoned(a, n uint64) (uint64, bool) {
+	for b := a; b < a+n; b++ {
+		if _, ok := r.poison[b]; ok {
+			return b, true
+		}
+	}
+	return 0, false
+}
+
+// fuzzSpace bounds the fuzzed address range so the reference map stays
+// small and every granule is exercised repeatedly.
+const fuzzSpace = 1 << 12
+
+// FuzzShadowState drives random poison/unpoison/quarantine/reuse
+// programs (including 8-byte-granule straddling ranges) through both
+// the compressed sanitizer and the naive per-byte reference, then
+// checks byte-for-byte agreement of poison state and CheckWrite
+// verdicts — first offending byte included.
+func FuzzShadowState(f *testing.F) {
+	f.Add([]byte{0x01, 0x00, 0x10, 0x10})
+	f.Add([]byte{0x01, 0x03, 0x05, 0x05, 0x10, 0x00, 0x08, 0x08})
+	f.Add([]byte{0x22, 0x07, 0x01, 0x09, 0x15, 0x04, 0x20, 0x30, 0x33, 0x00, 0x40, 0x01})
+	f.Add([]byte{0x51, 0xff, 0xff, 0x3f, 0x10, 0xfe, 0x02, 0x04, 0x42, 0x00, 0x00, 0xff})
+	f.Fuzz(func(t *testing.T, program []byte) {
+		s := New()
+		ref := newRef()
+		for i := 0; i+4 <= len(program); i += 4 {
+			op := program[i]
+			a := (uint64(program[i+1])<<8 | uint64(program[i+2])) % fuzzSpace
+			n := uint64(program[i+3]) % 96 // straddles up to 12 granules
+			switch op % 8 {
+			case 0:
+				s.Unpoison(mem.Addr(a), n)
+				ref.Unpoison(a, n)
+			case 1:
+				s.Quarantine(mem.Addr(a), n, "q")
+				ref.Poison(KindQuarantine, a, n)
+			case 2:
+				s.PrepareReuse(mem.Addr(a), n)
+				ref.PrepareReuse(a, n)
+			default:
+				kind := Kind(op%8 - 2) // KindRedzone..KindStackCtl
+				s.Poison(kind, mem.Addr(a), n, "p")
+				ref.Poison(kind, a, n)
+			}
+		}
+
+		// Per-byte poison state must agree everywhere.
+		for b := uint64(0); b < fuzzSpace+Granule; b++ {
+			k, poisoned := s.PoisonedAt(mem.Addr(b))
+			rk, rpoisoned := ref.poison[b]
+			if poisoned != rpoisoned {
+				t.Fatalf("byte %#x: sanitizer poisoned=%v, reference poisoned=%v", b, poisoned, rpoisoned)
+			}
+			if poisoned && k != rk {
+				t.Fatalf("byte %#x: sanitizer kind=%v, reference kind=%v", b, k, rk)
+			}
+		}
+
+		// CheckWrite verdicts must agree for a sweep of straddling writes,
+		// including the reported first offending byte.
+		for a := uint64(0); a < fuzzSpace; a += 3 {
+			n := 1 + a%17
+			fault := s.CheckWrite(mem.Addr(a), n)
+			want, hit := ref.firstPoisoned(a, n)
+			if (fault != nil) != hit {
+				t.Fatalf("CheckWrite(%#x,%d): fault=%v, reference hit=%v", a, n, fault, hit)
+			}
+			if fault != nil && uint64(fault.Addr) != want {
+				t.Fatalf("CheckWrite(%#x,%d): fault at %#x, reference first poisoned byte %#x",
+					a, n, uint64(fault.Addr), want)
+			}
+		}
+	})
+}

@@ -1,0 +1,559 @@
+// Package shadow implements a byte-granular shadow-memory sanitizer
+// for the simulated address space — the ASan-style detection tier the
+// paper's §5 remedies stop short of. One shadow byte describes each
+// 8-byte granule of application memory: the granule is either fully
+// addressable, or it carries a poison kind (red zone, quarantine,
+// vtable slot, heap metadata, stack control word) together with the
+// length of its still-addressable prefix.
+//
+// The sanitizer plugs into mem.Memory through the ShadowChecker seam:
+// every permission-checked write is validated against the shadow
+// encoding *before* any byte lands, so an overflow is reported at the
+// first poisoned byte it would have corrupted — in contrast to the
+// arena-granular guard regions of the memguard defense, which only
+// protect the gaps between arenas. Placement wiring (see
+// internal/machine and internal/defense) poisons trailing red zones
+// around every placement-new arena, vtable-pointer slots inside
+// constructed objects, stack control words (return address, saved
+// frame pointer, canary), heap block headers, and quarantines freed or
+// released memory so the paper's dangling-placement attacks
+// (Listings 14–16) fault on their first stale write.
+//
+// Encoding. Shadow byte 0x00 means "all 8 bytes addressable". Any
+// other value packs the poison kind in the high nibble and the number
+// k (0–7) of addressable leading bytes in the low 3 bits: bytes
+// [0, k) of the granule may be written, bytes [k, 8) are poisoned.
+// Rounding follows ASan's conventions and is mirrored byte-for-byte
+// by the naive reference model the fuzzer checks against:
+//
+//   - Poison(kind, a, n) poisons every granule overlapping [a, a+n)
+//     through to its end (right edge rounds up). In the first granule
+//     the addressable prefix becomes min(existing prefix, a−start),
+//     so bytes already poisoned below a stay poisoned (repainted to
+//     the new kind) and addressable bytes below a stay addressable.
+//   - Unpoison(a, n) clears every granule whose end lies within
+//     [a, a+n) entirely (left edge rounds down to the granule start);
+//     a right-partial granule keeps its kind and its addressable
+//     prefix grows to max(existing prefix, (a+n)−start).
+//
+// Because all mutations go through these two primitives, every
+// granule is always representable as (prefix, kind) — the compressed
+// form and the per-byte reference can never disagree on
+// expressiveness, only on implementation, which is exactly what
+// FuzzShadowState exercises.
+package shadow
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/layout"
+	"repro/internal/mem"
+)
+
+// Granule is the number of application bytes described by one shadow
+// byte.
+const Granule = 8
+
+// Kind classifies why a byte is poisoned.
+type Kind uint8
+
+// Poison kinds. KindAddressable is the zero value and never appears in
+// a non-zero shadow byte.
+const (
+	KindAddressable Kind = iota
+	KindRedzone          // trailing red zone after a placement arena
+	KindQuarantine       // freed / released memory (dangling-placement detection)
+	KindVPtr             // vtable-pointer slot inside a constructed object
+	KindHeapMeta         // heap allocator block header
+	KindStackCtl         // stack control word: return address, saved FP, canary
+)
+
+// String returns a short lower-case name.
+func (k Kind) String() string {
+	switch k {
+	case KindAddressable:
+		return "addressable"
+	case KindRedzone:
+		return "redzone"
+	case KindQuarantine:
+		return "quarantine"
+	case KindVPtr:
+		return "vptr-slot"
+	case KindHeapMeta:
+		return "heap-metadata"
+	case KindStackCtl:
+		return "stack-control"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Stats are the sanitizer's monotonic counters, harvested into the
+// pn_shadow_* metric families by the obs collector. Counters are never
+// rolled back by snapshot restores.
+type Stats struct {
+	PoisonOps     uint64 // Poison calls (all kinds, quarantines included)
+	UnpoisonOps   uint64 // Unpoison calls
+	QuarantineOps uint64 // Poison calls with KindQuarantine
+	CheckedWrites uint64 // writes validated against the shadow encoding
+	Violations    uint64 // writes rejected (shadow faults raised)
+}
+
+// component is one laid-out piece of a recorded object, used to
+// attribute violations to a class member.
+type component struct {
+	off  uint64
+	size uint64
+	name string // "field" or "__vptr"
+}
+
+// object is one recorded placement, kept sorted by base.
+type object struct {
+	base  mem.Addr
+	size  uint64
+	class string
+	comps []component // sorted by offset
+}
+
+// Sanitizer is the byte-granular shadow plane for one simulated
+// process. It implements mem.ShadowChecker. The zero value is not
+// usable; call New.
+//
+// Like mem.Memory itself, a Sanitizer is not safe for concurrent use —
+// a simulated process is single-threaded.
+type Sanitizer struct {
+	// cells maps granule index (addr>>3) to the non-zero shadow byte.
+	// Absent entries are 0x00 (fully addressable), so the map stays
+	// proportional to the poisoned footprint, not the address space.
+	cells map[uint64]byte
+	// labels carries the poisoning site's label per granule, for
+	// diagnostics. Maintained in lockstep with cells.
+	labels map[uint64]string
+	// objects records constructed-object layouts for class/field
+	// attribution, sorted by base address.
+	objects []object
+
+	suspended int
+	stats     Stats
+}
+
+// New returns an empty sanitizer: everything addressable, nothing
+// recorded.
+func New() *Sanitizer {
+	return &Sanitizer{
+		cells:  make(map[uint64]byte),
+		labels: make(map[uint64]string),
+	}
+}
+
+// prefix returns the addressable-prefix length (0–8) encoded by a
+// shadow byte.
+func prefix(sb byte) uint64 {
+	if sb == 0 {
+		return Granule
+	}
+	return uint64(sb & 7)
+}
+
+// Poison marks [a, a+n) poisoned with the given kind, rounding per the
+// package rules, and associates label with the affected granules for
+// diagnostics.
+func (s *Sanitizer) Poison(kind Kind, a mem.Addr, n uint64, label string) {
+	if n == 0 || kind == KindAddressable {
+		return
+	}
+	s.stats.PoisonOps++
+	if kind == KindQuarantine {
+		s.stats.QuarantineOps++
+	}
+	lo := uint64(a)
+	hiIdx := (lo + n - 1) / Granule
+	for idx := lo / Granule; idx <= hiIdx; idx++ {
+		start := idx * Granule
+		k := uint64(0)
+		if lo > start {
+			k = lo - start
+		}
+		if p := prefix(s.cells[idx]); p < k {
+			k = p
+		}
+		s.cells[idx] = byte(kind)<<4 | byte(k)
+		s.labels[idx] = label
+	}
+}
+
+// Unpoison marks [a, a+n) addressable, rounding per the package rules.
+func (s *Sanitizer) Unpoison(a mem.Addr, n uint64) {
+	if n == 0 {
+		return
+	}
+	s.stats.UnpoisonOps++
+	lo := uint64(a)
+	hi := lo + n
+	hiIdx := (hi - 1) / Granule
+	for idx := lo / Granule; idx <= hiIdx; idx++ {
+		sb, ok := s.cells[idx]
+		if !ok {
+			continue
+		}
+		start := idx * Granule
+		if hi >= start+Granule {
+			delete(s.cells, idx)
+			delete(s.labels, idx)
+			continue
+		}
+		// Right-partial granule: grow the addressable prefix, keep
+		// the kind.
+		k := hi - start // 1..7
+		if p := uint64(sb & 7); p > k {
+			k = p
+		}
+		s.cells[idx] = sb&0xF0 | byte(k)
+	}
+}
+
+// Quarantine poisons [a, a+n) as KindQuarantine — the
+// use-after-placement-delete trap armed by defense.Release.
+func (s *Sanitizer) Quarantine(a mem.Addr, n uint64, label string) {
+	s.Poison(KindQuarantine, a, n, label)
+}
+
+// PrepareReuse clears stale *lifecycle* poison — quarantine and
+// vtable-slot bytes left by a previous tenant — over [a, a+n) ahead of
+// a legitimate re-placement, while leaving *structural* poison (red
+// zones, heap metadata, stack control words) armed. Construction over a
+// reused arena is the paper's intended pool lifecycle and must not
+// fault on the previous object's remains; construction that overlaps an
+// allocator header or a trailing red zone is exactly the overflow the
+// sanitizer exists to catch, so those kinds survive. Rounding follows
+// Unpoison (left edge rounds down; a right-partial granule keeps its
+// kind with a grown addressable prefix).
+func (s *Sanitizer) PrepareReuse(a mem.Addr, n uint64) {
+	if n == 0 || len(s.cells) == 0 {
+		return
+	}
+	lo := uint64(a)
+	hi := lo + n
+	hiIdx := (hi - 1) / Granule
+	for idx := lo / Granule; idx <= hiIdx; idx++ {
+		sb, ok := s.cells[idx]
+		if !ok {
+			continue
+		}
+		switch Kind(sb >> 4) {
+		case KindQuarantine, KindVPtr:
+		default:
+			continue
+		}
+		start := idx * Granule
+		if hi >= start+Granule {
+			delete(s.cells, idx)
+			delete(s.labels, idx)
+			continue
+		}
+		k := hi - start
+		if p := uint64(sb & 7); p > k {
+			k = p
+		}
+		s.cells[idx] = sb&0xF0 | byte(k)
+	}
+}
+
+// Suspend disables CheckWrite until the matching Resume. Nested calls
+// stack. The harness uses it around legitimate writes to poisoned
+// bytes — the heap allocator's own header updates, for example.
+func (s *Sanitizer) Suspend() { s.suspended++ }
+
+// Resume re-enables CheckWrite after a Suspend.
+func (s *Sanitizer) Resume() {
+	if s.suspended > 0 {
+		s.suspended--
+	}
+}
+
+// Exempt runs f with checking suspended, restoring it afterwards even
+// if f panics.
+func (s *Sanitizer) Exempt(f func() error) error {
+	s.Suspend()
+	defer s.Resume()
+	return f()
+}
+
+// PoisonedAt reports whether the single byte at a is poisoned, and its
+// kind. It never counts as a checked write.
+func (s *Sanitizer) PoisonedAt(a mem.Addr) (Kind, bool) {
+	sb := s.cells[uint64(a)/Granule]
+	if sb == 0 {
+		return KindAddressable, false
+	}
+	if uint64(a)%Granule < uint64(sb&7) {
+		return KindAddressable, false
+	}
+	return Kind(sb >> 4), true
+}
+
+// CheckWrite validates a write of n bytes at a against the shadow
+// encoding. It returns nil if every byte is addressable (or checking
+// is suspended) and a *mem.Fault of kind mem.FaultShadow describing
+// the first poisoned byte the write would have corrupted otherwise.
+// It implements mem.ShadowChecker.
+func (s *Sanitizer) CheckWrite(a mem.Addr, n uint64) *mem.Fault {
+	if s.suspended > 0 || n == 0 {
+		return nil
+	}
+	s.stats.CheckedWrites++
+	if len(s.cells) == 0 {
+		return nil
+	}
+	lo := uint64(a)
+	hi := lo + n
+	loIdx := lo / Granule
+	hiIdx := (hi - 1) / Granule
+
+	// For huge writes (a whole-segment memset, say) scanning the small
+	// poison set beats walking every granule of the write.
+	if hiIdx-loIdx+1 > uint64(len(s.cells)) {
+		bad := uint64(0)
+		found := false
+		for idx, sb := range s.cells {
+			if idx < loIdx || idx > hiIdx {
+				continue
+			}
+			if off, ok := s.overlap(idx, sb, lo, hi); ok && (!found || off < bad) {
+				bad, found = off, true
+			}
+		}
+		if found {
+			return s.violation(mem.Addr(bad), a, n)
+		}
+		return nil
+	}
+
+	for idx := loIdx; idx <= hiIdx; idx++ {
+		sb, ok := s.cells[idx]
+		if !ok {
+			continue
+		}
+		if off, okk := s.overlap(idx, sb, lo, hi); okk {
+			return s.violation(mem.Addr(off), a, n)
+		}
+	}
+	return nil
+}
+
+// overlap reports the lowest poisoned byte of granule idx that the
+// write [lo, hi) touches, if any.
+func (s *Sanitizer) overlap(idx uint64, sb byte, lo, hi uint64) (uint64, bool) {
+	start := idx * Granule
+	pstart := start + uint64(sb&7) // first poisoned byte of the granule
+	wlo := lo
+	if start > wlo {
+		wlo = start
+	}
+	whi := hi
+	if end := start + Granule; end < whi {
+		whi = end
+	}
+	if wlo < pstart {
+		wlo = pstart
+	}
+	if wlo < whi {
+		return wlo, true
+	}
+	return 0, false
+}
+
+// violation builds the shadow fault for the first poisoned byte bad of
+// an n-byte write starting at a, attributing it to the poisoned region
+// and, when a recorded object explains the geometry, to the offending
+// class and field.
+func (s *Sanitizer) violation(bad, a mem.Addr, n uint64) *mem.Fault {
+	s.stats.Violations++
+	idx := uint64(bad) / Granule
+	kind := Kind(s.cells[idx] >> 4)
+	label := s.labels[idx]
+	if attr := s.Attribute(bad); attr != "" {
+		if label != "" {
+			label += "; " + attr
+		} else {
+			label = attr
+		}
+	}
+	_ = a // the write start; the fault reports the poisoned byte
+	return &mem.Fault{
+		Kind:   mem.FaultShadow,
+		Addr:   bad,
+		Size:   n,
+		Shadow: kind.String(),
+		Guard:  label,
+	}
+}
+
+// RecordObject registers a constructed object's layout so later
+// violations can be attributed to the class and field surrounding the
+// offending byte. Re-recording the same base replaces the previous
+// entry (placement reuse).
+func (s *Sanitizer) RecordObject(base mem.Addr, l *layout.ClassLayout) {
+	if l == nil {
+		return
+	}
+	o := object{base: base, size: l.Size, class: l.Class.Name()}
+	for _, vo := range l.VPtrOffsets {
+		o.comps = append(o.comps, component{off: vo, size: l.Model.PtrSize, name: "__vptr"})
+	}
+	if fields, err := l.AllFields(); err == nil {
+		for _, f := range fields {
+			o.comps = append(o.comps, component{off: f.Offset, size: f.Type.Size(l.Model), name: f.Name})
+		}
+	}
+	sort.Slice(o.comps, func(i, j int) bool { return o.comps[i].off < o.comps[j].off })
+	i := sort.Search(len(s.objects), func(i int) bool { return s.objects[i].base >= base })
+	if i < len(s.objects) && s.objects[i].base == base {
+		s.objects[i] = o
+		return
+	}
+	s.objects = append(s.objects, object{})
+	copy(s.objects[i+1:], s.objects[i:])
+	s.objects[i] = o
+}
+
+// attributeWindow bounds how far past an object's end a violation is
+// still blamed on that object's overflow.
+const attributeWindow = 64
+
+// Attribute explains addr in terms of the nearest recorded object at
+// or below it: "class.field+k" inside an object, "N bytes past the end
+// of class" just after one, "" when no object explains the address.
+func (s *Sanitizer) Attribute(addr mem.Addr) string {
+	i := sort.Search(len(s.objects), func(i int) bool { return s.objects[i].base > addr })
+	if i == 0 {
+		return ""
+	}
+	o := s.objects[i-1]
+	off := uint64(addr.Diff(o.base))
+	if off < o.size {
+		for j := len(o.comps) - 1; j >= 0; j-- {
+			c := o.comps[j]
+			if off >= c.off && off < c.off+c.size {
+				if off == c.off {
+					return fmt.Sprintf("%s.%s", o.class, c.name)
+				}
+				return fmt.Sprintf("%s.%s+%d", o.class, c.name, off-c.off)
+			}
+		}
+		return fmt.Sprintf("%s+%d", o.class, off)
+	}
+	if past := off - o.size; past < attributeWindow {
+		return fmt.Sprintf("%d bytes past the end of %s", past, o.class)
+	}
+	return ""
+}
+
+// Stats returns the monotonic counters.
+func (s *Sanitizer) Stats() Stats { return s.stats }
+
+// PoisonedGranules returns the number of granules currently carrying
+// any poison — the live shadow footprint.
+func (s *Sanitizer) PoisonedGranules() int { return len(s.cells) }
+
+// Region is one maximal run of equally-poisoned granules, for the
+// heatmap overlay.
+type Region struct {
+	Base  mem.Addr // first poisoned byte
+	Size  uint64   // through the end of the last granule of the run
+	Kind  Kind
+	Label string
+}
+
+// Regions returns the poisoned address space as maximal runs of
+// granules sharing a kind and label, in ascending address order. The
+// output is deterministic for a given shadow state.
+func (s *Sanitizer) Regions() []Region {
+	if len(s.cells) == 0 {
+		return nil
+	}
+	idxs := make([]uint64, 0, len(s.cells))
+	for idx := range s.cells {
+		idxs = append(idxs, idx)
+	}
+	sort.Slice(idxs, func(i, j int) bool { return idxs[i] < idxs[j] })
+	var out []Region
+	for _, idx := range idxs {
+		sb := s.cells[idx]
+		base := mem.Addr(idx*Granule + uint64(sb&7))
+		end := mem.Addr((idx + 1) * Granule)
+		kind := Kind(sb >> 4)
+		label := s.labels[idx]
+		if n := len(out); n > 0 {
+			last := &out[n-1]
+			if last.Kind == kind && last.Label == label &&
+				last.Base.Add(int64(last.Size)) == mem.Addr(idx*Granule) {
+				last.Size = uint64(end.Diff(last.Base))
+				continue
+			}
+		}
+		out = append(out, Region{Base: base, Size: uint64(end.Diff(base)), Kind: kind, Label: label})
+	}
+	return out
+}
+
+// StateString renders the shadow state deterministically — one line
+// per region — for golden tests and differential comparison.
+func (s *Sanitizer) StateString() string {
+	regions := s.Regions()
+	if len(regions) == 0 {
+		return "(all addressable)\n"
+	}
+	var sb strings.Builder
+	for _, r := range regions {
+		fmt.Fprintf(&sb, "[%#x,%#x) %s %q\n", uint64(r.Base), uint64(r.Base)+r.Size, r.Kind, r.Label)
+	}
+	return sb.String()
+}
+
+// snapshot is the opaque state captured by Snapshot.
+type snapshot struct {
+	cells   map[uint64]byte
+	labels  map[uint64]string
+	objects []object
+}
+
+// Snapshot captures the shadow planes (and the object registry) for a
+// checkpoint. Counters are not captured: they are monotonic. It
+// implements mem.ShadowChecker.
+func (s *Sanitizer) Snapshot() any {
+	snap := &snapshot{
+		cells:   make(map[uint64]byte, len(s.cells)),
+		labels:  make(map[uint64]string, len(s.labels)),
+		objects: make([]object, len(s.objects)),
+	}
+	for k, v := range s.cells {
+		snap.cells[k] = v
+	}
+	for k, v := range s.labels {
+		snap.labels[k] = v
+	}
+	copy(snap.objects, s.objects)
+	return snap
+}
+
+// Restore reinstates a state captured by Snapshot on this sanitizer.
+// Foreign values are ignored. It implements mem.ShadowChecker.
+func (s *Sanitizer) Restore(v any) {
+	snap, ok := v.(*snapshot)
+	if !ok {
+		return
+	}
+	s.cells = make(map[uint64]byte, len(snap.cells))
+	s.labels = make(map[uint64]string, len(snap.labels))
+	for k, v := range snap.cells {
+		s.cells[k] = v
+	}
+	for k, v := range snap.labels {
+		s.labels[k] = v
+	}
+	s.objects = make([]object, len(snap.objects))
+	copy(s.objects, snap.objects)
+}

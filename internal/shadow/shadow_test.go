@@ -1,0 +1,252 @@
+package shadow
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/layout"
+	"repro/internal/mem"
+)
+
+func TestPoisonUnpoisonRoundTrip(t *testing.T) {
+	s := New()
+	s.Poison(KindRedzone, 0x100, 16, "rz")
+	if f := s.CheckWrite(0x100, 1); f == nil {
+		t.Fatal("write into red zone passed")
+	}
+	if f := s.CheckWrite(0xF8, 8); f != nil {
+		t.Fatalf("write below red zone faulted: %v", f)
+	}
+	s.Unpoison(0x100, 16)
+	if f := s.CheckWrite(0x100, 16); f != nil {
+		t.Fatalf("write after unpoison faulted: %v", f)
+	}
+	if got := s.PoisonedGranules(); got != 0 {
+		t.Errorf("poisoned granules after full unpoison = %d", got)
+	}
+}
+
+func TestPartialGranulePrefix(t *testing.T) {
+	s := New()
+	// Poison from mid-granule: bytes [0x103, 0x108) of granule 0x20.
+	s.Poison(KindQuarantine, 0x103, 5, "q")
+	if f := s.CheckWrite(0x100, 3); f != nil {
+		t.Fatalf("write to addressable prefix faulted: %v", f)
+	}
+	f := s.CheckWrite(0x100, 4)
+	if f == nil {
+		t.Fatal("write straddling into poison passed")
+	}
+	if f.Addr != 0x103 {
+		t.Errorf("fault at %#x, want first poisoned byte 0x103", uint64(f.Addr))
+	}
+	if f.Kind != mem.FaultShadow || f.Shadow != "quarantine" {
+		t.Errorf("fault = %+v, want shadow/quarantine", f)
+	}
+	// Right-partial unpoison grows the prefix but keeps the kind.
+	s.Unpoison(0x100, 5) // up to 0x105
+	if f := s.CheckWrite(0x103, 2); f != nil {
+		t.Fatalf("write to grown prefix faulted: %v", f)
+	}
+	if k, poisoned := s.PoisonedAt(0x105); !poisoned || k != KindQuarantine {
+		t.Errorf("byte 0x105 = (%v, %v), want still quarantined", k, poisoned)
+	}
+}
+
+func TestPoisonRepaintsKind(t *testing.T) {
+	s := New()
+	s.Poison(KindQuarantine, 0x200, 8, "old tenant")
+	s.Poison(KindRedzone, 0x200, 8, "new zone")
+	k, poisoned := s.PoisonedAt(0x200)
+	if !poisoned || k != KindRedzone {
+		t.Errorf("repainted byte = (%v, %v), want redzone", k, poisoned)
+	}
+	if f := s.CheckWrite(0x200, 1); f == nil || f.Shadow != "redzone" || !strings.Contains(f.Guard, "new zone") {
+		t.Errorf("fault = %v, want redzone with new label", f)
+	}
+}
+
+func TestPrepareReuseKeepsStructuralPoison(t *testing.T) {
+	s := New()
+	s.Poison(KindQuarantine, 0x300, 8, "released placement")
+	s.Poison(KindVPtr, 0x308, 8, "vptr")
+	s.Poison(KindRedzone, 0x310, 8, "red zone")
+	s.Poison(KindHeapMeta, 0x318, 8, "header")
+	s.Poison(KindStackCtl, 0x320, 8, "ret")
+	s.PrepareReuse(0x300, 0x30)
+	for _, tc := range []struct {
+		at   mem.Addr
+		want bool
+	}{{0x300, false}, {0x308, false}, {0x310, true}, {0x318, true}, {0x320, true}} {
+		if _, poisoned := s.PoisonedAt(tc.at); poisoned != tc.want {
+			t.Errorf("PoisonedAt(%#x) = %v, want %v", uint64(tc.at), poisoned, tc.want)
+		}
+	}
+}
+
+func TestSuspendResumeExempt(t *testing.T) {
+	s := New()
+	s.Poison(KindHeapMeta, 0x400, 8, "hdr")
+	s.Suspend()
+	if f := s.CheckWrite(0x400, 8); f != nil {
+		t.Fatalf("suspended check faulted: %v", f)
+	}
+	s.Resume()
+	if f := s.CheckWrite(0x400, 8); f == nil {
+		t.Fatal("resumed check passed")
+	}
+	err := s.Exempt(func() error {
+		if f := s.CheckWrite(0x400, 8); f != nil {
+			t.Errorf("exempted check faulted: %v", f)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := s.CheckWrite(0x400, 8); f == nil {
+		t.Fatal("check stayed suspended after Exempt")
+	}
+}
+
+func TestHugeWriteScansPoisonSet(t *testing.T) {
+	s := New()
+	s.Poison(KindRedzone, 0x9000, 8, "far")
+	s.Poison(KindRedzone, 0x5000, 8, "near")
+	// The write spans far more granules than there are poisoned cells, so
+	// CheckWrite iterates the map; the reported byte must still be the
+	// lowest one (deterministic despite map order).
+	f := s.CheckWrite(0x1000, 0x10000)
+	if f == nil {
+		t.Fatal("huge write over poison passed")
+	}
+	if f.Addr != 0x5000 {
+		t.Errorf("fault at %#x, want lowest poisoned byte 0x5000", uint64(f.Addr))
+	}
+}
+
+func TestAttribution(t *testing.T) {
+	model := layout.ILP32
+	student := layout.NewClass("Student").
+		AddField("gpa", layout.Double).
+		AddField("year", layout.Int).
+		AddField("semester", layout.Int)
+	grad := layout.NewClass("GradStudent", student).
+		AddField("ssn", layout.ArrayOf(layout.Int, 3))
+	l, err := layout.Of(grad, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New()
+	base := mem.Addr(0x1000)
+	s.RecordObject(base, l)
+	for _, tc := range []struct {
+		at   mem.Addr
+		want string
+	}{
+		{base, "GradStudent.gpa"},
+		{base.Add(8), "GradStudent.year"},
+		{base.Add(17), "GradStudent.ssn+1"},
+		{base.Add(int64(l.Size)), "0 bytes past the end of GradStudent"},
+		{base.Add(int64(l.Size) + 10), "10 bytes past the end of GradStudent"},
+		{base.Add(int64(l.Size) + attributeWindow), ""},
+	} {
+		if got := s.Attribute(tc.at); got != tc.want {
+			t.Errorf("Attribute(%#x) = %q, want %q", uint64(tc.at), got, tc.want)
+		}
+	}
+	// The fault message carries both the poison label and the attribution.
+	s.Poison(KindRedzone, base.Add(int64(l.Size)), 16, "red zone after arena")
+	f := s.CheckWrite(base.Add(int64(l.Size)), 4)
+	if f == nil {
+		t.Fatal("no fault")
+	}
+	if !strings.Contains(f.Guard, "red zone after arena") || !strings.Contains(f.Guard, "past the end of GradStudent") {
+		t.Errorf("fault guard = %q, want label and attribution", f.Guard)
+	}
+}
+
+func TestStatsAndSnapshotRestore(t *testing.T) {
+	s := New()
+	s.Poison(KindRedzone, 0x100, 8, "a")
+	s.Quarantine(0x200, 8, "b")
+	s.CheckWrite(0x100, 1) // violation
+	s.CheckWrite(0x300, 1) // clean
+	st := s.Stats()
+	if st.PoisonOps != 2 || st.QuarantineOps != 1 || st.CheckedWrites != 2 || st.Violations != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+
+	snap := s.Snapshot()
+	s.Unpoison(0x100, 8)
+	s.Poison(KindVPtr, 0x400, 8, "c")
+	s.Restore(snap)
+	if f := s.CheckWrite(0x100, 1); f == nil {
+		t.Error("restored state lost the red zone")
+	}
+	if f := s.CheckWrite(0x400, 8); f != nil {
+		t.Errorf("restored state kept post-snapshot poison: %v", f)
+	}
+	// Counters are monotonic: the restore must not roll them back.
+	if got := s.Stats(); got.PoisonOps < st.PoisonOps {
+		t.Errorf("restore rolled back counters: %+v", got)
+	}
+	// Foreign snapshot values are ignored.
+	s.Restore(42)
+	if f := s.CheckWrite(0x100, 1); f == nil {
+		t.Error("foreign restore clobbered state")
+	}
+}
+
+func TestRegionsAndStateString(t *testing.T) {
+	s := New()
+	if got := s.StateString(); got != "(all addressable)\n" {
+		t.Errorf("empty state = %q", got)
+	}
+	s.Poison(KindRedzone, 0x100, 16, "rz")
+	s.Poison(KindQuarantine, 0x120, 8, "q")
+	regs := s.Regions()
+	if len(regs) != 2 {
+		t.Fatalf("regions = %+v", regs)
+	}
+	if regs[0].Base != 0x100 || regs[0].Size != 16 || regs[0].Kind != KindRedzone {
+		t.Errorf("region 0 = %+v", regs[0])
+	}
+	if regs[1].Base != 0x120 || regs[1].Kind != KindQuarantine {
+		t.Errorf("region 1 = %+v", regs[1])
+	}
+	ss := s.StateString()
+	if !strings.Contains(ss, "redzone") || !strings.Contains(ss, "quarantine") {
+		t.Errorf("state string = %q", ss)
+	}
+	// Deterministic across calls.
+	if ss != s.StateString() {
+		t.Error("StateString not deterministic")
+	}
+}
+
+func TestCheckWriteZeroAndEmpty(t *testing.T) {
+	s := New()
+	if f := s.CheckWrite(0x100, 0); f != nil {
+		t.Errorf("zero-length write faulted: %v", f)
+	}
+	if f := s.CheckWrite(0, ^uint64(0)>>1); f != nil {
+		t.Errorf("clean huge write faulted: %v", f)
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for k, want := range map[Kind]string{
+		KindAddressable: "addressable",
+		KindRedzone:     "redzone",
+		KindQuarantine:  "quarantine",
+		KindVPtr:        "vptr-slot",
+		KindHeapMeta:    "heap-metadata",
+		KindStackCtl:    "stack-control",
+		Kind(9):         "Kind(9)",
+	} {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", int(k), got, want)
+		}
+	}
+}
