@@ -11,7 +11,27 @@
 //	pnload -url http://127.0.0.1:8099 [-ids E1,E3,E9] [-levels 1,2,4,8]
 //	       [-requests 64] [-out BENCH_SERVE.json] [-warm]
 //	       [-min-hit-rate 0.5] [-priority normal]
-//	       [-no-cache] [-batch 8]
+//	       [-no-cache] [-batch 8] [-retries 2]
+//
+// Tenant-soak mode:
+//
+//	pnload -tenants [-seed 42] [-soak-duration 10s]
+//	       [-tenant-out BENCH_TENANT.json]
+//	       [-min-fair-share 0.8] [-max-starvation 0]
+//
+// -tenants runs the adversarial multi-tenant admission-control soak
+// (greedy, bursty, and well-behaved tenants against per-tenant quotas,
+// weighted fair queueing with priority aging, and circuit breakers) as
+// a deterministic discrete-event simulation — no server, no -url; the
+// same seed always produces byte-identical BENCH_TENANT.json. Exit
+// status is non-zero when the well-behaved tenant's completed fraction
+// falls below -min-fair-share, when the starvation ratio exceeds
+// -max-starvation, or when the greedy tenant was never rate-limited.
+//
+// -retries N retries shed requests (429/503) up to N times per
+// request, honoring the server's Retry-After (and millisecond
+// X-PN-Retry-After-MS) backoff hint, capped by -retry-max-sleep;
+// retry counts are recorded per level.
 //
 // -no-cache forces execution on every request — a cache-miss-heavy
 // sweep that measures the execution path (and the server's image
@@ -43,6 +63,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/service"
 )
 
 func main() {
@@ -72,7 +94,10 @@ type levelReport struct {
 	OK          int `json:"ok"`
 	Shed        int `json:"shed"`
 	Errors      int `json:"errors"`
-	CacheHits   int `json:"cache_hits"`
+	// Retries counts shed responses that were retried after honoring
+	// the server's Retry-After hint.
+	Retries   int `json:"retries,omitempty"`
+	CacheHits int `json:"cache_hits"`
 	// CacheHitRate is hits (hit + coalesced) over completed-OK requests.
 	CacheHitRate float64 `json:"cache_hit_rate"`
 	// ShedRate is shed over issued requests.
@@ -98,6 +123,7 @@ type benchServe struct {
 		OK           int     `json:"ok"`
 		Shed         int     `json:"shed"`
 		Errors       int     `json:"errors"`
+		Retries      int     `json:"retries,omitempty"`
 		CacheHits    int     `json:"cache_hits"`
 		CacheHitRate float64 `json:"cache_hit_rate"`
 	} `json:"totals"`
@@ -152,36 +178,72 @@ type sample struct {
 	shed      bool
 	cacheHit  bool
 	latencyMS float64
+	retries   int
 }
 
-// issue performs one request and classifies it.
-func issue(client *http.Client, u string) sample {
-	start := time.Now()
-	resp, err := client.Get(u)
-	s := sample{latencyMS: float64(time.Since(start).Microseconds()) / 1000}
-	if err != nil {
-		return s
-	}
-	defer resp.Body.Close()
-	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
-	s.latencyMS = float64(time.Since(start).Microseconds()) / 1000
-	if err != nil {
-		return s
-	}
-	switch resp.StatusCode {
-	case http.StatusOK:
-		var rr struct {
-			Cache string `json:"cache"`
+// retryDelay reads the server's backoff hint: the millisecond
+// X-PN-Retry-After-MS header when present, the standard whole-second
+// Retry-After otherwise, a small default when neither parses. The
+// result is capped so a pathological hint cannot stall the sweep.
+func retryDelay(h http.Header, cap time.Duration) time.Duration {
+	d := 50 * time.Millisecond
+	if v := h.Get("X-PN-Retry-After-MS"); v != "" {
+		if ms, err := strconv.ParseInt(v, 10, 64); err == nil && ms > 0 {
+			d = time.Duration(ms) * time.Millisecond
 		}
-		if json.Unmarshal(body, &rr) != nil {
+	} else if v := h.Get("Retry-After"); v != "" {
+		if sec, err := strconv.ParseInt(v, 10, 64); err == nil && sec > 0 {
+			d = time.Duration(sec) * time.Second
+		}
+	}
+	if d > cap {
+		d = cap
+	}
+	return d
+}
+
+// issue performs one request and classifies it, retrying shed
+// responses (429/503) up to retries times with the server's own
+// Retry-After backoff. The recorded latency spans all attempts — the
+// time the client actually waited for an answer.
+func issue(client *http.Client, u string, retries int, maxSleep time.Duration) sample {
+	start := time.Now()
+	var s sample
+	for attempt := 0; ; attempt++ {
+		resp, err := client.Get(u)
+		if err != nil {
+			s.latencyMS = float64(time.Since(start).Microseconds()) / 1000
 			return s
 		}
-		s.ok = true
-		s.cacheHit = rr.Cache == "hit" || rr.Cache == "coalesced"
-	case http.StatusTooManyRequests:
-		s.shed = true
+		body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		resp.Body.Close()
+		s.latencyMS = float64(time.Since(start).Microseconds()) / 1000
+		if err != nil {
+			return s
+		}
+		switch resp.StatusCode {
+		case http.StatusOK:
+			var rr struct {
+				Cache string `json:"cache"`
+			}
+			if json.Unmarshal(body, &rr) != nil {
+				return s
+			}
+			s.ok = true
+			s.cacheHit = rr.Cache == "hit" || rr.Cache == "coalesced"
+			return s
+		case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+			if attempt < retries {
+				s.retries++
+				time.Sleep(retryDelay(resp.Header, maxSleep))
+				continue
+			}
+			s.shed = true
+			return s
+		default:
+			return s
+		}
 	}
-	return s
 }
 
 // issueBatch POSTs one /runbatch call for ids and classifies every item.
@@ -218,7 +280,7 @@ func issueBatch(client *http.Client, base string, ids []string, priority string,
 		case http.StatusOK:
 			out[i].ok = true
 			out[i].cacheHit = it.Cache == "hit" || it.Cache == "coalesced"
-		case http.StatusTooManyRequests:
+		case http.StatusTooManyRequests, http.StatusServiceUnavailable:
 			out[i].shed = true
 		}
 	}
@@ -230,6 +292,8 @@ type levelOptions struct {
 	priority string
 	noCache  bool // force execution: a cache-miss-heavy sweep
 	batch    int  // >1: group requests into /runbatch calls of this size
+	retries  int  // retry shed /run requests this many times
+	maxSleep time.Duration
 }
 
 // runLevel drives one closed-loop level: c workers, n requests total,
@@ -263,7 +327,7 @@ func runLevel(client *http.Client, base string, ids []string, opts levelOptions,
 				}
 				var got []sample
 				if k == 1 {
-					got = []sample{issue(client, runURL(base, ids[int(lo)%len(ids)], opts.priority, opts.noCache))}
+					got = []sample{issue(client, runURL(base, ids[int(lo)%len(ids)], opts.priority, opts.noCache), opts.retries, opts.maxSleep)}
 				} else {
 					claimed := make([]string, 0, hi-lo)
 					for i := lo; i < hi; i++ {
@@ -295,6 +359,7 @@ func runLevel(client *http.Client, base string, ids []string, opts levelOptions,
 		default:
 			rep.Errors++
 		}
+		rep.Retries += s.retries
 	}
 	if rep.OK > 0 {
 		rep.CacheHitRate = round4(float64(rep.CacheHits) / float64(rep.OK))
@@ -387,8 +452,19 @@ func run(args []string, out io.Writer) error {
 	warm := fs.Bool("warm", true, "issue each id once before the sweep so the repeated-ID workload measures the cache")
 	minHitRate := fs.Float64("min-hit-rate", -1, "fail unless the overall cache hit rate reaches this (negative = no check)")
 	timeout := fs.Duration("timeout", 30*time.Second, "per-request HTTP timeout")
+	retries := fs.Int("retries", 0, "retry shed (429/503) /run requests this many times, honoring Retry-After")
+	retryMaxSleep := fs.Duration("retry-max-sleep", 2*time.Second, "cap on a single Retry-After backoff sleep")
+	tenants := fs.Bool("tenants", false, "run the deterministic multi-tenant admission soak instead of an HTTP sweep (no -url needed)")
+	seed := fs.Int64("seed", 42, "tenant-soak PRNG seed; equal seeds produce byte-identical reports")
+	soakDuration := fs.Duration("soak-duration", 10*time.Second, "simulated tenant-soak duration")
+	tenantOut := fs.String("tenant-out", "BENCH_TENANT.json", "tenant-soak artifact path ('-' = stdout only)")
+	minFairShare := fs.Float64("min-fair-share", 0.8, "fail unless the well-behaved tenant completes at least this fraction of its offered load")
+	maxStarvation := fs.Float64("max-starvation", 0, "fail when the low-priority starvation ratio exceeds this")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *tenants {
+		return runTenantSoak(out, *seed, *soakDuration, *tenantOut, *minFairShare, *maxStarvation)
 	}
 	if *base == "" {
 		return fmt.Errorf("missing -url")
@@ -408,13 +484,14 @@ func run(args []string, out io.Writer) error {
 
 	if *warm {
 		for _, id := range ids {
-			if s := issue(client, runURL(*base, id, *priority, false)); !s.ok {
+			if s := issue(client, runURL(*base, id, *priority, false), *retries, *retryMaxSleep); !s.ok {
 				return fmt.Errorf("warmup request for %s failed (server down or id invalid)", id)
 			}
 		}
 	}
 
-	opts := levelOptions{priority: *priority, noCache: *noCache, batch: *batch}
+	opts := levelOptions{priority: *priority, noCache: *noCache, batch: *batch,
+		retries: *retries, maxSleep: *retryMaxSleep}
 	for _, c := range levels {
 		lr := runLevel(client, *base, ids, opts, c, *requests)
 		rep.Levels = append(rep.Levels, lr)
@@ -422,6 +499,7 @@ func run(args []string, out io.Writer) error {
 		rep.Totals.OK += lr.OK
 		rep.Totals.Shed += lr.Shed
 		rep.Totals.Errors += lr.Errors
+		rep.Totals.Retries += lr.Retries
 		rep.Totals.CacheHits += lr.CacheHits
 		fmt.Fprintf(out, "c=%-3d ok=%d shed=%d err=%d hit=%.2f rps=%.1f p50=%.2fms p95=%.2fms p99=%.2fms\n",
 			c, lr.OK, lr.Shed, lr.Errors, lr.CacheHitRate, lr.ThroughputRPS,
@@ -450,6 +528,66 @@ func run(args []string, out io.Writer) error {
 	}
 	if *minHitRate >= 0 && rep.Totals.CacheHitRate < *minHitRate {
 		return fmt.Errorf("cache hit rate %.4f below required %.4f", rep.Totals.CacheHitRate, *minHitRate)
+	}
+	return nil
+}
+
+// runTenantSoak executes the deterministic three-tenant adversarial
+// soak in-process (no server: the simulation drives the exact same
+// admission components pnserve uses) and enforces the fairness gates
+// the issue specifies. Equal seeds produce byte-identical artifacts,
+// which is what lets CI diff two runs with cmp.
+func runTenantSoak(out io.Writer, seed int64, duration time.Duration, outFile string, minFairShare, maxStarvation float64) error {
+	cfg := service.DefaultSoakConfig(seed)
+	if duration > 0 {
+		cfg.Duration = duration
+	}
+	rep := service.RunTenantSoak(cfg)
+
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	blob = append(blob, '\n')
+	if outFile != "-" {
+		if err := os.WriteFile(outFile, blob, 0o644); err != nil {
+			return err
+		}
+	} else {
+		out.Write(blob)
+	}
+
+	for _, ts := range rep.Tenants {
+		shed := 0
+		for _, n := range ts.Shed {
+			shed += n
+		}
+		fmt.Fprintf(out, "tenant=%-12s offered=%-5d completed=%-5d shed=%-5d fair_share=%.3f goodput=%.1frps p99=%.2fms\n",
+			ts.Name, ts.Offered, ts.Completed, shed, ts.FairShare, ts.GoodputRPS, ts.P99MS)
+	}
+	fmt.Fprintf(out, "aged_promotions=%d starvation_ratio=%.3f breaker_opens=%d\n",
+		rep.AgedPromotions, rep.StarvationRatio, rep.BreakerOpens)
+	if outFile != "-" {
+		fmt.Fprintf(out, "wrote %s\n", outFile)
+	}
+
+	well, err := rep.TenantByName("wellbehaved")
+	if err != nil {
+		return err
+	}
+	if well.FairShare < minFairShare {
+		return fmt.Errorf("well-behaved fair share %.4f below required %.4f", well.FairShare, minFairShare)
+	}
+	if rep.StarvationRatio > maxStarvation {
+		return fmt.Errorf("starvation ratio %.4f exceeds allowed %.4f (%d of %d low-priority requests starved)",
+			rep.StarvationRatio, maxStarvation, rep.LowStarved, rep.LowAdmitted)
+	}
+	greedy, err := rep.TenantByName("greedy")
+	if err != nil {
+		return err
+	}
+	if greedy.Shed[service.ReasonQuota] == 0 {
+		return fmt.Errorf("greedy tenant was never rate-limited; quotas are not biting")
 	}
 	return nil
 }

@@ -17,21 +17,35 @@
 //	                   /run?scenario=stack-ret&chaos_prob=0.01&seed=7
 //	GET  /experiments  the servable catalogue (experiments, scenarios,
 //	                   defenses, models) as JSON
-//	GET  /healthz      {"status":"ok"} — 503 while draining
+//	GET  /healthz      liveness: always 200 while the process runs (the
+//	                   status field reads "draining" during shutdown)
+//	GET  /readyz       readiness: 503 while draining or while the
+//	                   adaptive concurrency limiter is fully closed
 //	GET  /metrics      Prometheus text exposition (pn_serve_* plus
 //	                   anything else registered)
+//
+// Multi-tenant admission control: the X-PN-Tenant request header
+// selects the tenant (default "default"); per-tenant token-bucket
+// quotas (-tenant-rate/-tenant-burst), weighted fair queueing with
+// priority aging (-aging), an adaptive concurrency limiter
+// (-p99-target), and per-(tenant, scenario-class) circuit breakers
+// (-breaker-threshold/-breaker-cooldown) shed overload with structured
+// 429/503 responses carrying a machine-readable reason and an honest
+// Retry-After.
 //
 // Capacity knobs: -workers, -queue (per priority lane), -cache-size,
 // -cache-ttl, -deadline (default per-request budget, queueing
 // included), -max-deadline. On SIGTERM/SIGINT the server drains
-// gracefully: admission stops (429/503 + failing health checks),
-// in-flight and queued work completes, then the listener shuts down.
+// gracefully: admission stops (503 + failing readiness), in-flight and
+// queued work completes, then the listener shuts down.
 //
 // Usage:
 //
 //	pnserve [-addr :8099] [-workers 8] [-queue 64]
 //	        [-cache-size 512] [-cache-ttl 10m]
 //	        [-deadline 15s] [-max-deadline 60s] [-drain-timeout 10s]
+//	        [-tenant-rate 200] [-tenant-burst 400] [-aging 1s]
+//	        [-p99-target 0] [-breaker-threshold 5] [-breaker-cooldown 2s]
 package main
 
 import (
@@ -72,6 +86,13 @@ type serverConfig struct {
 	deadline     time.Duration
 	maxDeadline  time.Duration
 	drainTimeout time.Duration
+	// Admission-control knobs.
+	tenantRate       float64
+	tenantBurst      float64
+	aging            time.Duration
+	p99Target        time.Duration
+	breakerThreshold int
+	breakerCooldown  time.Duration
 }
 
 // server is the HTTP face of one service.Service.
@@ -92,6 +113,10 @@ func newServer(cfg serverConfig) *server {
 			CacheTTL:        cfg.cacheTTL,
 			DefaultDeadline: cfg.deadline,
 			MaxDeadline:     cfg.maxDeadline,
+			Quota:           service.QuotaConfig{Rate: cfg.tenantRate, Burst: cfg.tenantBurst},
+			Limiter:         service.LimiterConfig{TargetP99: cfg.p99Target},
+			Breaker:         service.BreakerConfig{Threshold: cfg.breakerThreshold, Cooldown: cfg.breakerCooldown},
+			AgingThreshold:  cfg.aging,
 			Registry:        reg,
 		}),
 		reg:     reg,
@@ -105,6 +130,7 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("/runbatch", s.handleRunBatch)
 	mux.HandleFunc("/experiments", s.handleCatalog)
 	mux.HandleFunc("/healthz", s.handleHealth)
+	mux.HandleFunc("/readyz", s.handleReady)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	return mux
 }
@@ -133,7 +159,10 @@ func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
 		writeJSON(w, http.StatusServiceUnavailable, errorResponse{
 			Error: "server draining", Code: http.StatusServiceUnavailable,
-			Reject: &service.Rejection{Code: 503, Reason: "draining"},
+			Reject: &service.Rejection{
+				Code: 503, Reason: service.ReasonDraining,
+				Tenant: service.NormalizeTenant(r.Header.Get(tenantHeader)),
+			},
 		})
 		return
 	}
@@ -186,7 +215,10 @@ func (s *server) handleRunBatch(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
 		writeJSON(w, http.StatusServiceUnavailable, errorResponse{
 			Error: "server draining", Code: http.StatusServiceUnavailable,
-			Reject: &service.Rejection{Code: 503, Reason: "draining"},
+			Reject: &service.Rejection{
+				Code: 503, Reason: service.ReasonDraining,
+				Tenant: service.NormalizeTenant(r.Header.Get(tenantHeader)),
+			},
 		})
 		return
 	}
@@ -214,6 +246,12 @@ func (s *server) handleRunBatch(w http.ResponseWriter, r *http.Request) {
 			Code:  http.StatusBadRequest,
 		})
 		return
+	}
+
+	// The batch's tenant comes from the header, like single requests:
+	// bodies cannot impersonate other tenants.
+	for i := range breq.Requests {
+		breq.Requests[i].Tenant = r.Header.Get(tenantHeader)
 	}
 
 	start := time.Now()
@@ -261,7 +299,11 @@ func (s *server) writeError(w http.ResponseWriter, err error) {
 	case errors.As(err, &bad):
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error(), Code: http.StatusBadRequest})
 	case errors.As(err, &rej):
+		// Standard Retry-After is whole seconds (rounded up); the
+		// millisecond-precision hint rides alongside for clients (pnload)
+		// that can use it.
 		w.Header().Set("Retry-After", strconv.FormatInt((rej.RetryAfterMS+999)/1000, 10))
+		w.Header().Set("X-PN-Retry-After-MS", strconv.FormatInt(rej.RetryAfterMS, 10))
 		writeJSON(w, rej.Code, errorResponse{Error: err.Error(), Code: rej.Code, Reject: rej})
 	case errors.As(err, &exe):
 		writeJSON(w, http.StatusInternalServerError, errorResponse{
@@ -277,8 +319,22 @@ func (s *server) writeError(w http.ResponseWriter, err error) {
 	}
 }
 
+// tenantHeader selects the admission-control tenant. The body cannot
+// set it (Request.Tenant is excluded from JSON), so quota identity is
+// a transport-level property, like authentication would be.
+const tenantHeader = "X-PN-Tenant"
+
 // parseRequest accepts POST JSON or GET query parameters.
 func parseRequest(r *http.Request) (service.Request, error) {
+	req, err := parseRequestBody(r)
+	if err != nil {
+		return req, err
+	}
+	req.Tenant = r.Header.Get(tenantHeader)
+	return req, nil
+}
+
+func parseRequestBody(r *http.Request) (service.Request, error) {
 	var req service.Request
 	switch r.Method {
 	case http.MethodPost:
@@ -357,10 +413,30 @@ func (s *server) handleCatalog(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, c)
 }
 
+// handleHealth is liveness: 200 for the whole process lifetime, even
+// while draining — a draining process is shutting down cleanly, not
+// dead, and must not be killed by its supervisor.
 func (s *server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	status, code := "ok", http.StatusOK
+	status := "ok"
 	if s.draining.Load() {
+		status = "draining"
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":    status,
+		"uptime_ms": time.Since(s.started).Milliseconds(),
+	})
+}
+
+// handleReady is readiness: 503 while draining or while the adaptive
+// concurrency limiter has fully closed (limit at its floor with every
+// slot taken) — both mean "route new traffic elsewhere".
+func (s *server) handleReady(w http.ResponseWriter, r *http.Request) {
+	status, code := "ready", http.StatusOK
+	switch {
+	case s.draining.Load():
 		status, code = "draining", http.StatusServiceUnavailable
+	case s.svc.Scheduler().Limiter().Saturated():
+		status, code = "saturated", http.StatusServiceUnavailable
 	}
 	writeJSON(w, code, map[string]any{
 		"status":    status,
@@ -391,6 +467,12 @@ func run(args []string, out io.Writer) error {
 	deadline := fs.Duration("deadline", 15*time.Second, "default per-request deadline (queueing included)")
 	maxDeadline := fs.Duration("max-deadline", time.Minute, "cap on client-supplied deadlines")
 	drainTimeout := fs.Duration("drain-timeout", 10*time.Second, "graceful shutdown budget after SIGTERM")
+	tenantRate := fs.Float64("tenant-rate", 200, "per-tenant sustained admission rate in req/s (0 disables quotas)")
+	tenantBurst := fs.Float64("tenant-burst", 400, "per-tenant burst allowance (0 = 2x rate)")
+	aging := fs.Duration("aging", time.Second, "queue wait at which any request outranks strict priority (negative disables)")
+	p99Target := fs.Duration("p99-target", 0, "adaptive concurrency limiter latency objective (0 disables)")
+	breakerThreshold := fs.Int("breaker-threshold", 5, "consecutive execution deaths that open a (tenant, class) breaker (0 disables)")
+	breakerCooldown := fs.Duration("breaker-cooldown", 2*time.Second, "open-breaker fast-fail window before a half-open probe")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -400,6 +482,9 @@ func run(args []string, out io.Writer) error {
 		cacheSize: *cacheSize, cacheTTL: *cacheTTL,
 		deadline: *deadline, maxDeadline: *maxDeadline,
 		drainTimeout: *drainTimeout,
+		tenantRate:   *tenantRate, tenantBurst: *tenantBurst,
+		aging: *aging, p99Target: *p99Target,
+		breakerThreshold: *breakerThreshold, breakerCooldown: *breakerCooldown,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.handler()}
 
@@ -407,8 +492,8 @@ func run(args []string, out io.Writer) error {
 	signal.Notify(sigCh, syscall.SIGTERM, syscall.SIGINT)
 	errCh := make(chan error, 1)
 	go func() {
-		fmt.Fprintf(out, "pnserve: listening on %s (%d workers, queue %d/lane, cache %d entries, ttl %s)\n",
-			*addr, *workers, *queue, *cacheSize, *cacheTTL)
+		fmt.Fprintf(out, "pnserve: listening on %s (%d workers, queue %d/lane, cache %d entries, ttl %s, tenant quota %g/%g)\n",
+			*addr, *workers, *queue, *cacheSize, *cacheTTL, *tenantRate, *tenantBurst)
 		errCh <- httpSrv.ListenAndServe()
 	}()
 

@@ -130,14 +130,87 @@ func TestCatalogHealthMetrics(t *testing.T) {
 		}
 	}
 
-	// Draining: health fails, /run sheds with 503.
+	// Draining: liveness stays 200 (the process is alive and shutting
+	// down cleanly), readiness fails, /run sheds with 503.
 	srv.draining.Store(true)
-	if out := getJSON(t, ts.URL+"/healthz", http.StatusServiceUnavailable); out["status"] != "draining" {
-		t.Fatalf("draining healthz = %v", out)
+	if out := getJSON(t, ts.URL+"/healthz", http.StatusOK); out["status"] != "draining" {
+		t.Fatalf("draining healthz = %v, want 200 with draining status", out)
+	}
+	if out := getJSON(t, ts.URL+"/readyz", http.StatusServiceUnavailable); out["status"] != "draining" {
+		t.Fatalf("draining readyz = %v", out)
 	}
 	out := getJSON(t, ts.URL+"/run?experiment=E1", http.StatusServiceUnavailable)
 	if rej, ok := out["reject"].(map[string]any); !ok || rej["reason"] != "draining" {
 		t.Fatalf("draining /run = %v, want structured draining rejection", out)
+	}
+}
+
+// TestReadyzLiveness: a fresh server is both live and ready.
+func TestReadyzReady(t *testing.T) {
+	_, ts := newTestServer(t)
+	if out := getJSON(t, ts.URL+"/readyz", http.StatusOK); out["status"] != "ready" {
+		t.Fatalf("readyz = %v, want ready", out)
+	}
+}
+
+// TestTenantQuotaOverHTTP: the X-PN-Tenant header selects the quota
+// bucket; an exhausted tenant gets a structured 429 with the quota
+// reason, both Retry-After headers, and its tenant echoed — while
+// other tenants keep flowing.
+func TestTenantQuotaOverHTTP(t *testing.T) {
+	srv := newServer(serverConfig{
+		workers: 4, queue: 16, cacheSize: 32,
+		cacheTTL: time.Minute, deadline: 10 * time.Second, maxDeadline: 30 * time.Second,
+		tenantRate: 0.001, tenantBurst: 1, // one request, then a very slow refill
+	})
+	ts := httptest.NewServer(srv.handler())
+	t.Cleanup(func() { ts.Close(); srv.svc.Drain() })
+
+	do := func(tenant, experiment string) *http.Response {
+		req, err := http.NewRequest(http.MethodGet, ts.URL+"/run?no_cache=true&experiment="+experiment, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tenant != "" {
+			req.Header.Set("X-PN-Tenant", tenant)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+
+	resp := do("Greedy", "E1")
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("first tenant request = %d, want 200", resp.StatusCode)
+	}
+
+	resp = do("Greedy", "E2")
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("second tenant request = %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" || resp.Header.Get("X-PN-Retry-After-MS") == "" {
+		t.Fatal("429 missing Retry-After / X-PN-Retry-After-MS headers")
+	}
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	rej, ok := out["reject"].(map[string]any)
+	if !ok || rej["reason"] != "quota" || rej["tenant"] != "greedy" {
+		t.Fatalf("429 body = %v, want quota rejection for normalized tenant greedy", out)
+	}
+
+	// A different tenant still has its own full bucket.
+	resp = do("other", "E1")
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("other tenant = %d, want 200 (quota not isolated per tenant)", resp.StatusCode)
 	}
 }
 

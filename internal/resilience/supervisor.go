@@ -176,18 +176,20 @@ type Result struct {
 // the deterministic-campaign contract depends on jobs running one at a
 // time in a fixed order.
 type Supervisor struct {
-	pol         Policy
-	consecutive int // consecutive dead jobs, for the breaker
-	results     []*Result
+	pol     Policy
+	breaker *Breaker // crash-loop breaker over consecutive dead jobs
+	results []*Result
 }
 
 // NewSupervisor builds a supervisor with the given policy.
-func NewSupervisor(pol Policy) *Supervisor { return &Supervisor{pol: pol} }
+func NewSupervisor(pol Policy) *Supervisor {
+	// Cooldown 0: the supervisor's crash-loop breaker only closes again
+	// when a job succeeds — the historical sequential-campaign contract.
+	return &Supervisor{pol: pol, breaker: NewBreaker(pol.BreakerThreshold, 0, nil)}
+}
 
 // BreakerOpen reports whether the crash-loop breaker is currently open.
-func (s *Supervisor) BreakerOpen() bool {
-	return s.pol.BreakerThreshold > 0 && s.consecutive >= s.pol.BreakerThreshold
-}
+func (s *Supervisor) BreakerOpen() bool { return s.breaker.Open() }
 
 // Results returns every result recorded so far, in run order.
 func (s *Supervisor) Results() []*Result {
@@ -202,7 +204,7 @@ func (s *Supervisor) Run(job Job) *Result {
 	s.results = append(s.results, res)
 	if s.BreakerOpen() {
 		res.Status = StatusSkipped
-		res.Err = fmt.Sprintf("crash-loop breaker open after %d consecutive dead jobs", s.consecutive)
+		res.Err = fmt.Sprintf("crash-loop breaker open after %d consecutive dead jobs", s.breaker.Consecutive())
 		if s.pol.Observer != nil {
 			s.pol.Observer.JobFinished(res)
 		}
@@ -227,7 +229,7 @@ func (s *Supervisor) Run(job Job) *Result {
 		if crash == nil {
 			res.Status = StatusOK
 			res.Value = val
-			s.consecutive = 0
+			s.breaker.Success()
 			if s.pol.Observer != nil {
 				s.pol.Observer.JobFinished(res)
 			}
@@ -249,7 +251,7 @@ func (s *Supervisor) Run(job Job) *Result {
 		res.Status = StatusFailed
 	}
 	res.Err = last.Message
-	s.consecutive++
+	s.breaker.Failure()
 	if s.pol.Observer != nil {
 		s.pol.Observer.JobFinished(res)
 	}

@@ -1,0 +1,190 @@
+package service
+
+import (
+	"strings"
+	"sync"
+	"time"
+)
+
+// DefaultTenant is the tenant requests fall into when the client sends
+// no X-PN-Tenant header.
+const DefaultTenant = "default"
+
+// NormalizeTenant maps a raw tenant header value onto a stable tenant
+// name: trimmed, lower-cased, capped at 64 bytes, empty → DefaultTenant.
+func NormalizeTenant(s string) string {
+	s = strings.ToLower(strings.TrimSpace(s))
+	if s == "" {
+		return DefaultTenant
+	}
+	if len(s) > 64 {
+		s = s[:64]
+	}
+	return s
+}
+
+// TenantLimits is one tenant's quota override.
+type TenantLimits struct {
+	// Rate is the sustained admission rate in requests per second.
+	Rate float64
+	// Burst is the bucket capacity — how far above the sustained rate a
+	// tenant may briefly spike.
+	Burst float64
+	// Weight is the tenant's fair-queueing weight (default 1): a
+	// weight-2 tenant drains twice as fast as a weight-1 tenant when
+	// both are backlogged in the same lane.
+	Weight float64
+}
+
+// QuotaConfig tunes per-tenant admission quotas. The zero value
+// disables quotas entirely (every TryTake succeeds).
+type QuotaConfig struct {
+	// Rate/Burst are the default token-bucket parameters applied to any
+	// tenant without an explicit override. Rate <= 0 disables quotas.
+	Rate  float64
+	Burst float64
+	// PerTenant overrides Rate/Burst/Weight for named tenants.
+	PerTenant map[string]TenantLimits
+}
+
+func (c QuotaConfig) withDefaults() QuotaConfig {
+	if c.Rate > 0 && c.Burst <= 0 {
+		c.Burst = 2 * c.Rate
+	}
+	return c
+}
+
+// Enabled reports whether quotas are armed at all.
+func (c QuotaConfig) Enabled() bool { return c.Rate > 0 }
+
+// WeightFor returns a tenant's fair-queueing weight (default 1).
+func (c QuotaConfig) WeightFor(tenant string) float64 {
+	if o, ok := c.PerTenant[tenant]; ok && o.Weight > 0 {
+		return o.Weight
+	}
+	return 1
+}
+
+// tokenBucket is one tenant's refillable budget. Refill happens lazily
+// from the elapsed time on the injected clock, so behavior is
+// byte-reproducible under a virtual clock.
+type tokenBucket struct {
+	tokens float64
+	last   time.Time
+	rate   float64 // tokens per second
+	burst  float64 // capacity
+}
+
+func (b *tokenBucket) refill(now time.Time) {
+	if dt := now.Sub(b.last).Seconds(); dt > 0 {
+		b.tokens += dt * b.rate
+		if b.tokens > b.burst {
+			b.tokens = b.burst
+		}
+	}
+	b.last = now
+}
+
+// take consumes one token if available; otherwise it reports how long
+// until the next token accrues.
+func (b *tokenBucket) take(now time.Time) (ok bool, wait time.Duration) {
+	b.refill(now)
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	need := 1 - b.tokens
+	return false, time.Duration(need / b.rate * float64(time.Second))
+}
+
+// put refunds one token (a request cancelled before it consumed any
+// work gives its admission back).
+func (b *tokenBucket) put() {
+	b.tokens++
+	if b.tokens > b.burst {
+		b.tokens = b.burst
+	}
+}
+
+// TenantQuotas is the per-tenant token-bucket table. Buckets are
+// created lazily, full, on a tenant's first request.
+type TenantQuotas struct {
+	mu  sync.Mutex
+	cfg QuotaConfig
+	now func() time.Time
+	m   map[string]*tokenBucket
+}
+
+// NewTenantQuotas builds the quota table; a nil now selects time.Now.
+func NewTenantQuotas(cfg QuotaConfig, now func() time.Time) *TenantQuotas {
+	if now == nil {
+		now = time.Now
+	}
+	return &TenantQuotas{cfg: cfg.withDefaults(), now: now, m: make(map[string]*tokenBucket)}
+}
+
+// Enabled reports whether the table enforces anything.
+func (q *TenantQuotas) Enabled() bool { return q != nil && q.cfg.Enabled() }
+
+func (q *TenantQuotas) bucket(tenant string) *tokenBucket {
+	b, ok := q.m[tenant]
+	if !ok {
+		rate, burst := q.cfg.Rate, q.cfg.Burst
+		if o, exists := q.cfg.PerTenant[tenant]; exists {
+			if o.Rate > 0 {
+				rate = o.Rate
+			}
+			if o.Burst > 0 {
+				burst = o.Burst
+			} else if o.Rate > 0 {
+				burst = 2 * o.Rate
+			}
+		}
+		b = &tokenBucket{tokens: burst, last: q.now(), rate: rate, burst: burst}
+		q.m[tenant] = b
+	}
+	return b
+}
+
+// TryTake consumes one admission token for tenant. When the bucket is
+// empty it refuses and returns the time until the next token — the
+// honest Retry-After for a quota rejection.
+func (q *TenantQuotas) TryTake(tenant string) (ok bool, wait time.Duration) {
+	if !q.Enabled() {
+		return true, 0
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.bucket(tenant).take(q.now())
+}
+
+// Refund returns one token to tenant (cancelled-while-queued requests
+// never consumed compute, so their admission is given back).
+func (q *TenantQuotas) Refund(tenant string) {
+	if !q.Enabled() {
+		return
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.bucket(tenant).put()
+}
+
+// Tokens returns tenant's current balance (for tests and gauges).
+func (q *TenantQuotas) Tokens(tenant string) float64 {
+	if !q.Enabled() {
+		return 0
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	b := q.bucket(tenant)
+	b.refill(q.now())
+	return b.tokens
+}
+
+// WeightFor returns tenant's fair-queueing weight.
+func (q *TenantQuotas) WeightFor(tenant string) float64 {
+	if q == nil {
+		return 1
+	}
+	return q.cfg.WeightFor(tenant)
+}

@@ -19,29 +19,68 @@ func badRequestf(format string, args ...any) *BadRequest {
 	return &BadRequest{Reason: fmt.Sprintf(format, args...)}
 }
 
+// Rejection reasons: the machine-readable enum clients (and pnload)
+// use to distinguish shed causes.
+const (
+	// ReasonQuota: the tenant's token bucket is empty (429).
+	ReasonQuota = "quota"
+	// ReasonQueueFull: the priority lane is at capacity (429).
+	ReasonQueueFull = "queue_full"
+	// ReasonLimiter: the adaptive concurrency limiter is at its
+	// latency-steered limit (429).
+	ReasonLimiter = "limiter"
+	// ReasonBreakerOpen: this tenant's scenario class is fast-failing
+	// after repeated execution deaths (503).
+	ReasonBreakerOpen = "breaker_open"
+	// ReasonDraining: the server is shutting down (503).
+	ReasonDraining = "draining"
+)
+
+// RejectionReasons enumerates every Reason value, for table-driven
+// tests and client generators.
+var RejectionReasons = []string{ReasonQuota, ReasonQueueFull, ReasonLimiter, ReasonBreakerOpen, ReasonDraining}
+
+// reasonCode maps a rejection reason onto its HTTP-style status:
+// overload reasons are 429 (the client should slow down), while
+// unavailability reasons are 503 (the server, or this tenant's class,
+// is refusing service for now).
+func reasonCode(reason string) int {
+	switch reason {
+	case ReasonBreakerOpen, ReasonDraining:
+		return 503
+	default:
+		return 429
+	}
+}
+
 // Rejection is a structured load-shedding decision: the service chose
 // not to queue the request rather than let the queue grow without
-// bound. It maps to HTTP 429 (queue full) or 503 (draining) and
-// carries enough state for the client to back off intelligently.
+// bound. It maps to HTTP 429 (overload shedding: quota, queue_full,
+// limiter) or 503 (breaker_open, draining) and carries enough state
+// for the client to back off intelligently.
 type Rejection struct {
-	// Code is the HTTP-style status the rejection maps to: 429 for
-	// queue-full shedding, 503 for drain.
+	// Code is the HTTP-style status the rejection maps to (see
+	// reasonCode).
 	Code int `json:"code"`
-	// Reason is a stable machine-readable token: "queue-full" or
-	// "draining".
+	// Reason is one of the Reason* enum values.
 	Reason string `json:"reason"`
+	// Tenant is the (normalized) tenant the decision applied to.
+	Tenant string `json:"tenant,omitempty"`
 	// Lane is the priority lane the request was bound for.
 	Lane string `json:"lane"`
 	// QueueLen/QueueCap describe the lane at rejection time.
 	QueueLen int `json:"queue_len"`
 	QueueCap int `json:"queue_cap"`
-	// RetryAfterMS is the server's backoff hint.
+	// RetryAfterMS is the server's backoff hint, computed from the
+	// measured drain rate (limiter/queue_full), the tenant's token
+	// refill schedule (quota), or the breaker cooldown — not a
+	// constant.
 	RetryAfterMS int64 `json:"retry_after_ms"`
 }
 
 func (r *Rejection) Error() string {
-	return fmt.Sprintf("service: %s (lane %s, queue %d/%d, retry after %dms)",
-		r.Reason, r.Lane, r.QueueLen, r.QueueCap, r.RetryAfterMS)
+	return fmt.Sprintf("service: %s (tenant %s, lane %s, queue %d/%d, retry after %dms)",
+		r.Reason, r.Tenant, r.Lane, r.QueueLen, r.QueueCap, r.RetryAfterMS)
 }
 
 // ExecError is a request whose supervised execution died: the scenario

@@ -1,0 +1,227 @@
+package service
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"time"
+)
+
+// LimiterConfig tunes the adaptive concurrency limiter.
+type LimiterConfig struct {
+	// MinLimit/MaxLimit bound the adaptive limit (defaults 1 and the
+	// scheduler's workers + total queue capacity).
+	MinLimit int
+	MaxLimit int
+	// Initial is the starting limit (default MaxLimit: start open and
+	// let overload close it).
+	Initial int
+	// TargetP99 is the latency objective. When a window's observed p99
+	// (admission to completion) exceeds it the limit shrinks
+	// multiplicatively; otherwise it grows by one (AIMD). <= 0 disables
+	// the limiter entirely.
+	TargetP99 time.Duration
+	// Window is how many completions form one adjustment sample
+	// (default 32).
+	Window int
+	// Backoff is the multiplicative-decrease factor (default 0.75).
+	Backoff float64
+	// OnAdjust, when non-nil, observes every limit change ("increase"
+	// or "decrease") — the metrics seam.
+	OnAdjust func(direction string, limit int)
+}
+
+func (c LimiterConfig) withDefaults() LimiterConfig {
+	if c.MinLimit <= 0 {
+		c.MinLimit = 1
+	}
+	if c.MaxLimit < c.MinLimit {
+		c.MaxLimit = c.MinLimit
+	}
+	if c.Initial <= 0 || c.Initial > c.MaxLimit {
+		c.Initial = c.MaxLimit
+	}
+	if c.Window <= 0 {
+		c.Window = 32
+	}
+	if c.Backoff <= 0 || c.Backoff >= 1 {
+		c.Backoff = 0.75
+	}
+	return c
+}
+
+// drainRateSamples is how many completion timestamps feed the measured
+// drain rate behind honest Retry-After hints.
+const drainRateSamples = 64
+
+// Limiter is the scheduler's adaptive concurrency limiter: it caps
+// outstanding work (queued + executing) at a limit steered by AIMD on
+// the observed p99 latency versus a target, so the scheduler sheds
+// load *before* the queues saturate, and it tracks the measured drain
+// rate so rejections carry an honest Retry-After instead of a
+// constant.
+type Limiter struct {
+	mu          sync.Mutex
+	cfg         LimiterConfig
+	limit       float64
+	outstanding int
+	window      []float64   // latency samples (ms) for the current adjustment window
+	completions []time.Time // ring of recent completion times for the drain rate
+	compIdx     int
+	compN       int
+}
+
+// NewLimiter builds a limiter. A zero-value config (TargetP99 == 0)
+// yields a disabled limiter that admits everything.
+func NewLimiter(cfg LimiterConfig) *Limiter {
+	cfg = cfg.withDefaults()
+	return &Limiter{
+		cfg:         cfg,
+		limit:       float64(cfg.Initial),
+		completions: make([]time.Time, drainRateSamples),
+	}
+}
+
+// Enabled reports whether the limiter enforces anything.
+func (l *Limiter) Enabled() bool { return l != nil && l.cfg.TargetP99 > 0 }
+
+// TryAcquire claims an outstanding slot; false means the limiter is at
+// its adaptive limit and the request should shed.
+func (l *Limiter) TryAcquire() bool {
+	if !l.Enabled() {
+		return true
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.outstanding >= int(l.limit) {
+		return false
+	}
+	l.outstanding++
+	return true
+}
+
+// Release returns a slot after a completed execution, feeding its
+// admission-to-completion latency into the AIMD window and the
+// completion clock into the drain-rate ring.
+func (l *Limiter) Release(latency time.Duration, now time.Time) {
+	if !l.Enabled() {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.releaseLocked()
+	l.completions[l.compIdx] = now
+	l.compIdx = (l.compIdx + 1) % drainRateSamples
+	if l.compN < drainRateSamples {
+		l.compN++
+	}
+	l.window = append(l.window, float64(latency.Microseconds())/1000)
+	if len(l.window) >= l.cfg.Window {
+		l.adjustLocked()
+	}
+}
+
+// Cancel returns a slot without a latency sample (the request was
+// cancelled while still queued — it measured nothing).
+func (l *Limiter) Cancel() {
+	if !l.Enabled() {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.releaseLocked()
+}
+
+func (l *Limiter) releaseLocked() {
+	if l.outstanding > 0 {
+		l.outstanding--
+	}
+}
+
+// adjustLocked applies one AIMD step from the completed window.
+func (l *Limiter) adjustLocked() {
+	sorted := append([]float64(nil), l.window...)
+	sort.Float64s(sorted)
+	p99 := sorted[int(math.Ceil(0.99*float64(len(sorted))))-1]
+	l.window = l.window[:0]
+	target := float64(l.cfg.TargetP99.Microseconds()) / 1000
+	if p99 > target {
+		next := math.Max(float64(l.cfg.MinLimit), l.limit*l.cfg.Backoff)
+		if int(next) != int(l.limit) && l.cfg.OnAdjust != nil {
+			l.cfg.OnAdjust("decrease", int(next))
+		}
+		l.limit = next
+		return
+	}
+	next := math.Min(float64(l.cfg.MaxLimit), l.limit+1)
+	if int(next) != int(l.limit) && l.cfg.OnAdjust != nil {
+		l.cfg.OnAdjust("increase", int(next))
+	}
+	l.limit = next
+}
+
+// Limit returns the current adaptive limit.
+func (l *Limiter) Limit() int {
+	if !l.Enabled() {
+		return math.MaxInt32
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return int(l.limit)
+}
+
+// Outstanding returns the live outstanding count.
+func (l *Limiter) Outstanding() int {
+	if !l.Enabled() {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.outstanding
+}
+
+// Saturated reports the fully-closed state: the limit has collapsed to
+// its floor and every slot is taken. Readiness probes use this to stop
+// routing before the queues melt.
+func (l *Limiter) Saturated() bool {
+	if !l.Enabled() {
+		return false
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return int(l.limit) <= l.cfg.MinLimit && l.outstanding >= int(l.limit)
+}
+
+// RetryAfter estimates how long until an admission slot frees, from
+// the measured drain rate: (slots to free)/(completions per second).
+// With too little signal it falls back to the supplied hint. The
+// estimate is clamped to [10ms, 5s].
+func (l *Limiter) RetryAfter(now time.Time, fallback time.Duration) time.Duration {
+	if !l.Enabled() {
+		return fallback
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.compN < 2 {
+		return fallback
+	}
+	newest := l.completions[(l.compIdx-1+drainRateSamples)%drainRateSamples]
+	oldest := l.completions[(l.compIdx-l.compN+drainRateSamples)%drainRateSamples]
+	span := newest.Sub(oldest)
+	if span <= 0 {
+		return fallback
+	}
+	rate := float64(l.compN-1) / span.Seconds() // completions per second
+	backlog := float64(l.outstanding-int(l.limit)) + 1
+	if backlog < 1 {
+		backlog = 1
+	}
+	est := time.Duration(backlog / rate * float64(time.Second))
+	if est < 10*time.Millisecond {
+		est = 10 * time.Millisecond
+	}
+	if est > 5*time.Second {
+		est = 5 * time.Second
+	}
+	return est
+}

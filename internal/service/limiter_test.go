@@ -1,0 +1,124 @@
+package service
+
+import (
+	"testing"
+	"time"
+)
+
+func TestLimiterDisabledAdmitsEverything(t *testing.T) {
+	l := NewLimiter(LimiterConfig{})
+	for i := 0; i < 100; i++ {
+		if !l.TryAcquire() {
+			t.Fatal("disabled limiter refused an acquisition")
+		}
+	}
+	if l.Saturated() {
+		t.Fatal("disabled limiter reported saturated")
+	}
+	if got := l.RetryAfter(time.Now(), 42*time.Millisecond); got != 42*time.Millisecond {
+		t.Fatalf("disabled RetryAfter = %v, want the fallback", got)
+	}
+}
+
+func TestLimiterBoundsOutstanding(t *testing.T) {
+	l := NewLimiter(LimiterConfig{TargetP99: 100 * time.Millisecond, MaxLimit: 2})
+	if !l.TryAcquire() || !l.TryAcquire() {
+		t.Fatal("limiter refused below its limit")
+	}
+	if l.TryAcquire() {
+		t.Fatal("limiter admitted past its limit")
+	}
+	l.Cancel()
+	if !l.TryAcquire() {
+		t.Fatal("limiter refused after a slot was cancelled back")
+	}
+}
+
+// TestLimiterAIMD pins the control loop: a window of latencies above
+// target shrinks the limit multiplicatively; a window below grows it by
+// one.
+func TestLimiterAIMD(t *testing.T) {
+	var events []string
+	l := NewLimiter(LimiterConfig{
+		TargetP99: 50 * time.Millisecond,
+		MaxLimit:  10,
+		Initial:   8,
+		Window:    4,
+		OnAdjust:  func(dir string, limit int) { events = append(events, dir) },
+	})
+	now := time.Unix(1_700_000_000, 0)
+
+	// One window of slow completions: 8 * 0.75 = 6.
+	for i := 0; i < 4; i++ {
+		l.TryAcquire()
+		now = now.Add(10 * time.Millisecond)
+		l.Release(200*time.Millisecond, now)
+	}
+	if got := l.Limit(); got != 6 {
+		t.Fatalf("limit after slow window = %d, want 6", got)
+	}
+	// One window of fast completions: additive increase back to 7.
+	for i := 0; i < 4; i++ {
+		l.TryAcquire()
+		now = now.Add(10 * time.Millisecond)
+		l.Release(5*time.Millisecond, now)
+	}
+	if got := l.Limit(); got != 7 {
+		t.Fatalf("limit after fast window = %d, want 7", got)
+	}
+	if len(events) != 2 || events[0] != "decrease" || events[1] != "increase" {
+		t.Fatalf("adjust events = %v, want [decrease increase]", events)
+	}
+}
+
+func TestLimiterNeverBelowMin(t *testing.T) {
+	l := NewLimiter(LimiterConfig{TargetP99: time.Millisecond, MinLimit: 2, MaxLimit: 4, Window: 2})
+	now := time.Unix(1_700_000_000, 0)
+	for w := 0; w < 10; w++ {
+		for i := 0; i < 2; i++ {
+			l.TryAcquire()
+			now = now.Add(time.Millisecond)
+			l.Release(time.Second, now)
+		}
+	}
+	if got := l.Limit(); got != 2 {
+		t.Fatalf("limit after sustained overload = %d, want floor 2", got)
+	}
+}
+
+func TestLimiterSaturated(t *testing.T) {
+	l := NewLimiter(LimiterConfig{TargetP99: time.Millisecond, MinLimit: 1, MaxLimit: 1})
+	if l.Saturated() {
+		t.Fatal("saturated before any acquisition")
+	}
+	l.TryAcquire()
+	if !l.Saturated() {
+		t.Fatal("limit at floor with every slot taken should report saturated")
+	}
+	l.Cancel()
+	if l.Saturated() {
+		t.Fatal("still saturated after the slot was released")
+	}
+}
+
+// TestLimiterRetryAfterFromDrainRate: the hint is computed from the
+// measured completion rate, not a constant.
+func TestLimiterRetryAfterFromDrainRate(t *testing.T) {
+	l := NewLimiter(LimiterConfig{TargetP99: time.Second, MaxLimit: 4})
+	now := time.Unix(1_700_000_000, 0)
+	fallback := 250 * time.Millisecond
+
+	if got := l.RetryAfter(now, fallback); got != fallback {
+		t.Fatalf("RetryAfter with no samples = %v, want fallback %v", got, fallback)
+	}
+	// 11 completions 100ms apart: measured drain rate 10/s.
+	for i := 0; i < 11; i++ {
+		l.TryAcquire()
+		now = now.Add(100 * time.Millisecond)
+		l.Release(10*time.Millisecond, now)
+	}
+	// Nothing outstanding: one slot frees in ~1/rate = 100ms.
+	if got := l.RetryAfter(now, fallback); got != 100*time.Millisecond {
+		t.Fatalf("RetryAfter at 10/s drain = %v, want 100ms", got)
+	}
+}

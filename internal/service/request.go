@@ -89,12 +89,18 @@ type Request struct {
 	// DeadlineMS caps this request's total time in the service —
 	// queueing included. 0 selects the server default.
 	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+	// Tenant is the admission-control identity (from the X-PN-Tenant
+	// header; empty means the default tenant). It steers quotas, fair
+	// queueing, and circuit breakers but is deliberately NOT part of the
+	// cache key: results are content-addressed and tenant-agnostic.
+	Tenant string `json:"-"`
 }
 
 // request is a validated, normalized Request plus everything resolved
 // from the catalogues.
 type request struct {
 	Request
+	tenant   string
 	priority Priority
 	kind     string // "experiment" | "scenario"
 	id       string // experiment or scenario ID
@@ -124,6 +130,7 @@ func modelByName(name string) (layout.Model, error) {
 // content-addressed cache key.
 func normalize(r Request) (*request, error) {
 	out := &request{Request: r}
+	out.tenant = NormalizeTenant(r.Tenant)
 	pri, err := ParsePriority(r.Priority)
 	if err != nil {
 		return nil, err

@@ -10,18 +10,39 @@ import (
 	"repro/internal/resilience"
 )
 
-// SchedulerConfig tunes the worker pool.
+// SchedulerConfig tunes the worker pool and its admission-control
+// stack.
 type SchedulerConfig struct {
 	// Workers is the pool size (default 4).
 	Workers int
 	// QueueDepth bounds each priority lane's admission queue
 	// (default 64). A full lane sheds instead of queueing.
 	QueueDepth int
-	// RetryAfter is the backoff hint attached to shed responses
-	// (default 250ms).
+	// RetryAfter is the fallback backoff hint attached to shed
+	// responses when no measured drain rate is available yet
+	// (default 250ms). Once the limiter has seen completions,
+	// rejections carry an honest estimate instead.
 	RetryAfter time.Duration
+	// Quota arms per-tenant token-bucket admission quotas (zero value
+	// = disabled).
+	Quota QuotaConfig
+	// Limiter arms the adaptive concurrency limiter (TargetP99 <= 0 =
+	// disabled). MaxLimit defaults to Workers + 3*QueueDepth.
+	Limiter LimiterConfig
+	// Breaker arms the per-tenant, per-scenario-class circuit breakers
+	// (Threshold 0 = disabled).
+	Breaker BreakerConfig
+	// AgingThreshold is the queue wait at which any request outranks
+	// strict lane order (no starvation). Default 1s; negative disables
+	// aging.
+	AgingThreshold time.Duration
+	// Now is the clock seam (default time.Now). Every time-dependent
+	// admission decision — token refill, aging, breaker cooldowns,
+	// drain-rate estimates — reads this clock, so tests and the
+	// deterministic tenant soak are byte-reproducible.
+	Now func() time.Time
 	// Metrics, when non-nil, receives queue-depth and in-flight gauges
-	// plus per-outcome request counters.
+	// plus per-outcome request, tenant, limiter, and breaker counters.
 	Metrics *obs.Registry
 }
 
@@ -35,16 +56,44 @@ func (c SchedulerConfig) withDefaults() SchedulerConfig {
 	if c.RetryAfter <= 0 {
 		c.RetryAfter = 250 * time.Millisecond
 	}
+	if c.AgingThreshold == 0 {
+		c.AgingThreshold = time.Second
+	}
+	if c.AgingThreshold < 0 {
+		c.AgingThreshold = 0 // disabled
+	}
+	if c.Limiter.MaxLimit <= 0 {
+		c.Limiter.MaxLimit = c.Workers + 3*c.QueueDepth
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
 	return c
+}
+
+// Admit identifies one admission: who is asking (tenant), how urgent
+// (priority lane), and what class of work it is (the circuit-breaker
+// grouping, e.g. "scenario/stack-ret").
+type Admit struct {
+	Tenant   string
+	Priority Priority
+	// Class groups executions for the circuit breaker; empty defaults
+	// to ID.
+	Class string
+	// ID names the unit of work in supervision records.
+	ID string
 }
 
 // task is one admitted unit of work.
 type task struct {
-	ctx  context.Context
-	id   string
-	pri  Priority
-	fn   func(ctx context.Context) (any, error)
-	done chan taskResult
+	ctx      context.Context
+	adm      Admit
+	fn       func(ctx context.Context) (any, error)
+	done     chan taskResult
+	admitted time.Time
+	// soak carries the simulated job when the deterministic tenant soak
+	// drives the fair queue directly (nil on the live path).
+	soak *soakJob
 }
 
 type taskResult struct {
@@ -52,29 +101,59 @@ type taskResult struct {
 	err error
 }
 
-// Scheduler is a bounded worker pool with strict-ish priority lanes
-// and load shedding. Admission is non-blocking: when a lane's queue is
-// full the request is rejected with a structured Rejection rather than
-// queued unboundedly. Each execution runs under resilience supervision
-// so a panicking scenario degrades that one request, not the process.
+// Scheduler is a bounded worker pool with a multi-tenant admission
+// stack in front of weighted-fair priority lanes:
+//
+//  1. Per-tenant token-bucket quotas throttle aggressive clients at
+//     the door (reason "quota").
+//  2. Per-(tenant, class) circuit breakers fast-fail scenario classes
+//     that keep dying, per tenant, without touching healthy traffic
+//     (reason "breaker_open").
+//  3. An adaptive concurrency limiter (AIMD on observed p99 vs a
+//     target) sheds before the queues saturate (reason "limiter").
+//  4. Each lane is an indexed per-tenant multi-queue drained by
+//     deficit round-robin, with priority aging promoting long-waiting
+//     work so nothing starves (reason "queue_full" when a lane is at
+//     capacity).
+//
+// Admission is non-blocking; every refusal is a structured Rejection
+// whose RetryAfterMS is computed from measured state. Each execution
+// runs under resilience supervision so a panicking scenario degrades
+// that one request, not the process.
 type Scheduler struct {
-	cfg   SchedulerConfig
-	lanes [3]chan *task // indexed by Priority
+	cfg      SchedulerConfig
+	fq       *fairQueue
+	quotas   *TenantQuotas
+	limiter  *Limiter
+	breakers *breakerSet
 
 	mu       sync.Mutex
 	draining bool
 	inflight atomic.Int64
 
-	stop chan struct{}
-	wg   sync.WaitGroup
+	wg sync.WaitGroup
 }
 
 // NewScheduler builds and starts the pool.
 func NewScheduler(cfg SchedulerConfig) *Scheduler {
 	cfg = cfg.withDefaults()
-	s := &Scheduler{cfg: cfg, stop: make(chan struct{})}
-	for i := range s.lanes {
-		s.lanes[i] = make(chan *task, cfg.QueueDepth)
+	s := &Scheduler{cfg: cfg}
+	s.quotas = NewTenantQuotas(cfg.Quota, cfg.Now)
+	lim := cfg.Limiter
+	lim.OnAdjust = func(direction string, limit int) {
+		cfg.Metrics.Inc(obs.MetricServeLimitEvents, obs.L("direction", direction))
+		cfg.Metrics.Set(obs.MetricServeLimitValue, float64(limit))
+	}
+	s.limiter = NewLimiter(lim)
+	brk := cfg.Breaker
+	brk.OnEvent = func(event, tenant, class string) {
+		cfg.Metrics.Inc(obs.MetricServeBreakerEvents,
+			obs.L("event", event), obs.L("tenant", tenant), obs.L("class", class))
+	}
+	s.breakers = newBreakerSet(brk, cfg.Now)
+	s.fq = newFairQueue(cfg.QueueDepth, cfg.AgingThreshold, cfg.Quota.WeightFor, cfg.Now)
+	s.fq.onPromote = func(tenant string) {
+		cfg.Metrics.Inc(obs.MetricServeAgedPromotions, obs.L("tenant", tenant))
 	}
 	s.wg.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
@@ -92,7 +171,7 @@ func (s *Scheduler) Drain() {
 		return
 	}
 	s.draining = true
-	close(s.stop)
+	s.fq.close()
 }
 
 // Draining reports whether Drain was called.
@@ -106,58 +185,127 @@ func (s *Scheduler) Draining() bool {
 // Drain.
 func (s *Scheduler) Wait() { s.wg.Wait() }
 
-// QueueLen returns a lane's current depth.
-func (s *Scheduler) QueueLen(p Priority) int { return len(s.lanes[p]) }
+// QueueLen returns a lane's current depth (all tenants).
+func (s *Scheduler) QueueLen(p Priority) int { return s.fq.len(p) }
 
-// Do admits fn into lane pri and waits for its completion. The
-// contract the serving layer depends on:
+// TenantQueueLen returns one tenant's depth in a lane.
+func (s *Scheduler) TenantQueueLen(p Priority, tenant string) int {
+	return s.fq.tenantLen(p, NormalizeTenant(tenant))
+}
+
+// Limiter exposes the adaptive concurrency limiter (readiness probes
+// read Saturated).
+func (s *Scheduler) Limiter() *Limiter { return s.limiter }
+
+// Quotas exposes the tenant quota table (for tests and tooling).
+func (s *Scheduler) Quotas() *TenantQuotas { return s.quotas }
+
+// BreakerOpen reports whether (tenant, class) is fast-failing.
+func (s *Scheduler) BreakerOpen(tenant, class string) bool {
+	return s.breakers.open(NormalizeTenant(tenant), class)
+}
+
+// AgedPromotions returns how many queued requests were served via the
+// aging path.
+func (s *Scheduler) AgedPromotions() uint64 { return s.fq.Promotions() }
+
+// Do admits fn for adm and waits for its completion. The contract the
+// serving layer depends on:
 //
-//   - A full lane returns a *Rejection immediately (load shedding).
-//   - After Drain, every Do returns a *Rejection with Code 503.
+//   - Every refusal — tenant out of quota, breaker open, limiter at
+//     its adaptive limit, lane full, draining — returns a *Rejection
+//     immediately with a machine-readable Reason and an honest
+//     RetryAfterMS.
+//   - After Drain, every Do returns the draining Rejection.
 //   - A request whose ctx ends while still queued is never executed;
-//     Do returns ctx.Err().
+//     it is surgically removed from its fairness queue and its quota
+//     token and limiter slot are given back, and Do returns ctx.Err().
 //   - fn runs under resilience supervision with the context's
 //     remaining time as its deadline: panics become structured
 //     *ExecError values, not process crashes.
-func (s *Scheduler) Do(ctx context.Context, pri Priority, id string, fn func(ctx context.Context) (any, error)) (any, error) {
+func (s *Scheduler) Do(ctx context.Context, adm Admit, fn func(ctx context.Context) (any, error)) (any, error) {
+	adm.Tenant = NormalizeTenant(adm.Tenant)
+	if adm.Class == "" {
+		adm.Class = adm.ID
+	}
 	if s.Draining() {
-		return nil, s.reject(pri, 503, "draining")
+		return nil, s.reject(adm, ReasonDraining, s.cfg.RetryAfter)
 	}
-	t := &task{ctx: ctx, id: id, pri: pri, fn: fn, done: make(chan taskResult, 1)}
-	select {
-	case s.lanes[pri] <- t:
-		s.gauges()
-	default:
-		s.count(pri, "shed")
-		return nil, s.reject(pri, 429, "queue-full")
+	if ok, wait := s.breakers.allow(adm.Tenant, adm.Class); !ok {
+		s.shed(adm, ReasonBreakerOpen)
+		return nil, s.reject(adm, ReasonBreakerOpen, wait)
 	}
+	if ok, wait := s.quotas.TryTake(adm.Tenant); !ok {
+		s.shed(adm, ReasonQuota)
+		return nil, s.reject(adm, ReasonQuota, wait)
+	}
+	now := s.cfg.Now()
+	if !s.limiter.TryAcquire() {
+		s.quotas.Refund(adm.Tenant)
+		s.shed(adm, ReasonLimiter)
+		return nil, s.reject(adm, ReasonLimiter, s.limiter.RetryAfter(now, s.cfg.RetryAfter))
+	}
+	t := &task{ctx: ctx, adm: adm, fn: fn, done: make(chan taskResult, 1), admitted: now}
+	entry, pres := s.fq.push(t, adm.Tenant, adm.Priority)
+	switch pres {
+	case pushFull:
+		s.quotas.Refund(adm.Tenant)
+		s.limiter.Cancel()
+		s.shed(adm, ReasonQueueFull)
+		return nil, s.reject(adm, ReasonQueueFull, s.limiter.RetryAfter(now, s.cfg.RetryAfter))
+	case pushClosed:
+		s.quotas.Refund(adm.Tenant)
+		s.limiter.Cancel()
+		return nil, s.reject(adm, ReasonDraining, s.cfg.RetryAfter)
+	}
+	s.gauges()
 	select {
 	case r := <-t.done:
 		return r.val, r.err
 	case <-ctx.Done():
-		// The worker may still pick the task up; it re-checks ctx before
-		// executing, so a cancelled queued request never runs.
-		s.count(pri, "canceled")
+		if s.fq.remove(entry) {
+			// Still queued: the request consumed nothing, so its lane
+			// slot, quota token, and limiter slot are all given back —
+			// the no-leak contract.
+			s.quotas.Refund(adm.Tenant)
+			s.limiter.Cancel()
+			s.gauges()
+		}
+		// Otherwise a worker already claimed it; the worker re-checks
+		// ctx before executing and owns the accounting either way.
+		s.count(adm, "canceled")
 		return nil, ctx.Err()
 	}
 }
 
-func (s *Scheduler) reject(pri Priority, code int, reason string) *Rejection {
+// reject builds the structured refusal for adm.
+func (s *Scheduler) reject(adm Admit, reason string, retryAfter time.Duration) *Rejection {
+	ms := retryAfter.Milliseconds()
+	if ms <= 0 {
+		ms = 1
+	}
 	return &Rejection{
-		Code:         code,
+		Code:         reasonCode(reason),
 		Reason:       reason,
-		Lane:         pri.String(),
-		QueueLen:     len(s.lanes[pri]),
+		Tenant:       adm.Tenant,
+		Lane:         adm.Priority.String(),
+		QueueLen:     s.fq.len(adm.Priority),
 		QueueCap:     s.cfg.QueueDepth,
-		RetryAfterMS: s.cfg.RetryAfter.Milliseconds(),
+		RetryAfterMS: ms,
 	}
 }
 
-func (s *Scheduler) count(pri Priority, outcome string) {
-	s.cfg.Metrics.Inc(obs.MetricServeRequests, obs.L("lane", pri.String()), obs.L("outcome", outcome))
-	if outcome == "shed" {
-		s.cfg.Metrics.Inc(obs.MetricServeShed, obs.L("lane", pri.String()))
-	}
+// shed records one shed decision in the lane, reason, and tenant
+// metric families.
+func (s *Scheduler) shed(adm Admit, reason string) {
+	s.cfg.Metrics.Inc(obs.MetricServeRequests, obs.L("lane", adm.Priority.String()), obs.L("outcome", "shed"))
+	s.cfg.Metrics.Inc(obs.MetricServeShed, obs.L("lane", adm.Priority.String()), obs.L("reason", reason))
+	s.cfg.Metrics.Inc(obs.MetricServeTenantShed, obs.L("tenant", adm.Tenant), obs.L("reason", reason))
+}
+
+func (s *Scheduler) count(adm Admit, outcome string) {
+	s.cfg.Metrics.Inc(obs.MetricServeRequests, obs.L("lane", adm.Priority.String()), obs.L("outcome", outcome))
+	s.cfg.Metrics.Inc(obs.MetricServeTenantRequests, obs.L("tenant", adm.Tenant), obs.L("outcome", outcome))
 }
 
 func (s *Scheduler) gauges() {
@@ -165,43 +313,23 @@ func (s *Scheduler) gauges() {
 		return
 	}
 	for p := PriorityHigh; p <= PriorityLow; p++ {
-		s.cfg.Metrics.Set(obs.MetricServeQueueDepth, float64(len(s.lanes[p])), obs.L("lane", p.String()))
+		s.cfg.Metrics.Set(obs.MetricServeQueueDepth, float64(s.fq.len(p)), obs.L("lane", p.String()))
+	}
+	if s.limiter.Enabled() {
+		s.cfg.Metrics.Set(obs.MetricServeLimitValue, float64(s.limiter.Limit()))
+		s.cfg.Metrics.Set(obs.MetricServeLimitOutstanding, float64(s.limiter.Outstanding()))
 	}
 }
 
-// worker drains the lanes highest-priority-first until Drain and all
-// queues are empty.
+// worker drains the fair queue until Drain and all lanes are empty.
 func (s *Scheduler) worker() {
 	defer s.wg.Done()
-	hi, no, lo := s.lanes[PriorityHigh], s.lanes[PriorityNormal], s.lanes[PriorityLow]
 	for {
-		// Strict preference without busy-waiting: probe lanes in priority
-		// order, then block across all of them (plus stop).
-		var t *task
-		select {
-		case t = <-hi:
-		default:
-			select {
-			case t = <-hi:
-			case t = <-no:
-			default:
-				select {
-				case t = <-hi:
-				case t = <-no:
-				case t = <-lo:
-				case <-s.stop:
-					// Draining: finish whatever is still queued, then exit.
-					select {
-					case t = <-hi:
-					case t = <-no:
-					case t = <-lo:
-					default:
-						return
-					}
-				}
-			}
+		e := s.fq.pop()
+		if e == nil {
+			return
 		}
-		s.execute(t)
+		s.execute(e.t)
 		s.gauges()
 	}
 }
@@ -209,40 +337,49 @@ func (s *Scheduler) worker() {
 // execute runs one task under supervision, honouring its context.
 func (s *Scheduler) execute(t *task) {
 	if err := t.ctx.Err(); err != nil {
-		// Cancelled or expired while queued: never execute. Do's ctx arm
-		// already reported the outcome to the caller.
+		// Cancelled or expired between claim and execution: never run.
+		// Do's ctx arm already reported the outcome; the limiter slot is
+		// returned without a latency sample.
+		s.limiter.Cancel()
 		t.done <- taskResult{err: err}
 		return
 	}
 	s.cfg.Metrics.Set(obs.MetricServeInflight, float64(s.inflight.Add(1)))
 	defer func() { s.cfg.Metrics.Set(obs.MetricServeInflight, float64(s.inflight.Add(-1))) }()
-	start := time.Now()
+	start := s.cfg.Now()
 
 	pol := resilience.Policy{MaxAttempts: 1}
 	if dl, ok := t.ctx.Deadline(); ok {
 		remaining := time.Until(dl)
 		if remaining <= 0 {
+			s.limiter.Cancel()
 			t.done <- taskResult{err: context.DeadlineExceeded}
 			return
 		}
 		pol.Timeout = remaining
 	}
 	res := resilience.Supervise(resilience.Job{
-		ID:  t.id,
+		ID:  t.adm.ID,
 		Run: func(ctx context.Context, attempt int) (any, error) { return t.fn(ctx) },
 	}, pol)
 
-	s.cfg.Metrics.Observe(obs.MetricServeLatency, float64(time.Since(start).Milliseconds()),
-		obs.L("lane", t.pri.String()))
+	end := s.cfg.Now()
+	// The limiter's AIMD signal is the full admission-to-completion
+	// sojourn time: queueing delay is the earliest symptom of overload.
+	s.limiter.Release(end.Sub(t.admitted), end)
+	s.cfg.Metrics.Observe(obs.MetricServeLatency, float64(end.Sub(start).Milliseconds()),
+		obs.L("lane", t.adm.Priority.String()))
 
 	if res.Status == resilience.StatusOK {
-		s.count(t.pri, "ok")
+		s.breakers.success(t.adm.Tenant, t.adm.Class)
+		s.count(t.adm, "ok")
 		t.done <- taskResult{val: res.Value}
 		return
 	}
-	s.count(t.pri, string(res.Status))
+	s.breakers.failure(t.adm.Tenant, t.adm.Class)
+	s.count(t.adm, string(res.Status))
 	t.done <- taskResult{err: &ExecError{
-		ID:      t.id,
+		ID:      t.adm.ID,
 		Status:  res.Status,
 		Crashes: res.Crashes,
 		Message: res.Err,

@@ -19,7 +19,7 @@ func blockWorker(t *testing.T, s *Scheduler) (release chan struct{}, done chan s
 	running := make(chan struct{})
 	go func() {
 		defer close(done)
-		s.Do(context.Background(), PriorityNormal, "blocker", func(ctx context.Context) (any, error) {
+		s.Do(context.Background(), Admit{Priority: PriorityNormal, ID: "blocker"}, func(ctx context.Context) (any, error) {
 			close(running)
 			<-release
 			return nil, nil
@@ -45,7 +45,7 @@ func TestCancelledQueuedRequestNeverExecutes(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	result := make(chan error, 1)
 	go func() {
-		_, err := s.Do(ctx, PriorityNormal, "victim", func(ctx context.Context) (any, error) {
+		_, err := s.Do(ctx, Admit{Priority: PriorityNormal, ID: "victim"}, func(ctx context.Context) (any, error) {
 			executed.Store(true)
 			return nil, nil
 		})
@@ -91,7 +91,7 @@ func TestQueueFullSheds(t *testing.T) {
 
 	// Fill the lane's single slot.
 	queued := make(chan struct{}, 1)
-	go s.Do(context.Background(), PriorityNormal, "queued", func(ctx context.Context) (any, error) {
+	go s.Do(context.Background(), Admit{Priority: PriorityNormal, ID: "queued"}, func(ctx context.Context) (any, error) {
 		queued <- struct{}{}
 		return nil, nil
 	})
@@ -105,7 +105,7 @@ func TestQueueFullSheds(t *testing.T) {
 		}
 	}
 
-	_, err := s.Do(context.Background(), PriorityNormal, "shed-me", func(ctx context.Context) (any, error) {
+	_, err := s.Do(context.Background(), Admit{Priority: PriorityNormal, ID: "shed-me"}, func(ctx context.Context) (any, error) {
 		t.Error("shed request executed")
 		return nil, nil
 	})
@@ -113,8 +113,8 @@ func TestQueueFullSheds(t *testing.T) {
 	if !errors.As(err, &rej) {
 		t.Fatalf("Do returned %v, want *Rejection", err)
 	}
-	if rej.Code != 429 || rej.Reason != "queue-full" {
-		t.Fatalf("rejection = %+v, want code 429 reason queue-full", rej)
+	if rej.Code != 429 || rej.Reason != ReasonQueueFull {
+		t.Fatalf("rejection = %+v, want code 429 reason queue_full", rej)
 	}
 	if rej.Lane != "normal" || rej.QueueCap != 1 {
 		t.Fatalf("rejection lane/cap = %s/%d, want normal/1", rej.Lane, rej.QueueCap)
@@ -127,11 +127,11 @@ func TestDrainRejectsWith503(t *testing.T) {
 	s := NewScheduler(SchedulerConfig{Workers: 1, QueueDepth: 1})
 	s.Drain()
 	s.Wait()
-	_, err := s.Do(context.Background(), PriorityHigh, "late", func(ctx context.Context) (any, error) {
+	_, err := s.Do(context.Background(), Admit{Priority: PriorityHigh, ID: "late"}, func(ctx context.Context) (any, error) {
 		return nil, nil
 	})
 	var rej *Rejection
-	if !errors.As(err, &rej) || rej.Code != 503 || rej.Reason != "draining" {
+	if !errors.As(err, &rej) || rej.Code != 503 || rej.Reason != ReasonDraining {
 		t.Fatalf("Do after Drain returned %v, want 503 draining Rejection", err)
 	}
 }
@@ -142,7 +142,7 @@ func TestPanicDegradesToExecError(t *testing.T) {
 	s := NewScheduler(SchedulerConfig{Workers: 2, QueueDepth: 4})
 	defer func() { s.Drain(); s.Wait() }()
 
-	_, err := s.Do(context.Background(), PriorityNormal, "crasher", func(ctx context.Context) (any, error) {
+	_, err := s.Do(context.Background(), Admit{Priority: PriorityNormal, ID: "crasher"}, func(ctx context.Context) (any, error) {
 		panic("simulated SIGSEGV")
 	})
 	var exe *ExecError
@@ -154,7 +154,7 @@ func TestPanicDegradesToExecError(t *testing.T) {
 	}
 
 	// The pool survives: the next request is served normally.
-	v, err := s.Do(context.Background(), PriorityNormal, "after", func(ctx context.Context) (any, error) {
+	v, err := s.Do(context.Background(), Admit{Priority: PriorityNormal, ID: "after"}, func(ctx context.Context) (any, error) {
 		return 42, nil
 	})
 	if err != nil || v != 42 {
@@ -170,7 +170,7 @@ func TestPriorityLanePreference(t *testing.T) {
 
 	order := make(chan string, 2)
 	submit := func(pri Priority, name string) {
-		go s.Do(context.Background(), pri, name, func(ctx context.Context) (any, error) {
+		go s.Do(context.Background(), Admit{Priority: pri, ID: name}, func(ctx context.Context) (any, error) {
 			order <- name
 			return nil, nil
 		})

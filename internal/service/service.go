@@ -44,6 +44,22 @@ type Config struct {
 	DefaultDeadline time.Duration
 	// MaxDeadline caps client-supplied deadlines (default 60s).
 	MaxDeadline time.Duration
+	// Quota arms per-tenant token-bucket admission quotas (zero value =
+	// disabled; see QuotaConfig).
+	Quota QuotaConfig
+	// Limiter arms the adaptive concurrency limiter (TargetP99 <= 0 =
+	// disabled; see LimiterConfig).
+	Limiter LimiterConfig
+	// Breaker arms per-tenant, per-scenario-class circuit breakers
+	// (Threshold 0 = disabled; see BreakerConfig).
+	Breaker BreakerConfig
+	// AgingThreshold is the scheduler's starvation bound: queue wait at
+	// which any request outranks strict lane order (default 1s, negative
+	// disables).
+	AgingThreshold time.Duration
+	// Now is the admission clock seam (default time.Now); injected by
+	// deterministic tests and the tenant soak.
+	Now func() time.Time
 	// Registry, when non-nil, receives the serving metrics (request,
 	// cache, shed counters; queue and in-flight gauges; latency
 	// histogram).
@@ -78,10 +94,15 @@ func New(cfg Config) *Service {
 		cfg: cfg,
 		reg: reg,
 		sched: NewScheduler(SchedulerConfig{
-			Workers:    cfg.Workers,
-			QueueDepth: cfg.QueueDepth,
-			RetryAfter: cfg.RetryAfter,
-			Metrics:    reg,
+			Workers:        cfg.Workers,
+			QueueDepth:     cfg.QueueDepth,
+			RetryAfter:     cfg.RetryAfter,
+			Quota:          cfg.Quota,
+			Limiter:        cfg.Limiter,
+			Breaker:        cfg.Breaker,
+			AgingThreshold: cfg.AgingThreshold,
+			Now:            cfg.Now,
+			Metrics:        reg,
 		}),
 	}
 	s.cache = NewCache(CacheConfig{
@@ -113,7 +134,14 @@ func (s *Service) Pool() *mem.ImagePool { return s.pool }
 func describeServeMetrics(reg *obs.Registry) {
 	reg.Describe(obs.MetricServeRequests, "serving requests finished, by lane and outcome", obs.TypeCounter)
 	reg.Describe(obs.MetricServeCache, "result-cache events, by event", obs.TypeCounter)
-	reg.Describe(obs.MetricServeShed, "requests shed at admission, by lane", obs.TypeCounter)
+	reg.Describe(obs.MetricServeShed, "requests shed at admission, by lane and reason", obs.TypeCounter)
+	reg.Describe(obs.MetricServeTenantRequests, "serving requests finished, by tenant and outcome", obs.TypeCounter)
+	reg.Describe(obs.MetricServeTenantShed, "requests shed at admission, by tenant and reason", obs.TypeCounter)
+	reg.Describe(obs.MetricServeAgedPromotions, "queued requests served via priority aging, by tenant", obs.TypeCounter)
+	reg.Describe(obs.MetricServeLimitValue, "adaptive concurrency limit", obs.TypeGauge)
+	reg.Describe(obs.MetricServeLimitOutstanding, "outstanding work under the concurrency limiter", obs.TypeGauge)
+	reg.Describe(obs.MetricServeLimitEvents, "adaptive-limit adjustments, by direction", obs.TypeCounter)
+	reg.Describe(obs.MetricServeBreakerEvents, "circuit-breaker transitions, by event, tenant, and class", obs.TypeCounter)
 	reg.Describe(obs.MetricServePool, "image template pool events, by event", obs.TypeCounter)
 	reg.Describe(obs.MetricServeQueueDepth, "admission-queue depth, by lane", obs.TypeGauge)
 	reg.Describe(obs.MetricServeInflight, "requests currently executing", obs.TypeGauge)
@@ -154,7 +182,13 @@ func (s *Service) Handle(ctx context.Context, req Request) (*Result, string, err
 	defer cancel()
 
 	execute := func() (*Result, error) {
-		v, err := s.sched.Do(ctx, n.priority, n.kind+"/"+n.id, func(ctx context.Context) (any, error) {
+		adm := Admit{
+			Tenant:   n.tenant,
+			Priority: n.priority,
+			Class:    n.kind + "/" + n.id,
+			ID:       n.kind + "/" + n.id,
+		}
+		v, err := s.sched.Do(ctx, adm, func(ctx context.Context) (any, error) {
 			return s.compute(ctx, n)
 		})
 		if err != nil {
