@@ -7,7 +7,15 @@
 //	pnbench -exp E8 -json out/        # also write out/BENCH_E8.json
 //	pnbench -mem out/ -min-cow-speedup 1.0   # checkpoint micro-bench -> out/BENCH_MEM.json
 //	pnbench -shadow out/ -max-disabled-overhead 1.5   # sanitizer micro-bench -> out/BENCH_SHADOW.json
+//	pnbench -trajectory BENCH_TRAJECTORY.json -bench-dir out/ -commit $SHA
 //	pnbench -list
+//
+// -trajectory harvests the key scalars out of whichever benchmark
+// artifacts exist in -bench-dir (BENCH_MEM.json, BENCH_SHADOW.json,
+// BENCH_SERVE.json, BENCH_TENANT.json), appends them as one
+// schema-versioned row, and fails when a gated metric regresses more
+// than -max-regression past the rolling median of the last five rows
+// (metrics with fewer than three prior samples auto-pass).
 //
 // With -json DIR each selected experiment additionally runs under full
 // observability instrumentation (see internal/obs) and writes a
@@ -64,6 +72,14 @@ func run(args []string, out io.Writer) error {
 		"with -shadow: fail if the disabled (nil-checker) write path exceeds this multiple of the no-seam baseline")
 	maxArmedOverhead := fs.Float64("max-armed-overhead", 0,
 		"with -shadow: fail if the armed clean write path exceeds this multiple of the no-seam baseline")
+	trajectory := fs.String("trajectory", "",
+		"append the current benchmark artifacts' key metrics as one row of this trajectory file and gate on regression vs the rolling median")
+	benchDir := fs.String("bench-dir", ".",
+		"with -trajectory: directory holding BENCH_MEM/SHADOW/SERVE/TENANT.json")
+	commit := fs.String("commit", "unknown", "with -trajectory: commit SHA recorded in the row")
+	date := fs.String("date", "", "with -trajectory: date recorded in the row (default today UTC)")
+	maxRegression := fs.Float64("max-regression", 0.25,
+		"with -trajectory: allowed fractional slip from the rolling median before the gate fails")
 	list := fs.Bool("list", false, "list experiments")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -72,6 +88,13 @@ func run(args []string, out io.Writer) error {
 	if *list {
 		fmt.Fprint(out, experiments.ListTable().String())
 		return nil
+	}
+	if *trajectory != "" {
+		d := *date
+		if d == "" {
+			d = time.Now().UTC().Format("2006-01-02")
+		}
+		return runTrajectory(out, *trajectory, *benchDir, *commit, d, *maxRegression)
 	}
 	if *memDir != "" {
 		return runMemBench(*memDir, *minCowSpeedup, out)

@@ -1,0 +1,265 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// TrajectorySchema tags BENCH_TRAJECTORY.json. The file is an
+// append-only series: one row per CI run, each row the key scalars
+// harvested from that run's benchmark artifacts. The regression gate
+// compares a new row against the rolling median of the previous rows,
+// so a single noisy run neither poisons the baseline nor slips a real
+// regression through.
+const TrajectorySchema = "pnbench-trajectory/v1"
+
+// trajectoryWindow is how many trailing rows the rolling median spans.
+const trajectoryWindow = 5
+
+// trajectoryMinHistory is the fewest prior samples of a metric that
+// make the gate binding; with less history the metric auto-passes.
+const trajectoryMinHistory = 3
+
+// trajectoryRow is one benchmark run.
+type trajectoryRow struct {
+	Commit  string             `json:"commit"`
+	Date    string             `json:"date"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// trajectoryFile is the whole artifact.
+type trajectoryFile struct {
+	Schema string          `json:"schema"`
+	Rows   []trajectoryRow `json:"rows"`
+}
+
+// trajectoryHigherBetter maps each gated metric to its direction:
+// true = regressions are decreases, false = regressions are increases.
+// Metrics absent from this map are recorded but never gated.
+var trajectoryHigherBetter = map[string]bool{
+	"mem_cow_speedup_max":           true,
+	"shadow_disabled_overhead":      false,
+	"shadow_armed_clean_overhead":   false,
+	"serve_peak_throughput_rps":     true,
+	"serve_p99_ms":                  false,
+	"serve_cache_hit_rate":          true,
+	"tenant_wellbehaved_fair_share": true,
+	"tenant_starvation_ratio":       false,
+}
+
+// readBenchJSON decodes one artifact into a generic tree; missing
+// files are not an error — the row simply omits those metrics (CI jobs
+// produce different artifact subsets).
+func readBenchJSON(dir, name string) (map[string]any, bool) {
+	blob, err := os.ReadFile(filepath.Join(dir, name))
+	if err != nil {
+		return nil, false
+	}
+	var tree map[string]any
+	if json.Unmarshal(blob, &tree) != nil {
+		return nil, false
+	}
+	return tree, true
+}
+
+func asFloat(v any) (float64, bool) {
+	f, ok := v.(float64)
+	return f, ok
+}
+
+// harvestTrajectory extracts the key scalars from whichever benchmark
+// artifacts exist in dir.
+func harvestTrajectory(dir string) map[string]float64 {
+	m := make(map[string]float64)
+
+	if tree, ok := readBenchJSON(dir, "BENCH_MEM.json"); ok {
+		best := 0.0
+		if ws, ok := tree["workloads"].([]any); ok {
+			for _, w := range ws {
+				if wm, ok := w.(map[string]any); ok {
+					if s, ok := asFloat(wm["speedup"]); ok && s > best {
+						best = s
+					}
+				}
+			}
+		}
+		if best > 0 {
+			m["mem_cow_speedup_max"] = best
+		}
+	}
+
+	if tree, ok := readBenchJSON(dir, "BENCH_SHADOW.json"); ok {
+		if v, ok := asFloat(tree["disabled_overhead"]); ok {
+			m["shadow_disabled_overhead"] = v
+		}
+		if v, ok := asFloat(tree["armed_clean_overhead"]); ok {
+			m["shadow_armed_clean_overhead"] = v
+		}
+	}
+
+	if tree, ok := readBenchJSON(dir, "BENCH_SERVE.json"); ok {
+		if levels, ok := tree["levels"].([]any); ok && len(levels) > 0 {
+			peak := 0.0
+			for _, l := range levels {
+				if lm, ok := l.(map[string]any); ok {
+					if rps, ok := asFloat(lm["throughput_rps"]); ok && rps > peak {
+						peak = rps
+					}
+				}
+			}
+			if peak > 0 {
+				m["serve_peak_throughput_rps"] = peak
+			}
+			// p99 at the deepest concurrency level: the tail under the
+			// heaviest load the sweep applied.
+			if lm, ok := levels[len(levels)-1].(map[string]any); ok {
+				if lat, ok := lm["latency"].(map[string]any); ok {
+					if p99, ok := asFloat(lat["p99_ms"]); ok {
+						m["serve_p99_ms"] = p99
+					}
+				}
+			}
+		}
+		if totals, ok := tree["totals"].(map[string]any); ok {
+			if hr, ok := asFloat(totals["cache_hit_rate"]); ok {
+				m["serve_cache_hit_rate"] = hr
+			}
+		}
+	}
+
+	if tree, ok := readBenchJSON(dir, "BENCH_TENANT.json"); ok {
+		if tenants, ok := tree["tenants"].([]any); ok {
+			for _, tn := range tenants {
+				if tm, ok := tn.(map[string]any); ok && tm["name"] == "wellbehaved" {
+					if fs, ok := asFloat(tm["fair_share"]); ok {
+						m["tenant_wellbehaved_fair_share"] = fs
+					}
+				}
+			}
+		}
+		if sr, ok := asFloat(tree["starvation_ratio"]); ok {
+			m["tenant_starvation_ratio"] = sr
+		}
+	}
+
+	return m
+}
+
+func median(vals []float64) float64 {
+	sorted := append([]float64(nil), vals...)
+	sort.Float64s(sorted)
+	n := len(sorted)
+	if n%2 == 1 {
+		return sorted[n/2]
+	}
+	return (sorted[n/2-1] + sorted[n/2]) / 2
+}
+
+// gateTrajectory compares row against the rolling median of the last
+// trajectoryWindow prior rows, metric by metric, and returns every
+// violation. A metric with fewer than trajectoryMinHistory prior
+// samples auto-passes: the gate needs a baseline before it can bind.
+func gateTrajectory(prior []trajectoryRow, row trajectoryRow, maxRegression float64) []string {
+	var violations []string
+	names := make([]string, 0, len(row.Metrics))
+	for name := range row.Metrics {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		higherBetter, gated := trajectoryHigherBetter[name]
+		if !gated {
+			continue
+		}
+		var history []float64
+		for i := len(prior) - 1; i >= 0 && len(history) < trajectoryWindow; i-- {
+			if v, ok := prior[i].Metrics[name]; ok {
+				history = append(history, v)
+			}
+		}
+		if len(history) < trajectoryMinHistory {
+			continue
+		}
+		med := median(history)
+		v := row.Metrics[name]
+		const eps = 1e-9
+		if higherBetter {
+			floor := med * (1 - maxRegression)
+			if v < floor-eps {
+				violations = append(violations, fmt.Sprintf(
+					"%s regressed: %.4f below %.4f (median %.4f of last %d runs - %.0f%%)",
+					name, v, floor, med, len(history), maxRegression*100))
+			}
+		} else {
+			ceil := med * (1 + maxRegression)
+			if v > ceil+eps {
+				violations = append(violations, fmt.Sprintf(
+					"%s regressed: %.4f above %.4f (median %.4f of last %d runs + %.0f%%)",
+					name, v, ceil, med, len(history), maxRegression*100))
+			}
+		}
+	}
+	return violations
+}
+
+// runTrajectory harvests the current benchmark artifacts in benchDir
+// into one row, appends it to the trajectory file, and applies the
+// rolling-median regression gate. The row is appended even when the
+// gate fails, so the series records the regression it rejected.
+func runTrajectory(out io.Writer, path, benchDir, commit, date string, maxRegression float64) error {
+	if maxRegression < 0 || math.IsNaN(maxRegression) {
+		return fmt.Errorf("-max-regression must be >= 0")
+	}
+	metrics := harvestTrajectory(benchDir)
+	if len(metrics) == 0 {
+		return fmt.Errorf("no benchmark artifacts (BENCH_MEM/SHADOW/SERVE/TENANT.json) found in %s", benchDir)
+	}
+
+	tf := trajectoryFile{Schema: TrajectorySchema}
+	if blob, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(blob, &tf); err != nil {
+			return fmt.Errorf("existing %s is not a trajectory file: %w", path, err)
+		}
+		if tf.Schema != TrajectorySchema {
+			return fmt.Errorf("%s has schema %q, this build writes %q", path, tf.Schema, TrajectorySchema)
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+
+	row := trajectoryRow{Commit: commit, Date: date, Metrics: metrics}
+	violations := gateTrajectory(tf.Rows, row, maxRegression)
+	tf.Rows = append(tf.Rows, row)
+
+	blob, err := json.MarshalIndent(tf, "", "  ")
+	if err != nil {
+		return err
+	}
+	blob = append(blob, '\n')
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		return err
+	}
+
+	names := make([]string, 0, len(metrics))
+	for name := range metrics {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(out, "%-30s %.4f\n", name, metrics[name])
+	}
+	fmt.Fprintf(out, "appended row %d to %s\n", len(tf.Rows), path)
+
+	if len(violations) > 0 {
+		for _, v := range violations {
+			fmt.Fprintln(out, "REGRESSION:", v)
+		}
+		return fmt.Errorf("%d metric(s) regressed past the rolling-median gate", len(violations))
+	}
+	return nil
+}

@@ -1,0 +1,183 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeBenchFixtures populates dir with one of each benchmark
+// artifact, parameterized by the scalars the harvester extracts.
+func writeBenchFixtures(t *testing.T, dir string, rps, p99 float64) {
+	t.Helper()
+	files := map[string]any{
+		"BENCH_MEM.json": map[string]any{
+			"schema": "pnbench-mem/v1",
+			"workloads": []any{
+				map[string]any{"name": "sparse", "speedup": 12.5},
+				map[string]any{"name": "dense", "speedup": 1.2},
+			},
+		},
+		"BENCH_SHADOW.json": map[string]any{
+			"schema":               "pnbench-shadow/v1",
+			"disabled_overhead":    1.05,
+			"armed_clean_overhead": 2.4,
+		},
+		"BENCH_SERVE.json": map[string]any{
+			"schema": "pnserve-load/v2",
+			"levels": []any{
+				map[string]any{"concurrency": 1, "throughput_rps": rps / 2,
+					"latency": map[string]any{"p99_ms": p99 / 2}},
+				map[string]any{"concurrency": 8, "throughput_rps": rps,
+					"latency": map[string]any{"p99_ms": p99}},
+			},
+			"totals": map[string]any{"cache_hit_rate": 0.9},
+		},
+		"BENCH_TENANT.json": map[string]any{
+			"schema_version": "pnserve-tenant/v1",
+			"tenants": []any{
+				map[string]any{"name": "greedy", "fair_share": 0.4},
+				map[string]any{"name": "wellbehaved", "fair_share": 0.95},
+			},
+			"starvation_ratio": 0.0,
+		},
+	}
+	for name, tree := range files {
+		blob, err := json.MarshalIndent(tree, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, name), blob, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func appendRow(t *testing.T, path, dir, commit string, wantErr bool) string {
+	t.Helper()
+	var out bytes.Buffer
+	err := run([]string{
+		"-trajectory", path, "-bench-dir", dir,
+		"-commit", commit, "-date", "2026-08-07",
+	}, &out)
+	if wantErr && err == nil {
+		t.Fatalf("commit %s: gate passed, wanted a regression failure\n%s", commit, out.String())
+	}
+	if !wantErr && err != nil {
+		t.Fatalf("commit %s: %v\n%s", commit, err, out.String())
+	}
+	return out.String()
+}
+
+func TestTrajectoryAppendAndGate(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_TRAJECTORY.json")
+
+	// Three healthy rows build the baseline; with under three prior
+	// samples the gate must auto-pass whatever the numbers are.
+	writeBenchFixtures(t, dir, 1000, 40)
+	appendRow(t, path, dir, "c1", false)
+	writeBenchFixtures(t, dir, 200, 400) // wild early swing: still auto-pass
+	appendRow(t, path, dir, "c2", false)
+	writeBenchFixtures(t, dir, 1100, 42)
+	appendRow(t, path, dir, "c3", false)
+
+	// Healthy fourth row: within tolerance of the median.
+	writeBenchFixtures(t, dir, 1050, 45)
+	appendRow(t, path, dir, "c4", false)
+
+	// Throughput collapse: far below median * (1 - 0.25) -> gate fails,
+	// and the row is still recorded so the series shows the regression.
+	writeBenchFixtures(t, dir, 100, 45)
+	msg := appendRow(t, path, dir, "c5", true)
+	if !strings.Contains(msg, "serve_peak_throughput_rps") {
+		t.Fatalf("violation did not name the collapsed metric:\n%s", msg)
+	}
+
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tf trajectoryFile
+	if err := json.Unmarshal(blob, &tf); err != nil {
+		t.Fatal(err)
+	}
+	if tf.Schema != TrajectorySchema {
+		t.Fatalf("schema = %q, want %q", tf.Schema, TrajectorySchema)
+	}
+	if len(tf.Rows) != 5 {
+		t.Fatalf("rows = %d, want 5 (failed rows are recorded too)", len(tf.Rows))
+	}
+	last := tf.Rows[4]
+	if last.Commit != "c5" || last.Date != "2026-08-07" {
+		t.Fatalf("last row = %+v", last)
+	}
+	if last.Metrics["mem_cow_speedup_max"] != 12.5 {
+		t.Fatalf("mem metric = %v, want the best workload speedup 12.5", last.Metrics["mem_cow_speedup_max"])
+	}
+	if last.Metrics["serve_p99_ms"] != 45 {
+		t.Fatalf("p99 metric = %v, want the deepest level's 45", last.Metrics["serve_p99_ms"])
+	}
+	if last.Metrics["tenant_wellbehaved_fair_share"] != 0.95 {
+		t.Fatalf("fair-share metric = %v", last.Metrics["tenant_wellbehaved_fair_share"])
+	}
+}
+
+func TestTrajectoryLowerBetterGate(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_TRAJECTORY.json")
+	for i, commit := range []string{"c1", "c2", "c3"} {
+		writeBenchFixtures(t, dir, 1000, 40+float64(i))
+		appendRow(t, path, dir, commit, false)
+	}
+	// p99 doubling is a lower-is-better violation even with throughput
+	// steady.
+	writeBenchFixtures(t, dir, 1000, 90)
+	msg := appendRow(t, path, dir, "c4", true)
+	if !strings.Contains(msg, "serve_p99_ms") {
+		t.Fatalf("violation did not name serve_p99_ms:\n%s", msg)
+	}
+}
+
+func TestTrajectoryPartialArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_TRAJECTORY.json")
+	// Only the tenant artifact exists: the row carries just its
+	// metrics, and no error for missing files.
+	blob, _ := json.Marshal(map[string]any{
+		"schema_version": "pnserve-tenant/v1",
+		"tenants": []any{
+			map[string]any{"name": "wellbehaved", "fair_share": 0.97},
+		},
+		"starvation_ratio": 0.0,
+	})
+	if err := os.WriteFile(filepath.Join(dir, "BENCH_TENANT.json"), blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	appendRow(t, path, dir, "c1", false)
+
+	var tf trajectoryFile
+	raw, _ := os.ReadFile(path)
+	if err := json.Unmarshal(raw, &tf); err != nil {
+		t.Fatal(err)
+	}
+	m := tf.Rows[0].Metrics
+	if m["tenant_wellbehaved_fair_share"] != 0.97 {
+		t.Fatalf("metrics = %v", m)
+	}
+	if _, ok := m["serve_peak_throughput_rps"]; ok {
+		t.Fatal("absent artifact should not contribute metrics")
+	}
+}
+
+func TestTrajectoryEmptyDirFails(t *testing.T) {
+	dir := t.TempDir()
+	var out bytes.Buffer
+	err := run([]string{"-trajectory", filepath.Join(dir, "t.json"), "-bench-dir", dir}, &out)
+	if err == nil || !strings.Contains(err.Error(), "no benchmark artifacts") {
+		t.Fatalf("err = %v, want a no-artifacts failure", err)
+	}
+}

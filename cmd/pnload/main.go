@@ -33,6 +33,12 @@
 // X-PN-Retry-After-MS) backoff hint, capped by -retry-max-sleep;
 // retry counts are recorded per level.
 //
+// Each individual /run request is tagged with a unique X-PN-Trace-Id
+// (disable with -trace=false) and the server's per-stage latency
+// breakdown is harvested from the response, so every level reports
+// stage percentiles — queue_wait p99 against execute p99 is the
+// queueing-vs-execution split under rising concurrency.
+//
 // -no-cache forces execution on every request — a cache-miss-heavy
 // sweep that measures the execution path (and the server's image
 // template pool) instead of the result cache. -batch N groups requests
@@ -74,8 +80,15 @@ func main() {
 	}
 }
 
-// Schema is the BENCH_SERVE.json schema tag.
-const Schema = "pnserve-load/v1"
+// Schema is the BENCH_SERVE.json schema tag. v2 added per-stage
+// latency percentiles (queue_wait, execute, ...) harvested from the
+// server's stage breakdown in each /run response.
+const Schema = "pnserve-load/v2"
+
+// traceHeader tags every individual /run request with a unique
+// client trace ID so server-side traces can be correlated with load
+// samples (and the stage breakdown is returned per request).
+const traceHeader = "X-PN-Trace-Id"
 
 // latencyStats summarises one level's latency distribution in
 // milliseconds.
@@ -106,6 +119,12 @@ type levelReport struct {
 	ThroughputRPS float64      `json:"throughput_rps"`
 	WallMS        float64      `json:"wall_ms"`
 	Latency       latencyStats `json:"latency"`
+	// Stages holds per-stage latency percentiles (queue_wait, execute,
+	// clone, ...) aggregated from the server's per-request breakdown —
+	// the split that shows whether overload latency is queueing or
+	// execution. Individual /run calls only; /runbatch responses do not
+	// carry per-item stages.
+	Stages map[string]latencyStats `json:"stages,omitempty"`
 }
 
 // benchServe is the whole artifact.
@@ -179,6 +198,9 @@ type sample struct {
 	cacheHit  bool
 	latencyMS float64
 	retries   int
+	// stages is the server-reported per-stage latency breakdown for
+	// this request (milliseconds), keyed by stage name.
+	stages map[string]float64
 }
 
 // retryDelay reads the server's backoff hint: the millisecond
@@ -206,11 +228,18 @@ func retryDelay(h http.Header, cap time.Duration) time.Duration {
 // responses (429/503) up to retries times with the server's own
 // Retry-After backoff. The recorded latency spans all attempts — the
 // time the client actually waited for an answer.
-func issue(client *http.Client, u string, retries int, maxSleep time.Duration) sample {
+func issue(client *http.Client, u, traceID string, retries int, maxSleep time.Duration) sample {
 	start := time.Now()
 	var s sample
 	for attempt := 0; ; attempt++ {
-		resp, err := client.Get(u)
+		req, err := http.NewRequest(http.MethodGet, u, nil)
+		if err != nil {
+			return s
+		}
+		if traceID != "" {
+			req.Header.Set(traceHeader, traceID)
+		}
+		resp, err := client.Do(req)
 		if err != nil {
 			s.latencyMS = float64(time.Since(start).Microseconds()) / 1000
 			return s
@@ -224,13 +253,15 @@ func issue(client *http.Client, u string, retries int, maxSleep time.Duration) s
 		switch resp.StatusCode {
 		case http.StatusOK:
 			var rr struct {
-				Cache string `json:"cache"`
+				Cache  string             `json:"cache"`
+				Stages map[string]float64 `json:"stages"`
 			}
 			if json.Unmarshal(body, &rr) != nil {
 				return s
 			}
 			s.ok = true
 			s.cacheHit = rr.Cache == "hit" || rr.Cache == "coalesced"
+			s.stages = rr.Stages
 			return s
 		case http.StatusTooManyRequests, http.StatusServiceUnavailable:
 			if attempt < retries {
@@ -294,6 +325,10 @@ type levelOptions struct {
 	batch    int  // >1: group requests into /runbatch calls of this size
 	retries  int  // retry shed /run requests this many times
 	maxSleep time.Duration
+	// trace tags each /run request with a unique X-PN-Trace-Id. Note
+	// that a client-supplied trace ID arms the server's detailed
+	// per-write instrumentation for that request.
+	trace bool
 }
 
 // runLevel drives one closed-loop level: c workers, n requests total,
@@ -327,7 +362,11 @@ func runLevel(client *http.Client, base string, ids []string, opts levelOptions,
 				}
 				var got []sample
 				if k == 1 {
-					got = []sample{issue(client, runURL(base, ids[int(lo)%len(ids)], opts.priority, opts.noCache), opts.retries, opts.maxSleep)}
+					traceID := ""
+					if opts.trace {
+						traceID = fmt.Sprintf("load-c%d-s%d", c, lo)
+					}
+					got = []sample{issue(client, runURL(base, ids[int(lo)%len(ids)], opts.priority, opts.noCache), traceID, opts.retries, opts.maxSleep)}
 				} else {
 					claimed := make([]string, 0, hi-lo)
 					for i := lo; i < hi; i++ {
@@ -369,6 +408,21 @@ func runLevel(client *http.Client, base string, ids []string, opts levelOptions,
 		rep.ShedRate = round4(float64(rep.Shed) / float64(n))
 	}
 	rep.Latency = summarize(lats)
+	stageLats := make(map[string][]float64)
+	for _, s := range samples {
+		if !s.ok {
+			continue
+		}
+		for name, ms := range s.stages {
+			stageLats[name] = append(stageLats[name], ms)
+		}
+	}
+	if len(stageLats) > 0 {
+		rep.Stages = make(map[string]latencyStats, len(stageLats))
+		for name, ls := range stageLats {
+			rep.Stages[name] = summarize(ls)
+		}
+	}
 	return rep
 }
 
@@ -452,6 +506,7 @@ func run(args []string, out io.Writer) error {
 	warm := fs.Bool("warm", true, "issue each id once before the sweep so the repeated-ID workload measures the cache")
 	minHitRate := fs.Float64("min-hit-rate", -1, "fail unless the overall cache hit rate reaches this (negative = no check)")
 	timeout := fs.Duration("timeout", 30*time.Second, "per-request HTTP timeout")
+	trace := fs.Bool("trace", true, "tag each /run request with a unique X-PN-Trace-Id and harvest the per-stage latency breakdown")
 	retries := fs.Int("retries", 0, "retry shed (429/503) /run requests this many times, honoring Retry-After")
 	retryMaxSleep := fs.Duration("retry-max-sleep", 2*time.Second, "cap on a single Retry-After backoff sleep")
 	tenants := fs.Bool("tenants", false, "run the deterministic multi-tenant admission soak instead of an HTTP sweep (no -url needed)")
@@ -484,14 +539,14 @@ func run(args []string, out io.Writer) error {
 
 	if *warm {
 		for _, id := range ids {
-			if s := issue(client, runURL(*base, id, *priority, false), *retries, *retryMaxSleep); !s.ok {
+			if s := issue(client, runURL(*base, id, *priority, false), "", *retries, *retryMaxSleep); !s.ok {
 				return fmt.Errorf("warmup request for %s failed (server down or id invalid)", id)
 			}
 		}
 	}
 
 	opts := levelOptions{priority: *priority, noCache: *noCache, batch: *batch,
-		retries: *retries, maxSleep: *retryMaxSleep}
+		retries: *retries, maxSleep: *retryMaxSleep, trace: *trace}
 	for _, c := range levels {
 		lr := runLevel(client, *base, ids, opts, c, *requests)
 		rep.Levels = append(rep.Levels, lr)
@@ -504,6 +559,10 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "c=%-3d ok=%d shed=%d err=%d hit=%.2f rps=%.1f p50=%.2fms p95=%.2fms p99=%.2fms\n",
 			c, lr.OK, lr.Shed, lr.Errors, lr.CacheHitRate, lr.ThroughputRPS,
 			lr.Latency.P50, lr.Latency.P95, lr.Latency.P99)
+		if qw, ok := lr.Stages["queue_wait"]; ok {
+			ex := lr.Stages["execute"]
+			fmt.Fprintf(out, "      queue_wait p99=%.2fms execute p99=%.2fms\n", qw.P99, ex.P99)
+		}
 	}
 	if rep.Totals.OK > 0 {
 		rep.Totals.CacheHitRate = round4(float64(rep.Totals.CacheHits) / float64(rep.Totals.OK))

@@ -37,7 +37,12 @@ func fakeServe(shedEvery int64) http.Handler {
 			seen[id], cache = true, "miss"
 		}
 		mu.Unlock()
-		json.NewEncoder(w).Encode(map[string]any{"id": id, "status": "ok", "cache": cache})
+		resp := map[string]any{"id": id, "status": "ok", "cache": cache}
+		if tid := r.Header.Get("X-PN-Trace-Id"); tid != "" {
+			resp["trace_id"] = tid
+			resp["stages"] = map[string]float64{"queue_wait": 0.5, "execute": 1.25}
+		}
+		json.NewEncoder(w).Encode(resp)
 	})
 }
 
@@ -76,6 +81,13 @@ func TestSweepWritesBenchServe(t *testing.T) {
 		t.Fatalf("cache hit rate = %g, want ~1.0 after warmup", rep.Totals.CacheHitRate)
 	}
 	for _, lv := range rep.Levels {
+		qw, ok := lv.Stages["queue_wait"]
+		if !ok || qw.P99 != 0.5 {
+			t.Fatalf("level %d stage percentiles = %+v, want queue_wait p99 0.5", lv.Concurrency, lv.Stages)
+		}
+		if ex := lv.Stages["execute"]; ex.P99 != 1.25 {
+			t.Fatalf("level %d execute p99 = %+v, want 1.25", lv.Concurrency, lv.Stages["execute"])
+		}
 		if lv.Latency.P50 <= 0 || lv.Latency.P99 < lv.Latency.P50 {
 			t.Fatalf("level %d latency stats = %+v", lv.Concurrency, lv.Latency)
 		}

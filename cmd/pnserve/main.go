@@ -23,6 +23,17 @@
 //	                   adaptive concurrency limiter is fully closed
 //	GET  /metrics      Prometheus text exposition (pn_serve_* plus
 //	                   anything else registered)
+//	GET  /watch        live event stream (SSE; Accept:
+//	                   application/x-ndjson for raw NDJSON): span
+//	                   start/end, metric deltas, heat-tile deltas,
+//	                   admission transitions. Filters ?trace=, ?tenant=,
+//	                   ?kind=a,b; resumable via Last-Event-ID against
+//	                   the ring buffer. See docs/observability.md.
+//	GET  /trace/{id}   finished per-request span tree with the
+//	                   stage-latency breakdown as JSON; the trace ID is
+//	                   minted at admission (or taken from the
+//	                   X-PN-Trace-Id request header) and echoed in every
+//	                   /run response
 //
 // Multi-tenant admission control: the X-PN-Tenant request header
 // selects the tenant (default "default"); per-tenant token-bucket
@@ -46,6 +57,7 @@
 //	        [-deadline 15s] [-max-deadline 60s] [-drain-timeout 10s]
 //	        [-tenant-rate 200] [-tenant-burst 400] [-aging 1s]
 //	        [-p99-target 0] [-breaker-threshold 5] [-breaker-cooldown 2s]
+//	        [-trace-cap 256] [-deterministic]
 package main
 
 import (
@@ -58,6 +70,8 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/debug"
 	"strconv"
 	"sync/atomic"
 	"syscall"
@@ -93,6 +107,9 @@ type serverConfig struct {
 	p99Target        time.Duration
 	breakerThreshold int
 	breakerCooldown  time.Duration
+	// Observability knobs.
+	traceCap      int
+	deterministic bool
 }
 
 // server is the HTTP face of one service.Service.
@@ -100,12 +117,24 @@ type server struct {
 	svc      *service.Service
 	reg      *obs.Registry
 	draining atomic.Bool
+	now      func() time.Time
 	started  time.Time
 }
 
 func newServer(cfg serverConfig) *server {
 	reg := obs.NewRegistry()
-	return &server{
+	now := time.Now
+	if cfg.deterministic {
+		// The virtual clock makes every duration a count of clock reads:
+		// synthetic, but byte-identical across double runs of the same
+		// sequential request sequence — the /watch determinism gate.
+		now = service.NewVirtualClock().Now
+	}
+	bus := obs.NewBus(0)
+	bus.OnSubscribers = func(n int) { reg.Set(obs.MetricWatchSubscribers, float64(n)) }
+	bus.OnDrop = func(n uint64) { reg.Add(obs.MetricWatchDropped, float64(n)) }
+	describeServerMetrics(reg)
+	s := &server{
 		svc: service.New(service.Config{
 			Workers:         cfg.workers,
 			QueueDepth:      cfg.queue,
@@ -117,11 +146,42 @@ func newServer(cfg serverConfig) *server {
 			Limiter:         service.LimiterConfig{TargetP99: cfg.p99Target},
 			Breaker:         service.BreakerConfig{Threshold: cfg.breakerThreshold, Cooldown: cfg.breakerCooldown},
 			AgingThreshold:  cfg.aging,
+			Now:             now,
 			Registry:        reg,
+			Bus:             bus,
+			TraceCapacity:   cfg.traceCap,
 		}),
-		reg:     reg,
-		started: time.Now(),
+		reg: reg,
+		now: now,
 	}
+	s.started = s.now()
+	reg.Set(obs.MetricBuildInfo, 1,
+		obs.L("version", service.CodeVersion),
+		obs.L("go_version", runtime.Version()),
+		obs.L("commit", buildCommit()))
+	return s
+}
+
+// describeServerMetrics declares the process-level families the HTTP
+// layer owns (the service describes the serving ones).
+func describeServerMetrics(reg *obs.Registry) {
+	reg.Describe(obs.MetricBuildInfo, "build identity: constant 1 with version labels", obs.TypeGauge)
+	reg.Describe(obs.MetricServeUptime, "seconds since the server started", obs.TypeGauge)
+	reg.Describe(obs.MetricWatchSubscribers, "attached /watch subscribers", obs.TypeGauge)
+	reg.Describe(obs.MetricWatchDropped, "events dropped on slow /watch subscribers", obs.TypeCounter)
+}
+
+// buildCommit extracts the VCS revision stamped into the binary, or
+// "unknown" (test binaries, go run).
+func buildCommit() string {
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range bi.Settings {
+			if s.Key == "vcs.revision" {
+				return s.Value
+			}
+		}
+	}
+	return "unknown"
 }
 
 func (s *server) handler() http.Handler {
@@ -132,6 +192,8 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("/healthz", s.handleHealth)
 	mux.HandleFunc("/readyz", s.handleReady)
 	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/watch", s.handleWatch)
+	mux.HandleFunc("/trace/", s.handleTrace)
 	return mux
 }
 
@@ -143,6 +205,14 @@ type runResponse struct {
 	// ServeNS is this request's end-to-end time in the server,
 	// queueing and cache lookup included.
 	ServeNS int64 `json:"serve_ns"`
+	// TraceID identifies this request's trace (also echoed in the
+	// X-PN-Trace-Id response header); the finished span tree is at
+	// /trace/{id}.
+	TraceID string `json:"trace_id"`
+	// Stages is the per-stage latency breakdown in milliseconds
+	// (queue_wait, cache_lookup, clone, execute, shadow_check — stages
+	// that did not occur are absent).
+	Stages map[string]float64 `json:"stages,omitempty"`
 }
 
 // errorResponse is every non-200 body.
@@ -171,13 +241,22 @@ func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error(), Code: http.StatusBadRequest})
 		return
 	}
-	start := time.Now()
-	res, cacheTok, err := s.svc.Handle(r.Context(), req)
+	start := s.now()
+	res, cacheTok, rt, err := s.svc.HandleTraced(r.Context(), req)
+	if rt != nil {
+		w.Header().Set(traceHeader, rt.TraceID)
+	}
 	if err != nil {
 		s.writeError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, runResponse{Result: res, Cache: cacheTok, ServeNS: time.Since(start).Nanoseconds()})
+	writeJSON(w, http.StatusOK, runResponse{
+		Result:  res,
+		Cache:   cacheTok,
+		ServeNS: s.now().Sub(start).Nanoseconds(),
+		TraceID: rt.TraceID,
+		Stages:  rt.StageMS,
+	})
 }
 
 // batchRequest is the POST /runbatch body.
@@ -331,6 +410,7 @@ func parseRequest(r *http.Request) (service.Request, error) {
 		return req, err
 	}
 	req.Tenant = r.Header.Get(tenantHeader)
+	req.TraceID = r.Header.Get(traceHeader)
 	return req, nil
 }
 
@@ -445,6 +525,7 @@ func (s *server) handleReady(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.reg.Set(obs.MetricServeUptime, s.now().Sub(s.started).Seconds())
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	io.WriteString(w, s.reg.Exposition())
 }
@@ -473,6 +554,9 @@ func run(args []string, out io.Writer) error {
 	p99Target := fs.Duration("p99-target", 0, "adaptive concurrency limiter latency objective (0 disables)")
 	breakerThreshold := fs.Int("breaker-threshold", 5, "consecutive execution deaths that open a (tenant, class) breaker (0 disables)")
 	breakerCooldown := fs.Duration("breaker-cooldown", 2*time.Second, "open-breaker fast-fail window before a half-open probe")
+	traceCap := fs.Int("trace-cap", service.DefaultTraceCapacity, "finished traces retained for GET /trace/{id}")
+	deterministic := fs.Bool("deterministic", false,
+		"run on a virtual clock: durations become logical ticks and the /watch stream of a sequential request sequence is byte-identical across runs")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -485,6 +569,7 @@ func run(args []string, out io.Writer) error {
 		tenantRate:   *tenantRate, tenantBurst: *tenantBurst,
 		aging: *aging, p99Target: *p99Target,
 		breakerThreshold: *breakerThreshold, breakerCooldown: *breakerCooldown,
+		traceCap: *traceCap, deterministic: *deterministic,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.handler()}
 

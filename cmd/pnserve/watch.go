@@ -1,0 +1,170 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"repro/internal/obs"
+	"repro/internal/service"
+)
+
+// traceHeader carries the client's trace identity. Honoured on /run
+// (and echoed back); a client-supplied ID also arms detailed per-write
+// instrumentation for that request.
+const traceHeader = "X-PN-Trace-Id"
+
+// watchFilter is the /watch query-parameter filter: empty fields match
+// everything. Gap events always pass — a consumer must hear about loss
+// regardless of its filters.
+type watchFilter struct {
+	trace  string
+	tenant string
+	kinds  map[string]bool
+}
+
+func parseWatchFilter(r *http.Request) watchFilter {
+	q := r.URL.Query()
+	f := watchFilter{trace: q.Get("trace"), tenant: q.Get("tenant")}
+	if ks := q.Get("kind"); ks != "" {
+		f.kinds = make(map[string]bool)
+		for _, k := range strings.Split(ks, ",") {
+			if k = strings.TrimSpace(k); k != "" {
+				f.kinds[k] = true
+			}
+		}
+	}
+	return f
+}
+
+func (f watchFilter) match(ev obs.BusEvent) bool {
+	if ev.Kind == obs.KindGap {
+		return true
+	}
+	if f.trace != "" && ev.Trace != f.trace {
+		return false
+	}
+	if f.tenant != "" && ev.Tenant != f.tenant {
+		return false
+	}
+	if f.kinds != nil && !f.kinds[ev.Kind] {
+		return false
+	}
+	return true
+}
+
+// handleWatch streams the live event bus. Server-Sent Events by
+// default; Accept: application/x-ndjson selects raw NDJSON (one
+// obs.BusEvent per line — what pntrace -follow and the CI determinism
+// gate consume). Filters: ?trace=, ?tenant=, ?kind=a,b. Resume: the
+// Last-Event-ID header (or ?after=) replays from the ring buffer; a
+// cursor that fell off the ring gets a synthetic gap event first.
+func (s *server) handleWatch(w http.ResponseWriter, r *http.Request) {
+	bus := s.svc.Bus()
+	if bus == nil {
+		writeJSON(w, http.StatusNotImplemented, errorResponse{
+			Error: "event bus not configured", Code: http.StatusNotImplemented})
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeJSON(w, http.StatusInternalServerError, errorResponse{
+			Error: "streaming unsupported by connection", Code: http.StatusInternalServerError})
+		return
+	}
+
+	var afterSeq uint64
+	lastID := r.Header.Get("Last-Event-ID")
+	if lastID == "" {
+		lastID = r.URL.Query().Get("after")
+	}
+	if lastID != "" {
+		v, err := strconv.ParseUint(lastID, 10, 64)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, errorResponse{
+				Error: "invalid Last-Event-ID " + strconv.Quote(lastID), Code: http.StatusBadRequest})
+			return
+		}
+		afterSeq = v
+	}
+
+	ndjson := strings.Contains(r.Header.Get("Accept"), "application/x-ndjson")
+	filter := parseWatchFilter(r)
+
+	if ndjson {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+	} else {
+		w.Header().Set("Content-Type", "text/event-stream")
+	}
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+
+	sub := bus.Subscribe(afterSeq)
+	defer sub.Close()
+
+	enc := json.NewEncoder(w)
+	writeEvent := func(ev obs.BusEvent) error {
+		if ndjson {
+			return enc.Encode(ev)
+		}
+		raw, err := json.Marshal(ev)
+		if err != nil {
+			return err
+		}
+		if ev.Seq > 0 {
+			if _, err := fmt.Fprintf(w, "id: %d\n", ev.Seq); err != nil {
+				return err
+			}
+		}
+		_, err = fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Kind, raw)
+		return err
+	}
+
+	// The per-connection stream header: schema version and resume
+	// position. Synthesized here (never stored in the ring), so every
+	// connection starts with a parseable preamble.
+	hello := obs.BusEvent{Kind: obs.KindHello, Data: map[string]string{
+		"schema": obs.WatchSchema,
+		"after":  strconv.FormatUint(afterSeq, 10),
+	}}
+	if err := writeEvent(hello); err != nil {
+		return
+	}
+	flusher.Flush()
+
+	for {
+		ev, ok := sub.Next(r.Context())
+		if !ok {
+			return
+		}
+		if !filter.match(ev) {
+			continue
+		}
+		if err := writeEvent(ev); err != nil {
+			return
+		}
+		flusher.Flush()
+	}
+}
+
+// handleTrace serves GET /trace/{id}: the finished span tree of one
+// request, with its stage-latency breakdown, as JSON.
+func (s *server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	id := strings.TrimPrefix(r.URL.Path, "/trace/")
+	if id == "" || strings.Contains(id, "/") {
+		writeJSON(w, http.StatusBadRequest, errorResponse{
+			Error: "want /trace/{id}", Code: http.StatusBadRequest})
+		return
+	}
+	rt, ok := s.svc.Trace(id)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorResponse{
+			Error: fmt.Sprintf("no finished trace %q (the store holds the most recent %d)",
+				id, service.DefaultTraceCapacity), Code: http.StatusNotFound})
+		return
+	}
+	writeJSON(w, http.StatusOK, rt)
+}

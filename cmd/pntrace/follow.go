@@ -1,0 +1,223 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/mem"
+	"repro/internal/obs"
+	"repro/internal/report"
+)
+
+// metricWatchEvents counts replayed stream events by kind in the
+// follower's own registry.
+const metricWatchEvents = "pn_watch_events_total"
+
+// follower replays a pnwatch/v1 NDJSON stream into the same Collector
+// sinks a local run feeds, so the six pntrace artifacts can be rebuilt
+// from a live server instead of an in-process experiment. Spans nest
+// per trace; with several traces interleaved on one stream the span
+// tree is best-effort (the tracer parents under the innermost open
+// span), which is why -follow is usually pointed at a ?trace= filter.
+type follower struct {
+	col   *obs.Collector
+	table *report.Table
+	// open maps trace ID -> its open request span.
+	open      map[string]*obs.Span
+	traceEnds int
+}
+
+func newFollower() *follower {
+	col := obs.NewCollector()
+	col.Metrics.Describe(metricWatchEvents, "stream events replayed, by kind", obs.TypeCounter)
+	col.Metrics.Describe(obs.MetricServeRequests, "serving requests finished (replayed deltas)", obs.TypeCounter)
+	col.Metrics.Describe(obs.MetricServeCache, "result-cache events (replayed deltas)", obs.TypeCounter)
+	return &follower{
+		col:   col,
+		table: report.NewTable("Followed traces", "trace", "tenant", "status", "cache", "dur_ms"),
+		open:  make(map[string]*obs.Span),
+	}
+}
+
+// dataAttrs converts an event's data map to sorted span attributes,
+// skipping keys already consumed by the caller.
+func dataAttrs(ev obs.BusEvent, skip ...string) []obs.Attr {
+	skipped := map[string]bool{}
+	for _, k := range skip {
+		skipped[k] = true
+	}
+	keys := make([]string, 0, len(ev.Data))
+	for k := range ev.Data {
+		if !skipped[k] {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	attrs := make([]obs.Attr, 0, len(keys)+2)
+	if ev.Trace != "" {
+		attrs = append(attrs, obs.A("trace", ev.Trace))
+	}
+	if ev.Tenant != "" {
+		attrs = append(attrs, obs.A("tenant", ev.Tenant))
+	}
+	for _, k := range keys {
+		attrs = append(attrs, obs.A(k, ev.Data[k]))
+	}
+	return attrs
+}
+
+// replay folds one stream event into the collector. Returns true when
+// the event was a trace-end marker.
+func (f *follower) replay(ev obs.BusEvent) bool {
+	f.col.Metrics.Inc(metricWatchEvents, obs.L("kind", ev.Kind))
+	switch ev.Kind {
+	case obs.KindSpanStart:
+		f.open[ev.Trace] = f.col.Tracer.Start(obs.CatServe, ev.Data["span"], dataAttrs(ev, "span")...)
+	case obs.KindSpanEnd:
+		// Stages arrive as completed intervals; render each as an
+		// instant child span carrying its measured offsets.
+		f.col.Tracer.Start(obs.CatServe, ev.Data["span"], dataAttrs(ev, "span")...).Close()
+	case obs.KindEvent:
+		f.col.Tracer.Event(obs.CatMachine, ev.Data["event"], dataAttrs(ev, "event")...)
+	case obs.KindAdmission:
+		f.col.Tracer.Event(obs.CatServe, "admission:"+ev.Data["action"], dataAttrs(ev, "action")...)
+	case obs.KindMetric:
+		delta, err := strconv.ParseFloat(ev.Data["delta"], 64)
+		if err != nil || ev.Data["name"] == "" {
+			return false
+		}
+		// Labels come from the event data only: the trace/tenant
+		// envelope is stream scoping, not metric identity.
+		keys := make([]string, 0, len(ev.Data))
+		for k := range ev.Data {
+			if k != "name" && k != "delta" {
+				keys = append(keys, k)
+			}
+		}
+		sort.Strings(keys)
+		labels := make([]obs.Label, 0, len(keys))
+		for _, k := range keys {
+			labels = append(labels, obs.L(k, ev.Data[k]))
+		}
+		f.col.Metrics.Add(ev.Data["name"], delta, labels...)
+	case obs.KindHeat:
+		f.replayHeat(ev)
+	case obs.KindHeatSegments:
+		f.col.Heat.SetSegmentData(parseSegments(ev.Data["segments"]))
+	case obs.KindGap:
+		f.col.Tracer.Event(obs.CatServe, "stream-gap", dataAttrs(ev)...)
+	case obs.KindTraceEnd:
+		if span := f.open[ev.Trace]; span != nil {
+			for _, a := range dataAttrs(ev) {
+				span.SetAttr(a.Key, a.Value)
+			}
+			span.Close()
+			delete(f.open, ev.Trace)
+		}
+		f.table.AddRow(ev.Trace, ev.Tenant, ev.Data["status"], ev.Data["cache"], ev.Data["dur_ms"])
+		f.traceEnds++
+		return true
+	}
+	return false
+}
+
+// replayHeat folds one coalesced heat-tile delta — a base address plus
+// obs.HeatRowBytes comma-separated per-byte counts — into the heatmap.
+func (f *follower) replayHeat(ev obs.BusEvent) {
+	base, err := strconv.ParseUint(ev.Data["base"], 0, 64)
+	if err != nil {
+		return
+	}
+	for i, field := range strings.Split(ev.Data["counts"], ",") {
+		c, err := strconv.ParseUint(field, 10, 64)
+		if err != nil || c == 0 {
+			continue
+		}
+		f.col.Heat.AddCount(mem.Addr(base+uint64(i)), c)
+	}
+}
+
+// parseSegments decodes the "kind:0xbase:0xend;..." geometry string a
+// heat-segments event carries.
+func parseSegments(s string) []obs.HeatSegment {
+	var segs []obs.HeatSegment
+	for _, part := range strings.Split(s, ";") {
+		fields := strings.Split(part, ":")
+		if len(fields) != 3 {
+			continue
+		}
+		base, err1 := strconv.ParseUint(fields[1], 0, 64)
+		end, err2 := strconv.ParseUint(fields[2], 0, 64)
+		if err1 != nil || err2 != nil {
+			continue
+		}
+		segs = append(segs, obs.HeatSegment{Kind: fields[0], Base: mem.Addr(base), End: mem.Addr(end)})
+	}
+	return segs
+}
+
+// followStream attaches to a pnserve /watch endpoint (NDJSON), replays
+// events until count trace-end markers have arrived (or the stream
+// closes), and emits the standard artifact set. Filters are passed
+// through in the URL itself: -follow 'http://host/watch?trace=t-1'.
+func followStream(out io.Writer, url, dir string, count int) error {
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Accept", "application/x-ndjson")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: %s", url, resp.Status)
+	}
+
+	f := newFollower()
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	sawHello := false
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var ev obs.BusEvent
+		if err := json.Unmarshal(line, &ev); err != nil {
+			return fmt.Errorf("bad stream line %q: %w", line, err)
+		}
+		if !sawHello {
+			if ev.Kind != obs.KindHello {
+				return fmt.Errorf("stream did not open with a hello event (got %q)", ev.Kind)
+			}
+			if schema := ev.Data["schema"]; schema != obs.WatchSchema {
+				return fmt.Errorf("stream schema %q, this build speaks %q", schema, obs.WatchSchema)
+			}
+			sawHello = true
+			continue
+		}
+		if f.replay(ev) && f.traceEnds >= count {
+			break
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if !sawHello {
+		return fmt.Errorf("stream closed before the hello event")
+	}
+	if f.traceEnds < count {
+		fmt.Fprintf(out, "stream closed after %d of %d traces; rendering what arrived\n",
+			f.traceEnds, count)
+	}
+	f.col.Finalize()
+	return emit(out, dir, f.col, f.table)
+}

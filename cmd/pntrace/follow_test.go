@@ -1,0 +1,129 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// stubWatch serves a canned pnwatch/v1 NDJSON stream.
+func stubWatch(t *testing.T, events []obs.BusEvent) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !strings.Contains(r.Header.Get("Accept"), "application/x-ndjson") {
+			t.Errorf("follower did not request NDJSON (Accept=%q)", r.Header.Get("Accept"))
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		enc := json.NewEncoder(w)
+		for _, ev := range events {
+			if err := enc.Encode(ev); err != nil {
+				return
+			}
+		}
+	}))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func watchFixture() []obs.BusEvent {
+	d := func(kvs ...string) map[string]string {
+		m := make(map[string]string)
+		for i := 0; i < len(kvs); i += 2 {
+			m[kvs[i]] = kvs[i+1]
+		}
+		return m
+	}
+	return []obs.BusEvent{
+		{Kind: obs.KindHello, Data: d("schema", obs.WatchSchema, "after", "0")},
+		{Seq: 1, Tick: 1, Kind: obs.KindSpanStart, Trace: "t-1", Tenant: "default",
+			Data: d("span", "request", "kind", "scenario", "id", "stack-ret")},
+		{Seq: 2, Tick: 2, Kind: obs.KindAdmission, Trace: "t-1", Tenant: "default",
+			Data: d("action", "admitted", "lane", "normal")},
+		{Seq: 3, Tick: 3, Kind: obs.KindHeatSegments, Trace: "t-1", Tenant: "default",
+			Data: d("segments", "stack:0x7f0000:0x7f4000;heap:0x600000:0x640000")},
+		{Seq: 4, Tick: 4, Kind: obs.KindHeat, Trace: "t-1", Tenant: "default",
+			Data: d("base", "0x7f0040", "counts", strings.TrimSuffix(strings.Repeat("3,", obs.HeatRowBytes-1), ",")+",9")},
+		{Seq: 5, Tick: 5, Kind: obs.KindEvent, Trace: "t-1", Tenant: "default",
+			Data: d("event", "control-hijack", "detail", "ret to 0x7f0040", "addr", "0x7f0040")},
+		{Seq: 6, Tick: 6, Kind: obs.KindSpanEnd, Trace: "t-1", Tenant: "default",
+			Data: d("span", "execute", "start_ms", "2", "dur_ms", "5")},
+		{Seq: 7, Tick: 7, Kind: obs.KindMetric, Trace: "t-1", Tenant: "default",
+			Data: d("name", obs.MetricServeRequests, "delta", "1", "lane", "normal", "outcome", "ok")},
+		{Seq: 8, Tick: 8, Kind: obs.KindTraceEnd, Trace: "t-1", Tenant: "default",
+			Data: d("status", "HIJACKED", "cache", "miss", "dur_ms", "9")},
+	}
+}
+
+func TestFollowStreamArtifacts(t *testing.T) {
+	ts := stubWatch(t, watchFixture())
+	dir := t.TempDir()
+	var out bytes.Buffer
+	if err := run([]string{"-follow", ts.URL, "-dir", dir}, &out); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, name := range []string{"trace.json", "metrics.prom", "heatmap.txt", "heatmap.json", "events.ndjson", "table.txt"} {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatalf("artifact %s missing: %v", name, err)
+		}
+		if name != "table.txt" && len(data) == 0 {
+			t.Errorf("artifact %s is empty", name)
+		}
+	}
+
+	heat, _ := os.ReadFile(filepath.Join(dir, "heatmap.txt"))
+	if !strings.Contains(string(heat), "stack") {
+		t.Errorf("heatmap lost the streamed segment annotation:\n%s", heat)
+	}
+	metrics, _ := os.ReadFile(filepath.Join(dir, "metrics.prom"))
+	if !strings.Contains(string(metrics), `pn_serve_requests_total{lane="normal",outcome="ok"} 1`) {
+		t.Errorf("replayed metric delta missing from exposition:\n%s", metrics)
+	}
+	if !strings.Contains(string(metrics), "pn_watch_events_total") {
+		t.Errorf("follower event counters missing from exposition")
+	}
+	table, _ := os.ReadFile(filepath.Join(dir, "table.txt"))
+	if !strings.Contains(string(table), "HIJACKED") {
+		t.Errorf("trace table missing terminal status:\n%s", table)
+	}
+	trace, _ := os.ReadFile(filepath.Join(dir, "trace.json"))
+	if !strings.Contains(string(trace), `"request"`) || !strings.Contains(string(trace), `"execute"`) {
+		t.Errorf("chrome trace missing replayed spans:\n%s", trace)
+	}
+}
+
+// TestFollowStreamDeterministic: the same stream renders to
+// byte-identical artifacts.
+func TestFollowStreamDeterministic(t *testing.T) {
+	render := func() []byte {
+		ts := stubWatch(t, watchFixture())
+		var out bytes.Buffer
+		if err := run([]string{"-follow", ts.URL}, &out); err != nil {
+			t.Fatal(err)
+		}
+		return out.Bytes()
+	}
+	a, b := render(), render()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("same stream rendered differently:\n--- a ---\n%s\n--- b ---\n%s", a, b)
+	}
+}
+
+func TestFollowStreamRejectsWrongSchema(t *testing.T) {
+	ts := stubWatch(t, []obs.BusEvent{
+		{Kind: obs.KindHello, Data: map[string]string{"schema": "pnwatch/v999"}},
+	})
+	var out bytes.Buffer
+	err := run([]string{"-follow", ts.URL}, &out)
+	if err == nil || !strings.Contains(err.Error(), "schema") {
+		t.Fatalf("wrong-schema stream accepted (err=%v)", err)
+	}
+}

@@ -14,7 +14,14 @@
 //
 //	pntrace -experiment E8 [-seed N] [-dir out/]
 //	pntrace -experiment E1 -chaos-prob 0.01 -seed 7   # trace under fault injection
+//	pntrace -follow http://127.0.0.1:8080/watch -count 3 -dir out/
 //	pntrace -list
+//
+// -follow attaches to a running pnserve's /watch stream (NDJSON) and
+// reconstructs the same artifact set from the live events: span
+// start/end pairs become trace spans, heat-tile deltas rebuild the
+// write-density heatmap, metric deltas rebuild counters. Stream
+// filters pass through in the URL (?trace=, ?tenant=, ?kind=).
 //
 // Without -dir the artifacts print to stdout in delimited sections.
 // Output is deterministic: two invocations with the same flags (same
@@ -51,6 +58,8 @@ func run(args []string, out io.Writer) error {
 	faults := fs.String("faults", "all", "fault kinds for the chaos overlay (comma list or all)")
 	dir := fs.String("dir", "", "directory to write artifacts into (created if missing); default prints to stdout")
 	list := fs.Bool("list", false, "list experiments")
+	follow := fs.String("follow", "", "URL of a pnserve /watch endpoint: replay the live stream into artifacts instead of running locally")
+	followCount := fs.Int("count", 1, "with -follow, number of finished traces to capture before rendering")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -58,6 +67,9 @@ func run(args []string, out io.Writer) error {
 	if *list {
 		fmt.Fprint(out, experiments.ListTable().String())
 		return nil
+	}
+	if *follow != "" {
+		return followStream(out, *follow, *dir, *followCount)
 	}
 	if *expID == "" {
 		return fmt.Errorf("missing -experiment (try -list)")

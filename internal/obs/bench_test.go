@@ -52,3 +52,33 @@ func BenchmarkWriteObserverOn(b *testing.B) {
 		}
 	}
 }
+
+// The same contract for the event bus: with no subscriber attached,
+// the canonical call-site pattern (gate on Active before building a
+// payload) is one atomic load and zero allocations. Compare:
+//
+//	go test ./internal/obs -bench BusPublish -benchmem
+
+func BenchmarkBusPublishInactive(b *testing.B) {
+	bus := NewBus(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if bus.Active() {
+			bus.Publish(KindEvent, "t-1", "default", map[string]string{"k": "v"})
+		}
+	}
+}
+
+func BenchmarkBusPublishActive(b *testing.B) {
+	bus := NewBus(0)
+	s := bus.Subscribe(0)
+	defer s.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if bus.Active() {
+			bus.Publish(KindEvent, "t-1", "default", map[string]string{"k": "v"})
+		}
+	}
+}

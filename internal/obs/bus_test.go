@@ -1,0 +1,244 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+// drainN reads n events with a deadline so a broken bus fails the test
+// instead of hanging it.
+func drainN(t *testing.T, s *BusSubscriber, n int) []BusEvent {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	out := make([]BusEvent, 0, n)
+	for len(out) < n {
+		ev, ok := s.Next(ctx)
+		if !ok {
+			t.Fatalf("subscriber closed after %d of %d events", len(out), n)
+		}
+		out = append(out, ev)
+	}
+	return out
+}
+
+func TestBusPublishSubscribeOrder(t *testing.T) {
+	b := NewBus(16)
+	s := b.Subscribe(0)
+	defer s.Close()
+	for i := 0; i < 5; i++ {
+		b.Publish(KindEvent, "t-1", "default", map[string]string{"i": fmt.Sprint(i)})
+	}
+	evs := drainN(t, s, 5)
+	for i, ev := range evs {
+		if ev.Seq != uint64(i+1) {
+			t.Errorf("event %d: seq = %d, want %d", i, ev.Seq, i+1)
+		}
+		if ev.Tick != uint64(i+1) {
+			t.Errorf("event %d: tick = %d, want %d", i, ev.Tick, i+1)
+		}
+		if ev.Kind != KindEvent || ev.Trace != "t-1" || ev.Tenant != "default" {
+			t.Errorf("event %d: unexpected envelope %+v", i, ev)
+		}
+		if ev.Data["i"] != fmt.Sprint(i) {
+			t.Errorf("event %d: data = %v", i, ev.Data)
+		}
+	}
+}
+
+// TestBusDeterministicStream is the virtual-clock determinism
+// contract: the bus's clock is its own logical tick, so two buses fed
+// the same publish sequence render byte-identical NDJSON.
+func TestBusDeterministicStream(t *testing.T) {
+	render := func() []byte {
+		b := NewBus(64)
+		s := b.Subscribe(0)
+		defer s.Close()
+		rng := rand.New(rand.NewSource(7))
+		kinds := []string{KindSpanStart, KindSpanEnd, KindEvent, KindHeat, KindAdmission}
+		for i := 0; i < 40; i++ {
+			k := kinds[rng.Intn(len(kinds))]
+			b.Publish(k, fmt.Sprintf("t-%d", rng.Intn(3)), "default",
+				map[string]string{"n": fmt.Sprint(rng.Intn(100)), "z": "zz", "a": "aa"})
+		}
+		var buf bytes.Buffer
+		enc := json.NewEncoder(&buf)
+		for _, ev := range drainN(t, s, 40) {
+			if err := enc.Encode(ev); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return buf.Bytes()
+	}
+	a, b := render(), render()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("same publish sequence rendered differently:\n--- a ---\n%s\n--- b ---\n%s", a, b)
+	}
+}
+
+// TestBusSlowSubscriberDropNotBlock is the drop-not-block property: a
+// subscriber that never reads cannot stall the writer, and once it
+// does read, delivered + dropped accounts for every published event.
+func TestBusSlowSubscriberDropNotBlock(t *testing.T) {
+	const ringCap = 32
+	rng := rand.New(rand.NewSource(1))
+	for round := 0; round < 20; round++ {
+		b := NewBus(ringCap)
+		s := b.Subscribe(0)
+		n := ringCap/2 + rng.Intn(4*ringCap) // sometimes laps, sometimes not
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			for i := 0; i < n; i++ {
+				b.Publish(KindEvent, "", "", nil)
+			}
+		}()
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+			t.Fatalf("round %d: publisher blocked on a slow subscriber", round)
+		}
+		delivered := 0
+		var lostFromGaps uint64
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		for delivered+int(lostFromGaps) < n {
+			ev, ok := s.Next(ctx)
+			if !ok {
+				t.Fatalf("round %d: stream ended after %d delivered + %d lost of %d",
+					round, delivered, lostFromGaps, n)
+			}
+			if ev.Kind == KindGap {
+				var lost uint64
+				fmt.Sscan(ev.Data["lost"], &lost)
+				lostFromGaps += lost
+				continue
+			}
+			delivered++
+		}
+		cancel()
+		if s.Dropped() != lostFromGaps {
+			t.Errorf("round %d: Dropped() = %d, gap events reported %d", round, s.Dropped(), lostFromGaps)
+		}
+		if n > ringCap && lostFromGaps == 0 {
+			t.Errorf("round %d: published %d into a %d ring without reading, expected drops", round, n, ringCap)
+		}
+		s.Close()
+	}
+}
+
+// TestBusInactivePublishAllocs pins the zero-cost contract: the
+// canonical call-site pattern (gate on Active before building the
+// payload) performs zero allocations when nobody is watching.
+func TestBusInactivePublishAllocs(t *testing.T) {
+	b := NewBus(64)
+	allocs := testing.AllocsPerRun(1000, func() {
+		if b.Active() {
+			b.Publish(KindEvent, "t-1", "default", map[string]string{"k": "v"})
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("inactive publish pattern allocates %.1f times per op, want 0", allocs)
+	}
+	var nilBus *Bus
+	allocs = testing.AllocsPerRun(1000, func() {
+		if nilBus.Active() {
+			nilBus.Publish(KindEvent, "", "", nil)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("nil-bus publish pattern allocates %.1f times per op, want 0", allocs)
+	}
+}
+
+func TestBusInactiveEventsNotRetained(t *testing.T) {
+	b := NewBus(8)
+	b.Publish(KindEvent, "", "", nil) // nobody watching: dropped by contract
+	s := b.Subscribe(0)
+	defer s.Close()
+	b.Publish(KindSpanStart, "", "", nil)
+	ev := drainN(t, s, 1)[0]
+	if ev.Seq != 1 || ev.Kind != KindSpanStart {
+		t.Fatalf("first retained event = %+v, want seq 1 span-start", ev)
+	}
+}
+
+func TestBusResume(t *testing.T) {
+	b := NewBus(64)
+	s := b.Subscribe(0)
+	for i := 0; i < 6; i++ {
+		b.Publish(KindEvent, "", "", map[string]string{"i": fmt.Sprint(i)})
+	}
+	evs := drainN(t, s, 3)
+	last := evs[2].Seq
+	s.Close()
+
+	// Reconnect with Last-Event-ID: delivery resumes at last+1.
+	s2 := b.Subscribe(last)
+	defer s2.Close()
+	evs = drainN(t, s2, 3)
+	if evs[0].Seq != last+1 || evs[2].Seq != 6 {
+		t.Fatalf("resume delivered seqs %d..%d, want %d..6", evs[0].Seq, evs[2].Seq, last+1)
+	}
+
+	// Resuming past the ring's tail reports a gap first.
+	small := NewBus(4)
+	s3 := small.Subscribe(0)
+	for i := 0; i < 10; i++ {
+		small.Publish(KindEvent, "", "", nil)
+	}
+	s3.Close()
+	s4 := small.Subscribe(2) // seqs 3..6 have been overwritten
+	defer s4.Close()
+	ev := drainN(t, s4, 1)[0]
+	if ev.Kind != KindGap || ev.Data["lost"] != "4" {
+		t.Fatalf("lapped resume returned %+v, want gap with lost=4", ev)
+	}
+	next := drainN(t, s4, 1)[0]
+	if next.Seq != 7 {
+		t.Fatalf("after gap, seq = %d, want 7 (ring tail)", next.Seq)
+	}
+}
+
+// TestBusConcurrentStress exercises the bus under the race detector:
+// concurrent publishers and churning subscribers.
+func TestBusConcurrentStress(t *testing.T) {
+	b := NewBus(128)
+	b.OnSubscribers = func(int) {}
+	b.OnDrop = func(uint64) {}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	var wg sync.WaitGroup
+	for p := 0; p < 4; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				if b.Active() {
+					b.Publish(KindEvent, fmt.Sprintf("t-%d", p), "default", map[string]string{"i": fmt.Sprint(i)})
+				}
+			}
+		}(p)
+	}
+	for c := 0; c < 3; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < 5; r++ {
+				s := b.Subscribe(0)
+				for i := 0; i < 50; i++ {
+					if _, ok := s.Next(ctx); !ok {
+						break
+					}
+				}
+				s.Close()
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -75,6 +75,34 @@ func (h *Heatmap) RecordWrite(addr mem.Addr, n uint64) {
 	h.mu.Unlock()
 }
 
+// AddCount adds count to a single byte's write density. It is the
+// stream-reconstruction counterpart of RecordWrite: pntrace -follow
+// replays coalesced heat-tile deltas from a /watch stream, which carry
+// accumulated per-byte counts rather than individual writes.
+func (h *Heatmap) AddCount(addr mem.Addr, count uint64) {
+	if h == nil || count == 0 {
+		return
+	}
+	h.mu.Lock()
+	h.counts[addr] += count
+	h.mu.Unlock()
+}
+
+// SetSegmentData records segment geometry that already lives in the
+// plain-data form — the shape /watch streams carry. First call wins,
+// matching SetSegments.
+func (h *Heatmap) SetSegmentData(segs []HeatSegment) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.segs) > 0 {
+		return
+	}
+	h.segs = append(h.segs, segs...)
+}
+
 // SetSegments records the segment geometry used to group rows. The
 // first call wins: every process in a deterministic experiment maps
 // the same image, so later processes agree with the first.

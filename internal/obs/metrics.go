@@ -65,6 +65,22 @@ const (
 	MetricServeBreakerEvents    = "pn_serve_breaker_events_total"
 )
 
+// Live-observability metric names: the per-stage request latency
+// breakdown (histograms labelled by stage via these explicit family
+// names), the /watch event bus health, and process identity.
+const (
+	MetricServeStageQueueWait   = "pn_serve_stage_queue_wait_ms"
+	MetricServeStageCacheLookup = "pn_serve_stage_cache_lookup_ms"
+	MetricServeStageClone       = "pn_serve_stage_clone_ms"
+	MetricServeStageExecute     = "pn_serve_stage_execute_ms"
+	MetricServeStageShadowCheck = "pn_serve_stage_shadow_check_ms"
+
+	MetricBuildInfo        = "pn_build_info"
+	MetricServeUptime      = "pn_serve_uptime_seconds"
+	MetricWatchSubscribers = "pn_serve_watch_subscribers"
+	MetricWatchDropped     = "pn_serve_watch_dropped_events_total"
+)
+
 // Label is one metric dimension.
 type Label struct {
 	Key   string `json:"key"`

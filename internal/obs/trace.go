@@ -34,6 +34,9 @@ const (
 	CatChaos      = "chaos"
 	CatMachine    = "machine"
 	CatProcess    = "process"
+	// CatServe marks spans reconstructed from a serving-tier /watch
+	// stream (pntrace -follow).
+	CatServe = "serve"
 )
 
 // Tick is a timestamp on the deterministic logical clock. The clock

@@ -94,6 +94,12 @@ type Request struct {
 	// queueing, and circuit breakers but is deliberately NOT part of the
 	// cache key: results are content-addressed and tenant-agnostic.
 	Tenant string `json:"-"`
+	// TraceID is the request's trace identity (from the X-PN-Trace-Id
+	// header; empty mints one). Like Tenant it is NOT part of the cache
+	// key — tracing must never fragment the content-addressed cache —
+	// and a client-supplied ID additionally arms detailed (per-write)
+	// instrumentation for that request.
+	TraceID string `json:"-"`
 }
 
 // request is a validated, normalized Request plus everything resolved

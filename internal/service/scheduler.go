@@ -2,6 +2,7 @@ package service
 
 import (
 	"context"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -44,6 +45,11 @@ type SchedulerConfig struct {
 	// Metrics, when non-nil, receives queue-depth and in-flight gauges
 	// plus per-outcome request, tenant, limiter, and breaker counters.
 	Metrics *obs.Registry
+	// Bus, when non-nil, receives admission transitions (admitted, shed
+	// with reason, limiter adjustments, breaker events) as live events.
+	// Publishes are gated on Bus.Active(), so an unwatched server pays
+	// one atomic load per decision.
+	Bus *obs.Bus
 }
 
 func (c SchedulerConfig) withDefaults() SchedulerConfig {
@@ -82,6 +88,9 @@ type Admit struct {
 	Class string
 	// ID names the unit of work in supervision records.
 	ID string
+	// Trace, when non-nil, receives the queue-wait stage and scopes the
+	// admission events this request publishes on the bus.
+	Trace *RequestTrace
 }
 
 // task is one admitted unit of work.
@@ -143,12 +152,20 @@ func NewScheduler(cfg SchedulerConfig) *Scheduler {
 	lim.OnAdjust = func(direction string, limit int) {
 		cfg.Metrics.Inc(obs.MetricServeLimitEvents, obs.L("direction", direction))
 		cfg.Metrics.Set(obs.MetricServeLimitValue, float64(limit))
+		if cfg.Bus.Active() {
+			cfg.Bus.Publish(obs.KindAdmission, "", "", map[string]string{
+				"action": "limit", "direction": direction, "limit": strconv.Itoa(limit)})
+		}
 	}
 	s.limiter = NewLimiter(lim)
 	brk := cfg.Breaker
 	brk.OnEvent = func(event, tenant, class string) {
 		cfg.Metrics.Inc(obs.MetricServeBreakerEvents,
 			obs.L("event", event), obs.L("tenant", tenant), obs.L("class", class))
+		if cfg.Bus.Active() {
+			cfg.Bus.Publish(obs.KindAdmission, "", tenant, map[string]string{
+				"action": "breaker", "event": event, "class": class})
+		}
 	}
 	s.breakers = newBreakerSet(brk, cfg.Now)
 	s.fq = newFairQueue(cfg.QueueDepth, cfg.AgingThreshold, cfg.Quota.WeightFor, cfg.Now)
@@ -259,6 +276,10 @@ func (s *Scheduler) Do(ctx context.Context, adm Admit, fn func(ctx context.Conte
 		return nil, s.reject(adm, ReasonDraining, s.cfg.RetryAfter)
 	}
 	s.gauges()
+	if s.cfg.Bus.Active() {
+		s.cfg.Bus.Publish(obs.KindAdmission, adm.Trace.Ref(), adm.Tenant, map[string]string{
+			"action": "admitted", "lane": adm.Priority.String()})
+	}
 	select {
 	case r := <-t.done:
 		return r.val, r.err
@@ -296,16 +317,25 @@ func (s *Scheduler) reject(adm Admit, reason string, retryAfter time.Duration) *
 }
 
 // shed records one shed decision in the lane, reason, and tenant
-// metric families.
+// metric families, and announces it on the bus.
 func (s *Scheduler) shed(adm Admit, reason string) {
 	s.cfg.Metrics.Inc(obs.MetricServeRequests, obs.L("lane", adm.Priority.String()), obs.L("outcome", "shed"))
 	s.cfg.Metrics.Inc(obs.MetricServeShed, obs.L("lane", adm.Priority.String()), obs.L("reason", reason))
 	s.cfg.Metrics.Inc(obs.MetricServeTenantShed, obs.L("tenant", adm.Tenant), obs.L("reason", reason))
+	if s.cfg.Bus.Active() {
+		s.cfg.Bus.Publish(obs.KindAdmission, adm.Trace.Ref(), adm.Tenant, map[string]string{
+			"action": "shed", "reason": reason, "lane": adm.Priority.String()})
+	}
 }
 
 func (s *Scheduler) count(adm Admit, outcome string) {
 	s.cfg.Metrics.Inc(obs.MetricServeRequests, obs.L("lane", adm.Priority.String()), obs.L("outcome", outcome))
 	s.cfg.Metrics.Inc(obs.MetricServeTenantRequests, obs.L("tenant", adm.Tenant), obs.L("outcome", outcome))
+	if s.cfg.Bus.Active() {
+		s.cfg.Bus.Publish(obs.KindMetric, adm.Trace.Ref(), adm.Tenant, map[string]string{
+			"name": obs.MetricServeRequests, "delta": "1",
+			"lane": adm.Priority.String(), "outcome": outcome})
+	}
 }
 
 func (s *Scheduler) gauges() {
@@ -347,6 +377,11 @@ func (s *Scheduler) execute(t *task) {
 	s.cfg.Metrics.Set(obs.MetricServeInflight, float64(s.inflight.Add(1)))
 	defer func() { s.cfg.Metrics.Set(obs.MetricServeInflight, float64(s.inflight.Add(-1))) }()
 	start := s.cfg.Now()
+	// Queue wait: admission to worker pickup — the stage that grows
+	// first under overload.
+	s.cfg.Metrics.Observe(obs.MetricServeStageQueueWait, durMS(start.Sub(t.admitted)),
+		obs.L("lane", t.adm.Priority.String()))
+	t.adm.Trace.Stage(StageQueueWait, t.admitted, start, nil)
 
 	pol := resilience.Policy{MaxAttempts: 1}
 	if dl, ok := t.ctx.Deadline(); ok {

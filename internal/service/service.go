@@ -14,6 +14,8 @@ package service
 import (
 	"context"
 	"fmt"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/attack"
@@ -64,6 +66,13 @@ type Config struct {
 	// cache, shed counters; queue and in-flight gauges; latency
 	// histogram).
 	Registry *obs.Registry
+	// Bus, when non-nil, receives live span/heat/admission events for
+	// /watch subscribers. All publishes are gated on Bus.Active(), so an
+	// unwatched server pays one atomic load per seam.
+	Bus *obs.Bus
+	// TraceCapacity bounds the finished-trace store backing GET
+	// /trace/{id} (default DefaultTraceCapacity).
+	TraceCapacity int
 }
 
 func (c Config) withDefaults() Config {
@@ -73,16 +82,22 @@ func (c Config) withDefaults() Config {
 	if c.MaxDeadline <= 0 {
 		c.MaxDeadline = 60 * time.Second
 	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
 	return c
 }
 
 // Service schedules, executes, and caches corpus requests.
 type Service struct {
-	cfg   Config
-	sched *Scheduler
-	cache *Cache
-	reg   *obs.Registry
-	pool  *mem.ImagePool
+	cfg      Config
+	sched    *Scheduler
+	cache    *Cache
+	reg      *obs.Registry
+	pool     *mem.ImagePool
+	bus      *obs.Bus
+	traces   *TraceStore
+	traceSeq atomic.Uint64
 }
 
 // New builds a Service and starts its worker pool.
@@ -91,8 +106,10 @@ func New(cfg Config) *Service {
 	reg := cfg.Registry
 	describeServeMetrics(reg)
 	s := &Service{
-		cfg: cfg,
-		reg: reg,
+		cfg:    cfg,
+		reg:    reg,
+		bus:    cfg.Bus,
+		traces: NewTraceStore(cfg.TraceCapacity),
 		sched: NewScheduler(SchedulerConfig{
 			Workers:        cfg.Workers,
 			QueueDepth:     cfg.QueueDepth,
@@ -103,6 +120,7 @@ func New(cfg Config) *Service {
 			AgingThreshold: cfg.AgingThreshold,
 			Now:            cfg.Now,
 			Metrics:        reg,
+			Bus:            cfg.Bus,
 		}),
 	}
 	s.cache = NewCache(CacheConfig{
@@ -110,6 +128,10 @@ func New(cfg Config) *Service {
 		TTL:      cfg.CacheTTL,
 		OnEvent: func(event string) {
 			reg.Inc(obs.MetricServeCache, obs.L("event", event))
+			if cfg.Bus.Active() {
+				cfg.Bus.Publish(obs.KindMetric, "", "", map[string]string{
+					"name": obs.MetricServeCache, "delta": "1", "event": event})
+			}
 		},
 	})
 	if !cfg.DisableTemplatePool {
@@ -147,6 +169,17 @@ func describeServeMetrics(reg *obs.Registry) {
 	reg.Describe(obs.MetricServeInflight, "requests currently executing", obs.TypeGauge)
 	reg.Describe(obs.MetricServeLatency, "request execution latency in milliseconds, by lane",
 		obs.TypeHistogram, 1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000)
+	stageBuckets := []float64{0.01, 0.05, 0.25, 1, 5, 25, 100, 500, 2000}
+	reg.Describe(obs.MetricServeStageQueueWait, "admission-to-worker queue wait in milliseconds, by lane",
+		obs.TypeHistogram, stageBuckets...)
+	reg.Describe(obs.MetricServeStageCacheLookup, "result-cache lookup time in milliseconds (hits and coalesced waits)",
+		obs.TypeHistogram, stageBuckets...)
+	reg.Describe(obs.MetricServeStageClone, "image acquisition time in milliseconds (template clone or construction)",
+		obs.TypeHistogram, stageBuckets...)
+	reg.Describe(obs.MetricServeStageExecute, "corpus execution time in milliseconds",
+		obs.TypeHistogram, stageBuckets...)
+	reg.Describe(obs.MetricServeStageShadowCheck, "time spent in shadow write checks in milliseconds (detail mode only)",
+		obs.TypeHistogram, stageBuckets...)
 }
 
 // Scheduler exposes the pool (for drain and tests).
@@ -166,10 +199,43 @@ func (s *Service) Drain() {
 // token is one of the Cache* event values (CacheHit, CacheMiss,
 // CacheCoalesced, CacheBypass).
 func (s *Service) Handle(ctx context.Context, req Request) (*Result, string, error) {
+	res, token, _, err := s.HandleTraced(ctx, req)
+	return res, token, err
+}
+
+// Trace returns a finished request trace by ID (GET /trace/{id}).
+func (s *Service) Trace(id string) (*RequestTrace, bool) { return s.traces.Get(id) }
+
+// Bus exposes the live event bus (nil when not configured).
+func (s *Service) Bus() *obs.Bus { return s.bus }
+
+// nextTraceID mints a deterministic trace identity: a process-local
+// counter, not randomness, so a deterministic-clock server streams
+// byte-identical IDs across double runs.
+func (s *Service) nextTraceID() string {
+	return "t-" + fmt.Sprint(s.traceSeq.Add(1))
+}
+
+// HandleTraced is Handle plus request-scoped tracing: it mints (or
+// honours) the trace ID, threads it through admission and execution,
+// records the per-stage latency breakdown, and returns the finished
+// trace alongside the result. The trace is also retained for GET
+// /trace/{id}. A client-supplied TraceID (or an attached /watch
+// subscriber) arms detailed per-write instrumentation for the request;
+// otherwise tracing costs a handful of clock reads.
+func (s *Service) HandleTraced(ctx context.Context, req Request) (*Result, string, *RequestTrace, error) {
 	n, err := normalize(req)
 	if err != nil {
-		return nil, "", err
+		return nil, "", nil, err
 	}
+
+	traceID := req.TraceID
+	clientTraced := traceID != ""
+	if traceID == "" {
+		traceID = s.nextTraceID()
+	}
+	rt := newRequestTrace(traceID, n.tenant, n.kind, n.id, s.cfg.Now, s.bus)
+	rt.detail = clientTraced || s.bus.Active()
 
 	deadline := s.cfg.DefaultDeadline
 	if req.DeadlineMS > 0 {
@@ -187,9 +253,10 @@ func (s *Service) Handle(ctx context.Context, req Request) (*Result, string, err
 			Priority: n.priority,
 			Class:    n.kind + "/" + n.id,
 			ID:       n.kind + "/" + n.id,
+			Trace:    rt,
 		}
 		v, err := s.sched.Do(ctx, adm, func(ctx context.Context) (any, error) {
-			return s.compute(ctx, n)
+			return s.compute(ctx, n, rt)
 		})
 		if err != nil {
 			return nil, err
@@ -201,27 +268,46 @@ func (s *Service) Handle(ctx context.Context, req Request) (*Result, string, err
 		return res, nil
 	}
 
+	var res *Result
+	var token string
 	if n.NoCache {
-		res, err := execute()
-		if err != nil {
-			return nil, CacheBypass, err
+		res, err = execute()
+		token = CacheBypass
+		if err == nil {
+			s.cache.Put(n.key, res)
+			s.reg.Inc(obs.MetricServeCache, obs.L("event", CacheBypass))
 		}
-		s.cache.Put(n.key, res)
-		s.reg.Inc(obs.MetricServeCache, obs.L("event", CacheBypass))
-		return res, CacheBypass, nil
+	} else {
+		lookupStart := s.cfg.Now()
+		res, token, err = s.cache.Do(ctx, n.key, execute)
+		if token == CacheHit || token == CacheCoalesced {
+			// On a hit or coalesced wait the whole Do call is lookup; on
+			// a miss this request led the execution and its time is
+			// accounted by the execute/clone stages instead.
+			lookupEnd := s.cfg.Now()
+			rt.Stage(StageCacheLookup, lookupStart, lookupEnd, map[string]string{"token": token})
+			s.reg.Observe(obs.MetricServeStageCacheLookup, durMS(lookupEnd.Sub(lookupStart)))
+		}
 	}
-	return s.cache.Do(ctx, n.key, execute)
+
+	status := "error"
+	if err == nil {
+		status = res.Status
+	}
+	rt.finish(status, token, err)
+	s.traces.Put(rt)
+	return res, token, rt, err
 }
 
 // compute executes one validated request on a worker goroutine. It is
 // the single place the serving path calls into the corpus, and it
 // checks ctx immediately so work cancelled between admission and
 // dispatch never runs.
-func (s *Service) compute(ctx context.Context, n *request) (*Result, error) {
+func (s *Service) compute(ctx context.Context, n *request, rt *RequestTrace) (*Result, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	start := time.Now()
+	start := s.cfg.Now()
 	res := &Result{
 		Key:     n.key,
 		Kind:    n.kind,
@@ -237,7 +323,7 @@ func (s *Service) compute(ctx context.Context, n *request) (*Result, error) {
 		res.Status = "ok"
 		res.Table = t.Data()
 	default:
-		o, injected, err := s.runScenario(n)
+		o, injected, err := s.runScenario(n, rt, start)
 		if err != nil {
 			return nil, err
 		}
@@ -252,18 +338,26 @@ func (s *Service) compute(ctx context.Context, n *request) (*Result, error) {
 		res.InjectedFaults = injected
 		res.Table = outcomeTable(o, n.Model).Data()
 	}
-	res.ComputeNS = time.Since(start).Nanoseconds()
+	end := s.cfg.Now()
+	res.ComputeNS = end.Sub(start).Nanoseconds()
+	rt.Stage(StageExecute, start, end, nil)
+	s.reg.Observe(obs.MetricServeStageExecute, durMS(end.Sub(start)))
 	return res, nil
 }
 
 // runScenario executes one attack scenario under its defense config
 // and optional chaos overlay. Everything is request-local — injector,
-// process hook, defense config copy — so scenario requests are safe to
-// run concurrently, unlike the process-global instrumentation seams
-// cmd/pntrace uses. The image template pool is shared, but only through
-// immutable copy-on-write pages: every process clones its address space
-// from a pristine template and copies any page before writing it.
-func (s *Service) runScenario(n *request) (*attack.Outcome, int, error) {
+// process hook, defense config copy, observers — so scenario requests
+// are safe to run concurrently, unlike the process-global
+// instrumentation seams cmd/pntrace uses. The image template pool is
+// shared, but only through immutable copy-on-write pages: every
+// process clones its address space from a pristine template and copies
+// any page before writing it.
+//
+// execStart is when the worker began this request: the window from it
+// to the first process construction is the clone stage (template clone
+// or image construction plus defense wiring).
+func (s *Service) runScenario(n *request, rt *RequestTrace, execStart time.Time) (*attack.Outcome, int, error) {
 	cfg := n.defCfg // copy; the catalogue config stays pristine
 	cfg.Pool = s.pool
 	var inj *chaos.Injector
@@ -285,7 +379,72 @@ func (s *Service) runScenario(n *request) (*attack.Outcome, int, error) {
 			inj.Arm(p.Mem)
 		}
 	}
+
+	// Request-scoped observation. The clone stage (execute start to
+	// first process) is recorded whenever a trace exists; the per-write
+	// instrumentation — shadow-check timing, heat-tile streaming, live
+	// machine events — only in detail mode, because it costs clock reads
+	// or map updates on the hot write path.
+	var cloneOnce sync.Once
+	var shadows []*timedShadow
+	var shadowMu sync.Mutex
+	var hs *heatStream
+	if rt.Detail() && s.bus.Active() {
+		hs = newHeatStream(s.bus, rt.Ref(), rt.Tenant)
+	}
+	if rt != nil {
+		prev := cfg.OnProcess
+		bus := s.bus
+		cfg.OnProcess = func(p *machine.Process) {
+			if prev != nil {
+				prev(p)
+			}
+			cloneOnce.Do(func() {
+				end := s.cfg.Now()
+				rt.Stage(StageClone, execStart, end, nil)
+				s.reg.Observe(obs.MetricServeStageClone, durMS(end.Sub(execStart)))
+			})
+			if rt.Detail() {
+				if sh := p.Mem.Shadow(); sh != nil {
+					ts := &timedShadow{inner: sh, now: s.cfg.Now}
+					p.Mem.SetShadow(ts)
+					shadowMu.Lock()
+					shadows = append(shadows, ts)
+					shadowMu.Unlock()
+				}
+			}
+			if hs != nil {
+				hs.publishSegments(p.Mem.Segments())
+				p.Mem.SetAccessObserver(hs.record)
+				trace, tenant := rt.Ref(), rt.Tenant
+				p.SetEventObserver(func(ev machine.Event) {
+					if bus.Active() {
+						publishMachineEvent(bus, trace, tenant, ev)
+					}
+				})
+			}
+		}
+	}
+
 	o, err := n.scenario.Run(cfg)
+	if hs != nil {
+		hs.flush()
+	}
+	shadowMu.Lock()
+	var shadowTotal time.Duration
+	var shadowChecks uint64
+	for _, ts := range shadows {
+		d, c := ts.totals()
+		shadowTotal += d
+		shadowChecks += c
+	}
+	shadowMu.Unlock()
+	if shadowChecks > 0 {
+		end := s.cfg.Now()
+		rt.Stage(StageShadowCheck, end.Add(-shadowTotal), end,
+			map[string]string{"checks": fmt.Sprint(shadowChecks)})
+		s.reg.Observe(obs.MetricServeStageShadowCheck, durMS(shadowTotal))
+	}
 	injected := 0
 	if inj != nil {
 		injected = inj.Count()

@@ -1,0 +1,247 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+func traceTestService(t *testing.T, bus *obs.Bus) *Service {
+	t.Helper()
+	s := New(Config{
+		Workers:  1,
+		Registry: obs.NewRegistry(),
+		Bus:      bus,
+		Now:      NewVirtualClock().Now,
+	})
+	t.Cleanup(s.Drain)
+	return s
+}
+
+func TestHandleTracedStages(t *testing.T) {
+	s := traceTestService(t, nil)
+	res, token, rt, err := s.HandleTraced(context.Background(),
+		Request{Scenario: "bss-overflow", TraceID: "t-client-1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if token != CacheMiss {
+		t.Fatalf("token = %q, want miss", token)
+	}
+	if rt.TraceID != "t-client-1" {
+		t.Fatalf("trace ID = %q, want the client-supplied one", rt.TraceID)
+	}
+	if !rt.Detail() {
+		t.Fatal("client-supplied trace ID should arm detail mode")
+	}
+	for _, stage := range []string{StageQueueWait, StageClone, StageExecute} {
+		if _, ok := rt.StageMS[stage]; !ok {
+			t.Errorf("stage %q missing from breakdown %v", stage, rt.StageMS)
+		}
+	}
+	if rt.Status != res.Status {
+		t.Errorf("trace status %q != result status %q", rt.Status, res.Status)
+	}
+	if rt.Root == nil || len(rt.Root.Children) < 3 {
+		t.Fatalf("span tree too small: %+v", rt.Root)
+	}
+
+	got, ok := s.Trace("t-client-1")
+	if !ok || got != rt {
+		t.Fatal("finished trace not retrievable by ID")
+	}
+}
+
+func TestHandleTracedShadowStage(t *testing.T) {
+	s := traceTestService(t, nil)
+	_, _, rt, err := s.HandleTraced(context.Background(),
+		Request{Scenario: "bss-overflow", Defense: "shadow", TraceID: "t-shadow"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := rt.StageMS[StageShadowCheck]; !ok {
+		t.Fatalf("shadow defense in detail mode should record a shadow_check stage, got %v", rt.StageMS)
+	}
+}
+
+func TestHandleTracedMintsIDs(t *testing.T) {
+	s := traceTestService(t, nil)
+	_, _, rt1, err := s.HandleTraced(context.Background(), Request{Experiment: "E1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, rt2, err := s.HandleTraced(context.Background(), Request{Experiment: "E1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt1.TraceID != "t-1" || rt2.TraceID != "t-2" {
+		t.Fatalf("minted IDs %q, %q; want counter-derived t-1, t-2", rt1.TraceID, rt2.TraceID)
+	}
+	if rt1.Detail() {
+		t.Fatal("minted trace with no subscriber must not arm detail mode")
+	}
+	if rt2.Cache != CacheHit {
+		t.Fatalf("second identical request recorded cache %q, want hit", rt2.Cache)
+	}
+	if _, ok := rt2.StageMS[StageCacheLookup]; !ok {
+		t.Fatalf("cache hit should record a cache_lookup stage, got %v", rt2.StageMS)
+	}
+}
+
+// collectUntilTraceEnd drains bus events until the trace-end marker.
+func collectUntilTraceEnd(t *testing.T, sub *obs.BusSubscriber) []obs.BusEvent {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	var evs []obs.BusEvent
+	for {
+		ev, ok := sub.Next(ctx)
+		if !ok {
+			t.Fatalf("stream ended after %d events without trace-end", len(evs))
+		}
+		evs = append(evs, ev)
+		if ev.Kind == obs.KindTraceEnd {
+			return evs
+		}
+	}
+}
+
+func TestTraceStreamEvents(t *testing.T) {
+	bus := obs.NewBus(0)
+	s := traceTestService(t, bus)
+	sub := bus.Subscribe(0)
+	defer sub.Close()
+
+	if _, _, _, err := s.HandleTraced(context.Background(),
+		Request{Scenario: "stack-ret", TraceID: "t-watch"}); err != nil {
+		t.Fatal(err)
+	}
+	evs := collectUntilTraceEnd(t, sub)
+
+	counts := map[string]int{}
+	for _, ev := range evs {
+		counts[ev.Kind]++
+		if ev.Trace != "t-watch" && ev.Trace != "" {
+			t.Errorf("event scoped to unexpected trace %q: %+v", ev.Trace, ev)
+		}
+	}
+	for _, want := range []string{obs.KindSpanStart, obs.KindSpanEnd, obs.KindHeat,
+		obs.KindHeatSegments, obs.KindAdmission, obs.KindTraceEnd} {
+		if counts[want] == 0 {
+			t.Errorf("stream carried no %q events (saw %v)", want, counts)
+		}
+	}
+}
+
+// TestTraceStreamDeterministic is the live-stream reproducibility
+// contract: two servers on virtual clocks, fed the same sequential
+// request sequence, publish byte-identical NDJSON.
+func TestTraceStreamDeterministic(t *testing.T) {
+	render := func() []byte {
+		bus := obs.NewBus(0)
+		s := New(Config{
+			Workers:  1,
+			Registry: obs.NewRegistry(),
+			Bus:      bus,
+			Now:      NewVirtualClock().Now,
+		})
+		defer s.Drain()
+		sub := bus.Subscribe(0)
+		defer sub.Close()
+
+		reqs := []Request{
+			{Scenario: "bss-overflow", TraceID: "t-a"},
+			{Scenario: "stack-ret", Defense: "nx", TraceID: "t-b"},
+			{Experiment: "E1", TraceID: "t-c"},
+		}
+		var buf bytes.Buffer
+		enc := json.NewEncoder(&buf)
+		for _, req := range reqs {
+			if _, _, _, err := s.HandleTraced(context.Background(), req); err != nil {
+				t.Fatal(err)
+			}
+			for _, ev := range collectUntilTraceEnd(t, sub) {
+				if err := enc.Encode(ev); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		return buf.Bytes()
+	}
+	a, b := render(), render()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("virtual-clock streams differ across identical runs:\nlen a=%d b=%d", len(a), len(b))
+	}
+}
+
+func TestTraceStoreEviction(t *testing.T) {
+	ts := NewTraceStore(2)
+	for _, id := range []string{"t-1", "t-2", "t-3"} {
+		ts.Put(&RequestTrace{TraceID: id})
+	}
+	if _, ok := ts.Get("t-1"); ok {
+		t.Fatal("oldest trace should have been evicted at capacity 2")
+	}
+	for _, id := range []string{"t-2", "t-3"} {
+		if _, ok := ts.Get(id); !ok {
+			t.Fatalf("trace %s missing", id)
+		}
+	}
+}
+
+// TestTraceConcurrentWithWatch drives concurrent traced requests while
+// a subscriber churns — the service-level half of the /run + /watch
+// race stress (run under -race in CI).
+func TestTraceConcurrentWithWatch(t *testing.T) {
+	bus := obs.NewBus(256)
+	s := New(Config{
+		Workers:  4,
+		Registry: obs.NewRegistry(),
+		Bus:      bus,
+	})
+	defer s.Drain()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	watchCtx, stopWatch := context.WithCancel(ctx)
+	var watchers, requesters sync.WaitGroup
+	watchers.Add(1)
+	go func() {
+		defer watchers.Done()
+		for r := 0; r < 4; r++ {
+			sub := bus.Subscribe(0)
+			for i := 0; i < 100; i++ {
+				if _, ok := sub.Next(watchCtx); !ok {
+					break
+				}
+			}
+			sub.Close()
+			if watchCtx.Err() != nil {
+				return
+			}
+		}
+	}()
+	for w := 0; w < 4; w++ {
+		requesters.Add(1)
+		go func(w int) {
+			defer requesters.Done()
+			ids := []string{"bss-overflow", "stack-ret", "heap-overflow"}
+			for i := 0; i < 6; i++ {
+				req := Request{Scenario: ids[i%len(ids)], NoCache: i%2 == 0}
+				if _, _, _, err := s.HandleTraced(ctx, req); err != nil {
+					if _, shed := err.(*Rejection); !shed {
+						t.Errorf("worker %d: %v", w, err)
+					}
+				}
+			}
+		}(w)
+	}
+	requesters.Wait()
+	stopWatch()
+	watchers.Wait()
+}
