@@ -19,6 +19,26 @@
 //	       [-tenant-out BENCH_TENANT.json]
 //	       [-min-fair-share 0.8] [-max-starvation 0]
 //
+// Cluster-sweep mode:
+//
+//	pnload -cluster [-nodes 1,2,4,8] [-requests 192]
+//	       [-cluster-keys 48] [-cluster-repeat 8]
+//	       [-cluster-concurrency 16] [-ring-seed 1]
+//	       [-cluster-out BENCH_CLUSTER.json] [-min-scaling 3.0]
+//	pnload -cluster -url http://127.0.0.1:8090 [...]
+//
+// -cluster benchmarks the sharded serving tier. Without -url it builds
+// an in-process fleet per -nodes count — real workers with
+// single-slot execution pools behind real listeners, a real router in
+// front — and measures a cold miss phase (execution-bound: the
+// scaling signal) then a hit phase (routing + cache) over the same
+// key set, writing throughput, latency percentiles, and hit rate per
+// node count to BENCH_CLUSTER.json. -min-scaling gates near-linear
+// scaling of miss-phase throughput from the smallest to the largest
+// topology. With -url it measures one external router (the CI smoke
+// topology, where a worker is killed mid-sweep and zero failed
+// requests is the gate).
+//
 // -tenants runs the adversarial multi-tenant admission-control soak
 // (greedy, bursty, and well-behaved tenants against per-tenant quotas,
 // weighted fair queueing with priority aging, and circuit breakers) as
@@ -203,6 +223,19 @@ type sample struct {
 	stages map[string]float64
 }
 
+// isDrainingReject reports whether a shed body carries the structured
+// draining rejection — the one shedding reason a retry can never
+// outwait (the node is going away; the router re-routes around it).
+func isDrainingReject(body []byte) bool {
+	var er struct {
+		Reject *service.Rejection `json:"reject"`
+	}
+	if json.Unmarshal(body, &er) != nil {
+		return false
+	}
+	return er.Reject != nil && er.Reject.Reason == service.ReasonDraining
+}
+
 // retryDelay reads the server's backoff hint: the millisecond
 // X-PN-Retry-After-MS header when present, the standard whole-second
 // Retry-After otherwise, a small default when neither parses. The
@@ -264,7 +297,9 @@ func issue(client *http.Client, u, traceID string, retries int, maxSleep time.Du
 			s.stages = rr.Stages
 			return s
 		case http.StatusTooManyRequests, http.StatusServiceUnavailable:
-			if attempt < retries {
+			// A draining node never recovers for this request — retrying
+			// it only burns the budget sleeping, so stop immediately.
+			if attempt < retries && !isDrainingReject(body) {
 				s.retries++
 				time.Sleep(retryDelay(resp.Header, maxSleep))
 				continue
@@ -509,6 +544,14 @@ func run(args []string, out io.Writer) error {
 	trace := fs.Bool("trace", true, "tag each /run request with a unique X-PN-Trace-Id and harvest the per-stage latency breakdown")
 	retries := fs.Int("retries", 0, "retry shed (429/503) /run requests this many times, honoring Retry-After")
 	retryMaxSleep := fs.Duration("retry-max-sleep", 2*time.Second, "cap on a single Retry-After backoff sleep")
+	clusterMode := fs.Bool("cluster", false, "run the cluster sweep: in-process fleets per -nodes count, or one external router when -url is set")
+	nodesFlag := fs.String("nodes", "1,2,4,8", "cluster mode: comma list of in-process worker counts to sweep")
+	clusterOut := fs.String("cluster-out", "BENCH_CLUSTER.json", "cluster artifact path ('-' = stdout only)")
+	clusterKeys := fs.Int("cluster-keys", 48, "cluster mode: distinct cache keys in the workload")
+	clusterRepeat := fs.Int("cluster-repeat", 8, "cluster mode: smallest per-request repeat count (execution weight)")
+	clusterConc := fs.Int("cluster-concurrency", 16, "cluster mode: fixed client concurrency")
+	ringSeed := fs.Uint64("ring-seed", 1, "cluster mode: consistent-hash placement seed for in-process fleets")
+	minScaling := fs.Float64("min-scaling", -1, "cluster mode: fail unless miss-phase throughput scales by this factor from the smallest to the largest node count (negative = no check)")
 	tenants := fs.Bool("tenants", false, "run the deterministic multi-tenant admission soak instead of an HTTP sweep (no -url needed)")
 	seed := fs.Int64("seed", 42, "tenant-soak PRNG seed; equal seeds produce byte-identical reports")
 	soakDuration := fs.Duration("soak-duration", 10*time.Second, "simulated tenant-soak duration")
@@ -520,6 +563,18 @@ func run(args []string, out io.Writer) error {
 	}
 	if *tenants {
 		return runTenantSoak(out, *seed, *soakDuration, *tenantOut, *minFairShare, *maxStarvation)
+	}
+	if *clusterMode {
+		nodes, err := parseLevels(*nodesFlag)
+		if err != nil {
+			return fmt.Errorf("-nodes: %w", err)
+		}
+		return runClusterSweep(out, clusterOpts{
+			url: *base, nodes: nodes, keys: *clusterKeys, repeatBase: *clusterRepeat,
+			requests: *requests, concurrency: *clusterConc, ringSeed: *ringSeed,
+			retries: *retries, maxSleep: *retryMaxSleep,
+			minScaling: *minScaling, outFile: *clusterOut,
+		}, *timeout)
 	}
 	if *base == "" {
 		return fmt.Errorf("missing -url")

@@ -1,10 +1,23 @@
-// Command pnserve serves the experiment/attack corpus over HTTP: a
-// bounded worker pool with priority lanes executes requests, a
-// content-addressed result cache (LRU + TTL + singleflight) makes
-// repeated work nearly free, and load beyond the admission queue is
-// shed with structured 429 responses instead of queueing unboundedly.
+// Command pnserve serves the experiment/attack corpus over HTTP. It
+// runs in one of three modes:
 //
-// Endpoints:
+//	pnserve              standalone server: the full endpoint set with
+//	                     local admission control (the single-node
+//	                     deployment and every pre-cluster behaviour)
+//	pnserve -worker      a fleet worker: identical, plus it trusts the
+//	                     router hop headers (X-PN-Admitted skips local
+//	                     quota/limiter, X-PN-Fill-From arms cross-node
+//	                     cache fill) and, with -join, push-heartbeats
+//	                     the router so it is admitted to the ring
+//	pnserve -router      the cluster front end: no local execution —
+//	                     admission (tenant quotas + adaptive limiter)
+//	                     runs here and requests forward to the
+//	                     consistent-hash ring owner of their
+//	                     content-addressed cache key; -workers lists
+//	                     the initial backends
+//
+// Endpoints (standalone and worker; the router serves the same set,
+// forwarding /run and /runbatch and fanning in /watch):
 //
 //	POST /run          JSON service.Request body
 //	POST /runbatch     {"requests":[...]} — up to 64 service.Request
@@ -20,20 +33,27 @@
 //	GET  /healthz      liveness: always 200 while the process runs (the
 //	                   status field reads "draining" during shutdown)
 //	GET  /readyz       readiness: 503 while draining or while the
-//	                   adaptive concurrency limiter is fully closed
-//	GET  /metrics      Prometheus text exposition (pn_serve_* plus
-//	                   anything else registered)
+//	                   adaptive concurrency limiter is fully closed;
+//	                   the JSON body carries {"draining":bool,
+//	                   "saturated":bool} so routers and load drivers
+//	                   can tell the two apart
+//	GET  /metrics      Prometheus text exposition (pn_serve_* — plus
+//	                   pn_cluster_* on a router)
 //	GET  /watch        live event stream (SSE; Accept:
-//	                   application/x-ndjson for raw NDJSON): span
-//	                   start/end, metric deltas, heat-tile deltas,
-//	                   admission transitions. Filters ?trace=, ?tenant=,
-//	                   ?kind=a,b; resumable via Last-Event-ID against
-//	                   the ring buffer. See docs/observability.md.
-//	GET  /trace/{id}   finished per-request span tree with the
-//	                   stage-latency breakdown as JSON; the trace ID is
-//	                   minted at admission (or taken from the
-//	                   X-PN-Trace-Id request header) and echoed in every
-//	                   /run response
+//	                   application/x-ndjson for raw NDJSON); filters
+//	                   ?trace=, ?tenant=, ?kind=a,b; resumable via
+//	                   Last-Event-ID. On a router, the fan-in of every
+//	                   worker's stream. See docs/observability.md.
+//	GET  /trace/{id}   finished per-request span tree; on a router the
+//	                   worker's stages are grafted under the router's
+//	                   forward span. See docs/cluster.md.
+//	GET  /cache/{key}  peek at the local result cache by content
+//	                   address (the cross-node cache-fill donor path)
+//
+// Router-only endpoints:
+//
+//	GET  /cluster/members  membership table and current ring
+//	POST /cluster/join     worker push heartbeat {"id":"http://..."}
 //
 // Multi-tenant admission control: the X-PN-Tenant request header
 // selects the tenant (default "default"); per-tenant token-bucket
@@ -41,14 +61,16 @@
 // priority aging (-aging), an adaptive concurrency limiter
 // (-p99-target), and per-(tenant, scenario-class) circuit breakers
 // (-breaker-threshold/-breaker-cooldown) shed overload with structured
-// 429/503 responses carrying a machine-readable reason and an honest
-// Retry-After.
+// 429/503 responses. In a cluster, quotas and the limiter enforce at
+// the router only; workers behind it skip both (never double-counted)
+// while keeping their worker-local breakers.
 //
-// Capacity knobs: -workers, -queue (per priority lane), -cache-size,
-// -cache-ttl, -deadline (default per-request budget, queueing
-// included), -max-deadline. On SIGTERM/SIGINT the server drains
-// gracefully: admission stops (503 + failing readiness), in-flight and
-// queued work completes, then the listener shuts down.
+// On SIGTERM/SIGINT every mode drains gracefully: admission stops
+// (503 + failing readiness), in-flight and queued work completes, then
+// the listener shuts down. A router notices a draining worker on its
+// next probe or forward, ejects it from the ring, and re-routes its
+// shard — cloning the drained worker's warm cache entries via
+// /cache/{key} instead of recomputing them.
 //
 // Usage:
 //
@@ -58,30 +80,31 @@
 //	        [-tenant-rate 200] [-tenant-burst 400] [-aging 1s]
 //	        [-p99-target 0] [-breaker-threshold 5] [-breaker-cooldown 2s]
 //	        [-trace-cap 256] [-deterministic]
+//	pnserve -worker [-advertise http://host:port] [-join http://router]
+//	        [...the same serving flags]
+//	pnserve -router -workers=http://w1:8099,http://w2:8099
+//	        [-ring-seed 1] [-vnodes 64] [-heartbeat 500ms]
+//	        [-fail-threshold 2] [-forward-timeout 30s]
+//	        [-forward-retries 2] [-tenant-rate 200] [-tenant-burst 400]
+//	        [-p99-target 0]
 package main
 
 import (
+	"bytes"
 	"context"
-	"encoding/json"
-	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"net/http"
 	"os"
 	"os/signal"
-	"runtime"
-	"runtime/debug"
 	"strconv"
-	"sync/atomic"
+	"strings"
 	"syscall"
 	"time"
 
-	"repro/internal/attack"
-	"repro/internal/defense"
-	"repro/internal/experiments"
-	"repro/internal/layout"
-	"repro/internal/obs"
+	"repro/internal/cluster"
+	"repro/internal/serve"
 	"repro/internal/service"
 )
 
@@ -92,456 +115,12 @@ func main() {
 	}
 }
 
-type serverConfig struct {
-	workers      int
-	queue        int
-	cacheSize    int
-	cacheTTL     time.Duration
-	deadline     time.Duration
-	maxDeadline  time.Duration
-	drainTimeout time.Duration
-	// Admission-control knobs.
-	tenantRate       float64
-	tenantBurst      float64
-	aging            time.Duration
-	p99Target        time.Duration
-	breakerThreshold int
-	breakerCooldown  time.Duration
-	// Observability knobs.
-	traceCap      int
-	deterministic bool
-}
-
-// server is the HTTP face of one service.Service.
-type server struct {
-	svc      *service.Service
-	reg      *obs.Registry
-	draining atomic.Bool
-	now      func() time.Time
-	started  time.Time
-}
-
-func newServer(cfg serverConfig) *server {
-	reg := obs.NewRegistry()
-	now := time.Now
-	if cfg.deterministic {
-		// The virtual clock makes every duration a count of clock reads:
-		// synthetic, but byte-identical across double runs of the same
-		// sequential request sequence — the /watch determinism gate.
-		now = service.NewVirtualClock().Now
-	}
-	bus := obs.NewBus(0)
-	bus.OnSubscribers = func(n int) { reg.Set(obs.MetricWatchSubscribers, float64(n)) }
-	bus.OnDrop = func(n uint64) { reg.Add(obs.MetricWatchDropped, float64(n)) }
-	describeServerMetrics(reg)
-	s := &server{
-		svc: service.New(service.Config{
-			Workers:         cfg.workers,
-			QueueDepth:      cfg.queue,
-			CacheCapacity:   cfg.cacheSize,
-			CacheTTL:        cfg.cacheTTL,
-			DefaultDeadline: cfg.deadline,
-			MaxDeadline:     cfg.maxDeadline,
-			Quota:           service.QuotaConfig{Rate: cfg.tenantRate, Burst: cfg.tenantBurst},
-			Limiter:         service.LimiterConfig{TargetP99: cfg.p99Target},
-			Breaker:         service.BreakerConfig{Threshold: cfg.breakerThreshold, Cooldown: cfg.breakerCooldown},
-			AgingThreshold:  cfg.aging,
-			Now:             now,
-			Registry:        reg,
-			Bus:             bus,
-			TraceCapacity:   cfg.traceCap,
-		}),
-		reg: reg,
-		now: now,
-	}
-	s.started = s.now()
-	reg.Set(obs.MetricBuildInfo, 1,
-		obs.L("version", service.CodeVersion),
-		obs.L("go_version", runtime.Version()),
-		obs.L("commit", buildCommit()))
-	return s
-}
-
-// describeServerMetrics declares the process-level families the HTTP
-// layer owns (the service describes the serving ones).
-func describeServerMetrics(reg *obs.Registry) {
-	reg.Describe(obs.MetricBuildInfo, "build identity: constant 1 with version labels", obs.TypeGauge)
-	reg.Describe(obs.MetricServeUptime, "seconds since the server started", obs.TypeGauge)
-	reg.Describe(obs.MetricWatchSubscribers, "attached /watch subscribers", obs.TypeGauge)
-	reg.Describe(obs.MetricWatchDropped, "events dropped on slow /watch subscribers", obs.TypeCounter)
-}
-
-// buildCommit extracts the VCS revision stamped into the binary, or
-// "unknown" (test binaries, go run).
-func buildCommit() string {
-	if bi, ok := debug.ReadBuildInfo(); ok {
-		for _, s := range bi.Settings {
-			if s.Key == "vcs.revision" {
-				return s.Value
-			}
-		}
-	}
-	return "unknown"
-}
-
-func (s *server) handler() http.Handler {
-	mux := http.NewServeMux()
-	mux.HandleFunc("/run", s.handleRun)
-	mux.HandleFunc("/runbatch", s.handleRunBatch)
-	mux.HandleFunc("/experiments", s.handleCatalog)
-	mux.HandleFunc("/healthz", s.handleHealth)
-	mux.HandleFunc("/readyz", s.handleReady)
-	mux.HandleFunc("/metrics", s.handleMetrics)
-	mux.HandleFunc("/watch", s.handleWatch)
-	mux.HandleFunc("/trace/", s.handleTrace)
-	return mux
-}
-
-// runResponse is the /run success envelope.
-type runResponse struct {
-	*service.Result
-	// Cache is hit, miss, coalesced, or bypass.
-	Cache string `json:"cache"`
-	// ServeNS is this request's end-to-end time in the server,
-	// queueing and cache lookup included.
-	ServeNS int64 `json:"serve_ns"`
-	// TraceID identifies this request's trace (also echoed in the
-	// X-PN-Trace-Id response header); the finished span tree is at
-	// /trace/{id}.
-	TraceID string `json:"trace_id"`
-	// Stages is the per-stage latency breakdown in milliseconds
-	// (queue_wait, cache_lookup, clone, execute, shadow_check — stages
-	// that did not occur are absent).
-	Stages map[string]float64 `json:"stages,omitempty"`
-}
-
-// errorResponse is every non-200 body.
-type errorResponse struct {
-	Error string `json:"error"`
-	Code  int    `json:"code"`
-	// Reject carries the structured load-shedding state for 429/503.
-	Reject *service.Rejection `json:"reject,omitempty"`
-	// Crashes carries supervised crash records for 500s.
-	Crashes any `json:"crashes,omitempty"`
-}
-
-func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
-	if s.draining.Load() {
-		writeJSON(w, http.StatusServiceUnavailable, errorResponse{
-			Error: "server draining", Code: http.StatusServiceUnavailable,
-			Reject: &service.Rejection{
-				Code: 503, Reason: service.ReasonDraining,
-				Tenant: service.NormalizeTenant(r.Header.Get(tenantHeader)),
-			},
-		})
-		return
-	}
-	req, err := parseRequest(r)
-	if err != nil {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error(), Code: http.StatusBadRequest})
-		return
-	}
-	start := s.now()
-	res, cacheTok, rt, err := s.svc.HandleTraced(r.Context(), req)
-	if rt != nil {
-		w.Header().Set(traceHeader, rt.TraceID)
-	}
-	if err != nil {
-		s.writeError(w, err)
-		return
-	}
-	writeJSON(w, http.StatusOK, runResponse{
-		Result:  res,
-		Cache:   cacheTok,
-		ServeNS: s.now().Sub(start).Nanoseconds(),
-		TraceID: rt.TraceID,
-		Stages:  rt.StageMS,
-	})
-}
-
-// batchRequest is the POST /runbatch body.
-type batchRequest struct {
-	Requests []service.Request `json:"requests"`
-}
-
-// batchItem is one request's outcome in a /runbatch response, in
-// request order. Successful items carry the result and Code 200; failed
-// items carry the structured error fields and their per-item status
-// code — one bad request never fails its siblings.
-type batchItem struct {
-	*service.Result
-	Cache string `json:"cache,omitempty"`
-	Error string `json:"error,omitempty"`
-	Code  int    `json:"code"`
-	// Reject carries the structured load-shedding state for shed items.
-	Reject *service.Rejection `json:"reject,omitempty"`
-}
-
-// batchResponse is the POST /runbatch success envelope.
-type batchResponse struct {
-	Results []batchItem `json:"results"`
-	OK      int         `json:"ok"`
-	Failed  int         `json:"failed"`
-	// ServeNS is the whole batch's end-to-end time in the server.
-	ServeNS int64 `json:"serve_ns"`
-}
-
-// handleRunBatch admits up to service.MaxBatchSize requests in one
-// call. Items execute concurrently through the normal per-request path
-// (lanes, deadlines, cache, shedding per item) while sharing one
-// template-pool lookup; see docs/serving.md for the schema.
-func (s *server) handleRunBatch(w http.ResponseWriter, r *http.Request) {
-	if s.draining.Load() {
-		writeJSON(w, http.StatusServiceUnavailable, errorResponse{
-			Error: "server draining", Code: http.StatusServiceUnavailable,
-			Reject: &service.Rejection{
-				Code: 503, Reason: service.ReasonDraining,
-				Tenant: service.NormalizeTenant(r.Header.Get(tenantHeader)),
-			},
-		})
-		return
-	}
-	if r.Method != http.MethodPost {
-		writeJSON(w, http.StatusBadRequest, errorResponse{
-			Error: fmt.Sprintf("method %s not allowed on /runbatch (POST a JSON body)", r.Method),
-			Code:  http.StatusBadRequest,
-		})
-		return
-	}
-	var breq batchRequest
-	dec := json.NewDecoder(io.LimitReader(r.Body, 8<<20))
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&breq); err != nil {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "invalid JSON body: " + err.Error(), Code: http.StatusBadRequest})
-		return
-	}
-	if len(breq.Requests) == 0 {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "empty batch", Code: http.StatusBadRequest})
-		return
-	}
-	if len(breq.Requests) > service.MaxBatchSize {
-		writeJSON(w, http.StatusBadRequest, errorResponse{
-			Error: fmt.Sprintf("batch of %d exceeds limit %d", len(breq.Requests), service.MaxBatchSize),
-			Code:  http.StatusBadRequest,
-		})
-		return
-	}
-
-	// The batch's tenant comes from the header, like single requests:
-	// bodies cannot impersonate other tenants.
-	for i := range breq.Requests {
-		breq.Requests[i].Tenant = r.Header.Get(tenantHeader)
-	}
-
-	start := time.Now()
-	outcomes := s.svc.HandleBatch(r.Context(), breq.Requests)
-	resp := batchResponse{Results: make([]batchItem, len(outcomes))}
-	for i, o := range outcomes {
-		if o.Err == nil {
-			resp.Results[i] = batchItem{Result: o.Result, Cache: o.Cache, Code: http.StatusOK}
-			resp.OK++
-			continue
-		}
-		code, rej := errorStatus(o.Err)
-		resp.Results[i] = batchItem{Error: o.Err.Error(), Code: code, Reject: rej}
-		resp.Failed++
-	}
-	resp.ServeNS = time.Since(start).Nanoseconds()
-	writeJSON(w, http.StatusOK, resp)
-}
-
-// errorStatus maps a service error to its per-item status code (the
-// same mapping writeError applies to whole responses).
-func errorStatus(err error) (int, *service.Rejection) {
-	var bad *service.BadRequest
-	var rej *service.Rejection
-	switch {
-	case errors.As(err, &bad):
-		return http.StatusBadRequest, nil
-	case errors.As(err, &rej):
-		return rej.Code, rej
-	case errors.Is(err, context.DeadlineExceeded):
-		return http.StatusGatewayTimeout, nil
-	case errors.Is(err, context.Canceled):
-		return 499, nil
-	default:
-		return http.StatusInternalServerError, nil
-	}
-}
-
-// writeError maps service errors onto structured HTTP responses.
-func (s *server) writeError(w http.ResponseWriter, err error) {
-	var bad *service.BadRequest
-	var rej *service.Rejection
-	var exe *service.ExecError
-	switch {
-	case errors.As(err, &bad):
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error(), Code: http.StatusBadRequest})
-	case errors.As(err, &rej):
-		// Standard Retry-After is whole seconds (rounded up); the
-		// millisecond-precision hint rides alongside for clients (pnload)
-		// that can use it.
-		w.Header().Set("Retry-After", strconv.FormatInt((rej.RetryAfterMS+999)/1000, 10))
-		w.Header().Set("X-PN-Retry-After-MS", strconv.FormatInt(rej.RetryAfterMS, 10))
-		writeJSON(w, rej.Code, errorResponse{Error: err.Error(), Code: rej.Code, Reject: rej})
-	case errors.As(err, &exe):
-		writeJSON(w, http.StatusInternalServerError, errorResponse{
-			Error: err.Error(), Code: http.StatusInternalServerError, Crashes: exe.Crashes,
-		})
-	case errors.Is(err, context.DeadlineExceeded):
-		writeJSON(w, http.StatusGatewayTimeout, errorResponse{Error: err.Error(), Code: http.StatusGatewayTimeout})
-	case errors.Is(err, context.Canceled):
-		// 499: client closed request (nginx convention).
-		writeJSON(w, 499, errorResponse{Error: err.Error(), Code: 499})
-	default:
-		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error(), Code: http.StatusInternalServerError})
-	}
-}
-
-// tenantHeader selects the admission-control tenant. The body cannot
-// set it (Request.Tenant is excluded from JSON), so quota identity is
-// a transport-level property, like authentication would be.
-const tenantHeader = "X-PN-Tenant"
-
-// parseRequest accepts POST JSON or GET query parameters.
-func parseRequest(r *http.Request) (service.Request, error) {
-	req, err := parseRequestBody(r)
-	if err != nil {
-		return req, err
-	}
-	req.Tenant = r.Header.Get(tenantHeader)
-	req.TraceID = r.Header.Get(traceHeader)
-	return req, nil
-}
-
-func parseRequestBody(r *http.Request) (service.Request, error) {
-	var req service.Request
-	switch r.Method {
-	case http.MethodPost:
-		dec := json.NewDecoder(io.LimitReader(r.Body, 1<<20))
-		dec.DisallowUnknownFields()
-		if err := dec.Decode(&req); err != nil {
-			return req, fmt.Errorf("invalid JSON body: %w", err)
-		}
-		return req, nil
-	case http.MethodGet:
-		q := r.URL.Query()
-		req.Experiment = q.Get("experiment")
-		req.Scenario = q.Get("scenario")
-		req.Defense = q.Get("defense")
-		req.Model = q.Get("model")
-		req.Faults = q.Get("faults")
-		req.Priority = q.Get("priority")
-		var err error
-		if v := q.Get("seed"); v != "" {
-			if req.Seed, err = strconv.ParseInt(v, 10, 64); err != nil {
-				return req, fmt.Errorf("invalid seed: %w", err)
-			}
-		}
-		if v := q.Get("chaos_prob"); v != "" {
-			if req.ChaosProb, err = strconv.ParseFloat(v, 64); err != nil {
-				return req, fmt.Errorf("invalid chaos_prob: %w", err)
-			}
-		}
-		if v := q.Get("deadline_ms"); v != "" {
-			if req.DeadlineMS, err = strconv.ParseInt(v, 10, 64); err != nil {
-				return req, fmt.Errorf("invalid deadline_ms: %w", err)
-			}
-		}
-		if v := q.Get("no_cache"); v != "" {
-			if req.NoCache, err = strconv.ParseBool(v); err != nil {
-				return req, fmt.Errorf("invalid no_cache: %w", err)
-			}
-		}
-		return req, nil
-	default:
-		return req, fmt.Errorf("method %s not allowed on /run", r.Method)
-	}
-}
-
-// catalog is the /experiments payload: everything servable.
-type catalog struct {
-	Experiments []catalogExperiment `json:"experiments"`
-	Scenarios   []catalogScenario   `json:"scenarios"`
-	Defenses    []string            `json:"defenses"`
-	Models      []string            `json:"models"`
-}
-
-type catalogExperiment struct {
-	ID    string `json:"id"`
-	Ref   string `json:"ref"`
-	Title string `json:"title"`
-}
-
-type catalogScenario struct {
-	ID  string `json:"id"`
-	Ref string `json:"ref"`
-}
-
-func (s *server) handleCatalog(w http.ResponseWriter, r *http.Request) {
-	var c catalog
-	for _, e := range experiments.All() {
-		c.Experiments = append(c.Experiments, catalogExperiment{ID: e.ID, Ref: e.Ref, Title: e.Title})
-	}
-	for _, sc := range attack.Catalog() {
-		c.Scenarios = append(c.Scenarios, catalogScenario{ID: sc.ID, Ref: sc.Ref})
-	}
-	for _, d := range defense.Catalog() {
-		c.Defenses = append(c.Defenses, d.Name)
-	}
-	c.Models = []string{layout.ILP32.Name, layout.ILP32i386.Name, layout.LP64.Name}
-	writeJSON(w, http.StatusOK, c)
-}
-
-// handleHealth is liveness: 200 for the whole process lifetime, even
-// while draining — a draining process is shutting down cleanly, not
-// dead, and must not be killed by its supervisor.
-func (s *server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	status := "ok"
-	if s.draining.Load() {
-		status = "draining"
-	}
-	writeJSON(w, http.StatusOK, map[string]any{
-		"status":    status,
-		"uptime_ms": time.Since(s.started).Milliseconds(),
-	})
-}
-
-// handleReady is readiness: 503 while draining or while the adaptive
-// concurrency limiter has fully closed (limit at its floor with every
-// slot taken) — both mean "route new traffic elsewhere".
-func (s *server) handleReady(w http.ResponseWriter, r *http.Request) {
-	status, code := "ready", http.StatusOK
-	switch {
-	case s.draining.Load():
-		status, code = "draining", http.StatusServiceUnavailable
-	case s.svc.Scheduler().Limiter().Saturated():
-		status, code = "saturated", http.StatusServiceUnavailable
-	}
-	writeJSON(w, code, map[string]any{
-		"status":    status,
-		"uptime_ms": time.Since(s.started).Milliseconds(),
-	})
-}
-
-func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	s.reg.Set(obs.MetricServeUptime, s.now().Sub(s.started).Seconds())
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	io.WriteString(w, s.reg.Exposition())
-}
-
-func writeJSON(w http.ResponseWriter, code int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	enc.Encode(v)
-}
-
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("pnserve", flag.ContinueOnError)
 	addr := fs.String("addr", ":8099", "listen address")
-	workers := fs.Int("workers", 8, "worker pool size")
+	// -workers is mode-overloaded: a pool size when serving, a
+	// comma-separated backend URL list under -router.
+	workers := fs.String("workers", "8", "worker pool size; under -router, comma-separated worker base URLs")
 	queue := fs.Int("queue", 64, "admission queue depth per priority lane")
 	cacheSize := fs.Int("cache-size", 512, "result cache capacity (entries)")
 	cacheTTL := fs.Duration("cache-ttl", 10*time.Minute, "result cache TTL (0 = never expire)")
@@ -557,38 +136,80 @@ func run(args []string, out io.Writer) error {
 	traceCap := fs.Int("trace-cap", service.DefaultTraceCapacity, "finished traces retained for GET /trace/{id}")
 	deterministic := fs.Bool("deterministic", false,
 		"run on a virtual clock: durations become logical ticks and the /watch stream of a sequential request sequence is byte-identical across runs")
+	// Cluster modes.
+	router := fs.Bool("router", false, "run as the cluster front end, forwarding to -workers")
+	worker := fs.Bool("worker", false, "run as a fleet worker: trust router hop headers, optionally -join the router")
+	advertise := fs.String("advertise", "", "worker: the base URL to join the ring as (default http://127.0.0.1{addr})")
+	join := fs.String("join", "", "worker: router base URL to push heartbeats to")
+	ringSeed := fs.Uint64("ring-seed", 1, "router: consistent-hash placement seed (same seed => same placement)")
+	vnodes := fs.Int("vnodes", cluster.DefaultVNodes, "router: virtual nodes per worker on the ring")
+	heartbeat := fs.Duration("heartbeat", 500*time.Millisecond, "router: membership probe interval; worker: push-heartbeat interval")
+	failThreshold := fs.Int("fail-threshold", 2, "router: consecutive missed probes that eject a worker")
+	forwardTimeout := fs.Duration("forward-timeout", 30*time.Second, "router: per-forward timeout")
+	forwardRetries := fs.Int("forward-retries", 2, "router: extra forward attempts after a failed or draining worker")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *router && *worker {
+		return fmt.Errorf("-router and -worker are mutually exclusive")
+	}
 
-	srv := newServer(serverConfig{
-		workers: *workers, queue: *queue,
-		cacheSize: *cacheSize, cacheTTL: *cacheTTL,
-		deadline: *deadline, maxDeadline: *maxDeadline,
-		drainTimeout: *drainTimeout,
-		tenantRate:   *tenantRate, tenantBurst: *tenantBurst,
-		aging: *aging, p99Target: *p99Target,
-		breakerThreshold: *breakerThreshold, breakerCooldown: *breakerCooldown,
-		traceCap: *traceCap, deterministic: *deterministic,
+	if *router {
+		return runRouter(routerArgs{
+			addr: *addr, workers: *workers, drainTimeout: *drainTimeout,
+			seed: *ringSeed, vnodes: *vnodes, heartbeat: *heartbeat,
+			failThreshold: *failThreshold, forwardTimeout: *forwardTimeout,
+			forwardRetries: *forwardRetries,
+			tenantRate:     *tenantRate, tenantBurst: *tenantBurst, p99Target: *p99Target,
+		}, out)
+	}
+
+	poolSize, err := strconv.Atoi(*workers)
+	if err != nil || poolSize <= 0 {
+		return fmt.Errorf("invalid -workers %q: want a positive pool size (URL lists are for -router)", *workers)
+	}
+	srv := serve.NewServer(serve.Config{
+		Workers: poolSize, Queue: *queue,
+		CacheSize: *cacheSize, CacheTTL: *cacheTTL,
+		Deadline: *deadline, MaxDeadline: *maxDeadline,
+		TenantRate: *tenantRate, TenantBurst: *tenantBurst,
+		Aging: *aging, P99Target: *p99Target,
+		BreakerThreshold: *breakerThreshold, BreakerCooldown: *breakerCooldown,
+		TraceCap: *traceCap, Deterministic: *deterministic,
+		TrustAdmitted: *worker,
 	})
-	httpSrv := &http.Server{Addr: *addr, Handler: srv.handler()}
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	stopJoin := func() {}
+	if *worker && *join != "" {
+		self := *advertise
+		if self == "" {
+			self = "http://127.0.0.1" + *addr
+		}
+		stopJoin = startJoinLoop(*join, self, *heartbeat, out)
+	}
 
 	sigCh := make(chan os.Signal, 1)
 	signal.Notify(sigCh, syscall.SIGTERM, syscall.SIGINT)
 	errCh := make(chan error, 1)
 	go func() {
-		fmt.Fprintf(out, "pnserve: listening on %s (%d workers, queue %d/lane, cache %d entries, ttl %s, tenant quota %g/%g)\n",
-			*addr, *workers, *queue, *cacheSize, *cacheTTL, *tenantRate, *tenantBurst)
+		role := "standalone"
+		if *worker {
+			role = "worker"
+		}
+		fmt.Fprintf(out, "pnserve: %s listening on %s (%d workers, queue %d/lane, cache %d entries, ttl %s, tenant quota %g/%g)\n",
+			role, *addr, poolSize, *queue, *cacheSize, *cacheTTL, *tenantRate, *tenantBurst)
 		errCh <- httpSrv.ListenAndServe()
 	}()
 
 	select {
 	case err := <-errCh:
+		stopJoin()
 		return err
 	case sig := <-sigCh:
 		fmt.Fprintf(out, "pnserve: %s received, draining\n", sig)
-		srv.draining.Store(true)
-		srv.svc.Drain()
+		stopJoin()
+		srv.BeginDrain()
 		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 		defer cancel()
 		if err := httpSrv.Shutdown(ctx); err != nil {
@@ -597,4 +218,104 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintln(out, "pnserve: drained cleanly")
 		return nil
 	}
+}
+
+type routerArgs struct {
+	addr           string
+	workers        string
+	drainTimeout   time.Duration
+	seed           uint64
+	vnodes         int
+	heartbeat      time.Duration
+	failThreshold  int
+	forwardTimeout time.Duration
+	forwardRetries int
+	tenantRate     float64
+	tenantBurst    float64
+	p99Target      time.Duration
+}
+
+func runRouter(a routerArgs, out io.Writer) error {
+	var backends []string
+	for _, w := range strings.Split(a.workers, ",") {
+		if w = strings.TrimSpace(w); w != "" {
+			if !strings.Contains(w, "://") {
+				return fmt.Errorf("-router -workers wants base URLs, got %q", w)
+			}
+			backends = append(backends, strings.TrimRight(w, "/"))
+		}
+	}
+	rt := cluster.NewRouter(cluster.RouterConfig{
+		Workers: backends, Seed: a.seed, VNodes: a.vnodes,
+		HeartbeatInterval: a.heartbeat, FailThreshold: a.failThreshold,
+		ForwardTimeout: a.forwardTimeout, ForwardRetries: a.forwardRetries,
+		TenantRate: a.tenantRate, TenantBurst: a.tenantBurst, P99Target: a.p99Target,
+	})
+	rt.StartHeartbeat()
+	defer rt.Close()
+	httpSrv := &http.Server{Addr: a.addr, Handler: rt.Handler()}
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGTERM, syscall.SIGINT)
+	errCh := make(chan error, 1)
+	go func() {
+		fmt.Fprintf(out, "pnserve: router listening on %s (%d workers, seed %d, %d vnodes)\n",
+			a.addr, len(backends), a.seed, a.vnodes)
+		errCh <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errCh:
+		return err
+	case sig := <-sigCh:
+		fmt.Fprintf(out, "pnserve: router %s received, draining\n", sig)
+		rt.SetDraining(true)
+		ctx, cancel := context.WithTimeout(context.Background(), a.drainTimeout)
+		defer cancel()
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			return fmt.Errorf("shutdown: %w", err)
+		}
+		fmt.Fprintln(out, "pnserve: router drained cleanly")
+		return nil
+	}
+}
+
+// startJoinLoop push-heartbeats POST /cluster/join so the router
+// admits this worker (and re-admits it quickly after a partition).
+// Returns a stop function.
+func startJoinLoop(routerURL, self string, interval time.Duration, out io.Writer) func() {
+	if interval <= 0 {
+		interval = 500 * time.Millisecond
+	}
+	body := []byte(fmt.Sprintf("{\"id\":%q}", self))
+	client := &http.Client{Timeout: 2 * time.Second}
+	stop := make(chan struct{})
+	joined := false
+	post := func() {
+		resp, err := client.Post(strings.TrimRight(routerURL, "/")+"/cluster/join",
+			"application/json", bytes.NewReader(body))
+		if err != nil {
+			return
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if !joined && resp.StatusCode == http.StatusOK {
+			joined = true
+			fmt.Fprintf(out, "pnserve: joined %s as %s\n", routerURL, self)
+		}
+	}
+	go func() {
+		post()
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				post()
+			}
+		}
+	}()
+	return func() { close(stop) }
 }

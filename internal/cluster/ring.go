@@ -1,0 +1,205 @@
+// Package cluster is the sharded multi-node serving tier: a
+// consistent-hash ring keyed on the content-addressed cache key, a
+// router front end that forwards /run and /runbatch to a fleet of
+// worker pnserve backends, health-gated membership with heartbeat
+// ejection and ring rebalance, and graceful shard drain that re-routes
+// work off a departing worker without losing an admitted request.
+//
+// The design goal is the ROADMAP's "millions of users" story: the
+// single-process serving layer (internal/service, cmd/pnserve) already
+// makes one node fast; this package makes throughput scale with node
+// count while the content-addressed cache stays effective, because the
+// ring sends every key to one owner and a miss is cloned from the
+// previous owner after a rebalance instead of being recomputed.
+package cluster
+
+import (
+	"sort"
+	"strconv"
+)
+
+// DefaultVNodes is the virtual-node count per member: enough that the
+// max/min shard-load ratio over realistic key populations stays small
+// (see TestRingBalance), small enough that rebuilding the ring on a
+// membership change is trivially cheap.
+const DefaultVNodes = 64
+
+// Ring is an immutable consistent-hash ring: node placement is
+// derived from a seed so a fleet of routers (or a test re-running a
+// scenario) computes byte-identical placements. Lookups are pure
+// reads; membership changes build a new Ring (see Membership), so
+// concurrent routing never takes a lock.
+type Ring struct {
+	seed   uint64
+	vnodes int
+	nodes  []string // sorted member IDs
+	points []point  // sorted by hash
+}
+
+// point is one virtual node on the hash circle.
+type point struct {
+	hash uint64
+	node string
+}
+
+// NewRing places each node on the circle vnodes times, mixing seed
+// into every placement hash. vnodes <= 0 selects DefaultVNodes.
+func NewRing(seed uint64, vnodes int, nodes []string) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	r := &Ring{seed: seed, vnodes: vnodes}
+	r.nodes = append(r.nodes, nodes...)
+	sort.Strings(r.nodes)
+	r.points = make([]point, 0, len(nodes)*vnodes)
+	for _, n := range r.nodes {
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, point{hash: placeHash(seed, n, v), node: n})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// Ties (vanishingly rare) break on node ID so placement stays
+		// deterministic regardless of input order.
+		return r.points[i].node < r.points[j].node
+	})
+	return r
+}
+
+// fnv64 constants — the placement and key hash is FNV-1a over the
+// seeded input, which is cheap, allocation-free, and deterministic
+// across processes (no map-iteration or runtime hash randomness).
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+func fnvMix(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime
+	}
+	return h
+}
+
+func fnvMixByte(h uint64, b byte) uint64 {
+	h ^= uint64(b)
+	h *= fnvPrime
+	return h
+}
+
+// finalize is a splitmix64-style avalanche pass. Raw FNV-1a clusters
+// badly over short structured suffixes ("#0".."#63"), which skews arc
+// lengths on the circle; the finalizer spreads placements uniformly.
+func finalize(h uint64) uint64 {
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}
+
+// placeHash positions one virtual node: hash(seed || node || vnode).
+func placeHash(seed uint64, node string, vnode int) uint64 {
+	h := uint64(fnvOffset)
+	for i := 0; i < 8; i++ {
+		h = fnvMixByte(h, byte(seed>>(8*i)))
+	}
+	h = fnvMix(h, node)
+	h = fnvMix(h, "#"+strconv.Itoa(vnode))
+	return finalize(h)
+}
+
+// keyHash positions a cache key on the circle.
+func (r *Ring) keyHash(key string) uint64 {
+	h := uint64(fnvOffset)
+	for i := 0; i < 8; i++ {
+		h = fnvMixByte(h, byte(r.seed>>(8*i)))
+	}
+	return finalize(fnvMix(h, key))
+}
+
+// Len returns the member count.
+func (r *Ring) Len() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.nodes)
+}
+
+// Nodes returns the members in sorted order.
+func (r *Ring) Nodes() []string {
+	if r == nil {
+		return nil
+	}
+	return append([]string(nil), r.nodes...)
+}
+
+// Has reports membership.
+func (r *Ring) Has(node string) bool {
+	if r == nil {
+		return false
+	}
+	i := sort.SearchStrings(r.nodes, node)
+	return i < len(r.nodes) && r.nodes[i] == node
+}
+
+// Owner returns the node owning key: the first virtual node clockwise
+// from the key's hash. Empty string when the ring is empty.
+func (r *Ring) Owner(key string) string {
+	owners := r.Owners(key, 1)
+	if len(owners) == 0 {
+		return ""
+	}
+	return owners[0]
+}
+
+// Owners returns up to n distinct nodes clockwise from key — the
+// owner first, then its replica successors (the nodes a key would
+// fall to if owners ahead of them left).
+func (r *Ring) Owners(key string, n int) []string {
+	if r == nil || len(r.points) == 0 || n <= 0 {
+		return nil
+	}
+	if n > len(r.nodes) {
+		n = len(r.nodes)
+	}
+	h := r.keyHash(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	out := make([]string, 0, n)
+	seen := make(map[string]bool, n)
+	for i := 0; i < len(r.points) && len(out) < n; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.node] {
+			seen[p.node] = true
+			out = append(out, p.node)
+		}
+	}
+	return out
+}
+
+// WithNode returns a new ring with node added (r unchanged). Adding a
+// present node returns r itself.
+func (r *Ring) WithNode(node string) *Ring {
+	if r.Has(node) {
+		return r
+	}
+	return NewRing(r.seed, r.vnodes, append(r.Nodes(), node))
+}
+
+// WithoutNode returns a new ring with node removed (r unchanged).
+func (r *Ring) WithoutNode(node string) *Ring {
+	if !r.Has(node) {
+		return r
+	}
+	nodes := make([]string, 0, len(r.nodes)-1)
+	for _, n := range r.nodes {
+		if n != node {
+			nodes = append(nodes, n)
+		}
+	}
+	return NewRing(r.seed, r.vnodes, nodes)
+}

@@ -1,0 +1,161 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func ringNodes(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("http://worker-%d:8099", i)
+	}
+	return out
+}
+
+func ringKeys(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		// Shaped like the real routing keys: hex content addresses.
+		out[i] = fmt.Sprintf("%064x", i*2654435761)
+	}
+	return out
+}
+
+// TestRingSeededDeterminism: equal seeds and members yield identical
+// placement regardless of member order; different seeds move keys.
+func TestRingSeededDeterminism(t *testing.T) {
+	nodes := ringNodes(5)
+	reversed := make([]string, len(nodes))
+	for i, n := range nodes {
+		reversed[len(nodes)-1-i] = n
+	}
+	a := NewRing(42, 64, nodes)
+	b := NewRing(42, 64, reversed)
+	c := NewRing(43, 64, nodes)
+	moved := 0
+	for _, k := range ringKeys(500) {
+		if a.Owner(k) != b.Owner(k) {
+			t.Fatalf("same seed, same members, different owner for %s", k)
+		}
+		if a.Owner(k) != c.Owner(k) {
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Fatal("changing the seed moved no keys; the seed is not mixed into placement")
+	}
+}
+
+// TestRingBalance: with DefaultVNodes virtual nodes the shard-load
+// spread over a realistic key population stays bounded — no shard
+// carries more than twice the load of the lightest shard.
+func TestRingBalance(t *testing.T) {
+	keys := ringKeys(4000)
+	for _, nodes := range []int{2, 4, 8} {
+		r := NewRing(42, DefaultVNodes, ringNodes(nodes))
+		load := make(map[string]int)
+		for _, k := range keys {
+			load[r.Owner(k)]++
+		}
+		if len(load) != nodes {
+			t.Fatalf("%d nodes: only %d shards received keys", nodes, len(load))
+		}
+		min, max := len(keys), 0
+		for _, c := range load {
+			if c < min {
+				min = c
+			}
+			if c > max {
+				max = c
+			}
+		}
+		ratio := float64(max) / float64(min)
+		if ratio > 2.0 {
+			t.Fatalf("%d nodes: max/min shard load %d/%d = %.2f exceeds 2.0 (load %v)",
+				nodes, max, min, ratio, load)
+		}
+		t.Logf("%d nodes: max/min = %d/%d = %.2f", nodes, max, min, ratio)
+	}
+}
+
+// TestRingMinimalMovementOnLeave: removing a node reassigns only the
+// keys that node owned; every other key keeps its owner.
+func TestRingMinimalMovementOnLeave(t *testing.T) {
+	nodes := ringNodes(6)
+	before := NewRing(7, DefaultVNodes, nodes)
+	victim := nodes[2]
+	after := before.WithoutNode(victim)
+	for _, k := range ringKeys(2000) {
+		was, is := before.Owner(k), after.Owner(k)
+		if was == victim {
+			if is == victim {
+				t.Fatalf("key %s still owned by removed node", k)
+			}
+			continue
+		}
+		if was != is {
+			t.Fatalf("key %s moved %s -> %s though its owner never left", k, was, is)
+		}
+	}
+}
+
+// TestRingMinimalMovementOnJoin: adding a node only moves keys onto
+// the new node, and roughly its fair share of them.
+func TestRingMinimalMovementOnJoin(t *testing.T) {
+	nodes := ringNodes(5)
+	before := NewRing(7, DefaultVNodes, nodes)
+	joined := "http://worker-new:8099"
+	after := before.WithNode(joined)
+	keys := ringKeys(3000)
+	moved := 0
+	for _, k := range keys {
+		was, is := before.Owner(k), after.Owner(k)
+		if was == is {
+			continue
+		}
+		if is != joined {
+			t.Fatalf("key %s moved %s -> %s, not to the joining node", k, was, is)
+		}
+		moved++
+	}
+	fair := len(keys) / after.Len()
+	if moved == 0 || moved > 2*fair {
+		t.Fatalf("join moved %d of %d keys; want (0, %d]", moved, len(keys), 2*fair)
+	}
+	// Leaving again restores the original placement exactly.
+	restored := after.WithoutNode(joined)
+	for _, k := range keys {
+		if before.Owner(k) != restored.Owner(k) {
+			t.Fatalf("key %s did not return to its pre-join owner", k)
+		}
+	}
+}
+
+// TestRingOwners: replica successors are distinct, start at the owner,
+// and are capped at the member count.
+func TestRingOwners(t *testing.T) {
+	r := NewRing(1, 16, ringNodes(3))
+	for _, k := range ringKeys(100) {
+		owners := r.Owners(k, 5)
+		if len(owners) != 3 {
+			t.Fatalf("Owners(%s, 5) = %v, want all 3 distinct members", k, owners)
+		}
+		if owners[0] != r.Owner(k) {
+			t.Fatalf("Owners[0] %s != Owner %s", owners[0], r.Owner(k))
+		}
+		seen := map[string]bool{}
+		for _, o := range owners {
+			if seen[o] {
+				t.Fatalf("duplicate owner %s in %v", o, owners)
+			}
+			seen[o] = true
+		}
+	}
+	if got := (*Ring)(nil).Owner("k"); got != "" {
+		t.Fatalf("nil ring owner = %q, want empty", got)
+	}
+	if NewRing(1, 4, nil).Owner("k") != "" {
+		t.Fatal("empty ring must return no owner")
+	}
+}

@@ -1,0 +1,157 @@
+package cluster
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/obs"
+	"repro/internal/serve"
+)
+
+// handleWatch fans in every healthy worker's /watch stream: the
+// router subscribes upstream (NDJSON), strips each worker's hello,
+// stamps events with the worker that produced them, and relays the
+// merged stream — so ?trace= and ?tenant= filters keep working across
+// the router hop (filters are passed through upstream, where the
+// events originate). SSE by default, NDJSON via Accept, like the
+// single-node endpoint. Cross-worker ordering is arrival order; per
+// worker, order is preserved.
+func (rt *Router) handleWatch(w http.ResponseWriter, r *http.Request) {
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		serve.WriteJSON(w, http.StatusInternalServerError, serve.ErrorResponse{
+			Error: "streaming unsupported by connection", Code: http.StatusInternalServerError})
+		return
+	}
+	workers := rt.mem.Ring().Nodes()
+	if len(workers) == 0 {
+		serve.WriteJSON(w, http.StatusServiceUnavailable, serve.ErrorResponse{
+			Error: "no healthy workers", Code: http.StatusServiceUnavailable})
+		return
+	}
+
+	// Pass the event filters upstream verbatim; resume cursors are
+	// per-worker sequences and do not compose across a fan-in, so they
+	// stop at the router.
+	q := r.URL.Query()
+	params := ""
+	for _, k := range []string{"trace", "tenant", "kind"} {
+		if v := q.Get(k); v != "" {
+			if params == "" {
+				params = "?"
+			} else {
+				params += "&"
+			}
+			params += k + "=" + v
+		}
+	}
+
+	ndjson := strings.Contains(r.Header.Get("Accept"), "application/x-ndjson")
+	if ndjson {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+	} else {
+		w.Header().Set("Content-Type", "text/event-stream")
+	}
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+
+	enc := json.NewEncoder(w)
+	writeEvent := func(ev obs.BusEvent) error {
+		if ndjson {
+			return enc.Encode(ev)
+		}
+		raw, err := json.Marshal(ev)
+		if err != nil {
+			return err
+		}
+		_, err = fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Kind, raw)
+		return err
+	}
+
+	// One hello for the whole fan-in (the upstream hellos are
+	// swallowed): same schema, plus the fleet size.
+	hello := obs.BusEvent{Kind: obs.KindHello, Data: map[string]string{
+		"schema":  obs.WatchSchema,
+		"cluster": "router",
+		"workers": strconv.Itoa(len(workers)),
+	}}
+	if err := writeEvent(hello); err != nil {
+		return
+	}
+	flusher.Flush()
+
+	ctx, cancel := context.WithCancel(r.Context())
+	defer cancel()
+	events := make(chan obs.BusEvent, 256)
+	var wg sync.WaitGroup
+	for _, worker := range workers {
+		wg.Add(1)
+		go func(worker string) {
+			defer wg.Done()
+			rt.relayWatch(ctx, worker, params, events)
+		}(worker)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+
+	for {
+		select {
+		case ev := <-events:
+			if err := writeEvent(ev); err != nil {
+				return
+			}
+			flusher.Flush()
+		case <-done:
+			return
+		case <-ctx.Done():
+			return
+		}
+	}
+}
+
+// relayWatch streams one worker's NDJSON /watch into events, tagging
+// each event with its origin and dropping the upstream hello.
+func (rt *Router) relayWatch(ctx context.Context, worker, params string, events chan<- obs.BusEvent) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, worker+"/watch"+params, nil)
+	if err != nil {
+		return
+	}
+	req.Header.Set("Accept", "application/x-ndjson")
+	// Streams outlive the forward timeout: use the bare transport with
+	// the subscriber's context as the only bound.
+	resp, err := http.DefaultTransport.RoundTrip(req)
+	if err != nil {
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		var ev obs.BusEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			continue
+		}
+		if ev.Kind == obs.KindHello {
+			continue
+		}
+		if ev.Data == nil {
+			ev.Data = map[string]string{}
+		}
+		ev.Data["worker"] = worker
+		select {
+		case events <- ev:
+		case <-ctx.Done():
+			return
+		}
+	}
+}

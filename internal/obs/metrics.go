@@ -71,6 +71,7 @@ const (
 const (
 	MetricServeStageQueueWait   = "pn_serve_stage_queue_wait_ms"
 	MetricServeStageCacheLookup = "pn_serve_stage_cache_lookup_ms"
+	MetricServeStageCacheFill   = "pn_serve_stage_cache_fill_ms"
 	MetricServeStageClone       = "pn_serve_stage_clone_ms"
 	MetricServeStageExecute     = "pn_serve_stage_execute_ms"
 	MetricServeStageShadowCheck = "pn_serve_stage_shadow_check_ms"
@@ -79,6 +80,19 @@ const (
 	MetricServeUptime      = "pn_serve_uptime_seconds"
 	MetricWatchSubscribers = "pn_serve_watch_subscribers"
 	MetricWatchDropped     = "pn_serve_watch_dropped_events_total"
+)
+
+// Cluster-tier metric names (emitted by internal/cluster's router and
+// membership and exposed by the router's /metrics endpoint).
+const (
+	MetricClusterRingNodes      = "pn_cluster_ring_nodes"
+	MetricClusterMembers        = "pn_cluster_members"
+	MetricClusterForwards       = "pn_cluster_forwards_total"
+	MetricClusterForwardRetries = "pn_cluster_forward_retries_total"
+	MetricClusterForwardLatency = "pn_cluster_forward_latency_ms"
+	MetricClusterRebalances     = "pn_cluster_rebalances_total"
+	MetricClusterCoalesced      = "pn_cluster_coalesced_total"
+	MetricClusterShed           = "pn_cluster_shed_total"
 )
 
 // Label is one metric dimension.

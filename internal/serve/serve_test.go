@@ -1,4 +1,4 @@
-package main
+package serve
 
 import (
 	"encoding/json"
@@ -10,16 +10,16 @@ import (
 	"time"
 )
 
-func newTestServer(t *testing.T) (*server, *httptest.Server) {
+func newTestServer(t *testing.T) (*Server, *httptest.Server) {
 	t.Helper()
-	srv := newServer(serverConfig{
-		workers: 4, queue: 16, cacheSize: 32,
-		cacheTTL: time.Minute, deadline: 10 * time.Second, maxDeadline: 30 * time.Second,
+	srv := NewServer(Config{
+		Workers: 4, Queue: 16, CacheSize: 32,
+		CacheTTL: time.Minute, Deadline: 10 * time.Second, MaxDeadline: 30 * time.Second,
 	})
-	ts := httptest.NewServer(srv.handler())
+	ts := httptest.NewServer(srv.Handler())
 	t.Cleanup(func() {
 		ts.Close()
-		srv.svc.Drain()
+		srv.Service().Drain()
 	})
 	return srv, ts
 }
@@ -132,7 +132,7 @@ func TestCatalogHealthMetrics(t *testing.T) {
 
 	// Draining: liveness stays 200 (the process is alive and shutting
 	// down cleanly), readiness fails, /run sheds with 503.
-	srv.draining.Store(true)
+	srv.SetDraining(true)
 	if out := getJSON(t, ts.URL+"/healthz", http.StatusOK); out["status"] != "draining" {
 		t.Fatalf("draining healthz = %v, want 200 with draining status", out)
 	}
@@ -158,13 +158,13 @@ func TestReadyzReady(t *testing.T) {
 // reason, both Retry-After headers, and its tenant echoed — while
 // other tenants keep flowing.
 func TestTenantQuotaOverHTTP(t *testing.T) {
-	srv := newServer(serverConfig{
-		workers: 4, queue: 16, cacheSize: 32,
-		cacheTTL: time.Minute, deadline: 10 * time.Second, maxDeadline: 30 * time.Second,
-		tenantRate: 0.001, tenantBurst: 1, // one request, then a very slow refill
+	srv := NewServer(Config{
+		Workers: 4, Queue: 16, CacheSize: 32,
+		CacheTTL: time.Minute, Deadline: 10 * time.Second, MaxDeadline: 30 * time.Second,
+		TenantRate: 0.001, TenantBurst: 1, // one request, then a very slow refill
 	})
-	ts := httptest.NewServer(srv.handler())
-	t.Cleanup(func() { ts.Close(); srv.svc.Drain() })
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() { ts.Close(); srv.Service().Drain() })
 
 	do := func(tenant, experiment string) *http.Response {
 		req, err := http.NewRequest(http.MethodGet, ts.URL+"/run?no_cache=true&experiment="+experiment, nil)
@@ -291,7 +291,7 @@ func TestRunBatchValidation(t *testing.T) {
 	// GET is refused.
 	getJSON(t, ts.URL+"/runbatch", http.StatusBadRequest)
 	// Draining answers the structured 503.
-	srv.draining.Store(true)
+	srv.SetDraining(true)
 	out = postJSON(t, ts.URL+"/runbatch", `{"requests":[{"experiment":"E1"}]}`, http.StatusServiceUnavailable)
 	if rej, ok := out["reject"].(map[string]any); !ok || rej["reason"] != "draining" {
 		t.Fatalf("draining /runbatch = %v, want structured draining rejection", out)

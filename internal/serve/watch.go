@@ -1,4 +1,4 @@
-package main
+package serve
 
 import (
 	"encoding/json"
@@ -10,11 +10,6 @@ import (
 	"repro/internal/obs"
 	"repro/internal/service"
 )
-
-// traceHeader carries the client's trace identity. Honoured on /run
-// (and echoed back); a client-supplied ID also arms detailed per-write
-// instrumentation for that request.
-const traceHeader = "X-PN-Trace-Id"
 
 // watchFilter is the /watch query-parameter filter: empty fields match
 // everything. Gap events always pass — a consumer must hear about loss
@@ -61,16 +56,16 @@ func (f watchFilter) match(ev obs.BusEvent) bool {
 // gate consume). Filters: ?trace=, ?tenant=, ?kind=a,b. Resume: the
 // Last-Event-ID header (or ?after=) replays from the ring buffer; a
 // cursor that fell off the ring gets a synthetic gap event first.
-func (s *server) handleWatch(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleWatch(w http.ResponseWriter, r *http.Request) {
 	bus := s.svc.Bus()
 	if bus == nil {
-		writeJSON(w, http.StatusNotImplemented, errorResponse{
+		WriteJSON(w, http.StatusNotImplemented, ErrorResponse{
 			Error: "event bus not configured", Code: http.StatusNotImplemented})
 		return
 	}
 	flusher, ok := w.(http.Flusher)
 	if !ok {
-		writeJSON(w, http.StatusInternalServerError, errorResponse{
+		WriteJSON(w, http.StatusInternalServerError, ErrorResponse{
 			Error: "streaming unsupported by connection", Code: http.StatusInternalServerError})
 		return
 	}
@@ -83,7 +78,7 @@ func (s *server) handleWatch(w http.ResponseWriter, r *http.Request) {
 	if lastID != "" {
 		v, err := strconv.ParseUint(lastID, 10, 64)
 		if err != nil {
-			writeJSON(w, http.StatusBadRequest, errorResponse{
+			WriteJSON(w, http.StatusBadRequest, ErrorResponse{
 				Error: "invalid Last-Event-ID " + strconv.Quote(lastID), Code: http.StatusBadRequest})
 			return
 		}
@@ -152,19 +147,19 @@ func (s *server) handleWatch(w http.ResponseWriter, r *http.Request) {
 
 // handleTrace serves GET /trace/{id}: the finished span tree of one
 // request, with its stage-latency breakdown, as JSON.
-func (s *server) handleTrace(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	id := strings.TrimPrefix(r.URL.Path, "/trace/")
 	if id == "" || strings.Contains(id, "/") {
-		writeJSON(w, http.StatusBadRequest, errorResponse{
+		WriteJSON(w, http.StatusBadRequest, ErrorResponse{
 			Error: "want /trace/{id}", Code: http.StatusBadRequest})
 		return
 	}
 	rt, ok := s.svc.Trace(id)
 	if !ok {
-		writeJSON(w, http.StatusNotFound, errorResponse{
+		WriteJSON(w, http.StatusNotFound, ErrorResponse{
 			Error: fmt.Sprintf("no finished trace %q (the store holds the most recent %d)",
 				id, service.DefaultTraceCapacity), Code: http.StatusNotFound})
 		return
 	}
-	writeJSON(w, http.StatusOK, rt)
+	WriteJSON(w, http.StatusOK, rt)
 }

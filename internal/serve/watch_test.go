@@ -1,4 +1,4 @@
-package main
+package serve
 
 import (
 	"bufio"
@@ -22,17 +22,17 @@ import (
 
 var update = flag.Bool("update", false, "rewrite golden files")
 
-func newDeterministicServer(t *testing.T) (*server, *httptest.Server) {
+func newDeterministicServer(t *testing.T) (*Server, *httptest.Server) {
 	t.Helper()
-	srv := newServer(serverConfig{
-		workers: 1, queue: 16, cacheSize: 32,
-		cacheTTL: time.Minute, deadline: 10 * time.Second, maxDeadline: 30 * time.Second,
-		deterministic: true,
+	srv := NewServer(Config{
+		Workers: 1, Queue: 16, CacheSize: 32,
+		CacheTTL: time.Minute, Deadline: 10 * time.Second, MaxDeadline: 30 * time.Second,
+		Deterministic: true,
 	})
-	ts := httptest.NewServer(srv.handler())
+	ts := httptest.NewServer(srv.Handler())
 	t.Cleanup(func() {
 		ts.Close()
-		srv.svc.Drain()
+		srv.Service().Drain()
 	})
 	return srv, ts
 }
@@ -263,14 +263,14 @@ func TestWatchDeterministicDoubleRun(t *testing.T) {
 }
 
 // TestTraceEndpointGolden pins the /trace/{id} JSON shape under the
-// virtual clock. Regenerate with: go test ./cmd/pnserve -run Golden -update
+// virtual clock. Regenerate with: go test ./internal/serve -run Golden -update
 func TestTraceEndpointGolden(t *testing.T) {
 	_, ts := newDeterministicServer(t)
 	req, err := http.NewRequest(http.MethodGet, ts.URL+"/run?scenario=bss-overflow&defense=nx", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	req.Header.Set(traceHeader, "t-golden")
+	req.Header.Set(TraceHeader, "t-golden")
 	resp, err := http.DefaultClient.Do(req)
 	if err != nil {
 		t.Fatal(err)
@@ -324,12 +324,12 @@ func TestTraceEndpointGolden(t *testing.T) {
 // read, and detach — the HTTP-level half of the race stress (CI runs
 // the suite under -race).
 func TestRunWatchRaceStress(t *testing.T) {
-	srv := newServer(serverConfig{
-		workers: 4, queue: 32, cacheSize: 32,
-		cacheTTL: time.Minute, deadline: 10 * time.Second, maxDeadline: 30 * time.Second,
+	srv := NewServer(Config{
+		Workers: 4, Queue: 32, CacheSize: 32,
+		CacheTTL: time.Minute, Deadline: 10 * time.Second, MaxDeadline: 30 * time.Second,
 	})
-	ts := httptest.NewServer(srv.handler())
-	t.Cleanup(func() { ts.Close(); srv.svc.Drain() })
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() { ts.Close(); srv.Service().Drain() })
 
 	var wg sync.WaitGroup
 	for c := 0; c < 3; c++ {

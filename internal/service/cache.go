@@ -13,6 +13,7 @@ const (
 	CacheMiss      = "miss"      // executed; result stored
 	CacheCoalesced = "coalesced" // joined an identical in-flight execution
 	CacheBypass    = "bypass"    // NoCache request; executed, store refreshed
+	CacheCloned    = "cloned"    // miss filled from a cluster peer's cache, not executed
 	CacheEvict     = "evict"     // LRU capacity eviction
 	CacheExpire    = "expire"    // TTL expiry observed on access
 )

@@ -23,6 +23,11 @@ import (
 // dangling-write scenario, and shadow-detection outcome changes.
 const CodeVersion = "pnserve/v2"
 
+// MaxRepeat caps the per-request measurement loop: enough to make one
+// request arbitrarily heavy for benchmarks, small enough that a single
+// request cannot monopolise a worker for long.
+const MaxRepeat = 256
+
 // Priority selects the scheduler lane.
 type Priority int
 
@@ -83,6 +88,12 @@ type Request struct {
 	Faults    string  `json:"faults,omitempty"`
 	// Priority selects the scheduler lane ("high", "normal", "low").
 	Priority string `json:"priority,omitempty"`
+	// Repeat executes the deterministic run this many times (1..256)
+	// and reports the aggregate compute cost — a per-request measurement
+	// loop, like a pnbench cell served over HTTP. The cluster sweep uses
+	// it to give each request a tunable execution weight. Part of the
+	// cache key when > 1.
+	Repeat int `json:"repeat,omitempty"`
 	// NoCache forces execution; the fresh result still replaces the
 	// cached one.
 	NoCache bool `json:"no_cache,omitempty"`
@@ -100,6 +111,19 @@ type Request struct {
 	// and a client-supplied ID additionally arms detailed (per-write)
 	// instrumentation for that request.
 	TraceID string `json:"-"`
+	// Admitted marks a request the cluster router already admitted
+	// (quota and concurrency limiter charged there): the worker-side
+	// scheduler skips its own quota and limiter so accounting never
+	// double-counts a request crossing the router->worker hop. Set from
+	// the X-PN-Admitted header, honoured only when the server runs in
+	// worker mode (serve.Config.TrustAdmitted).
+	Admitted bool `json:"-"`
+	// FillFrom is a cluster peer base URL that owned this request's key
+	// before the last ring rebalance. On a cache miss the service clones
+	// the result from that replica (GET /cache/{key}) instead of
+	// recomputing it — cross-node cache fill. Set from the
+	// X-PN-Fill-From header; honoured only in worker mode.
+	FillFrom string `json:"-"`
 }
 
 // request is a validated, normalized Request plus everything resolved
@@ -142,6 +166,12 @@ func normalize(r Request) (*request, error) {
 		return nil, err
 	}
 	out.priority = pri
+	switch {
+	case r.Repeat < 0 || r.Repeat > MaxRepeat:
+		return nil, badRequestf("repeat %d out of range [1,%d]", r.Repeat, MaxRepeat)
+	case r.Repeat == 0:
+		out.Repeat = 1
+	}
 
 	switch {
 	case r.Experiment != "" && r.Scenario != "":
@@ -235,6 +265,11 @@ func cacheKey(r *request) string {
 		sb.WriteString(part)
 		sb.WriteByte('\n')
 	}
+	if r.Repeat > 1 {
+		// Appended only when armed so every pre-existing key is unchanged.
+		sb.WriteString("repeat=" + strconv.Itoa(r.Repeat))
+		sb.WriteByte('\n')
+	}
 	sum := sha256.Sum256([]byte(sb.String()))
 	return hex.EncodeToString(sum[:])
 }
@@ -263,6 +298,9 @@ type Result struct {
 	Seed      int64   `json:"seed,omitempty"`
 	ChaosProb float64 `json:"chaos_prob,omitempty"`
 	Faults    string  `json:"faults,omitempty"`
+	// Repeat echoes the request's measurement loop count when > 1;
+	// ComputeNS then spans all Repeat executions.
+	Repeat int `json:"repeat,omitempty"`
 	// Status is "ok" for experiments and the outcome word (SUCCESS,
 	// prevented, detected, crashed, no-effect) for scenarios.
 	Status string `json:"status"`

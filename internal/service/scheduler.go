@@ -91,6 +91,13 @@ type Admit struct {
 	// Trace, when non-nil, receives the queue-wait stage and scopes the
 	// admission events this request publishes on the bus.
 	Trace *RequestTrace
+	// Trusted marks a request already admitted upstream (the cluster
+	// router's quota and limiter, relayed via the X-PN-Admitted hop
+	// header). Trusted requests skip the local quota and limiter — take
+	// and give back nothing — so fleet accounting never double-counts;
+	// the circuit breaker still applies, because failure history is
+	// worker-local.
+	Trusted bool
 }
 
 // task is one admitted unit of work.
@@ -252,12 +259,14 @@ func (s *Scheduler) Do(ctx context.Context, adm Admit, fn func(ctx context.Conte
 		s.shed(adm, ReasonBreakerOpen)
 		return nil, s.reject(adm, ReasonBreakerOpen, wait)
 	}
-	if ok, wait := s.quotas.TryTake(adm.Tenant); !ok {
-		s.shed(adm, ReasonQuota)
-		return nil, s.reject(adm, ReasonQuota, wait)
+	if !adm.Trusted {
+		if ok, wait := s.quotas.TryTake(adm.Tenant); !ok {
+			s.shed(adm, ReasonQuota)
+			return nil, s.reject(adm, ReasonQuota, wait)
+		}
 	}
 	now := s.cfg.Now()
-	if !s.limiter.TryAcquire() {
+	if !adm.Trusted && !s.limiter.TryAcquire() {
 		s.quotas.Refund(adm.Tenant)
 		s.shed(adm, ReasonLimiter)
 		return nil, s.reject(adm, ReasonLimiter, s.limiter.RetryAfter(now, s.cfg.RetryAfter))
@@ -266,13 +275,11 @@ func (s *Scheduler) Do(ctx context.Context, adm Admit, fn func(ctx context.Conte
 	entry, pres := s.fq.push(t, adm.Tenant, adm.Priority)
 	switch pres {
 	case pushFull:
-		s.quotas.Refund(adm.Tenant)
-		s.limiter.Cancel()
+		s.refund(adm)
 		s.shed(adm, ReasonQueueFull)
 		return nil, s.reject(adm, ReasonQueueFull, s.limiter.RetryAfter(now, s.cfg.RetryAfter))
 	case pushClosed:
-		s.quotas.Refund(adm.Tenant)
-		s.limiter.Cancel()
+		s.refund(adm)
 		return nil, s.reject(adm, ReasonDraining, s.cfg.RetryAfter)
 	}
 	s.gauges()
@@ -288,8 +295,7 @@ func (s *Scheduler) Do(ctx context.Context, adm Admit, fn func(ctx context.Conte
 			// Still queued: the request consumed nothing, so its lane
 			// slot, quota token, and limiter slot are all given back —
 			// the no-leak contract.
-			s.quotas.Refund(adm.Tenant)
-			s.limiter.Cancel()
+			s.refund(adm)
 			s.gauges()
 		}
 		// Otherwise a worker already claimed it; the worker re-checks
@@ -297,6 +303,17 @@ func (s *Scheduler) Do(ctx context.Context, adm Admit, fn func(ctx context.Conte
 		s.count(adm, "canceled")
 		return nil, ctx.Err()
 	}
+}
+
+// refund returns the quota token and limiter slot a non-trusted
+// admission took. Trusted admissions took neither, so they return
+// neither — the accounting stays balanced on both paths.
+func (s *Scheduler) refund(adm Admit) {
+	if adm.Trusted {
+		return
+	}
+	s.quotas.Refund(adm.Tenant)
+	s.limiter.Cancel()
 }
 
 // reject builds the structured refusal for adm.
@@ -370,7 +387,9 @@ func (s *Scheduler) execute(t *task) {
 		// Cancelled or expired between claim and execution: never run.
 		// Do's ctx arm already reported the outcome; the limiter slot is
 		// returned without a latency sample.
-		s.limiter.Cancel()
+		if !t.adm.Trusted {
+			s.limiter.Cancel()
+		}
 		t.done <- taskResult{err: err}
 		return
 	}
@@ -387,7 +406,9 @@ func (s *Scheduler) execute(t *task) {
 	if dl, ok := t.ctx.Deadline(); ok {
 		remaining := time.Until(dl)
 		if remaining <= 0 {
-			s.limiter.Cancel()
+			if !t.adm.Trusted {
+				s.limiter.Cancel()
+			}
 			t.done <- taskResult{err: context.DeadlineExceeded}
 			return
 		}
@@ -401,7 +422,11 @@ func (s *Scheduler) execute(t *task) {
 	end := s.cfg.Now()
 	// The limiter's AIMD signal is the full admission-to-completion
 	// sojourn time: queueing delay is the earliest symptom of overload.
-	s.limiter.Release(end.Sub(t.admitted), end)
+	// Trusted work never acquired a slot, so it contributes no sample —
+	// the router's limiter observes the end-to-end latency instead.
+	if !t.adm.Trusted {
+		s.limiter.Release(end.Sub(t.admitted), end)
+	}
 	s.cfg.Metrics.Observe(obs.MetricServeLatency, float64(end.Sub(start).Milliseconds()),
 		obs.L("lane", t.adm.Priority.String()))
 

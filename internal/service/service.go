@@ -73,6 +73,13 @@ type Config struct {
 	// TraceCapacity bounds the finished-trace store backing GET
 	// /trace/{id} (default DefaultTraceCapacity).
 	TraceCapacity int
+	// PeerFetch, when non-nil, arms cross-node cache fill: on a cache
+	// miss whose request carries a FillFrom peer URL (set by the cluster
+	// router after a ring rebalance), the service asks the peer for its
+	// cached result before computing. A successful clone is stored
+	// locally and served with the CacheCloned token; any error falls
+	// back to normal execution.
+	PeerFetch func(ctx context.Context, peerURL, key string) (*Result, error)
 }
 
 func (c Config) withDefaults() Config {
@@ -174,6 +181,8 @@ func describeServeMetrics(reg *obs.Registry) {
 		obs.TypeHistogram, stageBuckets...)
 	reg.Describe(obs.MetricServeStageCacheLookup, "result-cache lookup time in milliseconds (hits and coalesced waits)",
 		obs.TypeHistogram, stageBuckets...)
+	reg.Describe(obs.MetricServeStageCacheFill, "cross-node cache fill time in milliseconds (cloning a miss from a peer)",
+		obs.TypeHistogram, stageBuckets...)
 	reg.Describe(obs.MetricServeStageClone, "image acquisition time in milliseconds (template clone or construction)",
 		obs.TypeHistogram, stageBuckets...)
 	reg.Describe(obs.MetricServeStageExecute, "corpus execution time in milliseconds",
@@ -253,6 +262,7 @@ func (s *Service) HandleTraced(ctx context.Context, req Request) (*Result, strin
 			Priority: n.priority,
 			Class:    n.kind + "/" + n.id,
 			ID:       n.kind + "/" + n.id,
+			Trusted:  n.Admitted,
 			Trace:    rt,
 		}
 		v, err := s.sched.Do(ctx, adm, func(ctx context.Context) (any, error) {
@@ -279,7 +289,30 @@ func (s *Service) HandleTraced(ctx context.Context, req Request) (*Result, strin
 		}
 	} else {
 		lookupStart := s.cfg.Now()
-		res, token, err = s.cache.Do(ctx, n.key, execute)
+		cloned := false
+		miss := execute
+		if n.FillFrom != "" && s.cfg.PeerFetch != nil {
+			// Cross-node cache fill: this key moved shards in a ring
+			// rebalance, so before computing, ask the replica that owned it
+			// for its cached bytes. Only the flight leader runs this, so a
+			// result is cloned (or computed) at most once fleet-wide.
+			miss = func() (*Result, error) {
+				fillStart := s.cfg.Now()
+				if peer, ferr := s.cfg.PeerFetch(ctx, n.FillFrom, n.key); ferr == nil && peer != nil {
+					cloned = true
+					fillEnd := s.cfg.Now()
+					rt.Stage(StageCacheFill, fillStart, fillEnd, map[string]string{"peer": n.FillFrom})
+					s.reg.Observe(obs.MetricServeStageCacheFill, durMS(fillEnd.Sub(fillStart)))
+					return peer, nil
+				}
+				return execute()
+			}
+		}
+		res, token, err = s.cache.Do(ctx, n.key, miss)
+		if token == CacheMiss && cloned {
+			token = CacheCloned
+			s.reg.Inc(obs.MetricServeCache, obs.L("event", CacheCloned))
+		}
 		if token == CacheHit || token == CacheCoalesced {
 			// On a hit or coalesced wait the whole Do call is lookup; on
 			// a miss this request led the execution and its time is
@@ -314,29 +347,41 @@ func (s *Service) compute(ctx context.Context, n *request, rt *RequestTrace) (*R
 		ID:      n.id,
 		Version: CodeVersion,
 	}
+	if n.Repeat > 1 {
+		res.Repeat = n.Repeat
+	}
 	switch n.kind {
 	case "experiment":
-		t, err := n.exp.Run()
-		if err != nil {
-			return nil, err
+		// Repeat > 1 is a measurement loop: the run is deterministic, so
+		// every iteration produces the same table and only the aggregate
+		// compute time changes.
+		for i := 0; i < n.Repeat; i++ {
+			t, err := n.exp.Run()
+			if err != nil {
+				return nil, err
+			}
+			res.Status = "ok"
+			res.Table = t.Data()
 		}
-		res.Status = "ok"
-		res.Table = t.Data()
 	default:
-		o, injected, err := s.runScenario(n, rt, start)
-		if err != nil {
-			return nil, err
+		totalInjected := 0
+		for i := 0; i < n.Repeat; i++ {
+			o, injected, err := s.runScenario(n, rt, start)
+			if err != nil {
+				return nil, err
+			}
+			totalInjected += injected
+			res.Defense = n.Defense
+			res.Model = n.Model
+			res.Seed = n.Seed
+			res.ChaosProb = n.ChaosProb
+			res.Faults = n.Faults
+			res.Status = o.Status()
+			res.Details = o.Details
+			res.Metrics = o.Metrics
+			res.Table = outcomeTable(o, n.Model).Data()
 		}
-		res.Defense = n.Defense
-		res.Model = n.Model
-		res.Seed = n.Seed
-		res.ChaosProb = n.ChaosProb
-		res.Faults = n.Faults
-		res.Status = o.Status()
-		res.Details = o.Details
-		res.Metrics = o.Metrics
-		res.InjectedFaults = injected
-		res.Table = outcomeTable(o, n.Model).Data()
+		res.InjectedFaults = totalInjected
 	}
 	end := s.cfg.Now()
 	res.ComputeNS = end.Sub(start).Nanoseconds()

@@ -38,6 +38,7 @@ func (c *VirtualClock) Now() time.Time {
 const (
 	StageQueueWait   = "queue_wait"
 	StageCacheLookup = "cache_lookup"
+	StageCacheFill   = "cache_fill"
 	StageClone       = "clone"
 	StageExecute     = "execute"
 	StageShadowCheck = "shadow_check"
