@@ -1,0 +1,156 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/analyzer"
+	"repro/internal/foundry"
+	"repro/internal/shrink"
+)
+
+// The -foundry mode benchmarks the property-based triage pipeline
+// end to end on a seeded corpus:
+//
+//   - per-plane precision/recall/F1 against the generator's ground
+//     truth (the live version of the E16 detection matrix, measured on
+//     a corpus nobody hand-picked)
+//   - triage throughput: programs fully triaged (four planes, two
+//     machine executions each) per second
+//   - shrink effectiveness: how many statements the greedy shrinker
+//     strips from statically-detected programs while the analyzer
+//     still flags them — the minimal-repro quality measure
+//
+// The artifact lands in BENCH_FOUNDRY.json before any gate fires, so
+// CI uploads numbers even on a failing run. The gate itself is the
+// corpus gate: zero divergent programs and 1.0 scoped recall on every
+// plane.
+
+// FoundrySchema identifies the BENCH_FOUNDRY.json layout.
+const FoundrySchema = "pnbench-foundry/v1"
+
+// foundryPlane is one plane's corpus-level score.
+type foundryPlane struct {
+	Precision    float64 `json:"precision"`
+	Recall       float64 `json:"recall"`
+	F1           float64 `json:"f1"`
+	ScopedRecall float64 `json:"scoped_recall"`
+	ScopedDen    int     `json:"scoped_den"`
+}
+
+// benchFoundry is the BENCH_FOUNDRY.json artifact.
+type benchFoundry struct {
+	Schema     string                  `json:"schema"`
+	Seed       int64                   `json:"seed"`
+	Count      int                     `json:"count"`
+	Vulnerable int                     `json:"vulnerable"`
+	Planes     map[string]foundryPlane `json:"planes"`
+	KnownGaps  map[string]int          `json:"known_gaps"`
+	Divergent  int                     `json:"divergent"`
+	// Throughput.
+	TriageNS       int64   `json:"triage_ns"`
+	ProgramsPerSec float64 `json:"programs_per_sec"`
+	// Shrink effectiveness over statically-detected programs.
+	ShrinkPrograms   int      `json:"shrink_programs"`
+	ShrinkStmtsIn    int      `json:"shrink_stmts_in"`
+	ShrinkStmtsOut   int      `json:"shrink_stmts_out"`
+	ShrinkAvgRemoved float64  `json:"shrink_avg_removed"`
+	GateOK           bool     `json:"gate_ok"`
+	GateDetails      []string `json:"gate_details,omitempty"`
+}
+
+// shrinkStatic greedily drops statements while the analyzer still
+// draws an overflow diagnostic on the rendered candidate.
+func shrinkStatic(sp *foundry.Spec) (before, after int) {
+	failing := func(stmts []foundry.Stmt) bool {
+		cand := *sp
+		cand.Stmts = stmts
+		res, err := analyzer.Analyze(foundry.Render(&cand), analyzer.Options{Model: foundry.Model})
+		if err != nil {
+			return false
+		}
+		return res.HasCode("PN001") || res.HasCode("PN002")
+	}
+	min := shrink.Greedy(sp.Stmts, failing)
+	return len(sp.Stmts), len(min)
+}
+
+// maxShrinkPrograms bounds the shrink-effectiveness sample: the greedy
+// pass is quadratic in statement count, and a fixed sample keeps the
+// benchmark's wall clock flat as corpora grow.
+const maxShrinkPrograms = 25
+
+func runFoundryBench(dir string, seed int64, count int, out io.Writer) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+
+	start := time.Now()
+	rep, err := foundry.TriageCorpus(seed, count, foundry.TriageOptions{})
+	if err != nil {
+		return err
+	}
+	triageNS := time.Since(start).Nanoseconds()
+
+	art := benchFoundry{
+		Schema: FoundrySchema, Seed: seed, Count: count,
+		Vulnerable: rep.Vulnerable,
+		Planes:     map[string]foundryPlane{},
+		KnownGaps:  rep.KnownGaps,
+		Divergent:  rep.Divergent,
+		TriageNS:   triageNS,
+		GateOK:     rep.GateOK, GateDetails: rep.GateDetails,
+	}
+	if triageNS > 0 {
+		art.ProgramsPerSec = float64(count) / (float64(triageNS) / 1e9)
+	}
+	for name, st := range rep.Planes {
+		art.Planes[name] = foundryPlane{
+			Precision: st.Precision, Recall: st.Recall, F1: st.F1,
+			ScopedRecall: st.ScopedRecall, ScopedDen: st.ScopedDen,
+		}
+	}
+
+	// Shrink effectiveness: statically-detected programs reduced to the
+	// smallest statement list the analyzer still flags.
+	for i := 0; i < count && art.ShrinkPrograms < maxShrinkPrograms; i++ {
+		g, err := foundry.Generate(seed, i)
+		if err != nil {
+			return err
+		}
+		if !g.Labels.ExpectStatic {
+			continue
+		}
+		before, after := shrinkStatic(g.Spec)
+		if after == before {
+			continue
+		}
+		art.ShrinkPrograms++
+		art.ShrinkStmtsIn += before
+		art.ShrinkStmtsOut += after
+	}
+	if art.ShrinkStmtsIn > 0 {
+		art.ShrinkAvgRemoved = float64(art.ShrinkStmtsIn-art.ShrinkStmtsOut) / float64(art.ShrinkPrograms)
+	}
+
+	blob, err := json.MarshalIndent(art, "", "  ")
+	if err != nil {
+		return err
+	}
+	blob = append(blob, '\n')
+	path := filepath.Join(dir, "BENCH_FOUNDRY.json")
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "foundry bench: %d programs (seed %d) in %.2fs (%.1f/s), %d divergent, shrink -%.1f stmts avg -> %s\n",
+		count, seed, float64(triageNS)/1e9, art.ProgramsPerSec, art.Divergent, art.ShrinkAvgRemoved, path)
+
+	if !rep.GateOK {
+		return fmt.Errorf("foundry gate failed: %v", rep.GateDetails)
+	}
+	return nil
+}

@@ -1,0 +1,54 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestFoundryBenchWritesArtifact(t *testing.T) {
+	dir := t.TempDir()
+	var sb strings.Builder
+	if err := run([]string{"-foundry", dir, "-foundry-seed", "42", "-foundry-count", "60"}, &sb); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	blob, err := os.ReadFile(filepath.Join(dir, "BENCH_FOUNDRY.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var art benchFoundry
+	if err := json.Unmarshal(blob, &art); err != nil {
+		t.Fatal(err)
+	}
+	if art.Schema != FoundrySchema {
+		t.Fatalf("schema = %q, want %q", art.Schema, FoundrySchema)
+	}
+	if art.Count != 60 || art.Seed != 42 {
+		t.Fatalf("seed/count = %d/%d", art.Seed, art.Count)
+	}
+	if !art.GateOK || art.Divergent != 0 {
+		t.Fatalf("gate ok=%v divergent=%d details=%v", art.GateOK, art.Divergent, art.GateDetails)
+	}
+	for _, plane := range []string{"static", "baseline", "runtime", "shadow"} {
+		p, ok := art.Planes[plane]
+		if !ok {
+			t.Fatalf("missing plane %s", plane)
+		}
+		if p.ScopedRecall != 1.0 {
+			t.Errorf("plane %s scoped recall = %v, want 1.0", plane, p.ScopedRecall)
+		}
+	}
+	// The paper's asymmetry must show in the live numbers.
+	if art.Planes["baseline"].Recall >= art.Planes["static"].Recall {
+		t.Errorf("baseline recall %v >= static %v", art.Planes["baseline"].Recall, art.Planes["static"].Recall)
+	}
+	if art.ProgramsPerSec <= 0 || art.TriageNS <= 0 {
+		t.Errorf("throughput fields empty: %v/s over %dns", art.ProgramsPerSec, art.TriageNS)
+	}
+	if art.ShrinkPrograms == 0 || art.ShrinkAvgRemoved <= 0 {
+		t.Errorf("shrink effectiveness empty: %d programs, avg removed %v",
+			art.ShrinkPrograms, art.ShrinkAvgRemoved)
+	}
+}

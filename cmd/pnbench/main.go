@@ -7,6 +7,7 @@
 //	pnbench -exp E8 -json out/        # also write out/BENCH_E8.json
 //	pnbench -mem out/ -min-cow-speedup 1.0   # checkpoint micro-bench -> out/BENCH_MEM.json
 //	pnbench -shadow out/ -max-disabled-overhead 1.5   # sanitizer micro-bench -> out/BENCH_SHADOW.json
+//	pnbench -foundry out/ -foundry-seed 42 -foundry-count 200   # triage bench -> out/BENCH_FOUNDRY.json
 //	pnbench -trajectory BENCH_TRAJECTORY.json -bench-dir out/ -commit $SHA
 //	pnbench -list
 //
@@ -68,6 +69,9 @@ func run(args []string, out io.Writer) error {
 	minCowSpeedup := fs.Float64("min-cow-speedup", 0,
 		"with -mem: fail unless the COW path beats the deep copy by at least this factor on the sparse workload")
 	shadowDir := fs.String("shadow", "", "run the shadow-memory sanitizer micro-benchmark and write BENCH_SHADOW.json into this directory")
+	foundryDir := fs.String("foundry", "", "run the foundry triage benchmark and write BENCH_FOUNDRY.json into this directory")
+	foundrySeed := fs.Int64("foundry-seed", 42, "with -foundry: corpus seed")
+	foundryCount := fs.Int("foundry-count", 200, "with -foundry: corpus size")
 	maxDisabledOverhead := fs.Float64("max-disabled-overhead", 0,
 		"with -shadow: fail if the disabled (nil-checker) write path exceeds this multiple of the no-seam baseline")
 	maxArmedOverhead := fs.Float64("max-armed-overhead", 0,
@@ -101,6 +105,9 @@ func run(args []string, out io.Writer) error {
 	}
 	if *shadowDir != "" {
 		return runShadowBench(*shadowDir, *maxDisabledOverhead, *maxArmedOverhead, out)
+	}
+	if *foundryDir != "" {
+		return runFoundryBench(*foundryDir, *foundrySeed, *foundryCount, out)
 	}
 
 	var selected []experiments.Experiment

@@ -1,0 +1,175 @@
+// Command pnfoundry drives the property-based program foundry: it
+// generates seeded corpora of labeled mini-C++ programs, triages them
+// differentially across all four detection planes, and shrinks any
+// divergence to a minimal repro.
+//
+// Usage:
+//
+//	pnfoundry generate -seed 42 -count 200 -dir corpus/
+//	pnfoundry triage -seed 42 -count 200 [-out triage.json] [-shrink]
+//	         [-min-recall 1.0] [-max-divergences 0]
+//	pnfoundry shrink -seed 42 -index 17
+//
+// Everything is a pure function of (seed, count): the corpus files and
+// the triage JSON are byte-identical across runs, which is what the CI
+// double-run gate checks with cmp.
+//
+// triage exits non-zero when the gate fails: more divergent programs
+// than -max-divergences, or any plane below -min-recall on the
+// programs inside its own scope.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/foundry"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "pnfoundry:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: pnfoundry generate|triage|shrink [flags]")
+	}
+	switch args[0] {
+	case "generate":
+		return runGenerate(args[1:], out)
+	case "triage":
+		return runTriage(args[1:], out)
+	case "shrink":
+		return runShrink(args[1:], out)
+	}
+	return fmt.Errorf("unknown subcommand %q (want generate, triage, or shrink)", args[0])
+}
+
+// manifestEntry is one corpus program in MANIFEST.json.
+type manifestEntry struct {
+	Index  int            `json:"index"`
+	File   string         `json:"file"`
+	Labels foundry.Labels `json:"labels"`
+}
+
+type manifest struct {
+	Schema   string          `json:"schema"` // "pnfoundry-corpus/v1"
+	Seed     int64           `json:"seed"`
+	Count    int             `json:"count"`
+	Programs []manifestEntry `json:"programs"`
+}
+
+func runGenerate(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("pnfoundry generate", flag.ContinueOnError)
+	seed := fs.Int64("seed", 42, "corpus seed")
+	count := fs.Int("count", 100, "number of programs")
+	dir := fs.String("dir", "", "output directory (required)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dir == "" {
+		return fmt.Errorf("generate: -dir is required")
+	}
+	if err := os.MkdirAll(*dir, 0o755); err != nil {
+		return err
+	}
+	m := manifest{Schema: "pnfoundry-corpus/v1", Seed: *seed, Count: *count}
+	for i := 0; i < *count; i++ {
+		g, err := foundry.Generate(*seed, i)
+		if err != nil {
+			return err
+		}
+		name := fmt.Sprintf("prog_%04d.cc", i)
+		if err := os.WriteFile(filepath.Join(*dir, name), []byte(g.Src), 0o644); err != nil {
+			return err
+		}
+		m.Programs = append(m.Programs, manifestEntry{Index: i, File: name, Labels: g.Labels})
+	}
+	mj, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	mj = append(mj, '\n')
+	if err := os.WriteFile(filepath.Join(*dir, "MANIFEST.json"), mj, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "wrote %d programs + MANIFEST.json to %s\n", *count, *dir)
+	return nil
+}
+
+func runTriage(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("pnfoundry triage", flag.ContinueOnError)
+	seed := fs.Int64("seed", 42, "corpus seed")
+	count := fs.Int("count", 100, "number of programs")
+	outPath := fs.String("out", "", "write the triage report JSON here (default stdout)")
+	doShrink := fs.Bool("shrink", false, "shrink divergent programs to minimal repros")
+	minRecall := fs.Float64("min-recall", 1.0, "per-plane scoped-recall gate")
+	maxDiv := fs.Int("max-divergences", 0, "divergent-program gate")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rep, err := foundry.TriageCorpus(*seed, *count, foundry.TriageOptions{
+		Shrink:          *doShrink,
+		MinScopedRecall: *minRecall,
+		MaxDivergent:    *maxDiv,
+	})
+	if err != nil {
+		return err
+	}
+	rj, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	rj = append(rj, '\n')
+	if *outPath != "" {
+		if err := os.WriteFile(*outPath, rj, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "triaged %d programs (seed %d): %d divergent, gate ok=%v -> %s\n",
+			rep.Count, rep.Seed, rep.Divergent, rep.GateOK, *outPath)
+	} else {
+		if _, err := out.Write(rj); err != nil {
+			return err
+		}
+	}
+	if !rep.GateOK {
+		return fmt.Errorf("triage gate failed: %v", rep.GateDetails)
+	}
+	return nil
+}
+
+func runShrink(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("pnfoundry shrink", flag.ContinueOnError)
+	seed := fs.Int64("seed", 42, "corpus seed")
+	index := fs.Int("index", 0, "program index to shrink")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	g, err := foundry.Generate(*seed, *index)
+	if err != nil {
+		return err
+	}
+	tr, err := foundry.TriageProgram(g)
+	if err != nil {
+		return err
+	}
+	if tr.Verdict != foundry.VerdictDivergence {
+		fmt.Fprintf(out, "%s: verdict %s — nothing to shrink\n", tr.Name, tr.Verdict)
+		return nil
+	}
+	rep := foundry.Shrink(g.Spec)
+	rj, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	rj = append(rj, '\n')
+	_, err = out.Write(rj)
+	return err
+}

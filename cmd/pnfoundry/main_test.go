@@ -1,0 +1,123 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/foundry"
+)
+
+func runCapture(t *testing.T, args ...string) string {
+	t.Helper()
+	var sb strings.Builder
+	if err := run(args, &sb); err != nil {
+		t.Fatalf("run(%v): %v", args, err)
+	}
+	return sb.String()
+}
+
+func TestGenerateWritesCorpus(t *testing.T) {
+	dir := t.TempDir()
+	out := runCapture(t, "generate", "-seed", "42", "-count", "12", "-dir", dir)
+	if !strings.Contains(out, "wrote 12 programs") {
+		t.Fatalf("output = %q", out)
+	}
+	files, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 13 { // 12 programs + MANIFEST.json
+		t.Fatalf("corpus dir has %d entries, want 13", len(files))
+	}
+	mj, err := os.ReadFile(filepath.Join(dir, "MANIFEST.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m manifest
+	if err := json.Unmarshal(mj, &m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Schema != "pnfoundry-corpus/v1" || m.Count != 12 || len(m.Programs) != 12 {
+		t.Fatalf("manifest = %+v", m)
+	}
+	// The manifest labels must match an independent regeneration.
+	g, err := foundry.Generate(42, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Programs[3].Labels.Name != g.Labels.Name || m.Programs[3].Labels.Kind != g.Labels.Kind {
+		t.Fatalf("manifest entry 3 = %+v, want labels of %s", m.Programs[3], g.Labels.Name)
+	}
+}
+
+// The CLI's whole contract: two runs with the same seed produce
+// byte-identical corpora and byte-identical triage JSON.
+func TestByteDeterminism(t *testing.T) {
+	dirA, dirB := t.TempDir(), t.TempDir()
+	runCapture(t, "generate", "-seed", "7", "-count", "10", "-dir", dirA)
+	runCapture(t, "generate", "-seed", "7", "-count", "10", "-dir", dirB)
+	files, err := os.ReadDir(dirA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range files {
+		a, err := os.ReadFile(filepath.Join(dirA, f.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := os.ReadFile(filepath.Join(dirB, f.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a, b) {
+			t.Fatalf("%s differs across runs", f.Name())
+		}
+	}
+
+	outA := filepath.Join(dirA, "triage.json")
+	outB := filepath.Join(dirB, "triage.json")
+	runCapture(t, "triage", "-seed", "7", "-count", "10", "-out", outA)
+	runCapture(t, "triage", "-seed", "7", "-count", "10", "-out", outB)
+	a, err := os.ReadFile(outA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(outB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("triage JSON differs across runs")
+	}
+}
+
+func TestTriageGatePasses(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"triage", "-seed", "42", "-count", "40"}, &sb); err != nil {
+		t.Fatalf("triage gate failed: %v", err)
+	}
+	var rep foundry.TriageReport
+	if err := json.Unmarshal([]byte(sb.String()), &rep); err != nil {
+		t.Fatalf("triage output is not a report: %v", err)
+	}
+	if rep.Schema != foundry.TriageSchema || !rep.GateOK || rep.Divergent != 0 {
+		t.Fatalf("report: schema=%q gateOK=%v divergent=%d", rep.Schema, rep.GateOK, rep.Divergent)
+	}
+}
+
+func TestShrinkOnCleanProgram(t *testing.T) {
+	out := runCapture(t, "shrink", "-seed", "42", "-index", "0")
+	if !strings.Contains(out, "nothing to shrink") {
+		t.Fatalf("output = %q", out)
+	}
+}
+
+func TestUnknownSubcommand(t *testing.T) {
+	if err := run([]string{"bogus"}, &strings.Builder{}); err == nil {
+		t.Fatal("expected an error for an unknown subcommand")
+	}
+}

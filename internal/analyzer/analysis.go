@@ -328,6 +328,17 @@ func (c *checker) checkStmt(s Stmt) {
 		}
 	case *WhileStmt:
 		c.checkExpr(st.Cond)
+		// Widen loop-carried variables first: a variable reassigned
+		// inside the body takes a different value on every iteration, so
+		// no single compile-time constant is sound at any site in the
+		// body — `new (&pool[i]) C()` with i advancing per iteration must
+		// resolve as unknown (PN003), not as the first iteration's
+		// offset.
+		for _, name := range assignedVars(st.Body) {
+			if vi := c.lookupVar(name); vi != nil {
+				vi.constKnown = false
+			}
+		}
 		// Loop bodies are analysed twice so loop-carried facts (a value
 		// tainted late in iteration k reaching a sink early in k+1) are
 		// observed. Diagnostics are deduplicated afterwards.
@@ -353,6 +364,51 @@ func (c *checker) checkStmt(s Stmt) {
 			c.checkExpr(st.X)
 		}
 	}
+}
+
+// assignedVars collects the names assigned anywhere in a statement
+// subtree — the loop-carried candidates a while body must widen.
+func assignedVars(s Stmt) []string {
+	var out []string
+	var walkExpr func(e Expr)
+	walkExpr = func(e Expr) {
+		if a, ok := e.(*Assign); ok {
+			if id, ok := a.L.(*Ident); ok {
+				out = append(out, id.Name)
+			}
+			walkExpr(a.R)
+		}
+	}
+	var walk func(s Stmt)
+	walk = func(s Stmt) {
+		switch st := s.(type) {
+		case *Block:
+			for _, sub := range st.Stmts {
+				walk(sub)
+			}
+		case *ExprStmt:
+			if st.X != nil {
+				walkExpr(st.X)
+			}
+		case *IfStmt:
+			walk(st.Then)
+			if st.Else != nil {
+				walk(st.Else)
+			}
+		case *WhileStmt:
+			walk(st.Body)
+		case *ForStmt:
+			if st.Init != nil {
+				walk(st.Init)
+			}
+			if st.Post != nil {
+				walkExpr(st.Post)
+			}
+			walk(st.Body)
+		}
+	}
+	walk(s)
+	return out
 }
 
 // checkExpr walks an expression, updating state and reporting placements.

@@ -1,0 +1,168 @@
+package analyzer
+
+import (
+	"sort"
+	"testing"
+)
+
+// Edge cases the foundry generator exercises, pinned as a table: each
+// entry states exactly which overflow diagnostics the construct must
+// (and must not) draw. The loop-index entries are the regression for a
+// real bug the foundry bring-up surfaced: a loop-carried index used to
+// be const-folded at its first-iteration value, so a placement walking
+// an arena (`new (&pool[i]) C()` with i advancing) resolved at offset
+// 0 and later-iteration overflows went unreported. Loop bodies now
+// widen reassigned variables, so such destinations are honestly
+// unresolvable (PN003).
+func TestAnalyzerEdgeCases(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want []string // exact sorted overflow/diagnostic codes
+	}{
+		{
+			name: "placement in loop, loop-carried index",
+			src: `class C0 { public: int f0; };
+char pool[8];
+void trigger() {
+  int i = 0;
+  while (i < 4) {
+    C0 *p = new (&pool[i]) C0();
+    i = i + 1;
+  }
+}
+`,
+			want: []string{"PN003"},
+		},
+		{
+			name: "placement in loop, constant index, overflow",
+			src: `class C0 { public: int f0; };
+char pool[2];
+void trigger() {
+  int j = 0;
+  while (j < 4) {
+    C0 *p = new (&pool[0]) C0();
+    j = j + 1;
+  }
+}
+`,
+			want: []string{"PN001"},
+		},
+		{
+			name: "placement in loop, constant index, fits",
+			src: `class C0 { public: int f0; };
+char pool[64];
+void trigger() {
+  int j = 0;
+  while (j < 4) {
+    C0 *p = new (&pool[4]) C0();
+    j = j + 1;
+  }
+}
+`,
+			want: nil,
+		},
+		{
+			name: "index constant-propagated outside loops",
+			src: `class C0 { public: int f0; };
+char pool[4];
+void trigger() {
+  int i = 1;
+  i = i + 1;
+  C0 *p = new (&pool[i]) C0();
+}
+`,
+			// i folds to 2; 4 bytes at offset 2 of a 4-byte pool.
+			want: []string{"PN001"},
+		},
+		{
+			name: "tainted length through two call hops",
+			src: `char pool[8];
+void inner(int n) {
+  char *b = new (pool) char[n];
+}
+void middle(int m) {
+  inner(m + 1);
+}
+void trigger() {
+  int k = 0;
+  cin >> k;
+  middle(k);
+}
+`,
+			want: []string{"PN002"},
+		},
+		{
+			name: "constant length through two call hops",
+			// Constants do not propagate across calls (no
+			// interprocedural const folding), so the length is honestly
+			// not statically known — PN004, never a false PN001.
+			src: `char pool[8];
+void inner(int n) {
+  char *b = new (pool) char[n];
+}
+void middle(int m) {
+  inner(m + 1);
+}
+void trigger() {
+  int k = 4;
+  middle(k);
+}
+`,
+			want: []string{"PN004"},
+		},
+		{
+			name: "zero-length placement array-new",
+			src: `char pool[8];
+void trigger() {
+  char *b = new (pool) char[0];
+}
+`,
+			want: nil, // zero bytes fit anywhere
+		},
+		{
+			name: "zero-length array-new into zero pool",
+			src: `char pool[0];
+void trigger() {
+  char *b = new (pool) char[0];
+}
+`,
+			want: nil,
+		},
+		{
+			name: "nonzero placement into zero pool",
+			src: `char pool[0];
+void trigger() {
+  char *b = new (pool) char[4];
+}
+`,
+			want: []string{"PN001"},
+		},
+	}
+	overflowCodes := map[string]bool{"PN001": true, "PN002": true, "PN003": true, "PN004": true}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			res, err := Analyze(tc.src, Options{})
+			if err != nil {
+				t.Fatalf("analyze: %v", err)
+			}
+			var got []string
+			for _, c := range res.Codes() {
+				if overflowCodes[c] {
+					got = append(got, c)
+				}
+			}
+			sort.Strings(got)
+			want := append([]string(nil), tc.want...)
+			sort.Strings(want)
+			if len(got) != len(want) {
+				t.Fatalf("codes = %v, want %v (all: %v)", got, want, res.Codes())
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("codes = %v, want %v (all: %v)", got, want, res.Codes())
+				}
+			}
+		})
+	}
+}

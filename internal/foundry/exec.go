@@ -1,0 +1,319 @@
+package foundry
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/defense"
+	"repro/internal/layout"
+	"repro/internal/machine"
+	"repro/internal/mem"
+	"repro/internal/object"
+	"repro/internal/stackm"
+)
+
+// ExecReport is what one concrete run of a spec observed. The escape
+// analysis is deliberately independent of the generator's layout
+// arithmetic: it watches the writes the machine actually performs
+// (via the memory write logger) and flags any byte that lands outside
+// the arena the write was semantically aimed at. A disagreement with
+// the labels therefore blames real code, not the harness.
+type ExecReport struct {
+	Config string `json:"config"`
+	// Escaped: at least one attributed write landed outside its arena.
+	Escaped      bool   `json:"escaped"`
+	EscapedBytes uint64 `json:"escapedBytes,omitempty"`
+	// Corrupted lists the other globals the escaped bytes reached.
+	Corrupted []string `json:"corrupted,omitempty"`
+	// Abort is the machine abort kind ("" for a clean run).
+	Abort string `json:"abort,omitempty"`
+	// AbortAttributed: the abort happened while executing a statement
+	// that writes through the placement (vs. e.g. frame teardown).
+	AbortAttributed bool     `json:"abortAttributed,omitempty"`
+	Events          []string `json:"events,omitempty"`
+}
+
+type byteRange struct{ lo, hi mem.Addr }
+
+// Execute runs the spec on a fresh simulated process under cfg and
+// reports what happened. Statements whose referents were removed (by
+// the shrinker) are skipped, so every subsequence of a valid spec
+// executes without harness errors.
+func Execute(sp *Spec, cfg defense.Config) (*ExecReport, error) {
+	rep := &ExecReport{Config: cfg.Name}
+	classes, err := buildClasses(sp)
+	if err != nil {
+		return nil, err
+	}
+	p, err := cfg.NewProcess()
+	if err != nil {
+		return nil, err
+	}
+	for _, g := range sp.Globals {
+		t, err := globalType(g, classes)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.DefineGlobal(g.Name, t, false); err != nil {
+			return nil, err
+		}
+	}
+	p.SetInput(sp.Input...)
+
+	var locals []stackm.LocalSpec
+	if sp.LocalArena {
+		cls, ok := classes[sp.ArenaClass]
+		if !ok {
+			return nil, fmt.Errorf("foundry: unknown arena class %s", sp.ArenaClass)
+		}
+		locals = append(locals, stackm.LocalSpec{Name: sp.ArenaVar, Type: cls})
+	}
+
+	// Attribution: while target is set, the write logger checks every
+	// write against it and accounts the bytes that escape.
+	var target *core.Arena
+	var escaped []byteRange
+	p.Mem.SetWriteLogger(func(r mem.WriteRecord) {
+		if target == nil {
+			return
+		}
+		lo, hi := r.Addr, r.Addr.Add(int64(len(r.New)))
+		if lo < target.Base {
+			cut := hi
+			if cut > target.Base {
+				cut = target.Base
+			}
+			escaped = append(escaped, byteRange{lo, cut})
+		}
+		if hi > target.End() {
+			cut := lo
+			if cut < target.End() {
+				cut = target.End()
+			}
+			escaped = append(escaped, byteRange{cut, hi})
+		}
+	})
+	defer p.Mem.SetWriteLogger(nil)
+
+	arenaOf := func(f *stackm.Frame, name string) (core.Arena, error) {
+		if sp.LocalArena && name == sp.ArenaVar {
+			l, err := f.Local(name)
+			if err != nil {
+				return core.Arena{}, err
+			}
+			cls := classes[sp.ArenaClass]
+			return core.Arena{Base: l.Addr, Size: cls.Size(Model), Label: name}, nil
+		}
+		g, err := p.GlobalVar(name)
+		if err != nil {
+			return core.Arena{}, err
+		}
+		var size uint64
+		for _, gs := range sp.Globals {
+			if gs.Name != name {
+				continue
+			}
+			switch {
+			case gs.Class != "":
+				size = classes[gs.Class].Size(Model)
+			case gs.CharLen > 0:
+				size = uint64(gs.CharLen)
+			default:
+				size = layout.Int.Size(Model)
+			}
+		}
+		return core.Arena{Base: g.Addr, Size: size, Label: name}, nil
+	}
+
+	type placedBuf struct {
+		arena core.Arena
+		n     int64
+	}
+	if _, err := p.DefineFunc("trigger", locals, func(p *machine.Process, f *stackm.Frame) error {
+		// Arm the sanitizer's trailing red zone on the declared arena up
+		// front, the way a compiler instrumentation pass would annotate
+		// every allocation — so even a program whose *first* placement
+		// overflows is caught at the construction store. No-op unless
+		// the config carries the sanitizer.
+		if ar, err := arenaOf(f, sp.ArenaVar); err == nil {
+			cfg.ShadowArena(p, ar)
+		}
+		vars := map[string]int64{}
+		ptrs := map[string]core.Arena{}
+		bufs := map[string]placedBuf{}
+		// Field names are unique across the hierarchy by construction.
+		fields := map[string]FieldSpec{}
+		for _, cs := range sp.Classes {
+			for _, fd := range cs.Fields {
+				fields[fd.Name] = fd
+			}
+		}
+		resolve := func(st Stmt) int64 {
+			if st.Len >= 0 {
+				return st.Len
+			}
+			return vars[st.LenVar]
+		}
+		fail := func(err error) error {
+			rep.AbortAttributed = true
+			target = nil
+			return err
+		}
+		for _, st := range sp.Stmts {
+			switch st.Op {
+			case OpDecl:
+				vars[st.Var] = st.Value
+			case OpAssign:
+				vars[st.Var] += st.Value
+			case OpCin:
+				vars[st.Var] = p.Cin()
+			case OpHop:
+				vars[st.Var] = vars[st.LenVar] + st.Value
+			case OpPlace:
+				cls, ok := classes[st.Class]
+				if !ok {
+					continue
+				}
+				ar, err := arenaOf(f, st.Arena)
+				if err != nil {
+					continue
+				}
+				target = &ar
+				if _, err := cfg.Place(p, ar, cls); err != nil {
+					return fail(err)
+				}
+				target = nil
+				ptrs[st.Var] = ar
+			case OpField:
+				ar, ok := ptrs[st.Ptr]
+				if !ok {
+					continue
+				}
+				fd, ok := fields[st.Field]
+				if !ok {
+					continue
+				}
+				// Re-view the arena base as the placed class to get the
+				// machine's own field-offset arithmetic.
+				cls := classes[placedClassOf(sp, st.Ptr)]
+				if cls == nil {
+					continue
+				}
+				o, err := object.View(p.Mem, cls, Model, ar.Base)
+				if err != nil {
+					continue
+				}
+				target = &ar
+				switch {
+				case st.Index >= 0:
+					err = o.SetIndex(st.Field, int64(st.Index), st.Value)
+				case fd.Type == "double":
+					err = o.SetFloat(st.Field, float64(st.Value))
+				default:
+					err = o.SetInt(st.Field, st.Value)
+				}
+				if err != nil {
+					return fail(err)
+				}
+				target = nil
+			case OpArrayNew:
+				ar, err := arenaOf(f, st.Arena)
+				if err != nil {
+					continue
+				}
+				cfg.ShadowArena(p, ar)
+				bufs[st.Var] = placedBuf{arena: ar, n: resolve(st)}
+			case OpFill:
+				b, ok := bufs[st.Ptr]
+				if !ok {
+					continue
+				}
+				n := resolve(st)
+				ar := b.arena
+				target = &ar
+				for i := int64(0); i < n; i++ {
+					if err := p.Mem.WriteU8(ar.Base.Add(i), uint8(st.Value)); err != nil {
+						return fail(err)
+					}
+				}
+				target = nil
+			case OpStrcpy:
+				ar, err := arenaOf(f, st.Arena)
+				if err != nil {
+					continue
+				}
+				cfg.ShadowArena(p, ar)
+				target = &ar
+				if err := p.Mem.WriteCString(ar.Base, st.Str); err != nil {
+					return fail(err)
+				}
+				target = nil
+			}
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+
+	callErr := p.Call("trigger")
+	target = nil
+	if callErr != nil {
+		var ab *machine.AbortError
+		if errors.As(callErr, &ab) {
+			rep.Abort = ab.Kind.String()
+		} else {
+			return nil, callErr
+		}
+	}
+
+	// Summarise the escapes.
+	for _, r := range escaped {
+		rep.EscapedBytes += uint64(r.hi.Diff(r.lo))
+	}
+	rep.Escaped = len(escaped) > 0
+	corrupted := map[string]bool{}
+	for _, g := range p.Globals() {
+		if g.Name == sp.ArenaVar {
+			continue
+		}
+		for _, r := range escaped {
+			if r.lo < g.End(Model) && g.Addr < r.hi {
+				corrupted[g.Name] = true
+			}
+		}
+	}
+	for name := range corrupted {
+		rep.Corrupted = append(rep.Corrupted, name)
+	}
+	sort.Strings(rep.Corrupted)
+	for _, e := range p.Events() {
+		rep.Events = append(rep.Events, e.Kind.String())
+	}
+	return rep, nil
+}
+
+// placedClassOf returns the class a pointer variable was placed with.
+func placedClassOf(sp *Spec, ptr string) string {
+	for _, st := range sp.Stmts {
+		if st.Op == OpPlace && st.Var == ptr {
+			return st.Class
+		}
+	}
+	return ""
+}
+
+// Detected reports the plane verdicts one run supports.
+func (r *ExecReport) overflowObserved() bool {
+	return r.Escaped || (r.Abort != "" && r.AbortAttributed)
+}
+
+func (r *ExecReport) shadowViolation() bool {
+	for _, e := range r.Events {
+		if e == "shadow-violation" {
+			return true
+		}
+	}
+	return false
+}

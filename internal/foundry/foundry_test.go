@@ -1,0 +1,207 @@
+package foundry
+
+import (
+	"encoding/json"
+	"testing"
+
+	"repro/internal/analyzer"
+)
+
+// The corpus gate the CI smoke job re-runs at scale: every program of
+// the seeded corpus triages with zero divergences across all four
+// planes, and every plane catches everything inside its own scope.
+func TestCorpusTriagesClean(t *testing.T) {
+	rep, err := TriageCorpus(42, 500, TriageOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Divergent != 0 {
+		for _, p := range rep.Programs {
+			if p.Verdict == VerdictDivergence {
+				t.Errorf("%s (%s): %v", p.Name, p.Kind, p.Divergences)
+			}
+		}
+		t.Fatalf("%d divergent programs", rep.Divergent)
+	}
+	if !rep.GateOK {
+		t.Fatalf("gate failed: %v", rep.GateDetails)
+	}
+	for _, kind := range []string{KindObject, KindArrayConst, KindArrayTainted, KindTwoHop, KindClassic} {
+		if rep.Kinds[kind] == 0 {
+			t.Errorf("corpus has no %s programs", kind)
+		}
+	}
+	if rep.Vulnerable == 0 || rep.Vulnerable == rep.Count {
+		t.Errorf("vulnerable = %d of %d, want a mix", rep.Vulnerable, rep.Count)
+	}
+	// Scoped recall is the hard gate; the raw numbers must also show
+	// the paper's asymmetry: the baseline is blind to placement
+	// overflows (low raw recall), the static pass is not.
+	for name, st := range rep.Planes {
+		if st.ScopedRecall != 1.0 {
+			t.Errorf("plane %s scoped recall = %.3f, want 1.0", name, st.ScopedRecall)
+		}
+	}
+	if b, s := rep.Planes[PlaneBaseline].Recall, rep.Planes[PlaneStatic].Recall; b >= s {
+		t.Errorf("baseline raw recall %.3f >= static %.3f; corpus lost the paper's asymmetry", b, s)
+	}
+}
+
+// Same (seed, index) must give byte-identical programs — the property
+// the CI double-run cmp gate depends on.
+func TestGenerateDeterministic(t *testing.T) {
+	for i := 0; i < 100; i++ {
+		a, err := Generate(7, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Generate(7, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Src != b.Src {
+			t.Fatalf("index %d: source differs across generations", i)
+		}
+		aj, _ := json.Marshal(a)
+		bj, _ := json.Marshal(b)
+		if string(aj) != string(bj) {
+			t.Fatalf("index %d: labels/spec differ across generations", i)
+		}
+	}
+}
+
+func TestTriageReportDeterministic(t *testing.T) {
+	a, err := TriageCorpus(11, 60, TriageOptions{Shrink: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := TriageCorpus(11, 60, TriageOptions{Shrink: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	aj, err := json.MarshalIndent(a, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bj, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(aj) != string(bj) {
+		t.Fatal("triage JSON differs across runs of the same corpus")
+	}
+}
+
+// Label invariants the generator promises per kind.
+func TestLabelInvariants(t *testing.T) {
+	for i := 0; i < 300; i++ {
+		g, err := Generate(3, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lb := g.Labels
+		switch lb.Kind {
+		case KindArrayTainted, KindTwoHop:
+			if !lb.Vulnerable {
+				t.Errorf("%s: tainted program not marked vulnerable", lb.Name)
+			}
+			if len(lb.WantCodes) != 1 || lb.WantCodes[0] != "PN002" {
+				t.Errorf("%s: tainted WantCodes = %v, want [PN002]", lb.Name, lb.WantCodes)
+			}
+		case KindObject, KindArrayConst:
+			if lb.Vulnerable && (len(lb.WantCodes) != 1 || lb.WantCodes[0] != "PN001") {
+				t.Errorf("%s: overflowing %s WantCodes = %v, want [PN001]", lb.Name, lb.Kind, lb.WantCodes)
+			}
+			if !lb.Vulnerable && len(lb.WantCodes) != 0 {
+				t.Errorf("%s: safe %s WantCodes = %v, want none", lb.Name, lb.Kind, lb.WantCodes)
+			}
+		case KindClassic:
+			if !lb.ExpectBaseline {
+				t.Errorf("%s: classic program without baseline expectation", lb.Name)
+			}
+			if lb.ExpectStatic {
+				t.Errorf("%s: classic program expects static detection", lb.Name)
+			}
+		}
+		if lb.RunOverflows {
+			if lb.OverflowBy == 0 {
+				t.Errorf("%s: overflows with OverflowBy = 0", lb.Name)
+			}
+			if lb.Corrupts == "" {
+				t.Errorf("%s: overflows with empty Corrupts", lb.Name)
+			}
+		} else if lb.OverflowBy != 0 || lb.Corrupts != "" {
+			t.Errorf("%s: safe run with OverflowBy=%d Corrupts=%q", lb.Name, lb.OverflowBy, lb.Corrupts)
+		}
+		if lb.RunOverflows && !lb.Vulnerable {
+			t.Errorf("%s: run overflows but program not vulnerable", lb.Name)
+		}
+	}
+}
+
+// craftedDivergent is a hand-built program with a real analyzer gap:
+// the placement array-new requests 4 bytes (in bounds, so the static
+// pass sees nothing), but the fill loop writes 12 — the runtime
+// overflow the labels predict and the static plane misses.
+func craftedDivergent() *Spec {
+	return &Spec{
+		Name: "crafted-divergent", Kind: KindArrayConst,
+		ArenaVar: "pool0",
+		Globals:  []GlobalSpec{{Name: "pool0", CharLen: 8}, {Name: "sent0", IsInt: true}},
+		Stmts: []Stmt{
+			{Op: OpDecl, Var: "t0", Value: 1, Index: -1},
+			{Op: OpAssign, Var: "t0", Value: 2, Index: -1},
+			{Op: OpArrayNew, Var: "b0", Arena: "pool0", Len: 4, Index: -1},
+			{Op: OpFill, Ptr: "b0", Len: 12, Value: 65, Index: -1},
+			{Op: OpDecl, Var: "t1", Value: 3, Index: -1},
+		},
+	}
+}
+
+func TestShrinkDivergence(t *testing.T) {
+	sp := craftedDivergent()
+	lb, err := computeLabels(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !lb.Vulnerable || !lb.RunOverflows {
+		t.Fatalf("crafted spec labels = %+v, want vulnerable overflow", lb)
+	}
+	g := &Generated{Spec: sp, Labels: lb, Src: Render(sp)}
+	tr, err := TriageProgram(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Verdict != VerdictDivergence {
+		t.Fatalf("crafted spec verdict = %s, want divergence (planes: %+v)", tr.Verdict, tr.Planes)
+	}
+
+	rep := shrinkDivergence(sp)
+	if len(rep.Divergences) == 0 {
+		t.Fatal("shrunk repro lost the divergence")
+	}
+	if rep.StmtsAfter >= rep.StmtsBefore {
+		t.Fatalf("shrink removed nothing: %d -> %d", rep.StmtsBefore, rep.StmtsAfter)
+	}
+	// The minimal repro is exactly the arraynew + the fill: dropping
+	// either loses the divergence (a dangling fill is skipped by both
+	// the labels and the machine).
+	if rep.StmtsAfter != 2 {
+		t.Errorf("shrunk to %d statements, want 2:\n%s", rep.StmtsAfter, rep.Src)
+	}
+}
+
+// Every rendered program must be accepted by the analyzer's
+// lexer/parser — the contract the fuzz target hammers with arbitrary
+// seeds.
+func TestRenderedSourceParses(t *testing.T) {
+	for i := 0; i < 200; i++ {
+		g, err := Generate(99, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := analyzer.Analyze(g.Src, analyzer.Options{Model: Model}); err != nil {
+			t.Fatalf("index %d: analyzer rejected generated source: %v\n%s", i, err, g.Src)
+		}
+	}
+}

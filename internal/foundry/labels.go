@@ -1,0 +1,429 @@
+package foundry
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/layout"
+)
+
+// scalarOf maps a source type name to its layout scalar.
+func scalarOf(name string) (layout.Scalar, error) {
+	switch name {
+	case "int":
+		return layout.Int, nil
+	case "char":
+		return layout.Char, nil
+	case "short":
+		return layout.Short, nil
+	case "double":
+		return layout.Double, nil
+	}
+	return layout.Scalar{}, fmt.Errorf("foundry: unknown field type %q", name)
+}
+
+func fieldType(f FieldSpec) (layout.Type, error) {
+	s, err := scalarOf(f.Type)
+	if err != nil {
+		return nil, err
+	}
+	if f.Len > 0 {
+		return layout.ArrayOf(s, uint64(f.Len)), nil
+	}
+	return s, nil
+}
+
+// buildClasses realises the spec's class hierarchy as layout classes —
+// the same representation the machine constructs from, so generator
+// arithmetic and runtime layout share one source of truth for class
+// *shape* while still exercising two independent size computations
+// (layout.Of here vs. object/field offsets in the machine).
+func buildClasses(sp *Spec) (map[string]*layout.Class, error) {
+	out := map[string]*layout.Class{}
+	for _, cs := range sp.Classes {
+		var cls *layout.Class
+		if cs.Base != "" {
+			base, ok := out[cs.Base]
+			if !ok {
+				return nil, fmt.Errorf("foundry: class %s: unknown base %s", cs.Name, cs.Base)
+			}
+			cls = layout.NewClass(cs.Name, base)
+		} else {
+			cls = layout.NewClass(cs.Name)
+		}
+		for _, v := range cs.Virtuals {
+			cls.AddVirtual(v)
+		}
+		for _, f := range cs.Fields {
+			t, err := fieldType(f)
+			if err != nil {
+				return nil, err
+			}
+			cls.AddField(f.Name, t)
+		}
+		out[cs.Name] = cls
+	}
+	return out, nil
+}
+
+// globalType returns the layout type of one global.
+func globalType(g GlobalSpec, classes map[string]*layout.Class) (layout.Type, error) {
+	switch {
+	case g.Class != "":
+		cls, ok := classes[g.Class]
+		if !ok {
+			return nil, fmt.Errorf("foundry: global %s: unknown class %s", g.Name, g.Class)
+		}
+		return cls, nil
+	case g.CharLen > 0:
+		return layout.ArrayOf(layout.Char, uint64(g.CharLen)), nil
+	case g.IsInt:
+		return layout.Int, nil
+	}
+	return nil, fmt.Errorf("foundry: global %s has no type", g.Name)
+}
+
+func alignUp(v, a uint64) uint64 {
+	if a <= 1 {
+		return v
+	}
+	if rem := v % a; rem != 0 {
+		return v + a - rem
+	}
+	return v
+}
+
+// globalExtents replicates the machine's bss packing (successive
+// definitions adjacent modulo alignment) as relative offsets.
+type extent struct {
+	name     string
+	off, end uint64
+}
+
+func globalExtents(sp *Spec, classes map[string]*layout.Class) ([]extent, error) {
+	var out []extent
+	off := uint64(0)
+	for _, g := range sp.Globals {
+		t, err := globalType(g, classes)
+		if err != nil {
+			return nil, err
+		}
+		off = alignUp(off, t.Align(Model))
+		out = append(out, extent{name: g.Name, off: off, end: off + t.Size(Model)})
+		off += t.Size(Model)
+	}
+	return out, nil
+}
+
+// span is a half-open arena-relative byte range.
+type span struct{ lo, hi uint64 }
+
+// touchedSpans models the exact bytes the concrete run writes through
+// the arena, arena-relative. This is where the labels must mirror the
+// paper's constructor semantics precisely: placement-new zero-
+// initialises every *scalar* member (including base subobjects) and
+// installs vptr slots, but leaves array members indeterminate — a
+// GradStudent's ssn[] holds whatever bytes were there until the
+// attacker writes it. The touched set is therefore the union of vptr
+// slots, scalar-field extents of every placed class, explicitly
+// written field/element extents, and the contiguous fill/strcpy
+// prefixes — not the contiguous [0, sizeof) block a naive model would
+// predict.
+func touchedSpans(sp *Spec, classes map[string]*layout.Class) ([]span, error) {
+	var out []span
+	vars := map[string]int64{}
+	in := append([]int64(nil), sp.Input...)
+	fields := map[string]FieldSpec{}
+	for _, cs := range sp.Classes {
+		for _, fd := range cs.Fields {
+			fields[fd.Name] = fd
+		}
+	}
+	placed := map[string]string{} // ptr var -> class
+	bufs := map[string]bool{}     // arraynew'd vars
+	layoutOf := func(name string) (*layout.ClassLayout, error) {
+		cls, ok := classes[name]
+		if !ok {
+			return nil, fmt.Errorf("foundry: unknown class %s", name)
+		}
+		return layout.Of(cls, Model)
+	}
+	fieldOffset := func(l *layout.ClassLayout, name string) (uint64, bool) {
+		all, err := l.AllFields()
+		if err != nil {
+			return 0, false
+		}
+		for _, f := range all {
+			if f.Name == name {
+				return f.Offset, true
+			}
+		}
+		return 0, false
+	}
+	for _, st := range sp.Stmts {
+		switch st.Op {
+		case OpDecl:
+			vars[st.Var] = st.Value
+		case OpAssign:
+			vars[st.Var] += st.Value
+		case OpCin:
+			if len(in) > 0 {
+				vars[st.Var], in = in[0], in[1:]
+			} else {
+				vars[st.Var] = 0
+			}
+		case OpHop:
+			vars[st.Var] = vars[st.LenVar] + st.Value
+		case OpPlace:
+			l, err := layoutOf(st.Class)
+			if err != nil {
+				return nil, err
+			}
+			for _, vo := range l.VPtrOffsets {
+				out = append(out, span{vo, vo + Model.PtrSize})
+			}
+			all, err := l.AllFields()
+			if err != nil {
+				return nil, err
+			}
+			for _, f := range all {
+				fd, ok := fields[f.Name]
+				if ok && fd.Len > 0 {
+					continue // array member: constructor leaves it alone
+				}
+				out = append(out, span{f.Offset, f.Offset + f.Type.Size(Model)})
+			}
+			placed[st.Var] = st.Class
+		case OpField:
+			cname, ok := placed[st.Ptr]
+			if !ok {
+				continue // dangling after shrink: the machine skips it too
+			}
+			l, err := layoutOf(cname)
+			if err != nil {
+				return nil, err
+			}
+			off, ok := fieldOffset(l, st.Field)
+			if !ok {
+				continue
+			}
+			fd := fields[st.Field]
+			sc, err := scalarOf(fd.Type)
+			if err != nil {
+				return nil, err
+			}
+			sz := sc.Size(Model)
+			if st.Index >= 0 {
+				off += uint64(st.Index) * sz
+			}
+			out = append(out, span{off, off + sz})
+		case OpArrayNew:
+			bufs[st.Var] = true
+		case OpFill:
+			if !bufs[st.Ptr] {
+				continue // dangling after shrink: the machine skips it too
+			}
+			n := st.Len
+			if n < 0 {
+				n = vars[st.LenVar]
+			}
+			if n > 0 {
+				out = append(out, span{0, uint64(n)})
+			}
+		case OpStrcpy:
+			out = append(out, span{0, uint64(len(st.Str)) + 1})
+		}
+	}
+	return out, nil
+}
+
+// runLength resolves the concrete byte count the run pushes through the
+// placement: the placed class size for object programs, the (possibly
+// hop-adjusted) array length otherwise.
+func runLength(sp *Spec, classes map[string]*layout.Class) (uint64, error) {
+	vars := map[string]int64{}
+	bufs := map[string]bool{}
+	in := append([]int64(nil), sp.Input...)
+	var n int64
+	seen := false
+	for _, st := range sp.Stmts {
+		switch st.Op {
+		case OpDecl:
+			vars[st.Var] = st.Value
+		case OpAssign:
+			vars[st.Var] += st.Value
+		case OpCin:
+			if len(in) > 0 {
+				vars[st.Var], in = in[0], in[1:]
+			} else {
+				vars[st.Var] = 0
+			}
+		case OpHop:
+			vars[st.Var] = vars[st.LenVar] + st.Value
+		case OpPlace:
+			cls, ok := classes[st.Class]
+			if !ok {
+				return 0, fmt.Errorf("foundry: place of unknown class %s", st.Class)
+			}
+			sz := cls.Size(Model)
+			if sz > uint64(n) || !seen {
+				n, seen = int64(sz), true
+			}
+		case OpArrayNew, OpFill:
+			if st.Op == OpArrayNew {
+				bufs[st.Var] = true
+			} else if !bufs[st.Ptr] {
+				continue // dangling after shrink: the machine skips it too
+			}
+			l := st.Len
+			if l < 0 {
+				l = vars[st.LenVar]
+			}
+			if l > n {
+				n = l
+			}
+			seen = true
+		case OpStrcpy:
+			l := int64(len(st.Str)) + 1 // strcpy copies the NUL
+			if l > n {
+				n = l
+			}
+			seen = true
+		}
+	}
+	if n < 0 {
+		n = 0
+	}
+	return uint64(n), nil
+}
+
+// computeLabels derives the ground truth for a spec from layout
+// arithmetic alone.
+func computeLabels(sp *Spec) (Labels, error) {
+	classes, err := buildClasses(sp)
+	if err != nil {
+		return Labels{}, err
+	}
+	lb := Labels{Name: sp.Name, Kind: sp.Kind, Arena: sp.ArenaVar, Input: append([]int64(nil), sp.Input...)}
+
+	// Arena capacity.
+	switch {
+	case sp.ArenaClass != "":
+		cls, ok := classes[sp.ArenaClass]
+		if !ok {
+			return Labels{}, fmt.Errorf("foundry: unknown arena class %s", sp.ArenaClass)
+		}
+		lb.ArenaSize = cls.Size(Model)
+	default:
+		for _, g := range sp.Globals {
+			if g.Name == sp.ArenaVar {
+				lb.ArenaSize = uint64(g.CharLen)
+			}
+		}
+	}
+	if lb.ArenaSize == 0 {
+		return Labels{}, fmt.Errorf("foundry: %s: arena %q has zero size", sp.Name, sp.ArenaVar)
+	}
+
+	run, err := runLength(sp, classes)
+	if err != nil {
+		return Labels{}, err
+	}
+	lb.PlacedSize = run
+
+	// The concrete run's truth comes from the touched-byte model, not
+	// from sizeof: a placement of an oversized class only *writes* past
+	// the arena where a scalar member, vptr slot, or explicit field
+	// write lands — array members the constructor never touches don't
+	// overflow anything until written.
+	touched, err := touchedSpans(sp, classes)
+	if err != nil {
+		return Labels{}, err
+	}
+	var escapes []span
+	for _, s := range touched {
+		if s.hi <= lb.ArenaSize {
+			continue
+		}
+		lo := s.lo
+		if lo < lb.ArenaSize {
+			lo = lb.ArenaSize
+		}
+		escapes = append(escapes, span{lo, s.hi})
+		if by := s.hi - lb.ArenaSize; by > lb.OverflowBy {
+			lb.OverflowBy = by
+		}
+	}
+	lb.RunOverflows = len(escapes) > 0
+
+	// Static truth: tainted programs admit an overflow regardless of
+	// the concrete input; object and const-array programs are
+	// vulnerable when the requested allocation outgrows the arena —
+	// sizeof truth, which the concrete run realises because the
+	// generator always writes the derived-added fields.
+	switch sp.Kind {
+	case KindArrayTainted, KindTwoHop:
+		lb.Vulnerable = true
+	case KindObject, KindArrayConst:
+		lb.Vulnerable = run > lb.ArenaSize
+	default:
+		lb.Vulnerable = lb.RunOverflows
+	}
+
+	// What the overflow reaches.
+	if lb.RunOverflows {
+		if sp.LocalArena {
+			lb.Corrupts = "frame"
+		} else {
+			exts, err := globalExtents(sp, classes)
+			if err != nil {
+				return Labels{}, err
+			}
+			var arena extent
+			for _, e := range exts {
+				if e.name == sp.ArenaVar {
+					arena = e
+				}
+			}
+			var hit []string
+			for _, e := range exts {
+				if e.name == sp.ArenaVar {
+					continue
+				}
+				for _, s := range escapes {
+					if e.off < arena.off+s.hi && arena.off+s.lo < e.end {
+						hit = append(hit, e.name)
+						break
+					}
+				}
+			}
+			sort.Strings(hit)
+			if len(hit) == 0 {
+				lb.Corrupts = "padding"
+			} else {
+				lb.Corrupts = strings.Join(hit, ",")
+			}
+		}
+	}
+
+	// Expected analyzer diagnostics.
+	switch sp.Kind {
+	case KindObject, KindArrayConst:
+		if lb.Vulnerable {
+			lb.WantCodes = []string{"PN001"}
+		}
+	case KindArrayTainted, KindTwoHop:
+		lb.WantCodes = []string{"PN002"}
+	case KindClassic:
+		// The placement analyzer is out of scope on lexical strcpy
+		// overflows — that is the baseline scanner's job.
+	}
+	for _, c := range lb.WantCodes {
+		if c == "PN001" || c == "PN002" {
+			lb.ExpectStatic = true
+		}
+	}
+	lb.ExpectBaseline = sp.Kind == KindClassic
+	return lb, nil
+}

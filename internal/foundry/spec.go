@@ -1,0 +1,364 @@
+// Package foundry generates labeled mini-C++ programs and triages them
+// through every detection plane the repo carries.
+//
+// The paper demonstrated its attack class on a handful of hand-crafted
+// programs, and the repo's 29 scenarios inherit that limitation: every
+// detection-matrix claim is measured against a fixed, author-biased
+// corpus. The foundry removes the bias by construction: a seeded
+// property-based generator emits programs — class hierarchies with
+// virtual methods, placement-new sites, array news, tainted size
+// expressions, field writes past bounds — in the exact dialect
+// internal/analyzer parses, together with ground-truth labels computed
+// from layout arithmetic (which allocation overflows, by how many
+// bytes, what it corrupts). A differential triage pipeline then runs
+// each program through the interprocedural static pass, the baseline
+// lexical scanner, the runtime machine, and the shadow-memory plane;
+// any disagreement with the labels or between planes is a finding,
+// shrunk to a minimal repro with internal/shrink.
+//
+// Everything is deterministic per seed: generation, rendering, labels,
+// execution, and triage JSON are byte-identical across runs, which is
+// what the CI double-run gate checks.
+package foundry
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/layout"
+)
+
+// Program kinds. The kind names the generation template; the labels
+// carry the vulnerability axis (a kind can have safe and overflowing
+// instances).
+const (
+	KindObject       = "object-placement" // derived-over-base placement new
+	KindArrayConst   = "array-const"      // placement array-new, constant length
+	KindArrayTainted = "array-tainted"    // placement array-new, cin-tainted length
+	KindTwoHop       = "two-hop-tainted"  // tainted length through two call hops
+	KindClassic      = "classic-strcpy"   // the pre-paper overflow the baseline sees
+)
+
+// FieldSpec is one declared class field.
+type FieldSpec struct {
+	Name string `json:"name"`
+	Type string `json:"type"`          // int, char, short, double
+	Len  int    `json:"len,omitempty"` // >0: array field of Len elements
+}
+
+// ClassSpec is one class declaration.
+type ClassSpec struct {
+	Name     string      `json:"name"`
+	Base     string      `json:"base,omitempty"`
+	Virtuals []string    `json:"virtuals,omitempty"`
+	Fields   []FieldSpec `json:"fields,omitempty"`
+}
+
+// GlobalSpec is one global declaration, in order: order is load-bearing
+// because successive globals are adjacent modulo alignment, which is
+// exactly what makes an overflow corrupt its neighbour.
+type GlobalSpec struct {
+	Name    string `json:"name"`
+	Class   string `json:"class,omitempty"`   // class-typed object
+	CharLen int    `json:"charLen,omitempty"` // char[CharLen] pool
+	IsInt   bool   `json:"isInt,omitempty"`   // plain int sentinel
+}
+
+// Statement ops.
+const (
+	OpDecl     = "decl"     // int Var = Value;
+	OpAssign   = "assign"   // Var = Var + Value;
+	OpCin      = "cin"      // cin >> Var;
+	OpPlace    = "place"    // Class *Var = new (&Arena) Class();
+	OpField    = "field"    // Ptr->Field = Value;  (Index >= 0: Ptr->Field[Index] = Value;)
+	OpHop      = "hop"      // Var = LenVar + Value, routed through middle/inner
+	OpArrayNew = "arraynew" // char *Var = new (Arena) char[Len|LenVar];
+	OpFill     = "fill"     // while-loop writing Value into Ptr[0..len)
+	OpStrcpy   = "strcpy"   // strcpy(Arena, "Str");
+)
+
+// Stmt is one flat program statement. A single struct (rather than an
+// interface) keeps specs trivially JSON-serialisable and shrinkable.
+type Stmt struct {
+	Op     string `json:"op"`
+	Var    string `json:"var,omitempty"`
+	Class  string `json:"class,omitempty"`
+	Arena  string `json:"arena,omitempty"`
+	Local  bool   `json:"local,omitempty"` // arena is a trigger() local
+	Ptr    string `json:"ptr,omitempty"`
+	Field  string `json:"field,omitempty"`
+	Index  int    `json:"index,omitempty"` // -1: scalar field
+	Value  int64  `json:"value,omitempty"`
+	Len    int64  `json:"len,omitempty"` // -1: use LenVar
+	LenVar string `json:"lenVar,omitempty"`
+	Str    string `json:"str,omitempty"`
+}
+
+// Spec is one generated program: the structured form from which both
+// the rendered source and the runtime execution derive, so the static
+// and runtime planes see the same program through independent paths.
+type Spec struct {
+	Name       string       `json:"name"`
+	Kind       string       `json:"kind"`
+	Classes    []ClassSpec  `json:"classes,omitempty"`
+	Globals    []GlobalSpec `json:"globals,omitempty"`
+	ArenaVar   string       `json:"arenaVar"`             // name of the arena global/local
+	ArenaClass string       `json:"arenaClass,omitempty"` // class of an object arena ("" for char pools)
+	LocalArena bool         `json:"localArena,omitempty"` // arena is a trigger() local
+	HopDelta   int64        `json:"hopDelta,omitempty"`   // two-hop: added in middle's call
+	Input      []int64      `json:"input,omitempty"`      // cin values for the concrete run
+	Stmts      []Stmt       `json:"stmts"`
+}
+
+// Labels is the generator-side ground truth for one program, computed
+// from layout arithmetic — deliberately independent of the machine's
+// object/field execution path, so a disagreement between the two is a
+// real differential finding.
+type Labels struct {
+	Name string `json:"name"`
+	Kind string `json:"kind"`
+	// Vulnerable: the program admits an overflow (static truth: for
+	// tainted programs this is true even when the concrete input is
+	// benign).
+	Vulnerable bool `json:"vulnerable"`
+	// RunOverflows: the concrete run with Input writes past the arena.
+	RunOverflows bool   `json:"runOverflows"`
+	Arena        string `json:"arena"`
+	ArenaSize    uint64 `json:"arenaSize"`
+	PlacedSize   uint64 `json:"placedSize"` // bytes the run writes through the placement
+	OverflowBy   uint64 `json:"overflowBy"`
+	// Corrupts names the globals the overflow reaches ("padding" when
+	// it dies in alignment padding, "frame" for stack arenas, "" when
+	// the run does not overflow).
+	Corrupts string  `json:"corrupts,omitempty"`
+	Input    []int64 `json:"input,omitempty"`
+	// WantCodes are the analyzer diagnostics the program must draw.
+	WantCodes []string `json:"wantCodes,omitempty"`
+	// Per-plane expected detections. Where an expectation differs from
+	// the ground truth (baseline blind to placement overflows, static
+	// pass out of scope on classic strcpy) the gap is a *known* gap and
+	// triage accounts it as such rather than as a divergence.
+	ExpectStatic   bool `json:"expectStatic"`
+	ExpectBaseline bool `json:"expectBaseline"`
+}
+
+// Generated is one program with its labels.
+type Generated struct {
+	Spec   *Spec  `json:"spec"`
+	Labels Labels `json:"labels"`
+	Src    string `json:"src"`
+}
+
+// Model is the data model all foundry arithmetic uses — the analyzer's
+// default, so static sizeof math and ground-truth math agree by
+// construction.
+var Model = layout.ILP32i386
+
+// Generate builds program index of the corpus rooted at seed. The same
+// (seed, index) pair always yields the identical program, labels, and
+// source bytes.
+func Generate(seed int64, index int) (*Generated, error) {
+	rng := rand.New(rand.NewSource(seed*1000003 + int64(index)))
+	sp := &Spec{Name: fmt.Sprintf("prog-%d-%04d", seed, index)}
+	switch pick := rng.Intn(13); {
+	case pick < 4:
+		genObject(rng, sp)
+	case pick < 7:
+		genArrayConst(rng, sp)
+	case pick < 9:
+		genArrayTainted(rng, sp, false)
+	case pick < 11:
+		genArrayTainted(rng, sp, true)
+	default:
+		genClassic(rng, sp)
+	}
+	lb, err := computeLabels(sp)
+	if err != nil {
+		return nil, fmt.Errorf("foundry: %s: %w", sp.Name, err)
+	}
+	return &Generated{Spec: sp, Labels: lb, Src: Render(sp)}, nil
+}
+
+var fieldTypes = []string{"int", "char", "short", "double"}
+
+func genFields(rng *rand.Rand, prefix string, n int) []FieldSpec {
+	out := make([]FieldSpec, 0, n)
+	for i := 0; i < n; i++ {
+		f := FieldSpec{Name: fmt.Sprintf("%s%d", prefix, i), Type: fieldTypes[rng.Intn(len(fieldTypes))]}
+		if f.Type == "char" && rng.Intn(2) == 0 {
+			f.Len = 4 + rng.Intn(9) // char fN[4..12]
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+// genObject emits a derived-over-base placement program — the paper's
+// §3 shape. A coin decides whether the derived class outgrows the
+// arena (overflow) or matches it exactly (safe), another whether the
+// arena is a global (bss adjacency) or a trigger() local (frame).
+func genObject(rng *rand.Rand, sp *Spec) {
+	sp.Kind = KindObject
+	overflow := rng.Intn(3) > 0 // 2/3 of object programs overflow
+	base := ClassSpec{Name: "C0", Fields: genFields(rng, "f", 1+rng.Intn(3))}
+	if rng.Intn(2) == 0 {
+		base.Virtuals = []string{"m0"}
+	}
+	derived := ClassSpec{Name: "C1", Base: "C0"}
+	if overflow {
+		derived.Fields = genFields(rng, "g", 1+rng.Intn(2))
+		if rng.Intn(3) == 0 {
+			derived.Virtuals = []string{"m1"}
+		}
+	} else if len(base.Virtuals) > 0 {
+		// Overriding an existing virtual adds a vtable slot, not size.
+		derived.Virtuals = []string{"m1"}
+	}
+	sp.Classes = []ClassSpec{base, derived}
+	sp.ArenaVar = "arena0"
+	sp.ArenaClass = "C0"
+	sp.LocalArena = rng.Intn(4) == 0
+	if !sp.LocalArena {
+		sp.Globals = append(sp.Globals, GlobalSpec{Name: "arena0", Class: "C0"})
+		if rng.Intn(2) == 0 {
+			sp.Globals = append(sp.Globals, GlobalSpec{Name: "sent0", Class: "C0"})
+		} else {
+			sp.Globals = append(sp.Globals, GlobalSpec{Name: "sent0", IsInt: true})
+		}
+	}
+
+	addFiller(rng, sp, 0)
+	if rng.Intn(2) == 0 {
+		// Legitimate lifecycle first: place the base class, write a
+		// base field in bounds. Keeps the arena "dirty" the way §2.5
+		// reuse does without changing the overflow arithmetic.
+		sp.Stmts = append(sp.Stmts, Stmt{Op: OpPlace, Var: "p0", Class: "C0", Arena: sp.ArenaVar, Local: sp.LocalArena, Index: -1})
+		sp.Stmts = append(sp.Stmts, fieldWrite(rng, "p0", base.Fields[rng.Intn(len(base.Fields))]))
+	}
+	sp.Stmts = append(sp.Stmts, Stmt{Op: OpPlace, Var: "p1", Class: "C1", Arena: sp.ArenaVar, Local: sp.LocalArena, Index: -1})
+	// Write every derived-added field — for overflow programs these are
+	// the §3 "field writes past bounds". Array fields are written
+	// element by element (the paper's memcpy-into-ssn[] shape), which
+	// keeps the escaping byte set gap-free: together with the scalar
+	// zero-init the overflow always touches the bytes right past the
+	// arena, so the sanitizer's trailing red zone is guaranteed to see
+	// any overflowing run.
+	for _, f := range derived.Fields {
+		if f.Len > 0 {
+			for i := 0; i < f.Len; i++ {
+				sp.Stmts = append(sp.Stmts, Stmt{Op: OpField, Ptr: "p1", Field: f.Name, Index: i, Value: int64(1 + rng.Intn(100))})
+			}
+		} else {
+			sp.Stmts = append(sp.Stmts, fieldWrite(rng, "p1", f))
+		}
+	}
+	if len(derived.Fields) == 0 {
+		sp.Stmts = append(sp.Stmts, fieldWrite(rng, "p1", base.Fields[0]))
+	}
+	addFiller(rng, sp, 1)
+}
+
+func fieldWrite(rng *rand.Rand, ptr string, f FieldSpec) Stmt {
+	st := Stmt{Op: OpField, Ptr: ptr, Field: f.Name, Index: -1, Value: int64(1 + rng.Intn(100))}
+	if f.Len > 0 {
+		st.Index = rng.Intn(f.Len)
+	}
+	return st
+}
+
+// genArrayConst emits a constant-length placement array-new over a
+// char pool, overflowing or not by a coin.
+func genArrayConst(rng *rand.Rand, sp *Spec) {
+	sp.Kind = KindArrayConst
+	pool := 8 + rng.Intn(33) // char pool0[8..40]
+	var n int
+	if overflow := rng.Intn(2) == 0; overflow {
+		n = pool + 1 + rng.Intn(8)
+	} else {
+		n = 1 + rng.Intn(pool)
+	}
+	sp.ArenaVar = "pool0"
+	sp.Globals = []GlobalSpec{{Name: "pool0", CharLen: pool}, {Name: "sent0", IsInt: true}}
+	addFiller(rng, sp, 0)
+	sp.Stmts = append(sp.Stmts,
+		Stmt{Op: OpArrayNew, Var: "b0", Arena: "pool0", Len: int64(n), Index: -1},
+		Stmt{Op: OpFill, Ptr: "b0", Len: int64(n), Value: int64(65 + rng.Intn(26)), Index: -1})
+	addFiller(rng, sp, 1)
+}
+
+// genArrayTainted emits the paper's Listing-9 shape: a cin-tainted
+// length reaches a placement array-new unchecked. With twoHop the
+// length flows trigger → middle → inner first (the interprocedural
+// case). The concrete input is an attack value 3 runs out of 4 and
+// benign otherwise — statically vulnerable either way.
+func genArrayTainted(rng *rand.Rand, sp *Spec, twoHop bool) {
+	sp.Kind = KindArrayTainted
+	if twoHop {
+		sp.Kind = KindTwoHop
+	}
+	pool := 8 + rng.Intn(33)
+	sp.ArenaVar = "pool0"
+	sp.Globals = []GlobalSpec{{Name: "pool0", CharLen: pool}, {Name: "sent0", IsInt: true}}
+	delta := int64(0)
+	if twoHop {
+		delta = int64(1 + rng.Intn(4))
+		sp.HopDelta = delta
+	}
+	var input int64
+	if rng.Intn(4) > 0 {
+		input = int64(pool) + 1 + int64(rng.Intn(10)) - delta
+	} else {
+		input = 1 + int64(rng.Intn(pool/2+1)) - delta
+		if input < 0 {
+			input = 0
+		}
+	}
+	sp.Input = []int64{input}
+	lenVar := "n0"
+	addFiller(rng, sp, 0)
+	sp.Stmts = append(sp.Stmts,
+		Stmt{Op: OpDecl, Var: "n0", Value: 0, Index: -1},
+		Stmt{Op: OpCin, Var: "n0", Index: -1})
+	if twoHop {
+		sp.Stmts = append(sp.Stmts, Stmt{Op: OpHop, Var: "k0", LenVar: "n0", Value: delta, Index: -1})
+		lenVar = "k0"
+	}
+	sp.Stmts = append(sp.Stmts,
+		Stmt{Op: OpArrayNew, Var: "b0", Arena: "pool0", Len: -1, LenVar: lenVar, Index: -1},
+		Stmt{Op: OpFill, Ptr: "b0", Len: -1, LenVar: lenVar, Value: int64(97 + rng.Intn(26)), Index: -1})
+	addFiller(rng, sp, 1)
+}
+
+// genClassic emits the pre-paper overflow the baseline scanner exists
+// for: strcpy into a fixed buffer, overflowing or not by a coin.
+func genClassic(rng *rand.Rand, sp *Spec) {
+	sp.Kind = KindClassic
+	buf := 8 + rng.Intn(17) // char dst0[8..24]
+	var l int
+	if overflow := rng.Intn(2) == 0; overflow {
+		l = buf + rng.Intn(8) // l+1 > buf
+	} else {
+		l = rng.Intn(buf - 1) // l+1 <= buf-? keep strictly inside
+	}
+	src := make([]byte, l)
+	for i := range src {
+		src[i] = byte('A' + rng.Intn(26))
+	}
+	sp.ArenaVar = "dst0"
+	sp.Globals = []GlobalSpec{{Name: "dst0", CharLen: buf}, {Name: "sent0", IsInt: true}}
+	addFiller(rng, sp, 0)
+	sp.Stmts = append(sp.Stmts, Stmt{Op: OpStrcpy, Arena: "dst0", Str: string(src), Index: -1})
+	addFiller(rng, sp, 1)
+}
+
+// addFiller appends 0–2 inert local-scalar statements: shrink fodder
+// that also stresses the analyzer's statement walk.
+func addFiller(rng *rand.Rand, sp *Spec, phase int) {
+	for i, n := 0, rng.Intn(3); i < n; i++ {
+		v := fmt.Sprintf("t%d_%d", phase, i)
+		sp.Stmts = append(sp.Stmts, Stmt{Op: OpDecl, Var: v, Value: int64(rng.Intn(50)), Index: -1})
+		if rng.Intn(2) == 0 {
+			sp.Stmts = append(sp.Stmts, Stmt{Op: OpAssign, Var: v, Value: int64(1 + rng.Intn(9)), Index: -1})
+		}
+	}
+}

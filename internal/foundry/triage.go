@@ -1,0 +1,436 @@
+package foundry
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/analyzer"
+	"repro/internal/defense"
+	"repro/internal/shrink"
+)
+
+// Plane names, in report order.
+const (
+	PlaneStatic   = "static"   // internal/analyzer interprocedural pass
+	PlaneBaseline = "baseline" // lexical pre-paper scanner
+	PlaneRuntime  = "runtime"  // machine execution, write-escape analysis
+	PlaneShadow   = "shadow"   // shadow-memory sanitizer plane
+)
+
+// Verdict taxonomy: every plane verdict is one of TP/FP/FN/TN against
+// its ground truth; a program-level verdict is "agree" when every plane
+// matched its *expected* detection, "known-gap" when the only
+// mismatches against ground truth are expected ones (the labels carry
+// the expectation), and "divergence" otherwise. Divergences gate CI at
+// zero.
+const (
+	VerdictAgree      = "agree"
+	VerdictKnownGap   = "known-gap"
+	VerdictDivergence = "divergence"
+)
+
+// PlaneResult is one plane's view of one program.
+type PlaneResult struct {
+	// Detected: the plane flagged the program.
+	Detected bool `json:"detected"`
+	// Truth is the plane's ground truth: Labels.Vulnerable for the
+	// static planes (they judge the program), Labels.RunOverflows for
+	// the runtime planes (they judge the run).
+	Truth bool `json:"truth"`
+	// Expected is what the plane *should* report given its known
+	// limitations; Expected != Truth is a known gap, Detected !=
+	// Expected is a divergence.
+	Expected bool   `json:"expected"`
+	Verdict  string `json:"verdict"` // TP/FP/FN/TN (Detected vs Truth)
+	Gap      string `json:"gap,omitempty"`
+}
+
+// ProgramTriage is the full cross-plane result for one program.
+type ProgramTriage struct {
+	Name         string                 `json:"name"`
+	Kind         string                 `json:"kind"`
+	Vulnerable   bool                   `json:"vulnerable"`
+	RunOverflows bool                   `json:"runOverflows"`
+	Codes        []string               `json:"codes,omitempty"` // analyzer diagnostics observed
+	Planes       map[string]PlaneResult `json:"planes"`
+	// Corrupts cross-check: generator prediction vs. runtime observation.
+	CorruptsWant string   `json:"corruptsWant,omitempty"`
+	CorruptsGot  string   `json:"corruptsGot,omitempty"`
+	Verdict      string   `json:"verdict"`
+	Divergences  []string `json:"divergences,omitempty"`
+}
+
+// ShrunkRepro is a minimised divergent program.
+type ShrunkRepro struct {
+	Name        string   `json:"name"`
+	Divergences []string `json:"divergences"`
+	StmtsBefore int      `json:"stmtsBefore"`
+	StmtsAfter  int      `json:"stmtsAfter"`
+	Src         string   `json:"src"`
+}
+
+// PlaneStats aggregates one plane over the corpus.
+type PlaneStats struct {
+	TP int `json:"tp"`
+	FP int `json:"fp"`
+	FN int `json:"fn"`
+	TN int `json:"tn"`
+	// Raw precision/recall/F1 against ground truth: the honest numbers
+	// (the baseline's raw recall over placement programs is the
+	// paper's headline).
+	Precision float64 `json:"precision"`
+	Recall    float64 `json:"recall"`
+	F1        float64 `json:"f1"`
+	// Scoped recall counts only programs the plane is expected to
+	// catch — the CI gate: anything under 1.0 means the plane missed
+	// something inside its own scope.
+	ScopedRecall float64 `json:"scopedRecall"`
+	ScopedDen    int     `json:"scopedDen"`
+}
+
+// TriageReport is the corpus-level result. It contains no wall-clock
+// fields: the same seed and count produce byte-identical JSON.
+type TriageReport struct {
+	Schema      string                `json:"schema"`
+	Seed        int64                 `json:"seed"`
+	Count       int                   `json:"count"`
+	Kinds       map[string]int        `json:"kinds"`
+	Vulnerable  int                   `json:"vulnerable"`
+	Planes      map[string]PlaneStats `json:"planes"`
+	KnownGaps   map[string]int        `json:"knownGaps"`
+	Divergent   int                   `json:"divergent"`
+	Programs    []ProgramTriage       `json:"programs"`
+	Shrunk      []ShrunkRepro         `json:"shrunk,omitempty"`
+	GateOK      bool                  `json:"gateOK"`
+	GateDetails []string              `json:"gateDetails,omitempty"`
+}
+
+// TriageSchema versions the triage JSON artifact.
+const TriageSchema = "pnfoundry-triage/v1"
+
+func verdictOf(detected, truth bool) string {
+	switch {
+	case detected && truth:
+		return "TP"
+	case detected && !truth:
+		return "FP"
+	case !detected && truth:
+		return "FN"
+	default:
+		return "TN"
+	}
+}
+
+// gapTag names the known gap when a plane's expectation departs from
+// its ground truth.
+func gapTag(plane string, lb Labels) string {
+	switch plane {
+	case PlaneStatic:
+		if lb.Vulnerable && !lb.ExpectStatic {
+			return "static-out-of-scope" // lexical overflow, not a placement site
+		}
+	case PlaneBaseline:
+		if lb.Vulnerable && !lb.ExpectBaseline {
+			return "baseline-blind" // the paper's point: no unsafe libc call to see
+		}
+		if !lb.Vulnerable && lb.ExpectBaseline {
+			return "baseline-lexical-fp" // strcpy flagged regardless of bounds
+		}
+	}
+	return ""
+}
+
+// TriageProgram runs one generated program through all four planes.
+func TriageProgram(g *Generated) (*ProgramTriage, error) {
+	lb := g.Labels
+	tr := &ProgramTriage{
+		Name: lb.Name, Kind: lb.Kind,
+		Vulnerable: lb.Vulnerable, RunOverflows: lb.RunOverflows,
+		Planes: map[string]PlaneResult{},
+	}
+	diverge := func(format string, args ...any) {
+		tr.Divergences = append(tr.Divergences, fmt.Sprintf(format, args...))
+	}
+
+	// Static plane.
+	var staticDet bool
+	res, err := analyzer.Analyze(g.Src, analyzer.Options{Model: Model})
+	if err != nil {
+		diverge("static: analyze failed: %v", err)
+	} else {
+		tr.Codes = res.Codes()
+		staticDet = res.HasCode("PN001") || res.HasCode("PN002")
+		for _, want := range lb.WantCodes {
+			if !res.HasCode(want) {
+				diverge("static: expected diagnostic %s missing", want)
+			}
+		}
+		for _, c := range tr.Codes {
+			if c == "PN001" || c == "PN002" {
+				found := false
+				for _, want := range lb.WantCodes {
+					if c == want {
+						found = true
+					}
+				}
+				if !found {
+					diverge("static: unexpected overflow diagnostic %s", c)
+				}
+			}
+		}
+	}
+
+	// Baseline plane.
+	var baseDet bool
+	bf, err := analyzer.Baseline(g.Src)
+	if err != nil {
+		diverge("baseline: scan failed: %v", err)
+	} else {
+		baseDet = len(bf) > 0
+	}
+
+	// Runtime plane: undefended run, write-escape analysis.
+	var runDet bool
+	runRep, err := Execute(g.Spec, defense.None)
+	if err != nil {
+		diverge("runtime: harness error: %v", err)
+	} else {
+		runDet = runRep.overflowObserved()
+		tr.CorruptsGot = joinCorrupted(runRep)
+		tr.CorruptsWant = lb.Corrupts
+		// Cross-check what the overflow reached, where the prediction
+		// is well-defined: a global arena and a run that neither plane
+		// aborted.
+		if !g.Spec.LocalArena && runRep.Abort == "" {
+			want := lb.Corrupts
+			if want == "padding" || want == "frame" {
+				want = ""
+			}
+			if want != tr.CorruptsGot {
+				diverge("runtime: overflow reached %q, labels predicted %q", tr.CorruptsGot, lb.Corrupts)
+			}
+		}
+	}
+
+	// Shadow plane: same run under the sanitizer.
+	var shadowDet bool
+	shRep, err := Execute(g.Spec, defense.ShadowMemOnly)
+	if err != nil {
+		diverge("shadow: harness error: %v", err)
+	} else {
+		shadowDet = shRep.shadowViolation()
+	}
+
+	planes := []struct {
+		name     string
+		detected bool
+		truth    bool
+		expected bool
+	}{
+		{PlaneStatic, staticDet, lb.Vulnerable, lb.ExpectStatic},
+		{PlaneBaseline, baseDet, lb.Vulnerable, lb.ExpectBaseline},
+		{PlaneRuntime, runDet, lb.RunOverflows, lb.RunOverflows},
+		{PlaneShadow, shadowDet, lb.RunOverflows, lb.RunOverflows},
+	}
+	for _, pl := range planes {
+		pr := PlaneResult{
+			Detected: pl.detected, Truth: pl.truth, Expected: pl.expected,
+			Verdict: verdictOf(pl.detected, pl.truth),
+		}
+		if pl.expected != pl.truth {
+			pr.Gap = gapTag(pl.name, lb)
+		}
+		if pl.detected != pl.expected {
+			diverge("%s: detected=%v, expected=%v", pl.name, pl.detected, pl.expected)
+		}
+		tr.Planes[pl.name] = pr
+	}
+	if runDet != shadowDet {
+		diverge("cross-plane: runtime=%v shadow=%v on the same run", runDet, shadowDet)
+	}
+
+	switch {
+	case len(tr.Divergences) > 0:
+		tr.Verdict = VerdictDivergence
+	case hasGap(tr):
+		tr.Verdict = VerdictKnownGap
+	default:
+		tr.Verdict = VerdictAgree
+	}
+	return tr, nil
+}
+
+func hasGap(tr *ProgramTriage) bool {
+	for _, pr := range tr.Planes {
+		if pr.Gap != "" {
+			return true
+		}
+	}
+	return false
+}
+
+func joinCorrupted(r *ExecReport) string {
+	out := ""
+	for i, c := range r.Corrupted {
+		if i > 0 {
+			out += ","
+		}
+		out += c
+	}
+	return out
+}
+
+// Shrink minimises a divergent spec to a minimal repro: greedily drop
+// statements while a re-render + full re-triage still reports any
+// divergence.
+func Shrink(sp *Spec) *ShrunkRepro { return shrinkDivergence(sp) }
+
+// shrinkDivergence minimises a divergent spec: greedily drop statements
+// while a re-render + full re-triage still reports any divergence.
+func shrinkDivergence(sp *Spec) *ShrunkRepro {
+	failing := func(stmts []Stmt) bool {
+		cand := *sp
+		cand.Stmts = stmts
+		g := &Generated{Spec: &cand}
+		lb, err := computeLabels(&cand)
+		if err != nil {
+			return false
+		}
+		g.Labels = lb
+		g.Src = Render(&cand)
+		tr, err := TriageProgram(g)
+		if err != nil {
+			return false
+		}
+		return len(tr.Divergences) > 0
+	}
+	min := shrink.Greedy(sp.Stmts, failing)
+	cand := *sp
+	cand.Stmts = min
+	g := &Generated{Spec: &cand}
+	if lb, err := computeLabels(&cand); err == nil {
+		g.Labels = lb
+	}
+	g.Src = Render(&cand)
+	var divs []string
+	if tr, err := TriageProgram(g); err == nil {
+		divs = tr.Divergences
+	}
+	return &ShrunkRepro{
+		Name:        sp.Name,
+		Divergences: divs,
+		StmtsBefore: len(sp.Stmts),
+		StmtsAfter:  len(min),
+		Src:         g.Src,
+	}
+}
+
+// TriageOptions configure a corpus triage.
+type TriageOptions struct {
+	// Shrink divergent programs to minimal repros (quadratic in
+	// statement count; cheap at foundry statement counts).
+	Shrink bool
+	// MinScopedRecall is the per-plane gate (default 1.0: a plane must
+	// catch everything inside its own scope).
+	MinScopedRecall float64
+	// MaxDivergent gates the number of divergent programs (default 0).
+	MaxDivergent int
+}
+
+// TriageCorpus generates and triages programs [0, count) of the seed's
+// corpus and aggregates per-plane precision/recall.
+func TriageCorpus(seed int64, count int, opts TriageOptions) (*TriageReport, error) {
+	if opts.MinScopedRecall == 0 {
+		opts.MinScopedRecall = 1.0
+	}
+	rep := &TriageReport{
+		Schema: TriageSchema, Seed: seed, Count: count,
+		Kinds:     map[string]int{},
+		Planes:    map[string]PlaneStats{},
+		KnownGaps: map[string]int{},
+	}
+	type agg struct{ tp, fp, fn, tn, scopedHit, scopedDen int }
+	aggs := map[string]*agg{
+		PlaneStatic: {}, PlaneBaseline: {}, PlaneRuntime: {}, PlaneShadow: {},
+	}
+	for i := 0; i < count; i++ {
+		g, err := Generate(seed, i)
+		if err != nil {
+			return nil, err
+		}
+		tr, err := TriageProgram(g)
+		if err != nil {
+			return nil, err
+		}
+		rep.Kinds[g.Labels.Kind]++
+		if g.Labels.Vulnerable {
+			rep.Vulnerable++
+		}
+		for name, pr := range tr.Planes {
+			a := aggs[name]
+			switch pr.Verdict {
+			case "TP":
+				a.tp++
+			case "FP":
+				a.fp++
+			case "FN":
+				a.fn++
+			case "TN":
+				a.tn++
+			}
+			if pr.Truth && pr.Expected {
+				a.scopedDen++
+				if pr.Detected {
+					a.scopedHit++
+				}
+			}
+			if pr.Gap != "" {
+				rep.KnownGaps[pr.Gap]++
+			}
+		}
+		if tr.Verdict == VerdictDivergence {
+			rep.Divergent++
+			if opts.Shrink {
+				rep.Shrunk = append(rep.Shrunk, *shrinkDivergence(g.Spec))
+			}
+		}
+		rep.Programs = append(rep.Programs, *tr)
+	}
+	ratio := func(num, den int) float64 {
+		if den == 0 {
+			return 1.0
+		}
+		return float64(num) / float64(den)
+	}
+	for name, a := range aggs {
+		st := PlaneStats{TP: a.tp, FP: a.fp, FN: a.fn, TN: a.tn}
+		st.Precision = ratio(a.tp, a.tp+a.fp)
+		st.Recall = ratio(a.tp, a.tp+a.fn)
+		if st.Precision+st.Recall > 0 {
+			st.F1 = 2 * st.Precision * st.Recall / (st.Precision + st.Recall)
+		}
+		st.ScopedRecall = ratio(a.scopedHit, a.scopedDen)
+		st.ScopedDen = a.scopedDen
+		rep.Planes[name] = st
+	}
+
+	rep.GateOK = true
+	if rep.Divergent > opts.MaxDivergent {
+		rep.GateOK = false
+		rep.GateDetails = append(rep.GateDetails,
+			fmt.Sprintf("divergent programs: %d > %d allowed", rep.Divergent, opts.MaxDivergent))
+	}
+	var names []string
+	for name := range rep.Planes {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if st := rep.Planes[name]; st.ScopedRecall < opts.MinScopedRecall {
+			rep.GateOK = false
+			rep.GateDetails = append(rep.GateDetails,
+				fmt.Sprintf("plane %s: scoped recall %.3f < %.3f", name, st.ScopedRecall, opts.MinScopedRecall))
+		}
+	}
+	return rep, nil
+}

@@ -7,6 +7,8 @@ import (
 	"sort"
 	"strings"
 	"testing"
+
+	"repro/internal/shrink"
 )
 
 // This file is the differential harness for the copy-on-write
@@ -357,22 +359,14 @@ func runScenario(t *testing.T, l dsLayout, ops []dsOp) string {
 	return ""
 }
 
-// shrink greedily removes ops while the divergence persists, returning
-// a (locally) minimal failing sequence.
-func shrink(t *testing.T, l dsLayout, ops []dsOp) []dsOp {
-	changed := true
-	for changed {
-		changed = false
-		for i := 0; i < len(ops); i++ {
-			cand := append(append([]dsOp(nil), ops[:i]...), ops[i+1:]...)
-			if runScenario(t, l, cand) != "" {
-				ops = cand
-				changed = true
-				i--
-			}
-		}
-	}
-	return ops
+// shrinkOps greedily removes ops while the divergence persists,
+// returning a (locally) minimal failing sequence. The greedy pass
+// itself lives in internal/shrink so the foundry triage pipeline can
+// reuse it.
+func shrinkOps(t *testing.T, l dsLayout, ops []dsOp) []dsOp {
+	return shrink.Greedy(ops, func(cand []dsOp) bool {
+		return runScenario(t, l, cand) != ""
+	})
 }
 
 func TestDifferentialDeepVsCow(t *testing.T) {
@@ -382,7 +376,7 @@ func TestDifferentialDeepVsCow(t *testing.T) {
 		l := randLayout(rng)
 		ops := randOps(rng, l)
 		if d := runScenario(t, l, ops); d != "" {
-			minOps := shrink(t, l, ops)
+			minOps := shrinkOps(t, l, ops)
 			var sb strings.Builder
 			for i, op := range minOps {
 				fmt.Fprintf(&sb, "  %2d: %s\n", i, op)

@@ -1,0 +1,180 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	"repro/internal/analyzer"
+	"repro/internal/foundry"
+)
+
+// MaxAnalyzeBatch bounds one /analyze request: explicit sources plus
+// generated foundry programs together.
+const MaxAnalyzeBatch = 256
+
+// AnalyzeRequest is the POST /analyze body. Programs are analysed as
+// given; a Foundry block additionally generates (and optionally fully
+// triages) a seeded corpus server-side, so a client can reproduce any
+// CI finding from just (seed, count).
+type AnalyzeRequest struct {
+	Programs []AnalyzeProgram `json:"programs,omitempty"`
+	Foundry  *AnalyzeFoundry  `json:"foundry,omitempty"`
+}
+
+// AnalyzeProgram is one source to analyse.
+type AnalyzeProgram struct {
+	Name string `json:"name"`
+	Src  string `json:"src"`
+}
+
+// AnalyzeFoundry asks the server to generate programs [0, count) of
+// the seeded foundry corpus and analyse each; with Triage set, each
+// program is also run through the full four-plane differential triage.
+type AnalyzeFoundry struct {
+	Seed   int64 `json:"seed"`
+	Count  int   `json:"count"`
+	Triage bool  `json:"triage,omitempty"`
+}
+
+// AnalysisFinding is one diagnostic in an /analyze item — the
+// AnalysisResult shape shared by the static and baseline planes.
+type AnalysisFinding struct {
+	Plane      string `json:"plane"` // static or baseline
+	Severity   string `json:"severity,omitempty"`
+	Code       string `json:"code,omitempty"` // PNxxx (static only)
+	Line       int    `json:"line"`
+	Col        int    `json:"col"`
+	Message    string `json:"message"`
+	Suggestion string `json:"suggestion,omitempty"`
+}
+
+// AnalyzeItem is one program's report, in request order (explicit
+// programs first, then foundry programs). A program that fails to
+// parse carries its error and per-item status code without failing its
+// siblings.
+type AnalyzeItem struct {
+	Name     string                 `json:"name"`
+	Code     int                    `json:"code"`
+	Error    string                 `json:"error,omitempty"`
+	Findings []AnalysisFinding      `json:"findings,omitempty"`
+	Triage   *foundry.ProgramTriage `json:"triage,omitempty"`
+}
+
+// AnalyzeResponse is the POST /analyze success envelope.
+type AnalyzeResponse struct {
+	Results []AnalyzeItem `json:"results"`
+	OK      int           `json:"ok"`
+	Failed  int           `json:"failed"`
+	ServeNS int64         `json:"serve_ns"`
+}
+
+// analyzeOne runs the static pass and the baseline scanner over one
+// source and renders the findings in report shape.
+func analyzeOne(name, src string) AnalyzeItem {
+	item := AnalyzeItem{Name: name, Code: http.StatusOK}
+	res, err := analyzer.Analyze(src, analyzer.Options{Model: foundry.Model})
+	if err != nil {
+		return AnalyzeItem{Name: name, Code: http.StatusBadRequest, Error: "analyze: " + err.Error()}
+	}
+	for _, d := range res.Diags {
+		item.Findings = append(item.Findings, AnalysisFinding{
+			Plane: "static", Severity: d.Sev.String(), Code: d.Code,
+			Line: d.Pos.Line, Col: d.Pos.Col,
+			Message: d.Msg, Suggestion: d.Suggestion,
+		})
+	}
+	bf, err := analyzer.Baseline(src)
+	if err != nil {
+		return AnalyzeItem{Name: name, Code: http.StatusBadRequest, Error: "baseline: " + err.Error()}
+	}
+	for _, f := range bf {
+		item.Findings = append(item.Findings, AnalysisFinding{
+			Plane: "baseline",
+			Line:  f.Pos.Line, Col: f.Pos.Col,
+			Message: fmt.Sprintf("risky call to %s: %s", f.Func, f.Msg),
+		})
+	}
+	return item
+}
+
+func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		WriteJSON(w, http.StatusServiceUnavailable, drainingResponse(r))
+		return
+	}
+	if r.Method != http.MethodPost {
+		WriteJSON(w, http.StatusBadRequest, ErrorResponse{
+			Error: fmt.Sprintf("method %s not allowed on /analyze (POST a JSON body)", r.Method),
+			Code:  http.StatusBadRequest,
+		})
+		return
+	}
+	var req AnalyzeRequest
+	dec := json.NewDecoder(io.LimitReader(r.Body, 8<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		WriteJSON(w, http.StatusBadRequest, ErrorResponse{Error: "invalid JSON body: " + err.Error(), Code: http.StatusBadRequest})
+		return
+	}
+	total := len(req.Programs)
+	if req.Foundry != nil {
+		if req.Foundry.Count <= 0 {
+			WriteJSON(w, http.StatusBadRequest, ErrorResponse{Error: "foundry.count must be positive", Code: http.StatusBadRequest})
+			return
+		}
+		total += req.Foundry.Count
+	}
+	if total == 0 {
+		WriteJSON(w, http.StatusBadRequest, ErrorResponse{Error: "empty batch: provide programs and/or a foundry block", Code: http.StatusBadRequest})
+		return
+	}
+	if total > MaxAnalyzeBatch {
+		WriteJSON(w, http.StatusBadRequest, ErrorResponse{
+			Error: fmt.Sprintf("batch of %d exceeds limit %d", total, MaxAnalyzeBatch),
+			Code:  http.StatusBadRequest,
+		})
+		return
+	}
+
+	start := s.now()
+	resp := AnalyzeResponse{}
+	add := func(item AnalyzeItem) {
+		resp.Results = append(resp.Results, item)
+		if item.Code == http.StatusOK {
+			resp.OK++
+		} else {
+			resp.Failed++
+		}
+	}
+	for i, p := range req.Programs {
+		name := p.Name
+		if name == "" {
+			name = fmt.Sprintf("prog-%d", i)
+		}
+		add(analyzeOne(name, p.Src))
+	}
+	if req.Foundry != nil {
+		for i := 0; i < req.Foundry.Count; i++ {
+			g, err := foundry.Generate(req.Foundry.Seed, i)
+			if err != nil {
+				add(AnalyzeItem{Name: fmt.Sprintf("foundry-%d-%d", req.Foundry.Seed, i),
+					Code: http.StatusInternalServerError, Error: err.Error()})
+				continue
+			}
+			item := analyzeOne(g.Labels.Name, g.Src)
+			if req.Foundry.Triage && item.Code == http.StatusOK {
+				tr, err := foundry.TriageProgram(g)
+				if err != nil {
+					item.Code, item.Error = http.StatusInternalServerError, "triage: "+err.Error()
+				} else {
+					item.Triage = tr
+				}
+			}
+			add(item)
+		}
+	}
+	resp.ServeNS = s.now().Sub(start).Nanoseconds()
+	WriteJSON(w, http.StatusOK, resp)
+}

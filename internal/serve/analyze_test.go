@@ -1,0 +1,147 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func postAnalyze(t *testing.T, url string, body string, wantCode int) AnalyzeResponse {
+	t.Helper()
+	resp, err := http.Post(url+"/analyze", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != wantCode {
+		t.Fatalf("POST /analyze = %d, want %d", resp.StatusCode, wantCode)
+	}
+	var out AnalyzeResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	return out
+}
+
+const analyzeVulnSrc = `class Student { public: double gpa; int year; int semester; };
+class GradStudent : public Student { public: int ssn[3]; };
+void addStudent() {
+  Student stud;
+  GradStudent *st = new (&stud) GradStudent();
+}
+`
+
+func TestAnalyzeBatch(t *testing.T) {
+	_, ts := newTestServer(t)
+	body, _ := json.Marshal(AnalyzeRequest{Programs: []AnalyzeProgram{
+		{Name: "vuln", Src: analyzeVulnSrc},
+		{Name: "classic", Src: "void f() {\n  char dst[4];\n  strcpy(dst, \"AAAAAAAA\");\n}\n"},
+	}})
+	out := postAnalyze(t, ts.URL, string(body), http.StatusOK)
+	if out.OK != 2 || out.Failed != 0 || len(out.Results) != 2 {
+		t.Fatalf("response = %+v", out)
+	}
+	var pn001 bool
+	for _, f := range out.Results[0].Findings {
+		if f.Plane == "static" && f.Code == "PN001" {
+			pn001 = true
+			if f.Suggestion == "" || f.Line == 0 {
+				t.Errorf("PN001 finding missing suggestion/position: %+v", f)
+			}
+		}
+	}
+	if !pn001 {
+		t.Errorf("vuln program findings = %+v, want PN001", out.Results[0].Findings)
+	}
+	var risky bool
+	for _, f := range out.Results[1].Findings {
+		if f.Plane == "baseline" && strings.Contains(f.Message, "strcpy") {
+			risky = true
+		}
+	}
+	if !risky {
+		t.Errorf("classic program findings = %+v, want baseline strcpy hit", out.Results[1].Findings)
+	}
+}
+
+func TestAnalyzeFoundryTriage(t *testing.T) {
+	_, ts := newTestServer(t)
+	out := postAnalyze(t, ts.URL, `{"foundry":{"seed":42,"count":8,"triage":true}}`, http.StatusOK)
+	if out.OK != 8 || len(out.Results) != 8 {
+		t.Fatalf("response ok=%d results=%d, want 8", out.OK, len(out.Results))
+	}
+	for _, item := range out.Results {
+		if item.Triage == nil {
+			t.Fatalf("%s: no triage block", item.Name)
+		}
+		if item.Triage.Verdict == "divergence" {
+			t.Errorf("%s: divergent: %v", item.Name, item.Triage.Divergences)
+		}
+		if len(item.Triage.Planes) != 4 {
+			t.Errorf("%s: %d planes, want 4", item.Name, len(item.Triage.Planes))
+		}
+	}
+}
+
+func TestAnalyzePerItemErrors(t *testing.T) {
+	_, ts := newTestServer(t)
+	body, _ := json.Marshal(AnalyzeRequest{Programs: []AnalyzeProgram{
+		{Name: "broken", Src: "class {{{"},
+		{Name: "fine", Src: "void f() {\n  int x = 1;\n}\n"},
+	}})
+	out := postAnalyze(t, ts.URL, string(body), http.StatusOK)
+	if out.OK != 1 || out.Failed != 1 {
+		t.Fatalf("ok=%d failed=%d, want 1/1", out.OK, out.Failed)
+	}
+	if out.Results[0].Code != http.StatusBadRequest || out.Results[0].Error == "" {
+		t.Fatalf("broken item = %+v, want per-item 400", out.Results[0])
+	}
+	if out.Results[1].Code != http.StatusOK {
+		t.Fatalf("fine item = %+v, want 200", out.Results[1])
+	}
+}
+
+func TestAnalyzeRejects(t *testing.T) {
+	_, ts := newTestServer(t)
+	for _, tc := range []struct {
+		name, body string
+	}{
+		{"empty", `{}`},
+		{"zero-count foundry", `{"foundry":{"seed":1,"count":0}}`},
+		{"oversized", `{"foundry":{"seed":1,"count":100000}}`},
+		{"unknown field", `{"bogus":1}`},
+	} {
+		resp, err := http.Post(ts.URL+"/analyze", "application/json", strings.NewReader(tc.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", tc.name, resp.StatusCode)
+		}
+	}
+	resp, err := http.Get(ts.URL + "/analyze")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("GET: status %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestAnalyzeDraining(t *testing.T) {
+	srv, ts := newTestServer(t)
+	srv.SetDraining(true)
+	resp, err := http.Post(ts.URL+"/analyze", "application/json",
+		bytes.NewReader([]byte(`{"foundry":{"seed":1,"count":1}}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("draining status = %d, want 503", resp.StatusCode)
+	}
+}

@@ -181,6 +181,7 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/run", s.handleRun)
 	mux.HandleFunc("/runbatch", s.handleRunBatch)
+	mux.HandleFunc("/analyze", s.handleAnalyze)
 	mux.HandleFunc("/experiments", s.handleCatalog)
 	mux.HandleFunc("/healthz", s.handleHealth)
 	mux.HandleFunc("/readyz", s.handleReady)

@@ -345,6 +345,15 @@ func (s *Sanitizer) CheckWrite(a mem.Addr, n uint64) *mem.Fault {
 
 // overlap reports the lowest poisoned byte of granule idx that the
 // write [lo, hi) touches, if any.
+//
+// Vptr granules get a byte-accurate pass: the prefix encoding can only
+// say "addressable up to k, poisoned after", but a vptr slot is a
+// 4-byte island — an object whose first field starts right after the
+// vptr shares its granule with it, and the coarse rule would fault a
+// legitimate write to that field. The recorded object layouts (already
+// kept for attribution) say exactly which bytes are vptr slots, so for
+// KindVPtr we consult them per byte and only fall back to the prefix
+// rule for bytes no recorded object explains.
 func (s *Sanitizer) overlap(idx uint64, sb byte, lo, hi uint64) (uint64, bool) {
 	start := idx * Granule
 	pstart := start + uint64(sb&7) // first poisoned byte of the granule
@@ -356,6 +365,15 @@ func (s *Sanitizer) overlap(idx uint64, sb byte, lo, hi uint64) (uint64, bool) {
 	if end := start + Granule; end < whi {
 		whi = end
 	}
+	if Kind(sb>>4) == KindVPtr {
+		for b := wlo; b < whi; b++ {
+			explained, poisoned := s.vptrByte(b)
+			if poisoned || (!explained && b >= pstart) {
+				return b, true
+			}
+		}
+		return 0, false
+	}
 	if wlo < pstart {
 		wlo = pstart
 	}
@@ -363,6 +381,27 @@ func (s *Sanitizer) overlap(idx uint64, sb byte, lo, hi uint64) (uint64, bool) {
 		return wlo, true
 	}
 	return 0, false
+}
+
+// vptrByte reports whether a recorded object covers byte b (explained)
+// and, if so, whether b lies inside one of its vptr slots (poisoned).
+func (s *Sanitizer) vptrByte(b uint64) (explained, poisoned bool) {
+	addr := mem.Addr(b)
+	i := sort.Search(len(s.objects), func(i int) bool { return s.objects[i].base > addr })
+	if i == 0 {
+		return false, false
+	}
+	o := s.objects[i-1]
+	off := uint64(addr.Diff(o.base))
+	if off >= o.size {
+		return false, false
+	}
+	for _, c := range o.comps {
+		if c.name == "__vptr" && off >= c.off && off < c.off+c.size {
+			return true, true
+		}
+	}
+	return true, false
 }
 
 // violation builds the shadow fault for the first poisoned byte bad of

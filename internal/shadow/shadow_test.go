@@ -250,3 +250,51 @@ func TestKindStrings(t *testing.T) {
 		}
 	}
 }
+
+// A vptr slot shares its 8-byte granule with the object's first fields
+// (ILP32: 4-byte vptr at offset 0, fields from offset 4). The prefix
+// encoding alone cannot express "poisoned head, addressable tail", so
+// vptr granules are refined byte-accurately against the recorded
+// layout: field writes next to the slot pass, writes into the slot —
+// or to vptr bytes no recorded object explains — still fault.
+func TestVPtrGranuleFieldWritePasses(t *testing.T) {
+	model := layout.ILP32i386
+	c := layout.NewClass("Poly").
+		AddVirtual("m0").
+		AddField("f0", layout.Int).
+		AddField("f1", layout.Int)
+	l, err := layout.Of(c, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(l.VPtrOffsets) != 1 || l.VPtrOffsets[0] != 0 {
+		t.Fatalf("VPtrOffsets = %v, want [0]", l.VPtrOffsets)
+	}
+	s := New()
+	base := mem.Addr(0x2000)
+	s.RecordObject(base, l)
+	s.Poison(KindVPtr, base, model.PtrSize, "Poly vtable pointer")
+
+	// f0 at offset 4 lives in the vptr's granule; the write must pass.
+	if f := s.CheckWrite(base.Add(4), 4); f != nil {
+		t.Fatalf("field write beside vptr faulted: %v", f)
+	}
+	// Writes touching the slot itself still fault, first byte blamed.
+	for _, tc := range []struct{ off, n int64 }{{0, 1}, {3, 1}, {0, 8}, {2, 4}} {
+		f := s.CheckWrite(base.Add(tc.off), uint64(tc.n))
+		if f == nil {
+			t.Fatalf("write [%d,%d) over vptr slot passed", tc.off, tc.off+tc.n)
+		}
+		if !strings.Contains(f.Guard, "vtable pointer") {
+			t.Errorf("fault guard = %q, want vtable pointer label", f.Guard)
+		}
+	}
+
+	// Without a recorded object the conservative whole-granule rule
+	// stands: the tail bytes of an unexplained vptr granule fault.
+	s2 := New()
+	s2.Poison(KindVPtr, base, model.PtrSize, "orphan vptr")
+	if f := s2.CheckWrite(base.Add(4), 4); f == nil {
+		t.Fatal("unexplained vptr granule tail write passed")
+	}
+}

@@ -1,0 +1,53 @@
+// Package shrink reduces failing inputs to (locally) minimal repros.
+//
+// The algorithm is the greedy delta-pass lifted from the deep-vs-COW
+// differential harness in internal/mem: repeatedly try removing one
+// element at a time, keeping any removal that preserves the failure,
+// until a full pass removes nothing. The result is 1-minimal — no
+// single element can be dropped without losing the failure — which in
+// practice collapses hundred-op random scenarios to a handful of
+// load-bearing steps.
+//
+// Both the mem differential harness and the foundry triage pipeline
+// build on this package, so a fix or improvement to shrinking lands in
+// every consumer at once.
+package shrink
+
+// Predicate reports whether the candidate input still fails (i.e. still
+// reproduces the divergence being minimised). It must be safe to call
+// repeatedly; Greedy calls it O(n²) times in the worst case.
+type Predicate[T any] func(candidate []T) bool
+
+// Greedy returns a locally minimal subsequence of items for which
+// failing still returns true. The input slice is not modified; the
+// returned slice preserves the relative order of the surviving
+// elements. If failing(items) is false for the original input the
+// original is returned unchanged — there is nothing to preserve.
+func Greedy[T any](items []T, failing Predicate[T]) []T {
+	if !failing(items) {
+		return items
+	}
+	ops := append([]T(nil), items...)
+	changed := true
+	for changed {
+		changed = false
+		for i := 0; i < len(ops); i++ {
+			cand := append(append([]T(nil), ops[:i]...), ops[i+1:]...)
+			if failing(cand) {
+				ops = cand
+				changed = true
+				i--
+			}
+		}
+	}
+	return ops
+}
+
+// Removed reports how many elements Greedy eliminated given the input
+// and output lengths — a convenience for effectiveness metrics.
+func Removed(before, after int) int {
+	if after > before {
+		return 0
+	}
+	return before - after
+}

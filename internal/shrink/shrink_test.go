@@ -1,0 +1,126 @@
+package shrink
+
+import (
+	"reflect"
+	"testing"
+)
+
+func contains(s []int, v int) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+func TestGreedy(t *testing.T) {
+	tests := []struct {
+		name    string
+		in      []int
+		failing Predicate[int]
+		want    []int
+	}{
+		{
+			name:    "single needle survives",
+			in:      []int{1, 2, 3, 4, 5},
+			failing: func(c []int) bool { return contains(c, 3) },
+			want:    []int{3},
+		},
+		{
+			name:    "pair of needles survives in order",
+			in:      []int{9, 3, 1, 7, 2},
+			failing: func(c []int) bool { return contains(c, 3) && contains(c, 7) },
+			want:    []int{3, 7},
+		},
+		{
+			name:    "always failing shrinks to empty",
+			in:      []int{4, 5, 6},
+			failing: func(c []int) bool { return true },
+			want:    []int{},
+		},
+		{
+			name:    "never failing returns input unchanged",
+			in:      []int{4, 5, 6},
+			failing: func(c []int) bool { return false },
+			want:    []int{4, 5, 6},
+		},
+		{
+			name: "length threshold keeps minimal count",
+			in:   []int{1, 2, 3, 4, 5, 6},
+			// Fails while at least three elements remain: 1-minimal
+			// result is any 3 elements; greedy removal from the front
+			// leaves the last three.
+			failing: func(c []int) bool { return len(c) >= 3 },
+			want:    []int{4, 5, 6},
+		},
+		{
+			name:    "empty input with failing predicate",
+			in:      nil,
+			failing: func(c []int) bool { return true },
+			want:    nil,
+		},
+		{
+			name: "duplicate needles: one copy survives",
+			in:   []int{7, 1, 7, 2, 7},
+			failing: func(c []int) bool {
+				n := 0
+				for _, x := range c {
+					if x == 7 {
+						n++
+					}
+				}
+				return n >= 1
+			},
+			want: []int{7},
+		},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			in := append([]int(nil), tc.in...)
+			got := Greedy(in, tc.failing)
+			if len(got) == 0 && len(tc.want) == 0 {
+				// fine: nil vs empty both acceptable
+			} else if !reflect.DeepEqual(got, tc.want) {
+				t.Fatalf("Greedy(%v) = %v, want %v", tc.in, got, tc.want)
+			}
+			if !reflect.DeepEqual(in, tc.in) && tc.in != nil {
+				t.Fatalf("Greedy mutated its input: %v -> %v", tc.in, in)
+			}
+			// 1-minimality: no single surviving element can be dropped.
+			if len(got) > 0 && tc.failing(got) {
+				for i := range got {
+					cand := append(append([]int(nil), got[:i]...), got[i+1:]...)
+					if tc.failing(cand) {
+						t.Fatalf("result %v not 1-minimal: dropping index %d still fails", got, i)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestGreedyPreservesOrder(t *testing.T) {
+	in := []int{5, 4, 3, 2, 1}
+	got := Greedy(in, func(c []int) bool { return contains(c, 4) && contains(c, 2) })
+	want := []int{4, 2}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Greedy = %v, want %v (relative order must be preserved)", got, want)
+	}
+}
+
+func TestRemoved(t *testing.T) {
+	tests := []struct {
+		before, after, want int
+	}{
+		{10, 3, 7},
+		{3, 3, 0},
+		{0, 0, 0},
+		{2, 5, 0}, // grew (cannot happen from Greedy): clamp to zero
+	}
+	for _, tc := range tests {
+		if got := Removed(tc.before, tc.after); got != tc.want {
+			t.Fatalf("Removed(%d, %d) = %d, want %d", tc.before, tc.after, got, tc.want)
+		}
+	}
+}
