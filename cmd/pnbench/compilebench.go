@@ -1,0 +1,280 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/attack"
+	"repro/internal/compile"
+	"repro/internal/defense"
+	"repro/internal/layout"
+	"repro/internal/mem"
+	"repro/internal/report"
+)
+
+// The -compile mode measures the compiled tier (internal/compile)
+// against the interpreted path it was recorded from: every catalogue
+// scenario runs under defense.None through both paths with a shared
+// image template pool, and the artifact records ns/run per scenario,
+// per scenario class, and in aggregate, plus the one-time compile
+// cost. The -min-speedup gate enforces the compiled tier's headline
+// contract (>= 5x aggregate on single runs).
+//
+// Two regression sentinels ride along:
+//
+//   - layout.Resolutions is sampled around the compiled timed region;
+//     a non-zero delta means layout setup leaked into the measured
+//     loop (compiled programs carry preresolved offsets, so the delta
+//     must be exactly zero), and the bench fails outright.
+//   - PROGRAMS.txt is the deterministic dump of every compiled
+//     program; CI compiles twice and byte-compares the dumps.
+
+// CompileSchema identifies the BENCH_COMPILE.json layout.
+const CompileSchema = "pnbench-compile/v1"
+
+// compileScenarioRow is one scenario's paired measurement.
+type compileScenarioRow struct {
+	ID            string  `json:"id"`
+	Class         string  `json:"class"`
+	InterpretedNS int64   `json:"interpreted_ns_per_run"`
+	CompiledNS    int64   `json:"compiled_ns_per_run"`
+	Speedup       float64 `json:"speedup"`
+	Ops           int     `json:"ops"`
+}
+
+// compileClassRow aggregates one scenario class.
+type compileClassRow struct {
+	Class         string  `json:"class"`
+	Scenarios     int     `json:"scenarios"`
+	InterpretedNS int64   `json:"interpreted_ns_per_run"`
+	CompiledNS    int64   `json:"compiled_ns_per_run"`
+	Speedup       float64 `json:"speedup"`
+}
+
+// benchCompile is the BENCH_COMPILE.json artifact.
+type benchCompile struct {
+	Schema    string               `json:"schema"`
+	Defense   string               `json:"defense"`
+	Scenarios []compileScenarioRow `json:"scenarios"`
+	Classes   []compileClassRow    `json:"classes"`
+	// Aggregate totals: sum of per-run costs across the catalogue.
+	InterpretedNS int64   `json:"aggregate_interpreted_ns"`
+	CompiledNS    int64   `json:"aggregate_compiled_ns"`
+	Speedup       float64 `json:"speedup"`
+	// CompileNS is the total one-time recording+lowering cost.
+	CompileNS int64 `json:"compile_ns_total"`
+	Programs  int   `json:"programs"`
+	OpsTotal  int   `json:"ops_total"`
+	// ResolutionsInCompiledRegion is the setup-cost sentinel: layout
+	// resolutions observed inside the compiled timed region (must be 0).
+	ResolutionsInCompiledRegion uint64 `json:"resolutions_in_compiled_region"`
+}
+
+// scenarioClass buckets a scenario ID into its benchmark class.
+func scenarioClass(id string) string {
+	switch {
+	case strings.HasPrefix(id, "vptr") || strings.HasPrefix(id, "type-confusion"):
+		return "vptr"
+	case strings.HasPrefix(id, "funcptr") || strings.HasPrefix(id, "varptr") ||
+		strings.HasPrefix(id, "member-var") || strings.HasPrefix(id, "var-"):
+		return "pointer"
+	case strings.HasPrefix(id, "array-") || strings.HasPrefix(id, "infoleak-"):
+		return "array"
+	case strings.HasPrefix(id, "dos-") || strings.HasPrefix(id, "memleak") ||
+		strings.HasPrefix(id, "dangling-write"):
+		return "lifecycle"
+	}
+	return "overflow"
+}
+
+// measureNS times fn adaptively until the run spans minSpan, returning
+// nanoseconds per call.
+func measureNS(minSpan time.Duration, fn func() error) (int64, error) {
+	iters := 1
+	for {
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			if err := fn(); err != nil {
+				return 0, err
+			}
+		}
+		elapsed := time.Since(start)
+		if elapsed >= minSpan || iters >= 1<<20 {
+			return elapsed.Nanoseconds() / int64(iters), nil
+		}
+		iters *= 2
+	}
+}
+
+// compileBenchPrograms compiles the whole catalogue under the dump
+// configs and returns the deterministic PROGRAMS.txt content.
+func compileBenchPrograms(cat []attack.Scenario) (string, error) {
+	var sb strings.Builder
+	for _, cfg := range []defense.Config{defense.None, defense.Hardened} {
+		for _, s := range cat {
+			sp, err := compile.CompileScenario(s, cfg)
+			if err != nil {
+				return "", fmt.Errorf("compile %s under %s: %w", s.ID, cfg.Name, err)
+			}
+			sb.WriteString(sp.Prog.Dump())
+		}
+	}
+	return sb.String(), nil
+}
+
+// runCompileBench measures, writes dir/BENCH_COMPILE.json and
+// dir/PROGRAMS.txt, then enforces the sentinel and the speedup gate
+// (0 disables the gate). Artifacts land before any gate fires so CI
+// uploads numbers even on a failing run.
+func runCompileBench(dir string, minSpeedup float64, out io.Writer) error {
+	rep := benchCompile{Schema: CompileSchema, Defense: defense.None.Name}
+	cat := attack.Catalog()
+	pool := mem.NewImagePool()
+	if err := pool.Prewarm(mem.ImageConfig{}, mem.ImageConfig{ExecStack: true}); err != nil {
+		return err
+	}
+
+	// Setup phase: compile every scenario once (the one-time cost the
+	// program cache amortizes in serving), outside every timed region.
+	type prepared struct {
+		s  attack.Scenario
+		sp *compile.ScenarioProgram
+	}
+	var progs []prepared
+	compileStart := time.Now()
+	for _, s := range cat {
+		cfg := defense.None
+		cfg.Pool = pool
+		sp, err := compile.CompileScenario(s, cfg)
+		if err != nil {
+			return fmt.Errorf("compile %s: %w", s.ID, err)
+		}
+		progs = append(progs, prepared{s: s, sp: sp})
+	}
+	rep.CompileNS = time.Since(compileStart).Nanoseconds()
+	rep.Programs = len(progs)
+
+	// Interpreted timed region: the full scenario machinery per run.
+	const minSpan = 20 * time.Millisecond
+	interp := make(map[string]int64, len(cat))
+	for _, p := range progs {
+		cfg := defense.None
+		cfg.Pool = pool
+		ns, err := measureNS(minSpan, func() error {
+			_, err := p.s.Run(cfg)
+			return err
+		})
+		if err != nil {
+			return fmt.Errorf("interpreted %s: %w", p.s.ID, err)
+		}
+		interp[p.s.ID] = ns
+	}
+
+	// Compiled timed region, bracketed by the setup-cost sentinel: a
+	// replay performs zero layout resolutions, or the measurement is
+	// rejected as polluted.
+	res0 := layout.Resolutions()
+	compiled := make(map[string]int64, len(cat))
+	for _, p := range progs {
+		ns, err := measureNS(minSpan, func() error {
+			_, _, err := p.sp.Run(pool)
+			return err
+		})
+		if err != nil {
+			return fmt.Errorf("compiled %s: %w", p.s.ID, err)
+		}
+		compiled[p.s.ID] = ns
+	}
+	rep.ResolutionsInCompiledRegion = layout.Resolutions() - res0
+
+	// Rows, classes, aggregates.
+	classAgg := map[string]*compileClassRow{}
+	for _, p := range progs {
+		in, cn := interp[p.s.ID], compiled[p.s.ID]
+		cls := scenarioClass(p.s.ID)
+		ops := p.sp.Prog.NumOps()
+		rep.OpsTotal += ops
+		rep.Scenarios = append(rep.Scenarios, compileScenarioRow{
+			ID: p.s.ID, Class: cls,
+			InterpretedNS: in, CompiledNS: cn,
+			Speedup: float64(in) / float64(cn), Ops: ops,
+		})
+		ca := classAgg[cls]
+		if ca == nil {
+			ca = &compileClassRow{Class: cls}
+			classAgg[cls] = ca
+		}
+		ca.Scenarios++
+		ca.InterpretedNS += in
+		ca.CompiledNS += cn
+		rep.InterpretedNS += in
+		rep.CompiledNS += cn
+	}
+	for _, cls := range sortedKeys(classAgg) {
+		ca := classAgg[cls]
+		ca.Speedup = float64(ca.InterpretedNS) / float64(ca.CompiledNS)
+		rep.Classes = append(rep.Classes, *ca)
+	}
+	rep.Speedup = float64(rep.InterpretedNS) / float64(rep.CompiledNS)
+
+	// Deterministic program dump (independent of the measurements).
+	dump, err := compileBenchPrograms(cat)
+	if err != nil {
+		return err
+	}
+
+	// Artifacts first, gates after.
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(filepath.Join(dir, "BENCH_COMPILE.json"), data, 0o644); err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(dir, "PROGRAMS.txt"), []byte(dump), 0o644); err != nil {
+		return err
+	}
+
+	t := report.NewTable("compiled vs interpreted scenario execution (defense: none)",
+		"class", "scenarios", "interpreted ns/run", "compiled ns/run", "speedup")
+	for _, c := range rep.Classes {
+		t.AddRow(c.Class, fmt.Sprint(c.Scenarios),
+			fmt.Sprint(c.InterpretedNS), fmt.Sprint(c.CompiledNS),
+			fmt.Sprintf("%.1fx", c.Speedup))
+	}
+	t.AddRow("TOTAL", fmt.Sprint(len(rep.Scenarios)),
+		fmt.Sprint(rep.InterpretedNS), fmt.Sprint(rep.CompiledNS),
+		fmt.Sprintf("%.1fx", rep.Speedup))
+	fmt.Fprint(out, t.String())
+	fmt.Fprintf(out, "compile cost: %d programs, %d ops, %s total\n",
+		rep.Programs, rep.OpsTotal, time.Duration(rep.CompileNS))
+
+	if rep.ResolutionsInCompiledRegion != 0 {
+		return fmt.Errorf("compile bench sentinel: %d layout resolutions inside the compiled timed region (want 0: setup leaked into the measurement)",
+			rep.ResolutionsInCompiledRegion)
+	}
+	if minSpeedup > 0 && rep.Speedup < minSpeedup {
+		return fmt.Errorf("compile bench gate: aggregate speedup %.2fx < required %.2fx",
+			rep.Speedup, minSpeedup)
+	}
+	return nil
+}
+
+func sortedKeys(m map[string]*compileClassRow) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -8,12 +8,14 @@
 //	pnbench -mem out/ -min-cow-speedup 1.0   # checkpoint micro-bench -> out/BENCH_MEM.json
 //	pnbench -shadow out/ -max-disabled-overhead 1.5   # sanitizer micro-bench -> out/BENCH_SHADOW.json
 //	pnbench -foundry out/ -foundry-seed 42 -foundry-count 200   # triage bench -> out/BENCH_FOUNDRY.json
+//	pnbench -compile out/ -min-speedup 5.0   # compiled-vs-interpreted bench -> out/BENCH_COMPILE.json + PROGRAMS.txt
 //	pnbench -trajectory BENCH_TRAJECTORY.json -bench-dir out/ -commit $SHA
 //	pnbench -list
 //
 // -trajectory harvests the key scalars out of whichever benchmark
 // artifacts exist in -bench-dir (BENCH_MEM.json, BENCH_SHADOW.json,
-// BENCH_SERVE.json, BENCH_TENANT.json), appends them as one
+// BENCH_SERVE.json, BENCH_TENANT.json, BENCH_COMPILE.json), appends
+// them as one
 // schema-versioned row, and fails when a gated metric regresses more
 // than -max-regression past the rolling median of the last five rows
 // (metrics with fewer than three prior samples auto-pass).
@@ -70,6 +72,9 @@ func run(args []string, out io.Writer) error {
 		"with -mem: fail unless the COW path beats the deep copy by at least this factor on the sparse workload")
 	shadowDir := fs.String("shadow", "", "run the shadow-memory sanitizer micro-benchmark and write BENCH_SHADOW.json into this directory")
 	foundryDir := fs.String("foundry", "", "run the foundry triage benchmark and write BENCH_FOUNDRY.json into this directory")
+	compileDir := fs.String("compile", "", "run the compiled-vs-interpreted scenario benchmark and write BENCH_COMPILE.json and PROGRAMS.txt into this directory")
+	minSpeedup := fs.Float64("min-speedup", 0,
+		"with -compile: fail unless the compiled path beats the interpreted path by at least this aggregate factor")
 	foundrySeed := fs.Int64("foundry-seed", 42, "with -foundry: corpus seed")
 	foundryCount := fs.Int("foundry-count", 200, "with -foundry: corpus size")
 	maxDisabledOverhead := fs.Float64("max-disabled-overhead", 0,
@@ -108,6 +113,9 @@ func run(args []string, out io.Writer) error {
 	}
 	if *foundryDir != "" {
 		return runFoundryBench(*foundryDir, *foundrySeed, *foundryCount, out)
+	}
+	if *compileDir != "" {
+		return runCompileBench(*compileDir, *minSpeedup, out)
 	}
 
 	var selected []experiments.Experiment

@@ -91,11 +91,16 @@ func shadowWriteImage() (*mem.Memory, mem.Addr, uint64, error) {
 	return img.Mem, img.Data.Base, img.Data.Size(), nil
 }
 
-// measureSweep times one full catalogue pass under cfg.
+// measureSweep times one full catalogue pass under cfg. The catalogue
+// is resolved once, outside the timed region: rebuilding the scenario
+// slice per pass was setup cost leaking into the measurement (see the
+// setup-cost sentinel in compilebench_test.go for the analogous
+// compiled-path guarantee).
 func measureSweep(cfg defense.Config) (nsPerPass int64, detections int, err error) {
+	cat := attack.Catalog()
 	pass := func() (int, error) {
 		det := 0
-		for _, s := range attack.Catalog() {
+		for _, s := range cat {
 			o, err := s.Run(cfg)
 			if err != nil {
 				return 0, fmt.Errorf("scenario %s under %s: %w", s.ID, cfg.Name, err)

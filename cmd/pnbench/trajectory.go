@@ -50,6 +50,7 @@ var trajectoryHigherBetter = map[string]bool{
 	"serve_cache_hit_rate":          true,
 	"tenant_wellbehaved_fair_share": true,
 	"tenant_starvation_ratio":       false,
+	"compile_speedup":               true,
 }
 
 // readBenchJSON decodes one artifact into a generic tree; missing
@@ -129,6 +130,12 @@ func harvestTrajectory(dir string) map[string]float64 {
 			if hr, ok := asFloat(totals["cache_hit_rate"]); ok {
 				m["serve_cache_hit_rate"] = hr
 			}
+		}
+	}
+
+	if tree, ok := readBenchJSON(dir, "BENCH_COMPILE.json"); ok {
+		if v, ok := asFloat(tree["speedup"]); ok {
+			m["compile_speedup"] = v
 		}
 	}
 
@@ -217,7 +224,7 @@ func runTrajectory(out io.Writer, path, benchDir, commit, date string, maxRegres
 	}
 	metrics := harvestTrajectory(benchDir)
 	if len(metrics) == 0 {
-		return fmt.Errorf("no benchmark artifacts (BENCH_MEM/SHADOW/SERVE/TENANT.json) found in %s", benchDir)
+		return fmt.Errorf("no benchmark artifacts (BENCH_MEM/SHADOW/SERVE/TENANT/COMPILE.json) found in %s", benchDir)
 	}
 
 	tf := trajectoryFile{Schema: TrajectorySchema}

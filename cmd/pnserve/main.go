@@ -79,7 +79,7 @@
 //	        [-deadline 15s] [-max-deadline 60s] [-drain-timeout 10s]
 //	        [-tenant-rate 200] [-tenant-burst 400] [-aging 1s]
 //	        [-p99-target 0] [-breaker-threshold 5] [-breaker-cooldown 2s]
-//	        [-trace-cap 256] [-deterministic]
+//	        [-trace-cap 256] [-deterministic] [-compiled]
 //	pnserve -worker [-advertise http://host:port] [-join http://router]
 //	        [...the same serving flags]
 //	pnserve -router -workers=http://w1:8099,http://w2:8099
@@ -136,6 +136,8 @@ func run(args []string, out io.Writer) error {
 	traceCap := fs.Int("trace-cap", service.DefaultTraceCapacity, "finished traces retained for GET /trace/{id}")
 	deterministic := fs.Bool("deterministic", false,
 		"run on a virtual clock: durations become logical ticks and the /watch stream of a sequential request sequence is byte-identical across runs")
+	compiled := fs.Bool("compiled", false,
+		"arm the compiled-program tier: chaos-free, untraced scenario executions replay cached straight-line programs instead of interpreting")
 	// Cluster modes.
 	router := fs.Bool("router", false, "run as the cluster front end, forwarding to -workers")
 	worker := fs.Bool("worker", false, "run as a fleet worker: trust router hop headers, optionally -join the router")
@@ -176,7 +178,7 @@ func run(args []string, out io.Writer) error {
 		Aging: *aging, P99Target: *p99Target,
 		BreakerThreshold: *breakerThreshold, BreakerCooldown: *breakerCooldown,
 		TraceCap: *traceCap, Deterministic: *deterministic,
-		TrustAdmitted: *worker,
+		TrustAdmitted: *worker, Compiled: *compiled,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 

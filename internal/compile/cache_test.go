@@ -1,0 +1,100 @@
+package compile
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/attack"
+	"repro/internal/defense"
+	"repro/internal/machine"
+)
+
+func TestCacheSingleflightAndLRU(t *testing.T) {
+	cat := attack.Catalog()
+	c := NewCache(4)
+
+	// Concurrent first-use of one key compiles once.
+	var wg sync.WaitGroup
+	progs := make([]*ScenarioProgram, 8)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sp, err := c.Get(cat[0], defense.None)
+			if err != nil {
+				t.Errorf("Get: %v", err)
+				return
+			}
+			progs[i] = sp
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < 8; i++ {
+		if progs[i] != progs[0] {
+			t.Fatalf("singleflight broken: distinct programs for one key")
+		}
+	}
+	if st := c.Stats(); st.Misses != 1 || st.Hits != 7 {
+		t.Fatalf("stats after singleflight: %+v, want 1 miss / 7 hits", st)
+	}
+
+	// Filling past capacity evicts the least-recently-used key.
+	for _, s := range cat[1:5] {
+		if _, err := c.Get(s, defense.None); err != nil {
+			t.Fatalf("Get %s: %v", s.ID, err)
+		}
+	}
+	if got := c.Len(); got != 4 {
+		t.Fatalf("Len after overfill: %d, want 4", got)
+	}
+	if st := c.Stats(); st.Evictions == 0 {
+		t.Fatalf("expected evictions after overfill, got %+v", st)
+	}
+
+	// A recompile of the evicted key still replays correctly even if
+	// an older handle is mid-use (programs are immutable).
+	sp, err := c.Get(cat[0], defense.None)
+	if err != nil {
+		t.Fatalf("re-Get evicted key: %v", err)
+	}
+	if _, _, err := sp.Run(nil); err != nil {
+		t.Fatalf("replay after re-Get: %v", err)
+	}
+	if _, _, err := progs[0].Run(nil); err != nil {
+		t.Fatalf("replay of evicted handle: %v", err)
+	}
+}
+
+func TestCacheNegativeCaching(t *testing.T) {
+	c := NewCache(4)
+	s := attack.Catalog()[0]
+	cfg := defense.None
+	cfg.OnProcess = func(*machine.Process) {} // forces ErrNotCompilable
+	for i := 0; i < 3; i++ {
+		if _, err := c.Get(s, cfg); err != ErrNotCompilable {
+			t.Fatalf("Get %d: %v, want ErrNotCompilable", i, err)
+		}
+	}
+	st := c.Stats()
+	if st.Misses != 1 {
+		t.Fatalf("negative entry recompiled: %+v", st)
+	}
+}
+
+func TestCacheEvict(t *testing.T) {
+	c := NewCache(8)
+	for _, s := range attack.Catalog()[:6] {
+		if _, err := c.Get(s, defense.None); err != nil {
+			t.Fatalf("Get %s: %v", s.ID, err)
+		}
+	}
+	if n := c.Evict(4); n != 4 {
+		t.Fatalf("Evict(4) = %d", n)
+	}
+	if got := c.Len(); got != 2 {
+		t.Fatalf("Len after Evict: %d, want 2", got)
+	}
+	if n := c.Evict(10); n != 2 {
+		t.Fatalf("Evict(10) on 2 entries = %d", n)
+	}
+}

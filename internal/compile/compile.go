@@ -1,0 +1,441 @@
+// Package compile lowers attack scenarios into straight-line op
+// programs and replays them through a flat dispatch loop, bypassing the
+// interpreted machinery (layout resolution, placement checking, guard
+// evaluation, shadow validation, call dispatch) whose outcomes are
+// already known.
+//
+// The compiler is a trace specializer: Record runs the scenario once
+// through the ordinary interpreted path under three recording seams —
+// mem.Memory.SetMutObserver for the byte-exact write set,
+// core.LeakTracker.SetJournal for the placement ledger, and the
+// machine's event/output logs — and lowers the observations into a
+// Program specialized to one (scenario, defense.Config, data model)
+// triple. Replay (see exec.go) acquires a pristine image, streams the
+// recorded write runs through Segment.WriteRun, and re-emits the
+// recorded events, ledger mutations, output, and shadow state.
+//
+// The contract, enforced by the differential harness in
+// differential_test.go across the full scenario × defense matrix, is
+// byte identity: a replayed run produces the same events, the same
+// final segment bytes, the same dirty-page bitmaps, the same shadow
+// sanitizer state, and the same placement ledger as the interpreted
+// run it was recorded from.
+//
+// Not everything compiles. Runs that roll memory back (EvRestore),
+// configs carrying foreign instrumentation (OnProcess/OnImage already
+// set — chaos injection, tracing), or scenarios that build processes
+// outside the defense seam all fail with ErrNotCompilable, and callers
+// fall back to interpretation.
+package compile
+
+import (
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/defense"
+	"repro/internal/layout"
+	"repro/internal/machine"
+	"repro/internal/mem"
+)
+
+// ErrNotCompilable reports that a run cannot be lowered to a
+// straight-line program. It is a clean "use the interpreter" signal,
+// not a failure: callers fall back to the interpreted path.
+var ErrNotCompilable = errors.New("compile: run is not compilable")
+
+// OpCode enumerates the compiled ISA. Five opcodes cover everything a
+// recorded run did to observable state.
+type OpCode uint8
+
+const (
+	// OpPlace replays one successful placement-ledger insertion.
+	OpPlace OpCode = iota + 1
+	// OpWriteRun stores a contiguous run of recorded bytes into a
+	// segment, bypassing the access pipeline (the checks already ran
+	// at record time).
+	OpWriteRun
+	// OpCall re-emits one control-flow or program event (calls,
+	// returns, hijacks, dispatches, output, ...).
+	OpCall
+	// OpCheck re-emits one defense-verdict event (canary, shadow
+	// stack, guard, NX, sanitizer, segfault, vtable hijack) — the
+	// moments a defense took credit or the process died.
+	OpCheck
+	// OpRelease replays one successful placement-ledger release.
+	OpRelease
+)
+
+var opNames = map[OpCode]string{
+	OpPlace: "place", OpWriteRun: "write-run", OpCall: "call",
+	OpCheck: "check", OpRelease: "release",
+}
+
+// String returns the opcode mnemonic.
+func (c OpCode) String() string {
+	if s, ok := opNames[c]; ok {
+		return s
+	}
+	return fmt.Sprintf("OpCode(%d)", int(c))
+}
+
+// Op is one instruction of a compiled program. Exactly one payload is
+// live, selected by Code: Seg/Off/Data for OpWriteRun, Ev for
+// OpCall/OpCheck, Led for OpPlace/OpRelease.
+type Op struct {
+	Code OpCode
+	// Seg indexes the image's segments in ascending base order
+	// (mem.Memory.Segments); Off is the byte offset within it.
+	Seg  int
+	Off  uint64
+	Data []byte
+	Ev   machine.Event
+	Led  core.LedgerOp
+}
+
+// String renders the op deterministically: write-run payloads are
+// summarized by length and digest so dumps stay diffable (and small)
+// regardless of payload size.
+func (op Op) String() string {
+	switch op.Code {
+	case OpWriteRun:
+		sum := sha256.Sum256(op.Data)
+		return fmt.Sprintf("write-run seg=%d off=%#x len=%d sha=%x",
+			op.Seg, op.Off, len(op.Data), sum[:8])
+	case OpCall, OpCheck:
+		return fmt.Sprintf("%s %s addr=%#x detail=%q",
+			op.Code, op.Ev.Kind, uint64(op.Ev.Addr), op.Ev.Detail)
+	case OpPlace:
+		return fmt.Sprintf("place addr=%#x what=%q size=%d",
+			uint64(op.Led.Addr), op.Led.What, op.Led.Size)
+	case OpRelease:
+		return fmt.Sprintf("release addr=%#x size=%d",
+			uint64(op.Led.Addr), op.Led.Size)
+	}
+	return op.Code.String()
+}
+
+// ProcProgram is the compiled form of one process the recorded run
+// constructed: the image configuration to acquire, the op stream to
+// dispatch, and the terminal output and shadow-sanitizer state to
+// install.
+type ProcProgram struct {
+	// Img sizes the address space exactly as the interpreted
+	// construction did (including stack executability).
+	Img mem.ImageConfig
+	// Ops is the straight-line instruction stream: write runs in
+	// ascending address order, then the ledger mutations and events in
+	// their original chronological order.
+	Ops []Op
+	// Output is the program's printed lines.
+	Output []string
+	// Shadow is the end-of-run sanitizer snapshot
+	// (shadow.Sanitizer.Snapshot), nil when the config ran
+	// unsanitized.
+	Shadow any
+
+	nEvents int
+}
+
+// Program is a compiled scenario: one ProcProgram per process the run
+// constructed, in construction order. Programs are immutable after
+// Record returns and safe for concurrent Execute.
+type Program struct {
+	// ID, Defense, and Model name the specialization triple.
+	ID      string
+	Defense string
+	Model   string
+	Procs   []*ProcProgram
+}
+
+// NumOps returns the total instruction count across all processes.
+func (p *Program) NumOps() int {
+	n := 0
+	for _, pp := range p.Procs {
+		n += len(pp.Ops)
+	}
+	return n
+}
+
+// Dump renders the whole program deterministically, one op per line —
+// the artifact the CI determinism check byte-compares across
+// independent compiles.
+func (p *Program) Dump() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "program %s|%s|%s procs=%d ops=%d\n",
+		p.ID, p.Defense, p.Model, len(p.Procs), p.NumOps())
+	for i, pp := range p.Procs {
+		fmt.Fprintf(&sb, "proc %d ops=%d output=%d shadow=%v\n",
+			i, len(pp.Ops), len(pp.Output), pp.Shadow != nil)
+		for _, op := range pp.Ops {
+			sb.WriteString("  ")
+			sb.WriteString(op.String())
+			sb.WriteByte('\n')
+		}
+	}
+	return sb.String()
+}
+
+// modelName resolves the model the machine layer will actually use: a
+// zero model selects the paper's ILP32 i386 testbed.
+func modelName(m layout.Model) string {
+	if m.PtrSize == 0 {
+		return layout.ILP32i386.Name
+	}
+	return m.Name
+}
+
+// Key is the compiled-program cache key for a scenario under a config:
+// id|defense|model, the same triple a Program is specialized to. It
+// lives alongside (not inside) the serving tier's content-addressed
+// result key — results are cached per request, programs per
+// specialization.
+func Key(id string, cfg defense.Config) string {
+	return id + "|" + cfg.Name + "|" + modelName(cfg.Model)
+}
+
+// span is one raw recorded write: addr..addr+n at mutation time.
+type span struct {
+	addr mem.Addr
+	n    uint64
+}
+
+type imgRec struct {
+	img   *mem.Image
+	spans []span
+}
+
+type procRec struct {
+	p      *machine.Process
+	img    *imgRec
+	ledger []core.LedgerOp
+}
+
+// recorder observes one instrumented interpreted run through the
+// OnImage/OnProcess seams.
+type recorder struct {
+	imgs    []*imgRec
+	procs   []*procRec
+	badPair bool
+}
+
+func (r *recorder) onImage(img *mem.Image) {
+	ir := &imgRec{img: img}
+	img.Mem.SetMutObserver(func(a mem.Addr, n uint64) {
+		ir.spans = append(ir.spans, span{a, n})
+	})
+	r.imgs = append(r.imgs, ir)
+}
+
+func (r *recorder) onProcess(p *machine.Process) {
+	// machine.New fires OnImage, then (construction done) the defense
+	// layer fires OnProcess, so process i pairs with image i. Verify
+	// rather than trust: a process whose memory is not the image we
+	// instrumented means the pairing assumption broke, and the program
+	// would replay the wrong write set.
+	i := len(r.procs)
+	if i >= len(r.imgs) || r.imgs[i].img.Mem != p.Mem {
+		r.badPair = true
+		return
+	}
+	pr := &procRec{p: p, img: r.imgs[i]}
+	p.Tracker.SetJournal(func(op core.LedgerOp) {
+		pr.ledger = append(pr.ledger, op)
+	})
+	r.procs = append(r.procs, pr)
+}
+
+// Record runs the scenario once through the interpreted path under
+// recording instrumentation and lowers the observed run into a
+// Program. The run function receives an instrumented copy of cfg and
+// must construct every process through it (cfg.NewProcess), as all
+// catalogue scenarios and foundry programs do.
+//
+// Record returns ErrNotCompilable when the run cannot be faithfully
+// replayed: cfg already carries OnProcess/OnImage instrumentation, the
+// run restored a checkpoint (EvRestore), or a constructed process did
+// not come through the recording seams. Any other error is the run's
+// own infrastructure error, propagated unchanged.
+func Record(id string, cfg defense.Config, run func(defense.Config) error) (*Program, error) {
+	if cfg.OnProcess != nil || cfg.OnImage != nil {
+		// Foreign instrumentation (chaos, tracing) changes run
+		// behaviour in ways a replay cannot reproduce — and chaining
+		// around it would record the instrumented semantics under a
+		// key that promises the plain ones.
+		return nil, ErrNotCompilable
+	}
+	rec := &recorder{}
+	rcfg := cfg
+	rcfg.OnImage = rec.onImage
+	rcfg.OnProcess = rec.onProcess
+	if err := run(rcfg); err != nil {
+		rec.detach()
+		return nil, err
+	}
+	rec.detach()
+	if rec.badPair || len(rec.procs) != len(rec.imgs) {
+		return nil, ErrNotCompilable
+	}
+
+	opts := cfg.MachineOptions()
+	imgCfg := opts.Image
+	imgCfg.ExecStack = opts.ExecStack
+
+	prog := &Program{ID: id, Defense: cfg.Name, Model: modelName(cfg.Model)}
+	for _, pr := range rec.procs {
+		pp, err := lowerProc(pr, imgCfg)
+		if err != nil {
+			return nil, err
+		}
+		prog.Procs = append(prog.Procs, pp)
+	}
+	return prog, nil
+}
+
+// detach disarms the recording seams so the instrumented processes can
+// be used (e.g. as a differential reference) without feeding the
+// recorder further.
+func (r *recorder) detach() {
+	for _, ir := range r.imgs {
+		ir.img.Mem.SetMutObserver(nil)
+	}
+	for _, pr := range r.procs {
+		pr.p.Tracker.SetJournal(nil)
+	}
+}
+
+// lowerProc converts one recorded process into its compiled form.
+func lowerProc(pr *procRec, imgCfg mem.ImageConfig) (*ProcProgram, error) {
+	events := pr.p.Events()
+	for _, e := range events {
+		if e.Kind == machine.EvRestore {
+			// A rollback un-writes earlier stores; the straight-line
+			// write set cannot express that ordering against the
+			// event stream.
+			return nil, ErrNotCompilable
+		}
+	}
+
+	pp := &ProcProgram{
+		Img:     imgCfg,
+		Output:  pr.p.OutputLines(),
+		nEvents: len(events),
+	}
+	if san := pr.p.Sanitizer(); san != nil {
+		pp.Shadow = san.Snapshot()
+	}
+
+	// Lower the write set: sort, merge overlapping/adjacent spans
+	// (byte union — and therefore dirty-page union — is preserved
+	// exactly), split at segment boundaries, and read the final bytes.
+	// Reading finals rather than replaying every historical store
+	// collapses N overlapping writes into one run per byte range.
+	m := pr.img.img.Mem
+	segs := m.Segments()
+	for _, iv := range mergeSpans(pr.img.spans) {
+		runs, err := splitRuns(segs, iv)
+		if err != nil {
+			return nil, err
+		}
+		for _, r := range runs {
+			data, err := m.Read(segs[r.Seg].Base.Add(int64(r.Off)), uint64(r.n))
+			if err != nil {
+				return nil, fmt.Errorf("compile: reading recorded run: %w", err)
+			}
+			pp.Ops = append(pp.Ops, Op{Code: OpWriteRun, Seg: r.Seg, Off: r.Off, Data: data})
+		}
+	}
+
+	// Ledger mutations in chronological order. Places and releases
+	// interleave (re-place after release at the same address is a
+	// catalogue pattern), so the stream must not be reordered.
+	for _, lop := range pr.ledger {
+		code := OpPlace
+		if lop.Release {
+			code = OpRelease
+		}
+		pp.Ops = append(pp.Ops, Op{Code: code, Led: lop})
+	}
+
+	// Events in chronological order, classified: defense verdicts and
+	// process deaths are checks, everything else is a call.
+	for _, e := range events {
+		pp.Ops = append(pp.Ops, Op{Code: opForEvent(e), Ev: e})
+	}
+	return pp, nil
+}
+
+// opForEvent classifies an event into the compiled ISA.
+func opForEvent(e machine.Event) OpCode {
+	switch e.Kind {
+	case machine.EvCanaryAbort, machine.EvShadowAbort, machine.EvGuardAbort,
+		machine.EvNXViolation, machine.EvSegfault, machine.EvShadowViolation,
+		machine.EvVTableHijack:
+		return OpCheck
+	}
+	return OpCall
+}
+
+// mergeSpans returns the sorted union of the recorded spans as
+// disjoint intervals, merging overlapping and adjacent spans. Adjacent
+// merging is safe for dirty-page fidelity: the byte union is unchanged,
+// so the page union is too.
+func mergeSpans(spans []span) []span {
+	if len(spans) == 0 {
+		return nil
+	}
+	sorted := make([]span, len(spans))
+	copy(sorted, spans)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].addr < sorted[j].addr })
+	out := sorted[:1]
+	for _, s := range sorted[1:] {
+		last := &out[len(out)-1]
+		if s.addr <= last.addr.Add(int64(last.n)) {
+			if end := s.addr.Add(int64(s.n)); end > last.addr.Add(int64(last.n)) {
+				last.n = uint64(end.Diff(last.addr))
+			}
+			continue
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+type runRef struct {
+	Seg int
+	Off uint64
+	n   uint64
+}
+
+// splitRuns maps one merged interval onto segment-relative runs. A
+// single mem.Write never crosses segments, but merged intervals can
+// when segments are contiguous (data|bss in the canonical image).
+func splitRuns(segs []*mem.Segment, iv span) ([]runRef, error) {
+	var out []runRef
+	addr, left := iv.addr, iv.n
+	for left > 0 {
+		si := -1
+		for i, s := range segs {
+			if s.Contains(addr) {
+				si = i
+				break
+			}
+		}
+		if si < 0 {
+			return nil, fmt.Errorf("compile: recorded write at %#x outside any segment", uint64(addr))
+		}
+		s := segs[si]
+		off := uint64(addr.Diff(s.Base))
+		n := s.Size() - off
+		if left < n {
+			n = left
+		}
+		out = append(out, runRef{Seg: si, Off: off, n: n})
+		addr = addr.Add(int64(n))
+		left -= n
+	}
+	return out, nil
+}

@@ -1,0 +1,158 @@
+package compile
+
+import (
+	"fmt"
+	"reflect"
+
+	"repro/internal/core"
+	"repro/internal/defense"
+	"repro/internal/machine"
+	"repro/internal/mem"
+	"repro/internal/shadow"
+)
+
+// Reference collects the processes of an interpreted run so its
+// terminal state can be diffed against a compiled replay. Attach it to
+// a config, run the scenario interpreted, then Diff.
+type Reference struct {
+	procs []*machine.Process
+}
+
+// Observe chains the reference's collector onto cfg.OnProcess
+// (preserving any existing hook).
+func (r *Reference) Observe(cfg *defense.Config) {
+	prev := cfg.OnProcess
+	cfg.OnProcess = func(p *machine.Process) {
+		if prev != nil {
+			prev(p)
+		}
+		r.procs = append(r.procs, p)
+	}
+}
+
+// Procs returns the collected processes in construction order.
+func (r *Reference) Procs() []*machine.Process { return r.procs }
+
+// Diff compares an interpreted run's terminal state against a compiled
+// replay's, plane by plane, and returns one human-readable line per
+// divergence (empty means byte-identical). The compared planes are the
+// equivalence contract: process count, event streams, program output,
+// full segment bytes, dirty-page bitmaps, shadow sanitizer state, and
+// the placement ledger.
+func Diff(ref []*machine.Process, res *Result) []string {
+	var diffs []string
+	if len(ref) != len(res.Procs) {
+		return []string{fmt.Sprintf("proc count: interpreted=%d compiled=%d", len(ref), len(res.Procs))}
+	}
+	for i, ip := range ref {
+		for _, d := range DiffProc(ip, res.Procs[i]) {
+			diffs = append(diffs, fmt.Sprintf("proc %d: %s", i, d))
+		}
+	}
+	return diffs
+}
+
+// DiffProc compares one interpreted process against one replayed
+// process across every equivalence plane.
+func DiffProc(ip *machine.Process, cp *ProcResult) []string {
+	var diffs []string
+
+	diffs = append(diffs, diffEvents(ip.Events(), cp.Events)...)
+	diffs = append(diffs, diffLines("output", ip.OutputLines(), cp.Output)...)
+	diffs = append(diffs, diffMemory(ip.Mem, cp.Mem)...)
+	diffs = append(diffs, diffShadow(ip.Sanitizer(), cp.Sanitizer)...)
+	diffs = append(diffs, diffLedger(ip.Tracker, cp.Tracker)...)
+	return diffs
+}
+
+func diffEvents(want, got []machine.Event) []string {
+	if len(want) != len(got) {
+		return []string{fmt.Sprintf("events: count interpreted=%d compiled=%d", len(want), len(got))}
+	}
+	for i := range want {
+		if !reflect.DeepEqual(want[i], got[i]) {
+			return []string{fmt.Sprintf("events[%d]: interpreted=%+v compiled=%+v", i, want[i], got[i])}
+		}
+	}
+	return nil
+}
+
+func diffLines(what string, want, got []string) []string {
+	if len(want) != len(got) {
+		return []string{fmt.Sprintf("%s: count interpreted=%d compiled=%d", what, len(want), len(got))}
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			return []string{fmt.Sprintf("%s[%d]: interpreted=%q compiled=%q", what, i, want[i], got[i])}
+		}
+	}
+	return nil
+}
+
+func diffMemory(want, got *mem.Memory) []string {
+	ws, gs := want.Segments(), got.Segments()
+	if len(ws) != len(gs) {
+		return []string{fmt.Sprintf("segments: count interpreted=%d compiled=%d", len(ws), len(gs))}
+	}
+	var diffs []string
+	for i := range ws {
+		w, g := ws[i], gs[i]
+		if w.Kind != g.Kind || w.Base != g.Base || w.Size() != g.Size() {
+			diffs = append(diffs, fmt.Sprintf("segment %d: shape interpreted=%v@%#x+%d compiled=%v@%#x+%d",
+				i, w.Kind, uint64(w.Base), w.Size(), g.Kind, uint64(g.Base), g.Size()))
+			continue
+		}
+		wb, werr := want.Read(w.Base, w.Size())
+		gb, gerr := got.Read(g.Base, g.Size())
+		if werr != nil || gerr != nil {
+			diffs = append(diffs, fmt.Sprintf("segment %v: read failed: %v / %v", w.Kind, werr, gerr))
+			continue
+		}
+		if off := firstDiff(wb, gb); off >= 0 {
+			diffs = append(diffs, fmt.Sprintf("segment %v: bytes differ first at +%#x: interpreted=%#02x compiled=%#02x",
+				w.Kind, off, wb[off], gb[off]))
+		}
+		wd := want.Dirty().DirtyPages(w.Kind)
+		gd := got.Dirty().DirtyPages(g.Kind)
+		if !reflect.DeepEqual(wd, gd) {
+			diffs = append(diffs, fmt.Sprintf("segment %v: dirty pages interpreted=%v compiled=%v", w.Kind, wd, gd))
+		}
+	}
+	return diffs
+}
+
+func firstDiff(a, b []byte) int {
+	for i := range a {
+		if a[i] != b[i] {
+			return i
+		}
+	}
+	return -1
+}
+
+func diffShadow(want, got *shadow.Sanitizer) []string {
+	switch {
+	case want == nil && got == nil:
+		return nil
+	case want == nil || got == nil:
+		return []string{fmt.Sprintf("shadow: presence interpreted=%v compiled=%v", want != nil, got != nil)}
+	}
+	ws, gs := want.StateString(), got.StateString()
+	if ws != gs {
+		return []string{fmt.Sprintf("shadow: state interpreted=%q compiled=%q", ws, gs)}
+	}
+	return nil
+}
+
+func diffLedger(want, got *core.LeakTracker) []string {
+	var diffs []string
+	if want.AllocatedBytes != got.AllocatedBytes || want.ReleasedBytes != got.ReleasedBytes {
+		diffs = append(diffs, fmt.Sprintf("ledger: totals interpreted=%d/%d compiled=%d/%d",
+			want.AllocatedBytes, want.ReleasedBytes, got.AllocatedBytes, got.ReleasedBytes))
+	}
+	if !reflect.DeepEqual(want.Live(), got.Live()) {
+		diffs = append(diffs, fmt.Sprintf("ledger: live placements interpreted=%v compiled=%v",
+			want.Live(), got.Live()))
+	}
+	return diffs
+}

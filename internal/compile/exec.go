@@ -1,0 +1,103 @@
+package compile
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/mem"
+	"repro/internal/shadow"
+)
+
+// ProcResult is the replayed terminal state of one process: the same
+// observable planes the interpreted path exposes, reconstructed by the
+// dispatch loop.
+type ProcResult struct {
+	Img       *mem.Image
+	Mem       *mem.Memory
+	Events    []machine.Event
+	Output    []string
+	Sanitizer *shadow.Sanitizer
+	Tracker   *core.LeakTracker
+}
+
+// Result is the replayed terminal state of a whole program, one entry
+// per recorded process in construction order.
+type Result struct {
+	Procs []*ProcResult
+}
+
+// Execute replays the program onto fresh address spaces and returns
+// the terminal state. When pool is non-nil images are cloned from its
+// pristine templates (copy-on-write), exactly as interpreted
+// construction under defense.Config.Pool would; otherwise fresh images
+// are mapped.
+//
+// The core is a flat dispatch loop over the op stream: write runs go
+// through Segment.WriteRun (one bounds check, shared COW and dirty
+// accounting), ledger ops through LeakTracker.Apply, events into the
+// log. No layout resolution, placement validation, guard evaluation,
+// or shadow checking happens here — the recorded run already paid for
+// all of it. Programs are immutable, so concurrent Execute calls on
+// one Program are safe.
+func (p *Program) Execute(pool *mem.ImagePool) (*Result, error) {
+	res := &Result{Procs: make([]*ProcResult, 0, len(p.Procs))}
+	for i, pp := range p.Procs {
+		prc, err := pp.execute(pool)
+		if err != nil {
+			return nil, fmt.Errorf("compile: %s|%s proc %d: %w", p.ID, p.Defense, i, err)
+		}
+		res.Procs = append(res.Procs, prc)
+	}
+	return res, nil
+}
+
+// execute replays one process program.
+func (pp *ProcProgram) execute(pool *mem.ImagePool) (*ProcResult, error) {
+	var img *mem.Image
+	var err error
+	if pool != nil {
+		img, _, err = pool.Acquire(pp.Img)
+	} else {
+		img, err = mem.NewProcessImage(pp.Img)
+	}
+	if err != nil {
+		return nil, err
+	}
+	segs := img.Mem.Segments()
+	prc := &ProcResult{
+		Img:     img,
+		Mem:     img.Mem,
+		Events:  make([]machine.Event, 0, pp.nEvents),
+		Output:  append([]string(nil), pp.Output...),
+		Tracker: core.NewLeakTracker(),
+	}
+	for i := range pp.Ops {
+		op := &pp.Ops[i]
+		switch op.Code {
+		case OpWriteRun:
+			if op.Seg < 0 || op.Seg >= len(segs) {
+				return nil, fmt.Errorf("op %d: segment index %d out of range", i, op.Seg)
+			}
+			if err := segs[op.Seg].WriteRun(op.Off, op.Data); err != nil {
+				return nil, fmt.Errorf("op %d: %w", i, err)
+			}
+		case OpPlace, OpRelease:
+			prc.Tracker.Apply(op.Led)
+		case OpCall, OpCheck:
+			prc.Events = append(prc.Events, op.Ev)
+		default:
+			return nil, fmt.Errorf("op %d: unknown opcode %d", i, op.Code)
+		}
+	}
+	if pp.Shadow != nil {
+		san := shadow.New()
+		san.Restore(pp.Shadow)
+		prc.Sanitizer = san
+		// Attach for fidelity with the interpreted process, whose
+		// memory carries its sanitizer; execution is over, so nothing
+		// further is checked.
+		prc.Mem.SetShadow(san)
+	}
+	return prc, nil
+}

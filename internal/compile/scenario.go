@@ -1,0 +1,63 @@
+package compile
+
+import (
+	"fmt"
+
+	"repro/internal/attack"
+	"repro/internal/defense"
+	"repro/internal/mem"
+)
+
+// ScenarioProgram pairs a compiled program with the structured outcome
+// its recording run produced. Scenario runs are deterministic, so the
+// recorded outcome IS the outcome of every replay; Run returns a
+// defensive clone per call.
+type ScenarioProgram struct {
+	Prog    *Program
+	outcome *attack.Outcome
+}
+
+// CompileScenario records one interpreted run of the scenario under
+// cfg and lowers it. It returns ErrNotCompilable (wrapped) for runs
+// the compiler cannot express; callers fall back to interpretation.
+func CompileScenario(s attack.Scenario, cfg defense.Config) (*ScenarioProgram, error) {
+	var out *attack.Outcome
+	prog, err := Record(s.ID, cfg, func(c defense.Config) error {
+		o, err := s.Run(c)
+		out = o
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	if out == nil {
+		return nil, fmt.Errorf("compile: scenario %s returned no outcome", s.ID)
+	}
+	return &ScenarioProgram{Prog: prog, outcome: out}, nil
+}
+
+// Outcome returns a defensive clone of the recorded outcome.
+func (sp *ScenarioProgram) Outcome() *attack.Outcome { return cloneOutcome(sp.outcome) }
+
+// Run replays the program (optionally pooling images) and returns the
+// recorded outcome plus the replayed terminal state. The outcome is a
+// fresh clone each call, safe for the serving layer to hand out.
+func (sp *ScenarioProgram) Run(pool *mem.ImagePool) (*attack.Outcome, *Result, error) {
+	res, err := sp.Prog.Execute(pool)
+	if err != nil {
+		return nil, nil, err
+	}
+	return cloneOutcome(sp.outcome), res, nil
+}
+
+func cloneOutcome(o *attack.Outcome) *attack.Outcome {
+	c := *o
+	c.Details = append([]string(nil), o.Details...)
+	if o.Metrics != nil {
+		c.Metrics = make(map[string]float64, len(o.Metrics))
+		for k, v := range o.Metrics {
+			c.Metrics[k] = v
+		}
+	}
+	return &c
+}

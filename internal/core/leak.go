@@ -18,6 +18,39 @@ type LeakTracker struct {
 	// AllocatedBytes and ReleasedBytes accumulate over the tracker's life.
 	AllocatedBytes uint64
 	ReleasedBytes  uint64
+	// journal, when non-nil, observes every successful ledger mutation
+	// (the recording seam, see internal/compile). Failed releases are
+	// not journalled: they change nothing, so replaying only the
+	// successful ops reproduces the final ledger exactly.
+	journal func(LedgerOp)
+}
+
+// LedgerOp is one successful placement-ledger mutation, in replayable
+// form: a place records the full placement, a release records the
+// bytes actually reclaimed (after any clamping the original call
+// applied).
+type LedgerOp struct {
+	Release bool
+	Addr    mem.Addr
+	What    string
+	Size    uint64
+}
+
+// SetJournal installs fn to observe every successful ledger mutation
+// as it happens. Pass nil to disarm.
+func (t *LeakTracker) SetJournal(fn func(LedgerOp)) { t.journal = fn }
+
+// Apply replays a journalled op onto the ledger without re-validation:
+// the op was journalled from a successful mutation, so it applies
+// unconditionally.
+func (t *LeakTracker) Apply(op LedgerOp) {
+	if op.Release {
+		delete(t.placed, op.Addr)
+		t.ReleasedBytes += op.Size
+		return
+	}
+	t.placed[op.Addr] = placement{what: op.What, size: op.Size}
+	t.AllocatedBytes += op.Size
 }
 
 type placement struct {
@@ -36,6 +69,9 @@ func NewLeakTracker() *LeakTracker {
 func (t *LeakTracker) RecordPlacement(addr mem.Addr, what string, size uint64) {
 	t.placed[addr] = placement{what: what, size: size}
 	t.AllocatedBytes += size
+	if t.journal != nil {
+		t.journal(LedgerOp{Addr: addr, What: what, Size: size})
+	}
 }
 
 // PlacementDelete releases the placement at addr using its recorded size —
@@ -47,6 +83,9 @@ func (t *LeakTracker) PlacementDelete(addr mem.Addr) error {
 	}
 	delete(t.placed, addr)
 	t.ReleasedBytes += p.size
+	if t.journal != nil {
+		t.journal(LedgerOp{Release: true, Addr: addr, Size: p.size})
+	}
 	return nil
 }
 
@@ -64,6 +103,9 @@ func (t *LeakTracker) ReleaseSized(addr mem.Addr, size uint64) error {
 	}
 	delete(t.placed, addr)
 	t.ReleasedBytes += size
+	if t.journal != nil {
+		t.journal(LedgerOp{Release: true, Addr: addr, Size: size})
+	}
 	return nil
 }
 

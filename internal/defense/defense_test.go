@@ -2,6 +2,7 @@ package defense
 
 import (
 	"errors"
+	"reflect"
 	"testing"
 
 	"repro/internal/core"
@@ -47,7 +48,10 @@ func TestMachineOptionsMapping(t *testing.T) {
 	}
 	for _, tt := range tests {
 		t.Run(tt.cfg.Name, func(t *testing.T) {
-			if got := tt.cfg.MachineOptions(); got != tt.want {
+			// Options carries func-typed seams (OnImage), so the struct is
+			// no longer ==-comparable; DeepEqual treats the nil funcs here
+			// as equal.
+			if got := tt.cfg.MachineOptions(); !reflect.DeepEqual(got, tt.want) {
 				t.Errorf("options = %+v, want %+v", got, tt.want)
 			}
 		})

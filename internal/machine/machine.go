@@ -59,6 +59,14 @@ type Options struct {
 	// allocating and zeroing fresh segments. Cloned processes are fully
 	// isolated — their writes copy shared pages before mutating them.
 	Pool *mem.ImagePool
+	// OnImage, when non-nil, observes the process's address-space image
+	// immediately after acquisition and before any construction write
+	// (heap formatting, stack setup, canary install). It is the seam
+	// the scenario compiler's recorder (internal/compile) uses to
+	// attach write instrumentation early enough to capture the full
+	// from-pristine write set; OnNewProcess and defense.Config.OnProcess
+	// fire too late for that, after construction has already stored.
+	OnImage func(*mem.Image)
 }
 
 func (o Options) model() layout.Model {
@@ -127,6 +135,9 @@ func New(opts Options) (*Process, error) {
 	}
 	if err != nil {
 		return nil, fmt.Errorf("machine: %w", err)
+	}
+	if opts.OnImage != nil {
+		opts.OnImage(img)
 	}
 	h, err := heap.NewOnImage(img)
 	if err != nil {

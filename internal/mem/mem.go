@@ -152,6 +152,10 @@ type Memory struct {
 	// byte-granular shadow encoding before it lands (the sanitizer
 	// seam, see internal/shadow).
 	shadow ShadowChecker
+	// mut, when non-nil, observes every byte range a store actually
+	// mutated — program Writes after every check and hook has passed,
+	// and loader Pokes (the recording seam, see internal/compile).
+	mut func(addr Addr, n uint64)
 }
 
 // WriteRecord describes one completed write, for tracing.
@@ -164,6 +168,18 @@ type WriteRecord struct {
 // SetWriteLogger installs fn to observe every successful write. Pass nil to
 // disable. Used by the experiment harness to build memory diffs.
 func (m *Memory) SetWriteLogger(fn func(WriteRecord)) { m.writeLog = fn }
+
+// SetMutObserver installs fn to observe every byte range a store
+// mutates, after it lands. Unlike the AccessObserver (which sees
+// *attempted* accesses before any check) and the write logger (which
+// sees Writes only), the mutation observer fires exactly when backing
+// bytes changed hands: after a Write clears permissions, guards,
+// shadow, and hooks — with the hook-replaced length, if any — and
+// after every loader Poke. It is the seam the scenario compiler's
+// recorder uses to capture a run's precise write set, so dirty-page
+// accounting can be reproduced by replaying exactly the recorded
+// ranges. Pass nil to disarm; a nil observer costs one pointer check.
+func (m *Memory) SetMutObserver(fn func(addr Addr, n uint64)) { m.mut = fn }
 
 // Map adds a segment of n bytes at base with the given permissions.
 // It returns an error if the range overlaps an existing segment or wraps.
@@ -326,6 +342,9 @@ func (m *Memory) Write(addr Addr, b []byte) error {
 		s.readRaw(off, old)
 	}
 	s.writeRaw(off, b)
+	if m.mut != nil && n > 0 {
+		m.mut(addr, n)
+	}
 	if m.writeLog != nil {
 		nb := make([]byte, n)
 		copy(nb, b)
@@ -344,6 +363,9 @@ func (m *Memory) Poke(addr Addr, b []byte) error {
 		return f
 	}
 	s.writeRaw(uint64(addr.Diff(s.Base)), b)
+	if m.mut != nil && len(b) > 0 {
+		m.mut(addr, uint64(len(b)))
+	}
 	return nil
 }
 

@@ -116,6 +116,21 @@ func (s *Segment) writeRaw(off uint64, b []byte) {
 	}
 }
 
+// WriteRun copies b into the segment at byte offset off, bypassing the
+// access pipeline entirely — no permission check, no guards, no shadow
+// validation, no hooks, no logging. It is the store primitive of the
+// compiled dispatch loop (internal/compile): the recorded run already
+// paid every check, so replay needs only the COW page copy and the
+// dirty accounting, which WriteRun shares with the checked path. The
+// single bounds check here is the whole per-op validation cost.
+func (s *Segment) WriteRun(off uint64, b []byte) error {
+	if off+uint64(len(b)) > s.size || off+uint64(len(b)) < off {
+		return &Fault{Kind: FaultUnmapped, Addr: s.Base.Add(int64(off)), Size: uint64(len(b))}
+	}
+	s.writeRaw(off, b)
+	return nil
+}
+
 // readRaw copies len(dst) bytes starting at byte offset off into dst.
 func (s *Segment) readRaw(off uint64, dst []byte) {
 	for len(dst) > 0 {

@@ -72,6 +72,11 @@ type Config struct {
 	// PeerFetch overrides the cross-node cache-fill transport (tests).
 	// Nil selects the HTTP client fetching GET {peer}/cache/{key}.
 	PeerFetch func(ctx context.Context, peerURL, key string) (*service.Result, error)
+	// Compiled arms the compiled-program tier: cache-miss scenario
+	// executions (no chaos, no detail tracing) replay cached
+	// straight-line programs instead of interpreting (see
+	// internal/compile).
+	Compiled bool
 }
 
 // Server is the HTTP face of one service.Service.
@@ -120,6 +125,7 @@ func NewServer(cfg Config) *Server {
 			Bus:             bus,
 			TraceCapacity:   cfg.TraceCap,
 			PeerFetch:       peerFetch,
+			Compiled:        cfg.Compiled,
 		}),
 		reg: reg,
 		now: now,

@@ -20,6 +20,7 @@ import (
 
 	"repro/internal/attack"
 	"repro/internal/chaos"
+	"repro/internal/compile"
 	"repro/internal/machine"
 	"repro/internal/mem"
 	"repro/internal/obs"
@@ -80,6 +81,17 @@ type Config struct {
 	// locally and served with the CacheCloned token; any error falls
 	// back to normal execution.
 	PeerFetch func(ctx context.Context, peerURL, key string) (*Result, error)
+	// Compiled arms the compiled-program tier (internal/compile):
+	// cache-miss scenario executions without chaos or detail tracing
+	// are lowered once per (scenario, defense, model) into a
+	// straight-line op program and replayed through the flat dispatch
+	// loop on subsequent misses. The program cache sits alongside the
+	// content-addressed result cache; anything not compilable falls
+	// back to the interpreted path transparently.
+	Compiled bool
+	// CompiledCacheCapacity bounds the compiled-program cache
+	// (default 256 specializations).
+	CompiledCacheCapacity int
 }
 
 func (c Config) withDefaults() Config {
@@ -102,6 +114,7 @@ type Service struct {
 	cache    *Cache
 	reg      *obs.Registry
 	pool     *mem.ImagePool
+	programs *compile.Cache // non-nil only when Config.Compiled
 	bus      *obs.Bus
 	traces   *TraceStore
 	traceSeq atomic.Uint64
@@ -152,12 +165,25 @@ func New(cfg Config) *Service {
 		// instead of constructing.
 		s.pool.Prewarm(mem.ImageConfig{}, mem.ImageConfig{ExecStack: true})
 	}
+	if cfg.Compiled {
+		capacity := cfg.CompiledCacheCapacity
+		if capacity <= 0 {
+			capacity = 256
+		}
+		s.programs = compile.NewCache(capacity)
+	}
 	return s
 }
 
 // Pool exposes the image template pool (nil when disabled). Used by
 // tests to assert template isolation and by tooling to read stats.
 func (s *Service) Pool() *mem.ImagePool { return s.pool }
+
+// Programs exposes the compiled-program cache (nil when the compiled
+// tier is disabled). The cluster tier calls Evict on it when a
+// worker's shard assignment shrinks; tests use it to assert
+// singleflight compilation and evict-while-executing safety.
+func (s *Service) Programs() *compile.Cache { return s.programs }
 
 // describeServeMetrics declares the serving metric families on reg.
 func describeServeMetrics(reg *obs.Registry) {
@@ -403,6 +429,17 @@ func (s *Service) compute(ctx context.Context, n *request, rt *RequestTrace) (*R
 // to the first process construction is the clone stage (template clone
 // or image construction plus defense wiring).
 func (s *Service) runScenario(n *request, rt *RequestTrace, execStart time.Time) (*attack.Outcome, int, error) {
+	// Compiled fast path: chaos-free, non-detail scenario runs replay a
+	// cached straight-line program instead of interpreting. Chaos
+	// injection and detail tracing need the interpreted machinery (they
+	// instrument the run as it happens); anything the compiler rejects
+	// falls through to interpretation below.
+	if s.programs != nil && n.ChaosProb == 0 && !rt.Detail() {
+		if o, ok := s.runCompiled(n, rt, execStart); ok {
+			return o, 0, nil
+		}
+	}
+
 	cfg := n.defCfg // copy; the catalogue config stays pristine
 	cfg.Pool = s.pool
 	var inj *chaos.Injector
@@ -495,4 +532,30 @@ func (s *Service) runScenario(n *request, rt *RequestTrace, execStart time.Time)
 		injected = inj.Count()
 	}
 	return o, injected, err
+}
+
+// runCompiled serves one scenario request from the compiled-program
+// cache: compile on first use (singleflight per specialization), then
+// replay through the flat dispatch loop with pool-cloned images. It
+// reports ok=false — interpret instead — when the scenario is not
+// compilable or the replay fails; both are safe to fall through
+// because replay mutates only its own freshly acquired images.
+func (s *Service) runCompiled(n *request, rt *RequestTrace, execStart time.Time) (*attack.Outcome, bool) {
+	cfg := n.defCfg
+	cfg.Pool = s.pool
+	cfg.Compiled = true
+	sp, err := s.programs.Get(n.scenario, cfg)
+	if err != nil {
+		return nil, false
+	}
+	o, _, err := sp.Run(s.pool)
+	if err != nil {
+		return nil, false
+	}
+	if rt != nil {
+		end := s.cfg.Now()
+		rt.Stage(StageClone, execStart, end, map[string]string{"compiled": "true"})
+		s.reg.Observe(obs.MetricServeStageClone, durMS(end.Sub(execStart)))
+	}
+	return o, true
 }
